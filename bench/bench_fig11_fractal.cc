@@ -1,0 +1,40 @@
+// Reproduces Fig. 11a-d: synthetic fractal terrain with 1,048,576 cells
+// (1024x1024) for roughness H in {0.1, 0.3, 0.6, 0.9}, Qinterval in
+// {0, 0.01, ..., 0.05}.
+//
+// Expected shapes (paper): I-Hilbert wins everywhere (up to >50x over
+// LinearScan at small Qinterval and large H); I-All is *slower than
+// LinearScan* when H is small or Qinterval is large (high selectivity
+// from overlapped values), and competitive otherwise.
+//
+// Note: the full run builds four million-cell databases; pass --quick
+// for a smoke run with fewer queries.
+
+#include "bench/harness.h"
+#include "gen/fractal.h"
+
+int main(int argc, char** argv) {
+  using namespace fielddb;
+  for (const double h : {0.1, 0.3, 0.6, 0.9}) {
+    FractalOptions options;
+    options.size_exp = 10;  // 1024x1024 cells = 1,048,576
+    options.roughness_h = h;
+    options.seed = 1111;
+    StatusOr<GridField> field = MakeFractalField(options);
+    if (!field.ok()) {
+      std::fprintf(stderr, "%s\n", field.status().ToString().c_str());
+      return 1;
+    }
+
+    bench::FigureConfig config;
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Fig 11 (H=%.1f): fractal DEM 1024x1024, 1,048,576 cells",
+                  h);
+    config.title = title;
+    config.qintervals = {0.0, 0.01, 0.02, 0.03, 0.04, 0.05};
+    bench::ApplyFlags(argc, argv, &config);
+    if (!bench::RunFigure(*field, config)) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Fig. 12: the synthetic monotonic DEM w(x, y) = x + y with
+// 512x512 rectangular cells, Qinterval in {0, 0.01, ..., 0.06}.
+//
+// Expected shape (paper): I-Hilbert outperforms the others; monotonic
+// data is the friendliest case since value locality == spatial locality.
+
+#include "bench/harness.h"
+#include "gen/monotonic.h"
+
+int main(int argc, char** argv) {
+  using namespace fielddb;
+  StatusOr<GridField> field = MakeMonotonicField(512, 512);
+  if (!field.ok()) {
+    std::fprintf(stderr, "%s\n", field.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::FigureConfig config;
+  config.title = "Fig 12: monotonic DEM w=x+y, 512x512 cells";
+  config.qintervals = {0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06};
+  bench::ApplyFlags(argc, argv, &config);
+  return bench::RunFigure(*field, config) ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+// Reproduces Fig. 8b: field value queries on real urban noise data — the
+// Lyon TIN of ~9000 triangles, substituted by a synthetic Delaunay noise
+// TIN of the same scale (see DESIGN.md). Same sweep as Fig. 8a.
+
+#include "bench/harness.h"
+#include "gen/noise_tin.h"
+
+int main(int argc, char** argv) {
+  using namespace fielddb;
+  StatusOr<TinField> city = MakeUrbanNoiseTin();
+  if (!city.ok()) {
+    std::fprintf(stderr, "%s\n", city.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::FigureConfig config;
+  config.title =
+      "Fig 8b: urban noise TIN ~9000 triangles (synthetic substitute)";
+  config.qintervals = {0.0, 0.02, 0.04, 0.06, 0.08, 0.10};
+  bench::ApplyFlags(argc, argv, &config);
+  return bench::RunFigure(*city, config) ? 0 : 1;
+}

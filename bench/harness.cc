@@ -1,0 +1,159 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "gen/workload.h"
+
+namespace fielddb::bench {
+
+namespace {
+
+struct SeriesPoint {
+  WorkloadStats stats;
+};
+
+}  // namespace
+
+void ApplyFlags(int argc, char** argv, FigureConfig* config) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config->num_queries = 30;
+    }
+  }
+}
+
+bool RunFigure(const Field& field, const FigureConfig& config) {
+  std::printf("=== %s ===\n", config.title.c_str());
+  std::printf("cells=%u value_range=%s queries_per_point=%u\n",
+              field.NumCells(), field.ValueRange().ToString().c_str(),
+              config.num_queries);
+
+  // results[method][qinterval index]
+  std::map<IndexMethod, std::vector<SeriesPoint>> results;
+
+  for (const IndexMethod method : config.methods) {
+    FieldDatabaseOptions options = config.base_options;
+    options.method = method;
+    options.build_spatial_index = false;  // Q2-only workload
+    StatusOr<std::unique_ptr<FieldDatabase>> db =
+        FieldDatabase::Build(field, options);
+    if (!db.ok()) {
+      std::fprintf(stderr, "build %s: %s\n", IndexMethodName(method),
+                   db.status().ToString().c_str());
+      return false;
+    }
+    const IndexBuildInfo& info = (*db)->build_info();
+    std::printf(
+        "[build] %-11s entries=%-8llu subfields=%-7llu tree_h=%u "
+        "tree_nodes=%-6llu store_pages=%-6llu build_s=%.2f\n",
+        IndexMethodName(method),
+        static_cast<unsigned long long>(info.num_index_entries),
+        static_cast<unsigned long long>(info.num_subfields),
+        info.tree_height,
+        static_cast<unsigned long long>(info.tree_nodes),
+        static_cast<unsigned long long>(info.store_pages),
+        info.build_seconds);
+
+    for (const double qi : config.qintervals) {
+      WorkloadOptions wo;
+      wo.qinterval_fraction = qi;
+      wo.num_queries = config.num_queries;
+      wo.seed = config.workload_seed;  // same queries for every method
+      const auto queries =
+          GenerateValueQueries(field.ValueRange(), wo);
+      StatusOr<WorkloadStats> ws = (*db)->RunWorkload(queries);
+      if (!ws.ok()) {
+        std::fprintf(stderr, "workload %s qi=%g: %s\n",
+                     IndexMethodName(method), qi,
+                     ws.status().ToString().c_str());
+        return false;
+      }
+      results[method].push_back(SeriesPoint{*ws});
+    }
+  }
+
+  // Paper-figure table: avg execution time per query.
+  std::printf("\n%-10s", "Qinterval");
+  for (const IndexMethod method : config.methods) {
+    std::printf(" %14s", (std::string(IndexMethodName(method)) + "(ms)")
+                             .c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < config.qintervals.size(); ++i) {
+    std::printf("%-10.3f", config.qintervals[i]);
+    for (const IndexMethod method : config.methods) {
+      std::printf(" %14.4f", results[method][i].stats.avg_wall_ms);
+    }
+    std::printf("\n");
+  }
+
+  // Companion table: average pages read per query (the quantity that
+  // drives the wall-time shapes on a real disk).
+  std::printf("\n%-10s", "Qinterval");
+  for (const IndexMethod method : config.methods) {
+    std::printf(" %14s", (std::string(IndexMethodName(method)) + "(pg)")
+                             .c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < config.qintervals.size(); ++i) {
+    std::printf("%-10.3f", config.qintervals[i]);
+    for (const IndexMethod method : config.methods) {
+      std::printf(" %14.1f", results[method][i].stats.avg_logical_reads);
+    }
+    std::printf("\n");
+  }
+
+  // Third table: the simulated 2002-disk I/O time per query (seek cost
+  // for random pages, transfer-only for sequential ones — see DiskModel).
+  // This is the regime the paper measured in: LinearScan reads the store
+  // sequentially while index candidates are scattered, which is exactly
+  // what makes I-All *lose* to LinearScan on high-selectivity workloads
+  // (Fig. 11.a) even though it reads fewer pages.
+  const DiskModel disk;
+  std::printf("\n%-10s", "Qinterval");
+  for (const IndexMethod method : config.methods) {
+    std::printf(" %14s", (std::string(IndexMethodName(method)) + "(io_ms)")
+                             .c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < config.qintervals.size(); ++i) {
+    std::printf("%-10.3f", config.qintervals[i]);
+    for (const IndexMethod method : config.methods) {
+      std::printf(" %14.1f", results[method][i].stats.AvgDiskMs(disk));
+    }
+    std::printf("\n");
+  }
+
+  // Headline ratios when both series are present.
+  const bool has_scan = results.count(IndexMethod::kLinearScan) > 0;
+  const bool has_hilbert = results.count(IndexMethod::kIHilbert) > 0;
+  if (has_scan && has_hilbert) {
+    double min_ratio = 1e300, max_ratio = 0;
+    double min_io = 1e300, max_io = 0;
+    for (size_t i = 0; i < config.qintervals.size(); ++i) {
+      const WorkloadStats& scan =
+          results[IndexMethod::kLinearScan][i].stats;
+      const WorkloadStats& hil = results[IndexMethod::kIHilbert][i].stats;
+      if (hil.avg_wall_ms > 0) {
+        const double r = scan.avg_wall_ms / hil.avg_wall_ms;
+        min_ratio = std::min(min_ratio, r);
+        max_ratio = std::max(max_ratio, r);
+      }
+      if (hil.AvgDiskMs(disk) > 0) {
+        const double r = scan.AvgDiskMs(disk) / hil.AvgDiskMs(disk);
+        min_io = std::min(min_io, r);
+        max_io = std::max(max_io, r);
+      }
+    }
+    std::printf(
+        "\nI-Hilbert speedup over LinearScan: wall %.1fx .. %.1fx, "
+        "sim-disk %.1fx .. %.1fx\n",
+        min_ratio, max_ratio, min_io, max_io);
+  }
+  std::printf("\n");
+  return true;
+}
+
+}  // namespace fielddb::bench

@@ -1,0 +1,73 @@
+// The paper's future-work scenario (Section 5): value queries on a
+// *vector* field — wind as (u, v) velocity components. Finds the regions
+// where the wind blows strongly eastward with little north-south
+// component, using the 2-D-box generalization of I-Hilbert.
+//
+// Run:  ./build/examples/wind_vector
+
+#include <cstdio>
+
+#include "gen/fractal.h"
+#include "vector/vector_index.h"
+
+int main() {
+  using namespace fielddb;
+
+  // Two fractal component fields over a 128x128 grid (m/s, remapped).
+  FractalOptions fo;
+  fo.size_exp = 7;
+  fo.roughness_h = 0.8;
+  fo.seed = 21;
+  std::vector<double> su = DiamondSquare(fo);
+  fo.seed = 22;
+  std::vector<double> sv = DiamondSquare(fo);
+  // Map the raw heights (~[-1.5, 1.5]) onto wind speeds: u in ~[-15, 15].
+  for (double& w : su) w *= 10.0;
+  for (double& w : sv) w *= 10.0;
+
+  StatusOr<VectorGridField> wind = VectorGridField::Create(
+      128, 128, Rect2{{0, 0}, {1, 1}}, std::move(su), std::move(sv));
+  if (!wind.ok()) {
+    std::fprintf(stderr, "wind: %s\n", wind.status().ToString().c_str());
+    return 1;
+  }
+  const Box<2> range = wind->ValueRangeBox();
+  std::printf("wind field: %u cells, u in [%.1f, %.1f], v in [%.1f, %.1f] m/s\n",
+              wind->NumCells(), range.lo[0], range.hi[0], range.lo[1],
+              range.hi[1]);
+
+  VectorFieldDatabase::Options options;  // V-I-Hilbert
+  auto db = VectorFieldDatabase::Build(*wind, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("index: %zu vector subfields (2-D value boxes in a 2-D R*-tree)\n",
+              (*db)->subfields().size());
+
+  // "Steady easterly corridor": u in [5, 15] m/s, |v| <= 2 m/s.
+  const VectorBandQuery corridor{{5.0, 15.0}, {-2.0, 2.0}};
+  VectorQueryResult result;
+  const Status s = (*db)->BandQuery(corridor, &result);
+  if (!s.ok()) {
+    std::fprintf(stderr, "query: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "easterly corridor (u in [5,15], v in [-2,2]): %zu pieces, area "
+      "%.4f (%.1f%% of the domain), %llu candidates, %llu answer cells, "
+      "%llu pages read\n",
+      result.region.NumPieces(), result.region.TotalArea(),
+      100.0 * result.region.TotalArea(),
+      static_cast<unsigned long long>(result.stats.candidate_cells),
+      static_cast<unsigned long long>(result.stats.answer_cells),
+      static_cast<unsigned long long>(result.stats.io.logical_reads));
+
+  // Contrast with a calm-region query.
+  const VectorBandQuery calm{{-1.0, 1.0}, {-1.0, 1.0}};
+  if (!(*db)->BandQuery(calm, &result).ok()) return 1;
+  std::printf("calm regions (|u|,|v| <= 1): area %.4f (%.1f%%)\n",
+              result.region.TotalArea(),
+              100.0 * result.region.TotalArea());
+  return 0;
+}

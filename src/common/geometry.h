@@ -1,0 +1,155 @@
+#ifndef FIELDDB_COMMON_GEOMETRY_H_
+#define FIELDDB_COMMON_GEOMETRY_H_
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace fielddb {
+
+/// Tolerance for geometric predicates on normalized coordinates.
+inline constexpr double kGeomEpsilon = 1e-12;
+
+/// A point in the 2-D spatial domain of a field.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point2& other) const = default;
+};
+
+inline Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+inline Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+inline Point2 operator*(double s, Point2 p) { return {s * p.x, s * p.y}; }
+
+/// Dot product of two 2-D vectors.
+inline double Dot(Point2 a, Point2 b) { return a.x * b.x + a.y * b.y; }
+
+/// Z-component of the cross product (signed parallelogram area).
+inline double Cross(Point2 a, Point2 b) { return a.x * b.y - a.y * b.x; }
+
+/// Euclidean distance between two points.
+inline double Distance(Point2 a, Point2 b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// An axis-aligned rectangle; the 2-D MBR used throughout the spatial layer.
+/// An "empty" rect has lo > hi on some axis (see Empty()).
+struct Rect2 {
+  Point2 lo;
+  Point2 hi;
+
+  /// A rect that contains nothing and acts as the identity for Extend.
+  static Rect2 Empty() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return Rect2{{inf, inf}, {-inf, -inf}};
+  }
+
+  bool IsEmpty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  bool Contains(Point2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  bool Intersects(const Rect2& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y &&
+           o.lo.y <= hi.y;
+  }
+
+  /// Grows this rect to cover `p`.
+  void Extend(Point2 p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Grows this rect to cover `o`.
+  void Extend(const Rect2& o) {
+    if (o.IsEmpty()) return;
+    Extend(o.lo);
+    Extend(o.hi);
+  }
+
+  Point2 Center() const {
+    return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0};
+  }
+
+  double Width() const { return hi.x - lo.x; }
+  double Height() const { return hi.y - lo.y; }
+  double Area() const { return IsEmpty() ? 0.0 : Width() * Height(); }
+
+  bool operator==(const Rect2& other) const = default;
+};
+
+/// A triangle given by its three vertices (counter-clockwise preferred but
+/// not required; predicates handle either orientation).
+struct Triangle2 {
+  std::array<Point2, 3> v;
+
+  /// Signed area: positive when the vertices are counter-clockwise.
+  double SignedArea() const {
+    return 0.5 * Cross(v[1] - v[0], v[2] - v[0]);
+  }
+
+  double Area() const { return std::abs(SignedArea()); }
+
+  Point2 Centroid() const {
+    return {(v[0].x + v[1].x + v[2].x) / 3.0,
+            (v[0].y + v[1].y + v[2].y) / 3.0};
+  }
+
+  Rect2 BoundingBox() const {
+    Rect2 r = Rect2::Empty();
+    for (const Point2& p : v) r.Extend(p);
+    return r;
+  }
+
+  /// Barycentric coordinates of `p` with respect to this triangle.
+  /// Returns {l0, l1, l2} with l0 + l1 + l2 == 1. Any coordinate may be
+  /// negative when `p` lies outside. Degenerate triangles return NaNs.
+  std::array<double, 3> Barycentric(Point2 p) const;
+
+  /// True when `p` is inside the triangle or on its boundary
+  /// (within kGeomEpsilon on barycentric coordinates).
+  bool Contains(Point2 p) const;
+};
+
+/// A simple convex polygon, vertices in counter-clockwise order.
+/// Produced by the estimation step when clipping cells against iso-lines.
+struct ConvexPolygon {
+  std::vector<Point2> vertices;
+
+  bool IsEmpty() const { return vertices.size() < 3; }
+
+  /// Area by the shoelace formula (vertices assumed CCW; returns the
+  /// absolute value so CW input is also handled).
+  double Area() const;
+
+  Point2 Centroid() const;
+
+  Rect2 BoundingBox() const;
+};
+
+/// Clips a convex polygon against the half-plane `Dot(n, p) + c >= 0`
+/// using one pass of Sutherland–Hodgman. The result is convex (possibly
+/// empty). `n` need not be unit length.
+ConvexPolygon ClipHalfPlane(const ConvexPolygon& poly, Point2 n, double c);
+
+/// Convenience: clips against `a*x + b*y + c >= 0`.
+inline ConvexPolygon ClipHalfPlane(const ConvexPolygon& poly, double a,
+                                   double b, double c) {
+  return ClipHalfPlane(poly, Point2{a, b}, c);
+}
+
+/// Builds a polygon from a triangle, normalizing orientation to CCW.
+ConvexPolygon PolygonFromTriangle(const Triangle2& t);
+
+/// Builds a polygon from an axis-aligned rectangle (CCW).
+ConvexPolygon PolygonFromRect(const Rect2& r);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_COMMON_GEOMETRY_H_

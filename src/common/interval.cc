@@ -1,0 +1,14 @@
+#include "common/interval.h"
+
+#include <cstdio>
+
+namespace fielddb {
+
+std::string ValueInterval::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%g, %g]", min, max);
+  return buf;
+}
+
+}  // namespace fielddb

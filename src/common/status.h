@@ -1,0 +1,134 @@
+#ifndef FIELDDB_COMMON_STATUS_H_
+#define FIELDDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fielddb {
+
+/// Error categories used across the library. Modeled after the RocksDB
+/// `Status` idiom: functions that can fail return a `Status` (or a
+/// `StatusOr<T>`), never throw across the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCorruption,
+  kIOError,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Lightweight success/error result. Cheap to copy in the OK case (no
+/// allocation); error states carry a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: grid must be non-empty".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Dereferencing a
+/// non-OK `StatusOr` is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status. `s` must not be OK.
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Converts a StatusCode to its PascalCase name.
+const char* StatusCodeToString(StatusCode code);
+
+}  // namespace fielddb
+
+/// Evaluates `expr`; returns the resulting Status from the enclosing
+/// function if it is not OK.
+#define FIELDDB_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::fielddb::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#endif  // FIELDDB_COMMON_STATUS_H_

@@ -1,0 +1,428 @@
+#include "core/field_database.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "field/interpolation.h"
+#include "field/isoband.h"
+
+namespace fielddb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
+    const Field& field, const FieldDatabaseOptions& options) {
+  auto db = std::unique_ptr<FieldDatabase>(new FieldDatabase());
+  db->file_ = std::make_unique<MemPageFile>(options.page_size);
+  db->pool_ =
+      std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
+  db->value_range_ = field.ValueRange();
+  db->domain_ = field.Domain();
+
+  switch (options.method) {
+    case IndexMethod::kLinearScan: {
+      StatusOr<std::unique_ptr<LinearScanIndex>> idx =
+          LinearScanIndex::Build(db->pool_.get(), field);
+      if (!idx.ok()) return idx.status();
+      db->index_ = std::move(idx).value();
+      break;
+    }
+    case IndexMethod::kIAll: {
+      StatusOr<std::unique_ptr<IAllIndex>> idx =
+          IAllIndex::Build(db->pool_.get(), field, options.iall);
+      if (!idx.ok()) return idx.status();
+      db->index_ = std::move(idx).value();
+      break;
+    }
+    case IndexMethod::kIHilbert: {
+      StatusOr<std::unique_ptr<IHilbertIndex>> idx =
+          IHilbertIndex::Build(db->pool_.get(), field, options.ihilbert);
+      if (!idx.ok()) return idx.status();
+      db->index_ = std::move(idx).value();
+      break;
+    }
+    case IndexMethod::kIntervalQuadtree: {
+      StatusOr<std::unique_ptr<IntervalQuadtreeIndex>> idx =
+          IntervalQuadtreeIndex::Build(db->pool_.get(), field, options.iqt);
+      if (!idx.ok()) return idx.status();
+      db->index_ = std::move(idx).value();
+      break;
+    }
+    case IndexMethod::kRowIp: {
+      StatusOr<std::unique_ptr<RowIpIndex>> idx =
+          RowIpIndex::Build(db->pool_.get(), field);
+      if (!idx.ok()) return idx.status();
+      db->index_ = std::move(idx).value();
+      break;
+    }
+  }
+
+  if (options.build_spatial_index) {
+    // 2-D R*-tree over cell MBRs, packed in store order (Hilbert order
+    // for I-Hilbert: exactly the Kamel–Faloutsos packing).
+    const CellStore& store = db->index_->cell_store();
+    std::vector<RTreeEntry<2>> entries;
+    entries.reserve(store.size());
+    FIELDDB_RETURN_IF_ERROR(store.Scan(
+        0, store.size(), [&](uint64_t pos, const CellRecord& cell) {
+          RTreeEntry<2> e;
+          e.box = BoxFromRect(cell.Bounds());
+          e.a = pos;
+          entries.push_back(e);
+          return true;
+        }));
+    StatusOr<RStarTree<2>> spatial =
+        RStarTree<2>::BulkLoad(db->pool_.get(), entries);
+    if (!spatial.ok()) return spatial.status();
+    db->spatial_.emplace(std::move(spatial).value());
+  }
+  db->pool_->ResetStats();
+  return db;
+}
+
+Status FieldDatabase::EstimateCandidates(
+    const std::vector<uint64_t>& positions, const ValueInterval& query,
+    Region* region, QueryStats* stats) {
+  const CellStore& store = index_->cell_store();
+  // Coalesce candidate positions into contiguous runs so each store page
+  // is fetched once.
+  size_t i = 0;
+  Status inner_status = Status::OK();
+  while (i < positions.size()) {
+    size_t j = i + 1;
+    while (j < positions.size() && positions[j] == positions[j - 1] + 1) {
+      ++j;
+    }
+    const uint64_t begin = positions[i];
+    const uint64_t end = positions[j - 1] + 1;
+    FIELDDB_RETURN_IF_ERROR(store.Scan(
+        begin, end, [&](uint64_t pos, const CellRecord& cell) {
+          // Runs are dense, but a run may straddle positions not in the
+          // candidate list only if the list skipped them — it cannot,
+          // by construction (strictly consecutive). So every visited
+          // cell is a candidate.
+          (void)pos;
+          if (region != nullptr) {
+            StatusOr<size_t> pieces = CellIsoband(cell, query, region);
+            if (!pieces.ok()) {
+              inner_status = pieces.status();
+              return false;
+            }
+            if (*pieces > 0) {
+              ++stats->answer_cells;
+              stats->region_pieces += *pieces;
+            }
+          } else if (cell.Interval().Intersects(query)) {
+            // Stats-only mode still performs the inverse-interpolation
+            // test the estimation step pays for.
+            ++stats->answer_cells;
+          }
+          return true;
+        }));
+    FIELDDB_RETURN_IF_ERROR(inner_status);
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status FieldDatabase::FusedScanQuery(const ValueInterval& query,
+                                     Region* region, QueryStats* stats) {
+  // The paper's 'LinearScan' is a single pass: each cell is tested and,
+  // if it qualifies, interpolated immediately — there is no candidate
+  // list to re-fetch. (Indexed methods genuinely pay the second touch:
+  // their filter step sees only intervals and store positions.)
+  const CellStore& store = index_->cell_store();
+  Status inner = Status::OK();
+  FIELDDB_RETURN_IF_ERROR(store.Scan(
+      0, store.size(), [&](uint64_t, const CellRecord& cell) {
+        if (!cell.Interval().Intersects(query)) return true;
+        ++stats->candidate_cells;
+        if (region != nullptr) {
+          StatusOr<size_t> pieces = CellIsoband(cell, query, region);
+          if (!pieces.ok()) {
+            inner = pieces.status();
+            return false;
+          }
+          if (*pieces > 0) {
+            ++stats->answer_cells;
+            stats->region_pieces += *pieces;
+          }
+        } else {
+          ++stats->answer_cells;
+        }
+        return true;
+      }));
+  return inner;
+}
+
+Status FieldDatabase::ValueQuery(const ValueInterval& query,
+                                 ValueQueryResult* out) {
+  if (query.IsEmpty()) {
+    return Status::InvalidArgument("empty query interval");
+  }
+  out->region.pieces.clear();
+  out->stats = QueryStats{};
+  const IoStats io_before = pool_->stats();
+  const auto t0 = Clock::now();
+
+  if (index_->method() == IndexMethod::kLinearScan) {
+    FIELDDB_RETURN_IF_ERROR(
+        FusedScanQuery(query, &out->region, &out->stats));
+  } else {
+    std::vector<uint64_t> positions;
+    FIELDDB_RETURN_IF_ERROR(index_->FilterCandidates(query, &positions));
+    out->stats.candidate_cells = positions.size();
+    FIELDDB_RETURN_IF_ERROR(
+        EstimateCandidates(positions, query, &out->region, &out->stats));
+  }
+
+  out->stats.wall_seconds = SecondsSince(t0);
+  out->stats.io = pool_->stats() - io_before;
+  return Status::OK();
+}
+
+Status FieldDatabase::ValueQueryStats(const ValueInterval& query,
+                                      QueryStats* out) {
+  if (query.IsEmpty()) {
+    return Status::InvalidArgument("empty query interval");
+  }
+  *out = QueryStats{};
+  const IoStats io_before = pool_->stats();
+  const auto t0 = Clock::now();
+
+  if (index_->method() == IndexMethod::kLinearScan) {
+    FIELDDB_RETURN_IF_ERROR(FusedScanQuery(query, nullptr, out));
+  } else {
+    std::vector<uint64_t> positions;
+    FIELDDB_RETURN_IF_ERROR(index_->FilterCandidates(query, &positions));
+    out->candidate_cells = positions.size();
+    FIELDDB_RETURN_IF_ERROR(
+        EstimateCandidates(positions, query, nullptr, out));
+  }
+
+  out->wall_seconds = SecondsSince(t0);
+  out->io = pool_->stats() - io_before;
+  return Status::OK();
+}
+
+namespace {
+
+double IntervalDistance(const ValueInterval& iv, double w) {
+  if (w < iv.min) return iv.min - w;
+  if (w > iv.max) return w - iv.max;
+  return 0.0;
+}
+
+}  // namespace
+
+Status FieldDatabase::NearestValueQuery(double w, size_t k,
+                                        std::vector<NearestCell>* out) {
+  out->clear();
+  if (k == 0) return Status::OK();
+  const CellStore& store = index_->cell_store();
+
+  // Max-heap of the current k best (worst on top).
+  const auto worse = [](const NearestCell& x, const NearestCell& y) {
+    return x.distance < y.distance;
+  };
+  std::vector<NearestCell> best;
+  const auto offer = [&](const CellRecord& cell) {
+    const double d = IntervalDistance(cell.Interval(), w);
+    if (best.size() < k) {
+      best.push_back(NearestCell{cell.id, d, cell.Interval()});
+      std::push_heap(best.begin(), best.end(), worse);
+    } else if (d < best.front().distance) {
+      std::pop_heap(best.begin(), best.end(), worse);
+      best.back() = NearestCell{cell.id, d, cell.Interval()};
+      std::push_heap(best.begin(), best.end(), worse);
+    }
+  };
+
+  if (index_->method() == IndexMethod::kIAll) {
+    const auto& tree =
+        static_cast<const IAllIndex*>(index_.get())->tree();
+    std::vector<RStarTree<1>::Neighbor> neighbors;
+    FIELDDB_RETURN_IF_ERROR(tree.NearestNeighbors({w}, k, &neighbors));
+    CellRecord cell;
+    for (const auto& n : neighbors) {
+      FIELDDB_RETURN_IF_ERROR(store.Get(n.entry.a, &cell));
+      out->push_back(NearestCell{cell.id, std::sqrt(n.distance2),
+                                 cell.Interval()});
+    }
+    return Status::OK();
+  }
+
+  if (const std::vector<Subfield>* sfs = subfields(); sfs != nullptr) {
+    // Visit subfields in ascending interval distance; stop once the
+    // next subfield cannot beat the current kth best.
+    std::vector<std::pair<double, const Subfield*>> ordered;
+    ordered.reserve(sfs->size());
+    for (const Subfield& sf : *sfs) {
+      ordered.emplace_back(IntervalDistance(sf.interval, w), &sf);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [dist, sf] : ordered) {
+      if (best.size() == k && dist > best.front().distance) break;
+      FIELDDB_RETURN_IF_ERROR(
+          store.Scan(sf->start, sf->end,
+                     [&](uint64_t, const CellRecord& cell) {
+                       offer(cell);
+                       return true;
+                     }));
+    }
+  } else {
+    FIELDDB_RETURN_IF_ERROR(
+        store.Scan(0, store.size(), [&](uint64_t, const CellRecord& cell) {
+          offer(cell);
+          return true;
+        }));
+  }
+
+  std::sort_heap(best.begin(), best.end(), worse);
+  *out = std::move(best);
+  return Status::OK();
+}
+
+Status FieldDatabase::IsolineQuery(double level, IsolineQueryResult* out) {
+  out->isoline.polylines.clear();
+  out->stats = QueryStats{};
+  const IoStats io_before = pool_->stats();
+  const auto t0 = Clock::now();
+
+  const ValueInterval query{level, level};
+  std::vector<IsoSegment> segments;
+  const CellStore& store = index_->cell_store();
+  Status inner = Status::OK();
+  const auto visit_cell = [&](uint64_t, const CellRecord& cell) {
+    StatusOr<size_t> added = CellIsolineSegments(cell, level, &segments);
+    if (!added.ok()) {
+      inner = added.status();
+      return false;
+    }
+    if (*added > 0) ++out->stats.answer_cells;
+    return true;
+  };
+
+  if (index_->method() == IndexMethod::kLinearScan) {
+    // Single pass, as with FusedScanQuery.
+    FIELDDB_RETURN_IF_ERROR(store.Scan(
+        0, store.size(), [&](uint64_t pos, const CellRecord& cell) {
+          if (!cell.Interval().Contains(level)) return true;
+          ++out->stats.candidate_cells;
+          return visit_cell(pos, cell);
+        }));
+    FIELDDB_RETURN_IF_ERROR(inner);
+  } else {
+    std::vector<uint64_t> positions;
+    FIELDDB_RETURN_IF_ERROR(index_->FilterCandidates(query, &positions));
+    out->stats.candidate_cells = positions.size();
+    size_t i = 0;
+    while (i < positions.size()) {
+      size_t j = i + 1;
+      while (j < positions.size() &&
+             positions[j] == positions[j - 1] + 1) {
+        ++j;
+      }
+      FIELDDB_RETURN_IF_ERROR(
+          store.Scan(positions[i], positions[j - 1] + 1, visit_cell));
+      FIELDDB_RETURN_IF_ERROR(inner);
+      i = j;
+    }
+  }
+  out->isoline = AssembleIsoline(segments);
+  out->stats.region_pieces = out->isoline.polylines.size();
+  out->stats.wall_seconds = SecondsSince(t0);
+  out->stats.io = pool_->stats() - io_before;
+  return Status::OK();
+}
+
+Status FieldDatabase::UpdateCellValues(CellId id,
+                                       const std::vector<double>& values) {
+  FIELDDB_RETURN_IF_ERROR(index_->UpdateCellValues(id, values));
+  // Conservatively widen the cached value range (exact shrinking would
+  // need a full rescan; queries only use the range for normalization).
+  for (const double w : values) value_range_.Extend(w);
+  return Status::OK();
+}
+
+StatusOr<double> FieldDatabase::PointQuery(Point2 p) {
+  const CellStore& store = index_->cell_store();
+  if (spatial_.has_value()) {
+    StatusOr<double> result = Status::NotFound("point outside field domain");
+    FIELDDB_RETURN_IF_ERROR(
+        spatial_->Search(BoxFromPoint(p), [&](const RTreeEntry<2>& e) {
+          CellRecord cell;
+          const Status s = store.Get(e.a, &cell);
+          if (!s.ok()) {
+            result = s;
+            return false;
+          }
+          if (CellContains(cell, p)) {
+            result = InterpolateCell(cell, p);
+            return false;  // first containing cell answers the query
+          }
+          return true;
+        }));
+    return result;
+  }
+  // No spatial index: scan.
+  StatusOr<double> result = Status::NotFound("point outside field domain");
+  FIELDDB_RETURN_IF_ERROR(
+      store.Scan(0, store.size(), [&](uint64_t, const CellRecord& cell) {
+        if (CellContains(cell, p)) {
+          result = InterpolateCell(cell, p);
+          return false;
+        }
+        return true;
+      }));
+  return result;
+}
+
+StatusOr<WorkloadStats> FieldDatabase::RunWorkload(
+    const std::vector<ValueInterval>& queries, bool cold_cache) {
+  WorkloadStats ws;
+  ws.num_queries = static_cast<uint32_t>(queries.size());
+  if (queries.empty()) return ws;
+  QueryStats total;
+  for (const ValueInterval& q : queries) {
+    if (cold_cache) {
+      FIELDDB_RETURN_IF_ERROR(pool_->Clear());
+    }
+    QueryStats qs;
+    FIELDDB_RETURN_IF_ERROR(ValueQueryStats(q, &qs));
+    total.Accumulate(qs);
+  }
+  const double n = queries.size();
+  ws.avg_wall_ms = total.wall_seconds * 1000.0 / n;
+  ws.avg_candidates = static_cast<double>(total.candidate_cells) / n;
+  ws.avg_answer_cells = static_cast<double>(total.answer_cells) / n;
+  ws.avg_logical_reads = static_cast<double>(total.io.logical_reads) / n;
+  ws.avg_physical_reads = static_cast<double>(total.io.physical_reads) / n;
+  ws.avg_sequential_reads =
+      static_cast<double>(total.io.sequential_reads) / n;
+  ws.avg_random_reads = static_cast<double>(total.io.random_reads()) / n;
+  return ws;
+}
+
+const std::vector<Subfield>* FieldDatabase::subfields() const {
+  if (index_->method() == IndexMethod::kIHilbert) {
+    return &static_cast<const IHilbertIndex*>(index_.get())->subfields();
+  }
+  if (index_->method() == IndexMethod::kIntervalQuadtree) {
+    return &static_cast<const IntervalQuadtreeIndex*>(index_.get())
+                ->subfields();
+  }
+  return nullptr;
+}
+
+}  // namespace fielddb

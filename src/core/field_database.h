@@ -1,0 +1,161 @@
+#ifndef FIELDDB_CORE_FIELD_DATABASE_H_
+#define FIELDDB_CORE_FIELD_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/stats.h"
+#include "field/field.h"
+#include "field/isoline.h"
+#include "field/region.h"
+#include "index/i_all.h"
+#include "index/i_hilbert.h"
+#include "index/interval_quadtree.h"
+#include "index/linear_scan.h"
+#include "index/row_ip_index.h"
+#include "index/value_index.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace fielddb {
+
+/// Everything configurable about a FieldDatabase build.
+struct FieldDatabaseOptions {
+  IndexMethod method = IndexMethod::kIHilbert;
+  uint32_t page_size = kDefaultPageSize;  // the paper uses 4 KB
+  /// Buffer-pool frames. The default (1024 pages = 4 MB at the default
+  /// page size) is small relative to the million-cell workloads, so page
+  /// misses remain the dominant cost as in the paper's disk setting.
+  size_t pool_pages = 1024;
+  /// Build a 2-D R*-tree over cell MBRs for conventional (Q1) point
+  /// queries.
+  bool build_spatial_index = true;
+
+  IHilbertIndex::Options ihilbert;
+  IAllIndex::Options iall;
+  IntervalQuadtreeIndex::Options iqt;
+};
+
+/// Result of a field value query (Q2).
+struct ValueQueryResult {
+  Region region;       // exact answer regions (estimation step output)
+  QueryStats stats;
+};
+
+/// Result of an isoline query (the exact-value specialization of Q2,
+/// rendered as curves instead of regions).
+struct IsolineQueryResult {
+  Isoline isoline;
+  QueryStats stats;
+};
+
+/// The public facade: a self-contained continuous-field database. `Build`
+/// copies the field's cells into paged storage (clustered as the chosen
+/// index dictates) and constructs the value index; afterwards the source
+/// Field is no longer referenced. Supports both query classes of the
+/// paper:
+///  - Q2 `ValueQuery`: F^-1([w', w'']) -> regions (the paper's subject);
+///  - Q1 `PointQuery`: F(v') -> value, via the 2-D R*-tree over cell MBRs.
+class FieldDatabase {
+ public:
+  static StatusOr<std::unique_ptr<FieldDatabase>> Build(
+      const Field& field, const FieldDatabaseOptions& options = {});
+
+  /// Persists the database as `<prefix>.pages` (the raw page file) plus
+  /// `<prefix>.meta` (a small text catalog: page size, method, tree
+  /// roots, subfield table, value range, domain).
+  Status Save(const std::string& prefix);
+
+  /// Reopens a database persisted by Save. Queries run against the
+  /// on-disk page file through a buffer pool of `pool_pages` frames.
+  static StatusOr<std::unique_ptr<FieldDatabase>> Open(
+      const std::string& prefix, size_t pool_pages = 1024);
+
+  FieldDatabase(const FieldDatabase&) = delete;
+  FieldDatabase& operator=(const FieldDatabase&) = delete;
+
+  /// Field value query: exact answer regions where
+  /// query.min <= F(p) <= query.max, plus per-query stats.
+  Status ValueQuery(const ValueInterval& query, ValueQueryResult* out);
+
+  /// Like ValueQuery but skips materializing polygons: only the stats and
+  /// the answer-cell count are produced. This is what the figure benches
+  /// time (the paper measures query processing, whose cost is filtering +
+  /// candidate retrieval + inverse interpolation; polygon bookkeeping is
+  /// identical work across methods either way).
+  Status ValueQueryStats(const ValueInterval& query, QueryStats* out);
+
+  /// One hit of a nearest-value query.
+  struct NearestCell {
+    CellId id = kInvalidCellId;
+    /// Distance from the query value to the cell's value interval
+    /// (0 when the interval contains it).
+    double distance = 0.0;
+    ValueInterval interval;
+  };
+
+  /// The paper's "value approximately equal to w'" need (Section 2.2.2)
+  /// without guessing an error bound: the k cells whose value intervals
+  /// are nearest to `w`, ascending by distance. I-All answers via
+  /// best-first R*-tree NN; subfield methods refine nearest subfields;
+  /// LinearScan scans.
+  Status NearestValueQuery(double w, size_t k,
+                           std::vector<NearestCell>* out);
+
+  /// Isoline query: the curves where F(p) == level, assembled into
+  /// polylines (the van Kreveld [24] use case: the filtering step runs
+  /// with the degenerate interval [level, level], then per-cell segments
+  /// are extracted and stitched).
+  Status IsolineQuery(double level, IsolineQueryResult* out);
+
+  /// Conventional point query.
+  StatusOr<double> PointQuery(Point2 p);
+
+  /// Replaces the sample values of cell `id` (e.g. a new sensor reading;
+  /// cell geometry is immutable). The value index maintains its interval
+  /// entries so subsequent queries see the new values; subfield methods
+  /// refresh the touched subfield's interval without re-optimizing the
+  /// partition.
+  Status UpdateCellValues(CellId id, const std::vector<double>& values);
+
+  /// Runs a workload of queries and averages their stats. The buffer pool
+  /// is cleared before each query so every query starts cold, matching
+  /// the paper's independent random queries.
+  StatusOr<WorkloadStats> RunWorkload(const std::vector<ValueInterval>& queries,
+                                      bool cold_cache = true);
+
+  const ValueIndex& index() const { return *index_; }
+  const IndexBuildInfo& build_info() const { return index_->build_info(); }
+  IndexMethod method() const { return index_->method(); }
+  const ValueInterval& value_range() const { return value_range_; }
+  const Rect2& domain() const { return domain_; }
+  BufferPool& pool() { return *pool_; }
+
+  /// The subfield partition, when the method has one.
+  const std::vector<Subfield>* subfields() const;
+
+ private:
+  FieldDatabase() = default;
+
+  Status EstimateCandidates(const std::vector<uint64_t>& positions,
+                            const ValueInterval& query, Region* region,
+                            QueryStats* stats);
+
+  /// Single-pass scan-and-estimate used for the LinearScan method (the
+  /// paper's baseline touches every store page exactly once).
+  Status FusedScanQuery(const ValueInterval& query, Region* region,
+                        QueryStats* stats);
+
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<ValueIndex> index_;
+  std::optional<RStarTree<2>> spatial_;
+  ValueInterval value_range_;
+  Rect2 domain_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_CORE_FIELD_DATABASE_H_

@@ -1,0 +1,249 @@
+// FieldDatabase persistence: Save copies the page file to disk next to a
+// text catalog; Open re-attaches every component (cell store, value
+// index, spatial tree) against the on-disk pages.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "core/field_database.h"
+
+namespace fielddb {
+
+namespace {
+
+constexpr const char* kMagic = "fielddb-meta-v1";
+
+struct MetaData {
+  uint32_t page_size = 0;
+  int method = 0;
+  uint64_t num_cells = 0;
+  PageId store_first_page = 0;
+  ValueInterval value_range;
+  Rect2 domain;
+  bool has_tree = false;
+  RStarMeta tree;
+  bool has_spatial = false;
+  RStarMeta spatial;
+  IndexBuildInfo info;
+  std::vector<Subfield> subfields;
+};
+
+void WriteRStarMeta(std::FILE* f, const char* key, const RStarMeta& m) {
+  std::fprintf(f, "%s %" PRIu64 " %u %" PRIu64 " %" PRIu64 "\n", key,
+               m.root, m.height, m.size, m.num_nodes);
+}
+
+Status WriteMeta(const std::string& path, const MetaData& meta) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot write " + path);
+  std::fprintf(f, "%s\n", kMagic);
+  std::fprintf(f, "page_size %u\n", meta.page_size);
+  std::fprintf(f, "method %d\n", meta.method);
+  std::fprintf(f, "num_cells %" PRIu64 "\n", meta.num_cells);
+  std::fprintf(f, "store_first_page %" PRIu64 "\n", meta.store_first_page);
+  std::fprintf(f, "value_range %.17g %.17g\n", meta.value_range.min,
+               meta.value_range.max);
+  std::fprintf(f, "domain %.17g %.17g %.17g %.17g\n", meta.domain.lo.x,
+               meta.domain.lo.y, meta.domain.hi.x, meta.domain.hi.y);
+  std::fprintf(f, "build_entries %" PRIu64 "\n",
+               meta.info.num_index_entries);
+  if (meta.has_tree) WriteRStarMeta(f, "tree", meta.tree);
+  if (meta.has_spatial) WriteRStarMeta(f, "spatial", meta.spatial);
+  std::fprintf(f, "subfields %zu\n", meta.subfields.size());
+  for (const Subfield& sf : meta.subfields) {
+    std::fprintf(f, "sf %" PRIu64 " %" PRIu64 " %.17g %.17g %.17g\n",
+                 sf.start, sf.end, sf.interval.min, sf.interval.max,
+                 sf.sum_interval_sizes);
+  }
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok ? Status::OK() : Status::IOError("flush failed for " + path);
+}
+
+StatusOr<MetaData> ReadMeta(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot read " + path);
+  MetaData meta;
+  char magic[64] = {};
+  if (std::fscanf(f, "%63s", magic) != 1 ||
+      std::string(magic) != kMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  char key[64];
+  bool ok = true;
+  while (ok && std::fscanf(f, "%63s", key) == 1) {
+    const std::string k = key;
+    if (k == "page_size") {
+      ok = std::fscanf(f, "%u", &meta.page_size) == 1;
+    } else if (k == "method") {
+      ok = std::fscanf(f, "%d", &meta.method) == 1;
+    } else if (k == "num_cells") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.num_cells) == 1;
+    } else if (k == "store_first_page") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.store_first_page) == 1;
+    } else if (k == "value_range") {
+      ok = std::fscanf(f, "%lg %lg", &meta.value_range.min,
+                       &meta.value_range.max) == 2;
+    } else if (k == "domain") {
+      ok = std::fscanf(f, "%lg %lg %lg %lg", &meta.domain.lo.x,
+                       &meta.domain.lo.y, &meta.domain.hi.x,
+                       &meta.domain.hi.y) == 4;
+    } else if (k == "build_entries") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.info.num_index_entries) == 1;
+    } else if (k == "tree" || k == "spatial") {
+      RStarMeta m;
+      ok = std::fscanf(f, "%" SCNu64 " %u %" SCNu64 " %" SCNu64, &m.root,
+                       &m.height, &m.size, &m.num_nodes) == 4;
+      if (k == "tree") {
+        meta.tree = m;
+        meta.has_tree = true;
+      } else {
+        meta.spatial = m;
+        meta.has_spatial = true;
+      }
+    } else if (k == "subfields") {
+      size_t count = 0;
+      ok = std::fscanf(f, "%zu", &count) == 1;
+      meta.subfields.reserve(count);
+    } else if (k == "sf") {
+      Subfield sf;
+      ok = std::fscanf(f, "%" SCNu64 " %" SCNu64 " %lg %lg %lg", &sf.start,
+                       &sf.end, &sf.interval.min, &sf.interval.max,
+                       &sf.sum_interval_sizes) == 5;
+      meta.subfields.push_back(sf);
+    } else {
+      ok = false;
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::Corruption("malformed catalog " + path);
+  return meta;
+}
+
+}  // namespace
+
+Status FieldDatabase::Save(const std::string& prefix) {
+  FIELDDB_RETURN_IF_ERROR(pool_->Flush());
+
+  StatusOr<std::unique_ptr<DiskPageFile>> out =
+      DiskPageFile::Create(prefix + ".pages", file_->page_size());
+  if (!out.ok()) return out.status();
+  Page page(file_->page_size());
+  for (PageId id = 0; id < file_->NumPages(); ++id) {
+    FIELDDB_RETURN_IF_ERROR(file_->Read(id, &page));
+    StatusOr<PageId> copied = (*out)->Allocate();
+    if (!copied.ok()) return copied.status();
+    FIELDDB_RETURN_IF_ERROR((*out)->Write(*copied, page));
+  }
+
+  MetaData meta;
+  meta.page_size = file_->page_size();
+  meta.method = static_cast<int>(index_->method());
+  meta.num_cells = index_->cell_store().size();
+  meta.store_first_page = index_->cell_store().first_page();
+  meta.value_range = value_range_;
+  meta.domain = domain_;
+  meta.info = index_->build_info();
+  switch (index_->method()) {
+    case IndexMethod::kLinearScan:
+      break;
+    case IndexMethod::kIAll:
+      meta.has_tree = true;
+      meta.tree = static_cast<const IAllIndex*>(index_.get())->tree().meta();
+      break;
+    case IndexMethod::kIHilbert: {
+      const auto* idx = static_cast<const IHilbertIndex*>(index_.get());
+      meta.has_tree = true;
+      meta.tree = idx->tree().meta();
+      meta.subfields = idx->subfields();
+      break;
+    }
+    case IndexMethod::kIntervalQuadtree: {
+      const auto* idx =
+          static_cast<const IntervalQuadtreeIndex*>(index_.get());
+      meta.has_tree = true;
+      meta.tree = idx->tree().meta();
+      meta.subfields = idx->subfields();
+      break;
+    }
+    case IndexMethod::kRowIp:
+      return Status::Unimplemented(
+          "Row-IP is a comparison baseline without persistence support");
+  }
+  if (spatial_.has_value()) {
+    meta.has_spatial = true;
+    meta.spatial = spatial_->meta();
+  }
+  return WriteMeta(prefix + ".meta", meta);
+}
+
+StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
+    const std::string& prefix, size_t pool_pages) {
+  StatusOr<MetaData> meta = ReadMeta(prefix + ".meta");
+  if (!meta.ok()) return meta.status();
+
+  StatusOr<std::unique_ptr<DiskPageFile>> file =
+      DiskPageFile::Open(prefix + ".pages", meta->page_size);
+  if (!file.ok()) return file.status();
+
+  auto db = std::unique_ptr<FieldDatabase>(new FieldDatabase());
+  db->file_ = std::move(file).value();
+  db->pool_ = std::make_unique<BufferPool>(db->file_.get(), pool_pages);
+  db->value_range_ = meta->value_range;
+  db->domain_ = meta->domain;
+
+  StatusOr<CellStore> store = CellStore::Attach(
+      db->pool_.get(), meta->store_first_page, meta->num_cells);
+  if (!store.ok()) return store.status();
+
+  IndexBuildInfo info;
+  info.num_cells = meta->num_cells;
+  info.num_index_entries = meta->info.num_index_entries;
+  info.num_subfields = meta->subfields.size();
+  info.store_pages = store->num_pages();
+  info.tree_height = meta->has_tree ? meta->tree.height : 0;
+  info.tree_nodes = meta->has_tree ? meta->tree.num_nodes : 0;
+
+  const IndexMethod method = static_cast<IndexMethod>(meta->method);
+  switch (method) {
+    case IndexMethod::kLinearScan:
+      db->index_ =
+          LinearScanIndex::Attach(std::move(store).value(), info);
+      break;
+    case IndexMethod::kIAll: {
+      if (!meta->has_tree) return Status::Corruption("missing tree meta");
+      db->index_ = IAllIndex::Attach(
+          std::move(store).value(),
+          RStarTree<1>::Attach(db->pool_.get(), meta->tree), info);
+      break;
+    }
+    case IndexMethod::kIHilbert: {
+      if (!meta->has_tree) return Status::Corruption("missing tree meta");
+      db->index_ = IHilbertIndex::Attach(
+          std::move(store).value(),
+          RStarTree<1>::Attach(db->pool_.get(), meta->tree),
+          std::move(meta->subfields), info);
+      break;
+    }
+    case IndexMethod::kIntervalQuadtree: {
+      if (!meta->has_tree) return Status::Corruption("missing tree meta");
+      db->index_ = IntervalQuadtreeIndex::Attach(
+          std::move(store).value(),
+          RStarTree<1>::Attach(db->pool_.get(), meta->tree),
+          std::move(meta->subfields), info);
+      break;
+    }
+    default:
+      return Status::Corruption("unknown index method in catalog");
+  }
+  if (meta->has_spatial) {
+    db->spatial_.emplace(
+        RStarTree<2>::Attach(db->pool_.get(), meta->spatial));
+  }
+  db->pool_->ResetStats();
+  return db;
+}
+
+}  // namespace fielddb

@@ -1,0 +1,18 @@
+#include "core/stats.h"
+
+#include <cstdio>
+
+namespace fielddb {
+
+std::string WorkloadStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "queries=%u avg_ms=%.4f avg_candidates=%.1f "
+                "avg_answer_cells=%.1f avg_logical_reads=%.1f "
+                "avg_physical_reads=%.1f",
+                num_queries, avg_wall_ms, avg_candidates, avg_answer_cells,
+                avg_logical_reads, avg_physical_reads);
+  return buf;
+}
+
+}  // namespace fielddb

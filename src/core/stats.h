@@ -1,0 +1,79 @@
+#ifndef FIELDDB_CORE_STATS_H_
+#define FIELDDB_CORE_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "storage/io_stats.h"
+
+namespace fielddb {
+
+/// Per-query measurements — everything needed to reproduce the paper's
+/// curves and to diagnose them (the figures plot wall time; page counts
+/// explain the shapes).
+struct QueryStats {
+  double wall_seconds = 0.0;
+  /// Candidates returned by the filtering step (includes subfield false
+  /// positives).
+  uint64_t candidate_cells = 0;
+  /// Candidates that actually contributed answer regions.
+  uint64_t answer_cells = 0;
+  uint64_t region_pieces = 0;
+  IoStats io;  // page traffic attributable to this query
+
+  void Accumulate(const QueryStats& q) {
+    wall_seconds += q.wall_seconds;
+    candidate_cells += q.candidate_cells;
+    answer_cells += q.answer_cells;
+    region_pieces += q.region_pieces;
+    io.logical_reads += q.io.logical_reads;
+    io.physical_reads += q.io.physical_reads;
+    io.sequential_reads += q.io.sequential_reads;
+    io.writes += q.io.writes;
+    io.evictions += q.io.evictions;
+  }
+};
+
+/// Parameters of the simulated spinning disk used to translate page
+/// counts into the I/O time a 2002 testbed would have paid (the paper's
+/// experiments ran against real disks; our pages live in RAM). Defaults:
+/// ~9 ms average seek + rotational delay for a random page, ~0.16 ms to
+/// transfer a 4 KB page at ~25 MB/s.
+struct DiskModel {
+  double seek_ms = 9.0;
+  double transfer_ms_per_page = 0.16;
+
+  /// Estimated I/O milliseconds for a read pattern.
+  double EstimateMs(uint64_t sequential_reads, uint64_t random_reads) const {
+    return random_reads * (seek_ms + transfer_ms_per_page) +
+           sequential_reads * transfer_ms_per_page;
+  }
+};
+
+/// Averages over a query workload (one point on a paper figure).
+struct WorkloadStats {
+  uint32_t num_queries = 0;
+  double avg_wall_ms = 0.0;
+  double avg_candidates = 0.0;
+  double avg_answer_cells = 0.0;
+  double avg_logical_reads = 0.0;
+  double avg_physical_reads = 0.0;
+  double avg_sequential_reads = 0.0;
+  double avg_random_reads = 0.0;
+
+  /// Average per-query I/O time under `model` — wall time plus this is
+  /// what the figures' disk-bound shapes reflect.
+  double AvgDiskMs(const DiskModel& model = {}) const {
+    return model.EstimateMs(
+        static_cast<uint64_t>(avg_sequential_reads * num_queries),
+        static_cast<uint64_t>(avg_random_reads * num_queries)) /
+           std::max(1u, num_queries);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_CORE_STATS_H_

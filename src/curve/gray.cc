@@ -1,0 +1,25 @@
+#include "curve/gray.h"
+
+#include "curve/zorder.h"
+
+namespace fielddb {
+
+uint64_t GrayToBinary(uint64_t g) {
+  g ^= g >> 32;
+  g ^= g >> 16;
+  g ^= g >> 8;
+  g ^= g >> 4;
+  g ^= g >> 2;
+  g ^= g >> 1;
+  return g;
+}
+
+uint64_t GrayCodeCurve::Encode(uint32_t x, uint32_t y) const {
+  return GrayToBinary(MortonEncode2D(x, y));
+}
+
+void GrayCodeCurve::Decode(uint64_t index, uint32_t* x, uint32_t* y) const {
+  MortonDecode2D(BinaryToGray(index), x, y);
+}
+
+}  // namespace fielddb

@@ -1,0 +1,31 @@
+#ifndef FIELDDB_CURVE_GRAY_H_
+#define FIELDDB_CURVE_GRAY_H_
+
+#include <cstdint>
+
+#include "curve/curves.h"
+
+namespace fielddb {
+
+/// Binary-reflected Gray code of v.
+inline uint64_t BinaryToGray(uint64_t v) { return v ^ (v >> 1); }
+
+/// Inverse of BinaryToGray.
+uint64_t GrayToBinary(uint64_t g);
+
+/// The Gray-code curve of Faloutsos [6]: interleave the coordinate bits
+/// (as Z-order does) and interpret the result as a Gray code; the curve
+/// index is its binary rank. Consecutive indexes differ in one interleaved
+/// bit, i.e. by one step in exactly one dimension at some scale.
+class GrayCodeCurve final : public SpaceFillingCurve {
+ public:
+  explicit GrayCodeCurve(int order) : SpaceFillingCurve(order) {}
+
+  CurveType type() const override { return CurveType::kGrayCode; }
+  uint64_t Encode(uint32_t x, uint32_t y) const override;
+  void Decode(uint64_t index, uint32_t* x, uint32_t* y) const override;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_CURVE_GRAY_H_

@@ -1,0 +1,127 @@
+#include "curve/hilbert.h"
+
+#include <cassert>
+
+namespace fielddb {
+
+namespace {
+
+// Rotates/flips a quadrant-local coordinate pair for step size `n`.
+void Rot(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    const uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertEncode2D(int order, uint32_t x, uint32_t y) {
+  assert(order >= 1 && order <= 31);
+  uint64_t d = 0;
+  for (uint32_t s = uint32_t{1} << (order - 1); s > 0; s >>= 1) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rot(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertDecode2D(int order, uint64_t index, uint32_t* x, uint32_t* y) {
+  assert(order >= 1 && order <= 31);
+  uint32_t rx = 0, ry = 0;
+  uint64_t t = index;
+  *x = 0;
+  *y = 0;
+  for (uint32_t s = 1; s < (uint32_t{1} << order); s <<= 1) {
+    rx = 1 & static_cast<uint32_t>(t / 2);
+    ry = 1 & static_cast<uint32_t>(t ^ rx);
+    Rot(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+uint64_t HilbertEncodeND(int order, const std::vector<uint32_t>& coords) {
+  const int dims = static_cast<int>(coords.size());
+  assert(dims >= 1 && order >= 1 && order * dims <= 63);
+  // Skilling's algorithm: convert axes into the "transpose" Gray-code
+  // representation in place, then collect bits.
+  std::vector<uint32_t> x = coords;
+  const uint32_t m = uint32_t{1} << (order - 1);
+
+  // Inverse undo excess work.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (int i = 0; i < dims; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        const uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < dims; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[dims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < dims; ++i) x[i] ^= t;
+
+  // Interleave: bit b of axis i contributes to output bit
+  // (b * dims + (dims - 1 - i)).
+  uint64_t index = 0;
+  for (int b = 0; b < order; ++b) {
+    for (int i = 0; i < dims; ++i) {
+      const uint64_t bit = (x[i] >> b) & 1;
+      index |= bit << (b * dims + (dims - 1 - i));
+    }
+  }
+  return index;
+}
+
+void HilbertDecodeND(int order, uint64_t index,
+                     std::vector<uint32_t>* coords) {
+  const int dims = static_cast<int>(coords->size());
+  assert(dims >= 1 && order >= 1 && order * dims <= 63);
+  std::vector<uint32_t>& x = *coords;
+  for (int i = 0; i < dims; ++i) x[i] = 0;
+  for (int b = 0; b < order; ++b) {
+    for (int i = 0; i < dims; ++i) {
+      const uint32_t bit =
+          static_cast<uint32_t>(index >> (b * dims + (dims - 1 - i))) & 1;
+      x[i] |= bit << b;
+    }
+  }
+
+  const uint32_t n = uint32_t{2} << (order - 1);
+  // Gray decode by halving.
+  uint32_t t = x[dims - 1] >> 1;
+  for (int i = dims - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != n; q <<= 1) {
+    const uint32_t p = q - 1;
+    for (int i = dims - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const uint32_t s = (x[0] ^ x[i]) & p;
+        x[0] ^= s;
+        x[i] ^= s;
+      }
+    }
+  }
+}
+
+}  // namespace fielddb

@@ -1,0 +1,40 @@
+#include "curve/zorder.h"
+
+namespace fielddb {
+
+namespace {
+
+// Spreads the low 32 bits of v so bit i lands at position 2*i.
+uint64_t Spread(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+// Inverse of Spread: collects every other bit starting at bit 0.
+uint32_t Compact(uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(x);
+}
+
+}  // namespace
+
+uint64_t MortonEncode2D(uint32_t x, uint32_t y) {
+  return Spread(x) | (Spread(y) << 1);
+}
+
+void MortonDecode2D(uint64_t index, uint32_t* x, uint32_t* y) {
+  *x = Compact(index);
+  *y = Compact(index >> 1);
+}
+
+}  // namespace fielddb

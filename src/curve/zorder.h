@@ -1,0 +1,34 @@
+#ifndef FIELDDB_CURVE_ZORDER_H_
+#define FIELDDB_CURVE_ZORDER_H_
+
+#include <cstdint>
+
+#include "curve/curves.h"
+
+namespace fielddb {
+
+/// Interleaves the low 31 bits of x (even positions) and y (odd positions):
+/// the Morton / Z-order / Peano key the paper lists as an alternative
+/// linearization (Section 3.1.2).
+uint64_t MortonEncode2D(uint32_t x, uint32_t y);
+
+/// Inverse of MortonEncode2D.
+void MortonDecode2D(uint64_t index, uint32_t* x, uint32_t* y);
+
+/// Z-order (bit-interleaving) curve.
+class ZOrderCurve final : public SpaceFillingCurve {
+ public:
+  explicit ZOrderCurve(int order) : SpaceFillingCurve(order) {}
+
+  CurveType type() const override { return CurveType::kZOrder; }
+  uint64_t Encode(uint32_t x, uint32_t y) const override {
+    return MortonEncode2D(x, y);
+  }
+  void Decode(uint64_t index, uint32_t* x, uint32_t* y) const override {
+    MortonDecode2D(index, x, y);
+  }
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_CURVE_ZORDER_H_

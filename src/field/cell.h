@@ -1,0 +1,91 @@
+#ifndef FIELDDB_FIELD_CELL_H_
+#define FIELDDB_FIELD_CELL_H_
+
+#include <cstdint>
+
+#include "common/geometry.h"
+#include "common/interval.h"
+
+namespace fielddb {
+
+/// Index of a cell within its field (also used as the logical key carried
+/// through indexes and cell stores).
+using CellId = uint32_t;
+
+inline constexpr CellId kInvalidCellId = ~CellId{0};
+
+/// A self-contained, fixed-size cell record: the unit stored in cell
+/// stores and interpolated during the estimation step. Carries the cell's
+/// sample points (vertices + field values). Supports the two cell shapes
+/// of the paper's experiments:
+///  - 3 vertices: TIN triangle, linear (barycentric) interpolation;
+///  - 4 vertices: DEM grid quad (order: ll, lr, ur, ul), bilinear.
+///
+/// Both interpolants attain their extrema at the vertices, so the cell's
+/// value interval is the min/max over vertex values (the paper's caveat
+/// about interpolation functions introducing new extreme points does not
+/// bite here; an interpolant that did would need to extend Interval()).
+struct CellRecord {
+  uint32_t num_vertices = 0;
+  CellId id = kInvalidCellId;
+  double x[4] = {0, 0, 0, 0};
+  double y[4] = {0, 0, 0, 0};
+  double w[4] = {0, 0, 0, 0};
+
+  static CellRecord Triangle(CellId id, Point2 a, double wa, Point2 b,
+                             double wb, Point2 c, double wc) {
+    CellRecord r;
+    r.num_vertices = 3;
+    r.id = id;
+    r.x[0] = a.x; r.y[0] = a.y; r.w[0] = wa;
+    r.x[1] = b.x; r.y[1] = b.y; r.w[1] = wb;
+    r.x[2] = c.x; r.y[2] = c.y; r.w[2] = wc;
+    return r;
+  }
+
+  /// Axis-aligned grid cell. Values given for the four corners:
+  /// lower-left, lower-right, upper-right, upper-left.
+  static CellRecord Quad(CellId id, const Rect2& rect, double w_ll,
+                         double w_lr, double w_ur, double w_ul) {
+    CellRecord r;
+    r.num_vertices = 4;
+    r.id = id;
+    r.x[0] = rect.lo.x; r.y[0] = rect.lo.y; r.w[0] = w_ll;
+    r.x[1] = rect.hi.x; r.y[1] = rect.lo.y; r.w[1] = w_lr;
+    r.x[2] = rect.hi.x; r.y[2] = rect.hi.y; r.w[2] = w_ur;
+    r.x[3] = rect.lo.x; r.y[3] = rect.hi.y; r.w[3] = w_ul;
+    return r;
+  }
+
+  Point2 Vertex(int i) const { return {x[i], y[i]}; }
+
+  /// The 1-D MBR of all explicit and implicit values inside the cell.
+  ValueInterval Interval() const {
+    ValueInterval iv = ValueInterval::Empty();
+    for (uint32_t i = 0; i < num_vertices; ++i) iv.Extend(w[i]);
+    return iv;
+  }
+
+  Rect2 Bounds() const {
+    Rect2 r = Rect2::Empty();
+    for (uint32_t i = 0; i < num_vertices; ++i) r.Extend(Vertex(i));
+    return r;
+  }
+
+  Point2 Centroid() const {
+    Point2 c{0, 0};
+    for (uint32_t i = 0; i < num_vertices; ++i) {
+      c.x += x[i];
+      c.y += y[i];
+    }
+    const double n = num_vertices > 0 ? num_vertices : 1;
+    return {c.x / n, c.y / n};
+  }
+};
+
+static_assert(sizeof(CellRecord) == 104,
+              "CellRecord layout is part of the cell-store page format");
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_FIELD_CELL_H_

@@ -1,0 +1,30 @@
+#include "field/field.h"
+
+#include "field/interpolation.h"
+
+namespace fielddb {
+
+StatusOr<double> Field::ValueAt(Point2 p) const {
+  StatusOr<CellId> cell_id = FindCell(p);
+  if (!cell_id.ok()) return cell_id.status();
+  return InterpolateCell(GetCell(*cell_id), p);
+}
+
+StatusOr<CellId> Field::FindCell(Point2 p) const {
+  const CellId n = NumCells();
+  for (CellId id = 0; id < n; ++id) {
+    if (CellContains(GetCell(id), p)) return id;
+  }
+  return Status::NotFound("point outside field domain");
+}
+
+ValueInterval Field::ValueRange() const {
+  ValueInterval range = ValueInterval::Empty();
+  const CellId n = NumCells();
+  for (CellId id = 0; id < n; ++id) {
+    range.Extend(GetCell(id).Interval());
+  }
+  return range;
+}
+
+}  // namespace fielddb

@@ -1,0 +1,46 @@
+#ifndef FIELDDB_FIELD_FIELD_H_
+#define FIELDDB_FIELD_FIELD_H_
+
+#include <cstdint>
+
+#include "common/geometry.h"
+#include "common/interval.h"
+#include "common/status.h"
+#include "field/cell.h"
+
+namespace fielddb {
+
+/// A continuous scalar field over a 2-D domain, represented as a
+/// subdivision into cells with sample points at vertices (the (C, F)
+/// pair of the paper's Section 2.1, restricted to scalar values and the
+/// linear-interpolation family used throughout its experiments).
+class Field {
+ public:
+  virtual ~Field() = default;
+
+  /// Number of cells; cell ids are [0, NumCells()).
+  virtual CellId NumCells() const = 0;
+
+  /// Materializes cell `id` as a self-contained record.
+  virtual CellRecord GetCell(CellId id) const = 0;
+
+  /// The spatial extent covered by the cells.
+  virtual Rect2 Domain() const = 0;
+
+  /// Finds the cell containing `p` (NotFound if outside the domain).
+  /// Subclasses override with O(1)/indexed lookups where possible; this
+  /// base implementation scans all cells.
+  virtual StatusOr<CellId> FindCell(Point2 p) const;
+
+  /// Hull of all cell value intervals — the field's value range, used to
+  /// normalize query intervals and the subfield cost function.
+  /// Computed by a scan; subclasses may cache.
+  virtual ValueInterval ValueRange() const;
+
+  /// Conventional Q1 query: the interpolated field value at `p`.
+  StatusOr<double> ValueAt(Point2 p) const;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_FIELD_FIELD_H_

@@ -1,0 +1,35 @@
+#ifndef FIELDDB_FIELD_INTERPOLATION_H_
+#define FIELDDB_FIELD_INTERPOLATION_H_
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "field/cell.h"
+
+namespace fielddb {
+
+/// True when `p` lies inside (or on the boundary of) `cell`.
+bool CellContains(const CellRecord& cell, Point2 p);
+
+/// Interpolates the field value at `p`, which must lie inside the cell
+/// (returns OutOfRange otherwise): barycentric for triangles, bilinear for
+/// quads — the "simple linear interpolation" of the paper's experiments.
+StatusOr<double> InterpolateCell(const CellRecord& cell, Point2 p);
+
+/// Coefficients of the affine function w(p) = gx*x + gy*y + c through a
+/// triangle's three sample points.
+struct LinearCoeffs {
+  double gx = 0.0;
+  double gy = 0.0;
+  double c = 0.0;
+
+  double Eval(Point2 p) const { return gx * p.x + gy * p.y + c; }
+};
+
+/// Fits the plane through the triangle's vertices. Degenerate triangles
+/// (zero area) yield InvalidArgument.
+StatusOr<LinearCoeffs> FitTrianglePlane(Point2 a, double wa, Point2 b,
+                                        double wb, Point2 c, double wc);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_FIELD_INTERPOLATION_H_

@@ -1,0 +1,28 @@
+#ifndef FIELDDB_FIELD_ISOBAND_H_
+#define FIELDDB_FIELD_ISOBAND_H_
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "field/cell.h"
+#include "field/region.h"
+
+namespace fielddb {
+
+/// Estimation step (paper Section 3.2, algorithm `Estimate`): the exact
+/// sub-region of `cell` where wlo <= F(p) <= whi, as convex polygon
+/// pieces. This is the inverse interpolation f^-1 applied to the cell's
+/// sample points:
+///  - triangles: the linear interpolant w(p) = g.p + c is clipped by the
+///    two iso half-planes w(p) >= wlo and w(p) <= whi;
+///  - grid quads: the bilinear patch is evaluated as four linear triangles
+///    fanned around the cell center (whose value the bilinear interpolant
+///    fixes to the corner average), each clipped as above. This is exact
+///    for the piecewise-linear reading of the DEM and conservative for
+///    the bilinear one.
+/// Appends pieces to `*out`; returns the number of pieces appended.
+StatusOr<size_t> CellIsoband(const CellRecord& cell, const ValueInterval& q,
+                             Region* out);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_FIELD_ISOBAND_H_

@@ -1,0 +1,142 @@
+#include "field/isoline.h"
+
+#include <cmath>
+#include <map>
+
+namespace fielddb {
+
+double Isoline::TotalLength() const {
+  double length = 0.0;
+  for (const auto& line : polylines) {
+    for (size_t i = 1; i < line.size(); ++i) {
+      length += Distance(line[i - 1], line[i]);
+    }
+  }
+  return length;
+}
+
+size_t Isoline::NumSegments() const {
+  size_t count = 0;
+  for (const auto& line : polylines) {
+    count += line.size() > 0 ? line.size() - 1 : 0;
+  }
+  return count;
+}
+
+namespace {
+
+// Emits the crossing segment of one linear triangle, if any. The "above"
+// side is w >= level (half-open so shared vertices are classified
+// consistently across neighboring triangles).
+void TriangleIsoSegment(Point2 a, double wa, Point2 b, double wb, Point2 c,
+                        double wc, double level,
+                        std::vector<IsoSegment>* out) {
+  const Point2 pts[3] = {a, b, c};
+  const double w[3] = {wa, wb, wc};
+  bool above[3];
+  int num_above = 0;
+  for (int i = 0; i < 3; ++i) {
+    above[i] = w[i] >= level;
+    num_above += above[i];
+  }
+  if (num_above == 0 || num_above == 3) return;
+
+  // Collect the two edge crossings (edges whose endpoints straddle).
+  Point2 crossing[2];
+  int found = 0;
+  for (int i = 0; i < 3 && found < 2; ++i) {
+    const int j = (i + 1) % 3;
+    if (above[i] == above[j]) continue;
+    const double denom = w[j] - w[i];
+    // Straddling guarantees |denom| > 0.
+    const double t = (level - w[i]) / denom;
+    crossing[found++] = pts[i] + t * (pts[j] - pts[i]);
+  }
+  if (found == 2 &&
+      Distance(crossing[0], crossing[1]) > kGeomEpsilon) {
+    out->emplace_back(crossing[0], crossing[1]);
+  }
+}
+
+}  // namespace
+
+StatusOr<size_t> CellIsolineSegments(const CellRecord& cell, double level,
+                                     std::vector<IsoSegment>* out) {
+  const size_t before = out->size();
+  const ValueInterval iv = cell.Interval();
+  if (!iv.Contains(level)) return size_t{0};
+  if (iv.Length() <= 0.0) {
+    // Constant cell at the level: a flat region, not a line.
+    return size_t{0};
+  }
+
+  if (cell.num_vertices == 3) {
+    TriangleIsoSegment(cell.Vertex(0), cell.w[0], cell.Vertex(1),
+                       cell.w[1], cell.Vertex(2), cell.w[2], level, out);
+  } else if (cell.num_vertices == 4) {
+    const Point2 center = cell.Bounds().Center();
+    const double wc =
+        (cell.w[0] + cell.w[1] + cell.w[2] + cell.w[3]) / 4.0;
+    for (int i = 0; i < 4; ++i) {
+      const int j = (i + 1) % 4;
+      TriangleIsoSegment(cell.Vertex(i), cell.w[i], cell.Vertex(j),
+                         cell.w[j], center, wc, level, out);
+    }
+  } else {
+    return Status::InvalidArgument("unsupported cell arity");
+  }
+  return out->size() - before;
+}
+
+Isoline AssembleIsoline(const std::vector<IsoSegment>& segments,
+                        double tolerance) {
+  Isoline iso;
+  if (segments.empty()) return iso;
+
+  // Quantized endpoint -> incident segment ids.
+  using Key = std::pair<int64_t, int64_t>;
+  const auto key = [&](Point2 p) {
+    return Key{static_cast<int64_t>(std::llround(p.x / tolerance)),
+               static_cast<int64_t>(std::llround(p.y / tolerance))};
+  };
+  std::multimap<Key, size_t> endpoints;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    endpoints.emplace(key(segments[i].first), i);
+    endpoints.emplace(key(segments[i].second), i);
+  }
+  std::vector<bool> used(segments.size(), false);
+
+  const auto next_unused_at = [&](Point2 p, size_t* seg) {
+    auto [lo, hi] = endpoints.equal_range(key(p));
+    for (auto it = lo; it != hi; ++it) {
+      if (!used[it->second]) {
+        *seg = it->second;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (size_t start = 0; start < segments.size(); ++start) {
+    if (used[start]) continue;
+    used[start] = true;
+    std::vector<Point2> line{segments[start].first,
+                             segments[start].second};
+    // Grow forward from the tail, then backward from the head.
+    for (int direction = 0; direction < 2; ++direction) {
+      for (;;) {
+        const Point2 tip = line.back();
+        size_t seg;
+        if (!next_unused_at(tip, &seg)) break;
+        used[seg] = true;
+        const Point2 a = segments[seg].first, b = segments[seg].second;
+        line.push_back(Distance(a, tip) <= Distance(b, tip) ? b : a);
+      }
+      std::reverse(line.begin(), line.end());
+    }
+    iso.polylines.push_back(std::move(line));
+  }
+  return iso;
+}
+
+}  // namespace fielddb

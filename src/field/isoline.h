@@ -1,0 +1,45 @@
+#ifndef FIELDDB_FIELD_ISOLINE_H_
+#define FIELDDB_FIELD_ISOLINE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "field/cell.h"
+
+namespace fielddb {
+
+/// A line segment of an isoline within one cell.
+using IsoSegment = std::pair<Point2, Point2>;
+
+/// An assembled isoline: the curves where F(p) == level. Open polylines
+/// end on the field boundary; closed ones loop around extrema.
+struct Isoline {
+  std::vector<std::vector<Point2>> polylines;
+
+  double TotalLength() const;
+  size_t NumSegments() const;
+};
+
+/// Emits the segments where the (piecewise-linear) interpolant of `cell`
+/// equals `level` — the per-cell step of isoline extraction from TINs
+/// (van Kreveld [24], the exact-value specialization of the estimation
+/// step). Quad cells use the same 4-triangle fan as CellIsoband, so
+/// isolines and isobands are consistent. Cells that are constant at
+/// exactly `level` contribute no segments (the degenerate flat region is
+/// an area, reported by CellIsoband instead). Returns the number of
+/// segments appended.
+StatusOr<size_t> CellIsolineSegments(const CellRecord& cell, double level,
+                                     std::vector<IsoSegment>* out);
+
+/// Stitches per-cell segments into polylines by matching endpoints
+/// (quantized to `tolerance`). Segments from adjacent cells share edge
+/// crossing points exactly in our grids/TINs, so the default tolerance
+/// only absorbs floating-point noise.
+Isoline AssembleIsoline(const std::vector<IsoSegment>& segments,
+                        double tolerance = 1e-9);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_FIELD_ISOLINE_H_

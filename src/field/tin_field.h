@@ -1,0 +1,54 @@
+#ifndef FIELDDB_FIELD_TIN_FIELD_H_
+#define FIELDDB_FIELD_TIN_FIELD_H_
+
+#include <array>
+#include <vector>
+
+#include "field/field.h"
+
+namespace fielddb {
+
+/// A sample point of a TIN: position plus measured field value.
+struct TinVertex {
+  Point2 pos;
+  double value = 0.0;
+};
+
+/// A triangle as indices into the vertex array.
+struct TinTriangle {
+  std::array<uint32_t, 3> v;
+};
+
+/// A Triangulated Irregular Network field with linear (barycentric)
+/// interpolation inside each triangle — the representation of the paper's
+/// urban-noise experiment (Fig. 8b).
+class TinField final : public Field {
+ public:
+  static StatusOr<TinField> Create(std::vector<TinVertex> vertices,
+                                   std::vector<TinTriangle> triangles);
+
+  CellId NumCells() const override {
+    return static_cast<CellId>(triangles_.size());
+  }
+  CellRecord GetCell(CellId id) const override;
+  Rect2 Domain() const override { return domain_; }
+  ValueInterval ValueRange() const override { return value_range_; }
+  // FindCell: base-class scan. FieldDatabase builds a 2-D R*-tree over
+  // cell MBRs for indexed Q1 lookups on TINs.
+
+  const std::vector<TinVertex>& vertices() const { return vertices_; }
+  const std::vector<TinTriangle>& triangles() const { return triangles_; }
+
+ private:
+  TinField(std::vector<TinVertex> vertices,
+           std::vector<TinTriangle> triangles);
+
+  std::vector<TinVertex> vertices_;
+  std::vector<TinTriangle> triangles_;
+  Rect2 domain_;
+  ValueInterval value_range_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_FIELD_TIN_FIELD_H_

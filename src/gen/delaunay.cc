@@ -1,0 +1,179 @@
+#include "gen/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace fielddb {
+
+bool InCircumcircle(Point2 a, Point2 b, Point2 c, Point2 p) {
+  // Standard 3x3 determinant predicate; positive for p strictly inside
+  // when (a, b, c) is counter-clockwise.
+  const double ax = a.x - p.x, ay = a.y - p.y;
+  const double bx = b.x - p.x, by = b.y - p.y;
+  const double cx = c.x - p.x, cy = c.y - p.y;
+  const double det =
+      (ax * ax + ay * ay) * (bx * cy - cx * by) -
+      (bx * bx + by * by) * (ax * cy - cx * ay) +
+      (cx * cx + cy * cy) * (ax * by - bx * ay);
+  return det > 0.0;
+}
+
+namespace {
+
+struct WorkTriangle {
+  std::array<uint32_t, 3> v;
+  bool alive = true;
+};
+
+using Edge = std::pair<uint32_t, uint32_t>;
+
+Edge MakeEdge(uint32_t a, uint32_t b) {
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+}  // namespace
+
+StatusOr<std::vector<IndexTriangle>> DelaunayTriangulate(
+    const std::vector<Point2>& points) {
+  const uint32_t n = static_cast<uint32_t>(points.size());
+  if (n < 3) {
+    return Status::InvalidArgument("need at least 3 points");
+  }
+
+  Rect2 bounds = Rect2::Empty();
+  for (const Point2& p : points) bounds.Extend(p);
+  const double extent =
+      std::max({bounds.Width(), bounds.Height(), kGeomEpsilon});
+
+  // Reject near-duplicates: they create degenerate cavities.
+  {
+    std::vector<Point2> sorted = points;
+    std::sort(sorted.begin(), sorted.end(), [](Point2 a, Point2 b) {
+      return a.x < b.x || (a.x == b.x && a.y < b.y);
+    });
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      if (Distance(sorted[i - 1], sorted[i]) < 1e-9 * extent) {
+        return Status::InvalidArgument("duplicate or near-duplicate points");
+      }
+    }
+  }
+
+  // Working point set: input points plus a super-triangle. The super
+  // vertices are treated as *ideal points at infinity* in the in-circle
+  // predicate (exact limit rules below), so their concrete positions only
+  // matter for initial containment and orientation checks.
+  std::vector<Point2> pts = points;
+  const Point2 center = bounds.Center();
+  const double r = 16.0 * extent;
+  pts.push_back({center.x - 2.0 * r, center.y - r});
+  pts.push_back({center.x + 2.0 * r, center.y - r});
+  pts.push_back({center.x, center.y + 2.0 * r});
+  const uint32_t s0 = n;
+
+  std::vector<WorkTriangle> tris;
+  tris.push_back({{s0, s0 + 1, s0 + 2}, true});
+
+  const auto ccw = [&](std::array<uint32_t, 3>& t) {
+    const Triangle2 tri{{pts[t[0]], pts[t[1]], pts[t[2]]}};
+    if (tri.SignedArea() < 0) std::swap(t[1], t[2]);
+  };
+
+  // Unit directions of the ideal vertices (for the two-ideal-vertex
+  // limit rule).
+  const auto unit_dir = [&](uint32_t si) {
+    const Point2 d = pts[si] - center;
+    const double len = std::hypot(d.x, d.y);
+    return Point2{d.x / len, d.y / len};
+  };
+
+  // In-circumdisk predicate with ideal-point limits. For a triangle with
+  //  - 0 ideal vertices: the standard determinant;
+  //  - 1 ideal vertex: its circumdisk degenerates to the open half-plane
+  //    bounded by the line through the two real vertices, on the ideal
+  //    vertex's side (the R -> infinity limit of the growing circle);
+  //  - 2 ideal vertices: the half-plane through the single real vertex
+  //    whose inward normal is the angular bisector of the two ideal
+  //    directions;
+  //  - 3 ideal vertices (the initial triangle): the whole plane.
+  // These limits make the interior triangulation the exact Delaunay
+  // triangulation of the real points, immune to the precision loss of
+  // far-away finite super vertices.
+  const auto in_disk = [&](const std::array<uint32_t, 3>& t, Point2 p) {
+    uint32_t real[3], ideal[3];
+    int nreal = 0, nideal = 0;
+    for (const uint32_t vi : t) {
+      if (vi >= n) {
+        ideal[nideal++] = vi;
+      } else {
+        real[nreal++] = vi;
+      }
+    }
+    if (nideal == 0) {
+      return InCircumcircle(pts[t[0]], pts[t[1]], pts[t[2]], p);
+    }
+    if (nideal == 1) {
+      const Point2 a = pts[real[0]], b = pts[real[1]];
+      const Point2 s = pts[ideal[0]];
+      const double side_p = Cross(b - a, p - a);
+      const double side_s = Cross(b - a, s - a);
+      return side_p * side_s > 0.0;
+    }
+    if (nideal == 2) {
+      const Point2 a = pts[real[0]];
+      const Point2 u = unit_dir(ideal[0]) + unit_dir(ideal[1]);
+      return Dot(p - a, u) > 0.0;
+    }
+    return true;  // the initial all-ideal triangle contains everything
+  };
+
+  for (uint32_t pi = 0; pi < n; ++pi) {
+    const Point2 p = pts[pi];
+    // Cavity: every live triangle whose circumdisk contains p.
+    std::map<Edge, int> edge_count;
+    std::vector<size_t> bad;
+    for (size_t ti = 0; ti < tris.size(); ++ti) {
+      WorkTriangle& t = tris[ti];
+      if (!t.alive) continue;
+      if (in_disk(t.v, p)) {
+        bad.push_back(ti);
+        for (int e = 0; e < 3; ++e) {
+          ++edge_count[MakeEdge(t.v[e], t.v[(e + 1) % 3])];
+        }
+      }
+    }
+    for (const size_t ti : bad) tris[ti].alive = false;
+    // Boundary edges (those shared by exactly one bad triangle) fan out
+    // to the new point.
+    for (const auto& [edge, count] : edge_count) {
+      if (count != 1) continue;
+      std::array<uint32_t, 3> t{edge.first, edge.second, pi};
+      ccw(t);
+      const Triangle2 tri{{pts[t[0]], pts[t[1]], pts[t[2]]}};
+      if (tri.Area() < 1e-18 * extent * extent) continue;
+      tris.push_back({t, true});
+    }
+    // Compact occasionally so the dead-triangle list doesn't dominate.
+    if (tris.size() > 4 * n) {
+      std::vector<WorkTriangle> live;
+      live.reserve(tris.size());
+      for (const WorkTriangle& t : tris) {
+        if (t.alive) live.push_back(t);
+      }
+      tris = std::move(live);
+    }
+  }
+
+  std::vector<IndexTriangle> result;
+  for (const WorkTriangle& t : tris) {
+    if (!t.alive) continue;
+    if (t.v[0] >= n || t.v[1] >= n || t.v[2] >= n) continue;  // super
+    result.push_back(IndexTriangle{t.v});
+  }
+  if (result.empty()) {
+    return Status::InvalidArgument("points are collinear");
+  }
+  return result;
+}
+
+}  // namespace fielddb

@@ -1,0 +1,34 @@
+#ifndef FIELDDB_GEN_DELAUNAY_H_
+#define FIELDDB_GEN_DELAUNAY_H_
+
+#include <array>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace fielddb {
+
+/// A triangle of a triangulation, as indices into the input point array.
+struct IndexTriangle {
+  std::array<uint32_t, 3> v;
+};
+
+/// Delaunay-triangulates `points` with the Bowyer–Watson incremental
+/// algorithm. Triangles are returned with counter-clockwise orientation
+/// and satisfy the empty-circumcircle property (verified by a property
+/// test). Needs at least 3 non-collinear points; near-duplicate points
+/// (closer than ~1e-9 of the extent) are rejected.
+///
+/// This is the substrate for synthesizing TIN fields comparable to the
+/// paper's Lyon urban-noise TIN (~9000 triangles).
+StatusOr<std::vector<IndexTriangle>> DelaunayTriangulate(
+    const std::vector<Point2>& points);
+
+/// True when `p` lies strictly inside the circumcircle of CCW triangle
+/// (a, b, c). Exposed for the property tests.
+bool InCircumcircle(Point2 a, Point2 b, Point2 c, Point2 p);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_GEN_DELAUNAY_H_

@@ -1,0 +1,78 @@
+#include "gen/fractal.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fielddb {
+
+std::vector<double> DiamondSquare(const FractalOptions& options) {
+  const int n = 1 << options.size_exp;
+  const int side = n + 1;
+  std::vector<double> h(static_cast<size_t>(side) * side, 0.0);
+  Rng rng(options.seed);
+
+  const auto at = [&](int i, int j) -> double& {
+    return h[static_cast<size_t>(j) * side + i];
+  };
+
+  double range = options.amplitude;
+  // Initial random heights at the four corners.
+  at(0, 0) = rng.NextDouble(-range, range);
+  at(n, 0) = rng.NextDouble(-range, range);
+  at(0, n) = rng.NextDouble(-range, range);
+  at(n, n) = rng.NextDouble(-range, range);
+
+  const double scale = std::pow(2.0, -options.roughness_h);
+  for (int step = n; step > 1; step /= 2) {
+    const int half = step / 2;
+    // Diamond step: centers of all squares get the 4-corner average plus
+    // a random offset.
+    for (int j = half; j < side; j += step) {
+      for (int i = half; i < side; i += step) {
+        const double avg = (at(i - half, j - half) + at(i + half, j - half) +
+                            at(i - half, j + half) + at(i + half, j + half)) /
+                           4.0;
+        at(i, j) = avg + rng.NextDouble(-range, range);
+      }
+    }
+    // Square step: the remaining midpoints get the average of their
+    // (up to four) axis neighbors plus a random offset.
+    for (int j = 0; j < side; j += half) {
+      const int i0 = (j / half) % 2 == 0 ? half : 0;
+      for (int i = i0; i < side; i += step) {
+        double sum = 0.0;
+        int count = 0;
+        if (i - half >= 0) { sum += at(i - half, j); ++count; }
+        if (i + half < side) { sum += at(i + half, j); ++count; }
+        if (j - half >= 0) { sum += at(i, j - half); ++count; }
+        if (j + half < side) { sum += at(i, j + half); ++count; }
+        at(i, j) = sum / count + rng.NextDouble(-range, range);
+      }
+    }
+    range *= scale;
+  }
+  return h;
+}
+
+StatusOr<GridField> MakeFractalField(const FractalOptions& options) {
+  if (options.size_exp < 1 || options.size_exp > 14) {
+    return Status::InvalidArgument("size_exp must be in [1, 14]");
+  }
+  if (options.roughness_h < 0.0 || options.roughness_h > 1.0) {
+    return Status::InvalidArgument("roughness H must be in [0, 1]");
+  }
+  const uint32_t n = uint32_t{1} << options.size_exp;
+  return GridField::Create(n, n, Rect2{{0, 0}, {1, 1}},
+                           DiamondSquare(options));
+}
+
+StatusOr<GridField> MakeRoseburgLikeTerrain(uint64_t seed) {
+  FractalOptions options;
+  options.size_exp = 9;  // 512 x 512 cells, like the USGS DEM
+  options.roughness_h = 0.7;
+  options.seed = seed;
+  return MakeFractalField(options);
+}
+
+}  // namespace fielddb

@@ -1,0 +1,44 @@
+#ifndef FIELDDB_GEN_FRACTAL_H_
+#define FIELDDB_GEN_FRACTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "field/grid_field.h"
+
+namespace fielddb {
+
+/// Parameters of the paper's synthetic terrain generator (Section 4.2):
+/// 2-D random fractal DEM via the diamond-square algorithm with midpoint
+/// displacement.
+struct FractalOptions {
+  /// Grid is 2^size_exp x 2^size_exp cells ((2^size_exp+1)^2 samples).
+  int size_exp = 5;
+  /// Roughness constant H in [0, 1]: the random-displacement range is
+  /// scaled by 2^-H per pass, so H=1 gives very smooth terrain and H=0
+  /// something quite jagged (the paper sweeps H in Fig. 11).
+  double roughness_h = 0.5;
+  uint64_t seed = 42;
+  /// Heights start in [-amplitude, amplitude] (the paper normalizes to
+  /// [-1, 1]).
+  double amplitude = 1.0;
+};
+
+/// Generates the (n+1)x(n+1) height samples of a diamond-square fractal,
+/// n = 2^size_exp, row-major. Deterministic in the seed.
+std::vector<double> DiamondSquare(const FractalOptions& options);
+
+/// Convenience: wraps DiamondSquare samples in a GridField over the unit
+/// square.
+StatusOr<GridField> MakeFractalField(const FractalOptions& options);
+
+/// The "real terrain" stand-in (see DESIGN.md substitutions): a seeded
+/// 512x512 fractal DEM with H = 0.7, the autocorrelation regime of real
+/// topography — same resolution and cell model as the paper's USGS
+/// Roseburg DEM.
+StatusOr<GridField> MakeRoseburgLikeTerrain(uint64_t seed = 1972);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_GEN_FRACTAL_H_

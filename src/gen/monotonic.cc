@@ -1,0 +1,21 @@
+#include "gen/monotonic.h"
+
+namespace fielddb {
+
+StatusOr<GridField> MakeMonotonicField(uint32_t cols, uint32_t rows) {
+  if (cols == 0 || rows == 0) {
+    return Status::InvalidArgument("grid must have at least one cell");
+  }
+  std::vector<double> samples(static_cast<size_t>(cols + 1) * (rows + 1));
+  for (uint32_t j = 0; j <= rows; ++j) {
+    for (uint32_t i = 0; i <= cols; ++i) {
+      const double x = static_cast<double>(i) / cols;
+      const double y = static_cast<double>(j) / rows;
+      samples[static_cast<size_t>(j) * (cols + 1) + i] = x + y;
+    }
+  }
+  return GridField::Create(cols, rows, Rect2{{0, 0}, {1, 1}},
+                           std::move(samples));
+}
+
+}  // namespace fielddb

@@ -1,0 +1,19 @@
+#ifndef FIELDDB_GEN_MONOTONIC_H_
+#define FIELDDB_GEN_MONOTONIC_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "field/grid_field.h"
+
+namespace fielddb {
+
+/// The paper's synthetic monotonic DEM (Section 4.3): w(x, y) = x + y on
+/// a cols x rows grid over the unit square. Every value appears along an
+/// anti-diagonal, so value locality equals spatial locality exactly — the
+/// friendliest possible case for subfield grouping.
+StatusOr<GridField> MakeMonotonicField(uint32_t cols, uint32_t rows);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_GEN_MONOTONIC_H_

@@ -1,0 +1,98 @@
+#include "gen/noise_tin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/delaunay.h"
+
+namespace fielddb {
+
+namespace {
+
+struct Corridor {
+  Point2 a;
+  Point2 b;
+};
+
+double DistanceToSegment(Point2 p, Point2 a, Point2 b) {
+  const Point2 ab = b - a;
+  const double len2 = Dot(ab, ab);
+  if (len2 <= 0.0) return Distance(p, a);
+  const double t = std::clamp(Dot(p - a, ab) / len2, 0.0, 1.0);
+  return Distance(p, a + t * ab);
+}
+
+}  // namespace
+
+StatusOr<TinField> MakeUrbanNoiseTin(const NoiseTinOptions& options) {
+  if (options.num_sites < 3) {
+    return Status::InvalidArgument("need at least 3 sites");
+  }
+  Rng rng(options.seed);
+
+  // Low-frequency base surface: a few random smooth bumps.
+  struct Bump {
+    Point2 c;
+    double sigma;
+    double weight;
+  };
+  std::vector<Bump> bumps(8);
+  for (Bump& b : bumps) {
+    b.c = {rng.NextDouble(), rng.NextDouble()};
+    b.sigma = rng.NextDouble(0.15, 0.4);
+    b.weight = rng.NextDouble(-1.0, 1.0);
+  }
+  std::vector<Corridor> corridors(options.num_corridors);
+  for (Corridor& c : corridors) {
+    c.a = {rng.NextDouble(), rng.NextDouble()};
+    c.b = {rng.NextDouble(), rng.NextDouble()};
+  }
+
+  const auto noise_at = [&](Point2 p) {
+    double s = 0.0;
+    for (const Bump& b : bumps) {
+      const double d = Distance(p, b.c);
+      s += b.weight * std::exp(-d * d / (2.0 * b.sigma * b.sigma));
+    }
+    // Map the bump sum (roughly [-2, 2]) into the ambient dB range.
+    const double u = std::clamp((s + 2.0) / 4.0, 0.0, 1.0);
+    double db = options.base_min_db +
+                u * (options.base_max_db - options.base_min_db);
+    for (const Corridor& c : corridors) {
+      const double d = DistanceToSegment(p, c.a, c.b);
+      if (d < options.corridor_width) {
+        db += options.corridor_gain_db *
+              (1.0 - d / options.corridor_width);
+      }
+    }
+    return db;
+  };
+
+  std::vector<Point2> sites(options.num_sites);
+  // Four domain corners keep the triangulation covering the unit square.
+  sites[0] = {0, 0};
+  sites[1] = {1, 0};
+  sites[2] = {0, 1};
+  sites[3] = {1, 1};
+  for (uint32_t i = 4; i < options.num_sites; ++i) {
+    sites[i] = {rng.NextDouble(), rng.NextDouble()};
+  }
+
+  StatusOr<std::vector<IndexTriangle>> tris = DelaunayTriangulate(sites);
+  if (!tris.ok()) return tris.status();
+
+  std::vector<TinVertex> vertices(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    vertices[i] = TinVertex{sites[i], noise_at(sites[i])};
+  }
+  std::vector<TinTriangle> triangles;
+  triangles.reserve(tris->size());
+  for (const IndexTriangle& t : *tris) {
+    triangles.push_back(TinTriangle{t.v});
+  }
+  return TinField::Create(std::move(vertices), std::move(triangles));
+}
+
+}  // namespace fielddb

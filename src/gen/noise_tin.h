@@ -1,0 +1,37 @@
+#ifndef FIELDDB_GEN_NOISE_TIN_H_
+#define FIELDDB_GEN_NOISE_TIN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "field/tin_field.h"
+
+namespace fielddb {
+
+/// Parameters for the synthetic urban-noise TIN (the Lyon-data stand-in,
+/// see DESIGN.md substitutions).
+struct NoiseTinOptions {
+  /// Number of measurement sites; ~2x this many triangles result, so the
+  /// default matches the paper's "about 9000 triangles".
+  uint32_t num_sites = 4600;
+  uint64_t seed = 69;
+  /// Ambient noise level range (dB) of the smooth city-wide surface.
+  double base_min_db = 40.0;
+  double base_max_db = 70.0;
+  /// High-noise corridors ("boulevards") superimposed on the base
+  /// surface; each raises levels by up to `corridor_gain_db` within
+  /// `corridor_width` of its axis.
+  int num_corridors = 6;
+  double corridor_gain_db = 25.0;
+  double corridor_width = 0.04;
+};
+
+/// Builds a TIN field of noise levels: random sites over the unit square,
+/// Delaunay-triangulated, with values from a smooth low-frequency surface
+/// plus localized corridors — spatially continuous like a real measured
+/// noise map, with hot regions a ">80 dB" query isolates.
+StatusOr<TinField> MakeUrbanNoiseTin(const NoiseTinOptions& options = {});
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_GEN_NOISE_TIN_H_

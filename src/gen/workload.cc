@@ -1,0 +1,25 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace fielddb {
+
+std::vector<ValueInterval> GenerateValueQueries(
+    const ValueInterval& value_range, const WorkloadOptions& options) {
+  std::vector<ValueInterval> queries;
+  if (value_range.IsEmpty()) return queries;
+  Rng rng(options.seed);
+  const double len =
+      std::clamp(options.qinterval_fraction, 0.0, 1.0) * value_range.Length();
+  queries.reserve(options.num_queries);
+  for (uint32_t i = 0; i < options.num_queries; ++i) {
+    const double start =
+        rng.NextDouble(value_range.min, value_range.max - len);
+    queries.push_back(ValueInterval{start, start + len});
+  }
+  return queries;
+}
+
+}  // namespace fielddb

@@ -1,0 +1,29 @@
+#ifndef FIELDDB_GEN_WORKLOAD_H_
+#define FIELDDB_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace fielddb {
+
+/// The paper's query workload (Section 4): for each `Qinterval` — the
+/// query-interval length as a fraction of the normalized value space —
+/// 200 random interval value queries. Qinterval = 0 yields exact-value
+/// queries ("find all regions where the value equals w").
+struct WorkloadOptions {
+  double qinterval_fraction = 0.02;
+  uint32_t num_queries = 200;
+  uint64_t seed = 7;
+};
+
+/// Generates interval queries uniformly positioned inside `value_range`.
+/// Query length = qinterval_fraction * range length; the start point is
+/// uniform in [min, max - length].
+std::vector<ValueInterval> GenerateValueQueries(
+    const ValueInterval& value_range, const WorkloadOptions& options);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_GEN_WORKLOAD_H_

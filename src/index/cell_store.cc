@@ -1,0 +1,132 @@
+#include "index/cell_store.h"
+
+#include <cstring>
+
+namespace fielddb {
+
+StatusOr<CellStore> CellStore::Build(BufferPool* pool, const Field& field,
+                                     const std::vector<CellId>& order) {
+  const uint64_t n = field.NumCells();
+  if (!order.empty() && order.size() != n) {
+    return Status::InvalidArgument("order size does not match cell count");
+  }
+  const uint32_t per_page =
+      pool->file()->page_size() / static_cast<uint32_t>(sizeof(CellRecord));
+  if (per_page == 0) {
+    return Status::InvalidArgument("page too small for a cell record");
+  }
+
+  std::vector<uint64_t> position_of(n, ~uint64_t{0});
+  PageId first_page = kInvalidPageId;
+  PinnedPage pin;
+  for (uint64_t pos = 0; pos < n; ++pos) {
+    const uint32_t slot = static_cast<uint32_t>(pos % per_page);
+    if (slot == 0) {
+      StatusOr<PageId> id = pool->Allocate(&pin);
+      if (!id.ok()) return id.status();
+      if (first_page == kInvalidPageId) first_page = *id;
+    }
+    const CellId cell_id = order.empty() ? static_cast<CellId>(pos)
+                                         : order[pos];
+    if (cell_id >= n || position_of[cell_id] != ~uint64_t{0}) {
+      return Status::InvalidArgument("order is not a permutation");
+    }
+    position_of[cell_id] = pos;
+    const CellRecord record = field.GetCell(cell_id);
+    pin.MutablePage().Write(slot * sizeof(CellRecord), &record,
+                            sizeof(CellRecord));
+  }
+  pin.Release();
+  if (n == 0) {
+    // Allocate one (empty) page so first_page_ is always valid.
+    StatusOr<PageId> id = pool->Allocate(&pin);
+    if (!id.ok()) return id.status();
+    first_page = *id;
+  }
+  return CellStore(pool, first_page, n, per_page, std::move(position_of));
+}
+
+StatusOr<CellStore> CellStore::Attach(BufferPool* pool, PageId first_page,
+                                      uint64_t num_cells) {
+  const uint32_t per_page =
+      pool->file()->page_size() / static_cast<uint32_t>(sizeof(CellRecord));
+  if (per_page == 0) {
+    return Status::InvalidArgument("page too small for a cell record");
+  }
+  CellStore store(pool, first_page, num_cells, per_page,
+                  std::vector<uint64_t>(num_cells, ~uint64_t{0}));
+  FIELDDB_RETURN_IF_ERROR(store.Scan(
+      0, num_cells, [&](uint64_t pos, const CellRecord& cell) {
+        if (cell.id < num_cells) store.position_of_[cell.id] = pos;
+        return true;
+      }));
+  for (const uint64_t pos : store.position_of_) {
+    if (pos == ~uint64_t{0}) {
+      return Status::Corruption("cell store is missing cell ids");
+    }
+  }
+  return store;
+}
+
+uint64_t CellStore::num_pages() const {
+  if (num_cells_ == 0) return 1;
+  return (num_cells_ + cells_per_page_ - 1) / cells_per_page_;
+}
+
+Status CellStore::Get(uint64_t pos, CellRecord* out) const {
+  if (pos >= num_cells_) {
+    return Status::OutOfRange("cell position out of range");
+  }
+  const PageId page = first_page_ + pos / cells_per_page_;
+  const uint32_t slot = static_cast<uint32_t>(pos % cells_per_page_);
+  PinnedPage pin;
+  FIELDDB_RETURN_IF_ERROR(pool_->Fetch(page, &pin));
+  pin.page().Read(slot * sizeof(CellRecord), out, sizeof(CellRecord));
+  return Status::OK();
+}
+
+Status CellStore::Put(uint64_t pos, const CellRecord& record) {
+  if (pos >= num_cells_) {
+    return Status::OutOfRange("cell position out of range");
+  }
+  CellRecord current;
+  FIELDDB_RETURN_IF_ERROR(Get(pos, &current));
+  if (record.id != current.id ||
+      record.num_vertices != current.num_vertices) {
+    return Status::InvalidArgument(
+        "Put must preserve the slot's cell id and vertex count");
+  }
+  const PageId page = first_page_ + pos / cells_per_page_;
+  const uint32_t slot = static_cast<uint32_t>(pos % cells_per_page_);
+  PinnedPage pin;
+  FIELDDB_RETURN_IF_ERROR(pool_->Fetch(page, &pin));
+  pin.MutablePage().Write(slot * sizeof(CellRecord), &record,
+                          sizeof(CellRecord));
+  return Status::OK();
+}
+
+Status CellStore::Scan(
+    uint64_t begin, uint64_t end,
+    const std::function<bool(uint64_t, const CellRecord&)>& visit) const {
+  if (begin > end || end > num_cells_) {
+    return Status::OutOfRange("scan range out of bounds");
+  }
+  CellRecord record;
+  uint64_t pos = begin;
+  while (pos < end) {
+    const PageId page = first_page_ + pos / cells_per_page_;
+    PinnedPage pin;
+    FIELDDB_RETURN_IF_ERROR(pool_->Fetch(page, &pin));
+    const uint64_t page_end =
+        std::min<uint64_t>(end, (pos / cells_per_page_ + 1) * cells_per_page_);
+    for (; pos < page_end; ++pos) {
+      const uint32_t slot = static_cast<uint32_t>(pos % cells_per_page_);
+      pin.page().Read(slot * sizeof(CellRecord), &record,
+                      sizeof(CellRecord));
+      if (!visit(pos, record)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fielddb

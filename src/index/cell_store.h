@@ -1,0 +1,88 @@
+#ifndef FIELDDB_INDEX_CELL_STORE_H_
+#define FIELDDB_INDEX_CELL_STORE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "field/cell.h"
+#include "field/field.h"
+#include "storage/buffer_pool.h"
+
+namespace fielddb {
+
+/// Cells serialized into fixed-slot pages in a caller-chosen order — the
+/// physical clustering the paper requires: I-Hilbert stores cells in
+/// Hilbert-value order so that a subfield's cells occupy a contiguous page
+/// range addressable by (start, end) pointers (Fig. 6's leaf layout).
+///
+/// Positions are 0-based slots in storage order; `FieldCellId(pos)` maps a
+/// slot back to the field's cell id (it is written inside each record).
+class CellStore {
+ public:
+  /// Serializes `field`'s cells into `pool`'s file, visiting them in the
+  /// order given by `order` (order[pos] = field cell id stored at slot
+  /// pos). `order` must be a permutation of [0, field.NumCells()).
+  /// Pass an empty `order` for the identity (native field order).
+  static StatusOr<CellStore> Build(BufferPool* pool, const Field& field,
+                                   const std::vector<CellId>& order);
+
+  /// Re-attaches to a store persisted in `pool`'s file (pages
+  /// [first_page, first_page + ceil(num_cells / per_page))). Scans the
+  /// records once to rebuild the cell-id -> position map.
+  static StatusOr<CellStore> Attach(BufferPool* pool, PageId first_page,
+                                    uint64_t num_cells);
+
+  /// First page of the store within the pool's file (for persistence).
+  PageId first_page() const { return first_page_; }
+
+  CellStore(CellStore&&) = default;
+  CellStore& operator=(CellStore&&) = default;
+  CellStore(const CellStore&) = delete;
+  CellStore& operator=(const CellStore&) = delete;
+
+  /// Number of stored cells.
+  uint64_t size() const { return num_cells_; }
+
+  /// Cells per page for this pool's page size.
+  uint32_t cells_per_page() const { return cells_per_page_; }
+
+  /// Number of pages occupied by the store.
+  uint64_t num_pages() const;
+
+  /// Reads the record at slot `pos`.
+  Status Get(uint64_t pos, CellRecord* out) const;
+
+  /// Overwrites the record at slot `pos`. The record must keep the slot's
+  /// cell id and vertex count (stores hold fixed cell geometry; only
+  /// sample values change — e.g. a sensor re-measurement).
+  Status Put(uint64_t pos, const CellRecord& record);
+
+  /// Visits slots [begin, end) in storage order, touching each page once.
+  /// The visitor may return false to stop early.
+  Status Scan(uint64_t begin, uint64_t end,
+              const std::function<bool(uint64_t pos, const CellRecord&)>&
+                  visit) const;
+
+  /// Slot position of a field cell id (inverse of the build order).
+  uint64_t PositionOf(CellId field_cell_id) const {
+    return position_of_[field_cell_id];
+  }
+
+ private:
+  CellStore(BufferPool* pool, PageId first_page, uint64_t num_cells,
+            uint32_t cells_per_page, std::vector<uint64_t> position_of)
+      : pool_(pool), first_page_(first_page), num_cells_(num_cells),
+        cells_per_page_(cells_per_page),
+        position_of_(std::move(position_of)) {}
+
+  BufferPool* pool_;
+  PageId first_page_;
+  uint64_t num_cells_;
+  uint32_t cells_per_page_;
+  std::vector<uint64_t> position_of_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_INDEX_CELL_STORE_H_

@@ -1,0 +1,90 @@
+#include "index/i_all.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "index/update_util.h"
+
+namespace fielddb {
+
+StatusOr<std::unique_ptr<IAllIndex>> IAllIndex::Build(
+    BufferPool* pool, const Field& field, const Options& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  StatusOr<CellStore> store = CellStore::Build(pool, field, {});
+  if (!store.ok()) return store.status();
+
+  const uint64_t n = store->size();
+  StatusOr<RStarTree<1>> tree = [&]() -> StatusOr<RStarTree<1>> {
+    if (options.bulk_load) {
+      // Sort entries by interval midpoint so packed leaves cover tight
+      // value ranges.
+      std::vector<RTreeEntry<1>> entries(n);
+      for (uint64_t pos = 0; pos < n; ++pos) {
+        const ValueInterval iv = field.GetCell(static_cast<CellId>(pos))
+                                     .Interval();
+        entries[pos].box = BoxFromInterval(iv);
+        entries[pos].a = pos;
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const RTreeEntry<1>& x, const RTreeEntry<1>& y) {
+                  const double mx = x.box.lo[0] + x.box.hi[0];
+                  const double my = y.box.lo[0] + y.box.hi[0];
+                  return mx < my || (mx == my && x.a < y.a);
+                });
+      return RStarTree<1>::BulkLoad(pool, entries, options.rstar);
+    }
+    StatusOr<RStarTree<1>> t = RStarTree<1>::Create(pool, options.rstar);
+    if (!t.ok()) return t.status();
+    for (uint64_t pos = 0; pos < n; ++pos) {
+      const ValueInterval iv = field.GetCell(static_cast<CellId>(pos))
+                                   .Interval();
+      FIELDDB_RETURN_IF_ERROR(t->Insert(BoxFromInterval(iv), pos));
+    }
+    return t;
+  }();
+  if (!tree.ok()) return tree.status();
+
+  IndexBuildInfo info;
+  info.num_cells = n;
+  info.num_index_entries = tree->size();
+  info.tree_height = tree->height();
+  info.tree_nodes = tree->num_nodes();
+  info.store_pages = store->num_pages();
+  info.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return std::unique_ptr<IAllIndex>(new IAllIndex(
+      std::move(store).value(), std::move(tree).value(), info));
+}
+
+Status IAllIndex::UpdateCellValues(CellId id,
+                                   const std::vector<double>& values) {
+  if (id >= store_.size()) {
+    return Status::OutOfRange("no such cell");
+  }
+  const uint64_t pos = store_.PositionOf(id);
+  ValueInterval old_iv, new_iv;
+  FIELDDB_RETURN_IF_ERROR(
+      ApplyValueUpdate(&store_, pos, values, &old_iv, &new_iv));
+  if (new_iv != old_iv) {
+    FIELDDB_RETURN_IF_ERROR(tree_.Delete(BoxFromInterval(old_iv), pos));
+    FIELDDB_RETURN_IF_ERROR(tree_.Insert(BoxFromInterval(new_iv), pos));
+  }
+  return Status::OK();
+}
+
+Status IAllIndex::FilterCandidates(const ValueInterval& query,
+                                   std::vector<uint64_t>* positions) const {
+  const size_t before = positions->size();
+  FIELDDB_RETURN_IF_ERROR(
+      tree_.Search(BoxFromInterval(query), [&](const RTreeEntry<1>& e) {
+        positions->push_back(e.a);
+        return true;
+      }));
+  // Ascending positions let the estimation step fetch store pages
+  // sequentially.
+  std::sort(positions->begin() + before, positions->end());
+  return Status::OK();
+}
+
+}  // namespace fielddb

@@ -1,0 +1,143 @@
+#include "index/i_hilbert.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "index/subfield_maintenance.h"
+#include "index/update_util.h"
+
+namespace fielddb {
+
+std::vector<CellId> LinearizeCells(const Field& field,
+                                   const SpaceFillingCurve& curve) {
+  const CellId n = field.NumCells();
+  const Rect2 domain = field.Domain();
+  const double w = std::max(domain.Width(), kGeomEpsilon);
+  const double h = std::max(domain.Height(), kGeomEpsilon);
+
+  std::vector<std::pair<uint64_t, CellId>> keyed(n);
+  for (CellId id = 0; id < n; ++id) {
+    const Point2 c = field.GetCell(id).Centroid();
+    const double ux = (c.x - domain.lo.x) / w;
+    const double uy = (c.y - domain.lo.y) / h;
+    keyed[id] = {curve.EncodeUnit(ux, uy), id};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<CellId> order(n);
+  for (CellId pos = 0; pos < n; ++pos) order[pos] = keyed[pos].second;
+  return order;
+}
+
+StatusOr<std::unique_ptr<IHilbertIndex>> IHilbertIndex::Build(
+    BufferPool* pool, const Field& field, const Options& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::unique_ptr<SpaceFillingCurve> curve =
+      MakeCurve(options.curve, options.curve_order);
+  if (curve == nullptr) {
+    return Status::InvalidArgument("unknown curve type");
+  }
+
+  const std::vector<CellId> order = LinearizeCells(field, *curve);
+  StatusOr<CellStore> store = CellStore::Build(pool, field, order);
+  if (!store.ok()) return store.status();
+
+  // Intervals in storage order feed the greedy grouping.
+  std::vector<ValueInterval> intervals(order.size());
+  for (uint64_t pos = 0; pos < order.size(); ++pos) {
+    intervals[pos] = field.GetCell(order[pos]).Interval();
+  }
+  const ValueInterval range = field.ValueRange();
+  std::vector<Subfield> subfields =
+      BuildSubfields(intervals, range, options.cost);
+
+  StatusOr<RStarTree<1>> tree = [&]() -> StatusOr<RStarTree<1>> {
+    if (options.bulk_load) {
+      // Subfields are already in Hilbert order, which is exactly the
+      // packing order Kamel & Faloutsos [14] prescribe.
+      std::vector<RTreeEntry<1>> entries(subfields.size());
+      for (size_t i = 0; i < subfields.size(); ++i) {
+        entries[i].box = BoxFromInterval(subfields[i].interval);
+        entries[i].a = subfields[i].start;
+        entries[i].b = subfields[i].end;
+      }
+      return RStarTree<1>::BulkLoad(pool, entries, options.rstar);
+    }
+    StatusOr<RStarTree<1>> t = RStarTree<1>::Create(pool, options.rstar);
+    if (!t.ok()) return t.status();
+    for (const Subfield& sf : subfields) {
+      FIELDDB_RETURN_IF_ERROR(
+          t->Insert(BoxFromInterval(sf.interval), sf.start, sf.end));
+    }
+    return t;
+  }();
+  if (!tree.ok()) return tree.status();
+
+  IndexBuildInfo info;
+  info.num_cells = store->size();
+  info.num_index_entries = subfields.size();
+  info.num_subfields = subfields.size();
+  info.tree_height = tree->height();
+  info.tree_nodes = tree->num_nodes();
+  info.store_pages = store->num_pages();
+  info.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return std::unique_ptr<IHilbertIndex>(
+      new IHilbertIndex(std::move(store).value(), std::move(tree).value(),
+                        std::move(subfields), info));
+}
+
+Status IHilbertIndex::UpdateCellValues(CellId id,
+                                       const std::vector<double>& values) {
+  if (id >= store_.size()) {
+    return Status::OutOfRange("no such cell");
+  }
+  const uint64_t pos = store_.PositionOf(id);
+  ValueInterval old_iv, new_iv;
+  FIELDDB_RETURN_IF_ERROR(
+      ApplyValueUpdate(&store_, pos, values, &old_iv, &new_iv));
+  if (new_iv != old_iv) {
+    FIELDDB_RETURN_IF_ERROR(
+        RefreshSubfieldAfterUpdate(store_, &tree_, &subfields_, pos));
+  }
+  return Status::OK();
+}
+
+Status IHilbertIndex::FilterCandidates(
+    const ValueInterval& query, std::vector<uint64_t>* positions) const {
+  // Collect qualifying subfield ranges, merge overlaps/adjacencies, then
+  // expand to positions — each store page is then visited once.
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  FIELDDB_RETURN_IF_ERROR(
+      tree_.Search(BoxFromInterval(query), [&](const RTreeEntry<1>& e) {
+        ranges.emplace_back(e.a, e.b);
+        return true;
+      }));
+  std::sort(ranges.begin(), ranges.end());
+  uint64_t covered_to = 0;
+  for (const auto& [start, end] : ranges) {
+    for (uint64_t pos = std::max(start, covered_to); pos < end; ++pos) {
+      positions->push_back(pos);
+    }
+    covered_to = std::max(covered_to, end);
+  }
+  return Status::OK();
+}
+
+Status IHilbertIndex::FilterSubfields(
+    const ValueInterval& query, std::vector<uint32_t>* subfield_ids) const {
+  // Subfields are contiguous and ordered, so the id is recoverable from
+  // the start position by binary search.
+  return tree_.Search(BoxFromInterval(query), [&](const RTreeEntry<1>& e) {
+    const auto it = std::lower_bound(
+        subfields_.begin(), subfields_.end(), e.a,
+        [](const Subfield& sf, uint64_t start) { return sf.start < start; });
+    if (it != subfields_.end() && it->start == e.a) {
+      subfield_ids->push_back(
+          static_cast<uint32_t>(it - subfields_.begin()));
+    }
+    return true;
+  });
+}
+
+}  // namespace fielddb

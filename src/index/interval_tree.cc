@@ -1,0 +1,130 @@
+#include "index/interval_tree.h"
+
+#include <algorithm>
+
+namespace fielddb {
+
+IntervalTree IntervalTree::Build(std::vector<Item> items) {
+  IntervalTree tree;
+  tree.size_ = items.size();
+  if (!items.empty()) tree.root_ = BuildNode(std::move(items));
+  return tree;
+}
+
+std::unique_ptr<IntervalTree::Node> IntervalTree::BuildNode(
+    std::vector<Item> items) {
+  if (items.empty()) return nullptr;
+  auto node = std::make_unique<Node>();
+
+  // Center on the median interval midpoint for balance.
+  std::vector<double> mids(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    mids[i] = items[i].interval.Center();
+  }
+  std::nth_element(mids.begin(), mids.begin() + mids.size() / 2,
+                   mids.end());
+  node->center = mids[mids.size() / 2];
+
+  std::vector<Item> left, right;
+  for (Item& item : items) {
+    if (item.interval.max < node->center) {
+      left.push_back(std::move(item));
+    } else if (item.interval.min > node->center) {
+      right.push_back(std::move(item));
+    } else {
+      node->by_min.push_back(item);
+      node->by_max.push_back(std::move(item));
+    }
+  }
+  std::sort(node->by_min.begin(), node->by_min.end(),
+            [](const Item& a, const Item& b) {
+              return a.interval.min < b.interval.min;
+            });
+  std::sort(node->by_max.begin(), node->by_max.end(),
+            [](const Item& a, const Item& b) {
+              return a.interval.max > b.interval.max;
+            });
+  node->left = BuildNode(std::move(left));
+  node->right = BuildNode(std::move(right));
+  return node;
+}
+
+void IntervalTree::StabNode(const Node* node, double w,
+                            std::vector<uint64_t>* out) {
+  while (node != nullptr) {
+    if (w < node->center) {
+      // Only intervals whose min <= w can contain w.
+      for (const Item& item : node->by_min) {
+        if (item.interval.min > w) break;
+        out->push_back(item.payload);
+      }
+      node = node->left.get();
+    } else if (w > node->center) {
+      for (const Item& item : node->by_max) {
+        if (item.interval.max < w) break;
+        out->push_back(item.payload);
+      }
+      node = node->right.get();
+    } else {
+      // Exactly the center: every stored interval contains it.
+      for (const Item& item : node->by_min) {
+        out->push_back(item.payload);
+      }
+      return;
+    }
+  }
+}
+
+void IntervalTree::QueryNode(const Node* node, const ValueInterval& q,
+                             std::vector<uint64_t>* out) {
+  if (node == nullptr) return;
+  if (q.max < node->center) {
+    // The query lies below the center: stored intervals intersect iff
+    // min <= q.max.
+    for (const Item& item : node->by_min) {
+      if (item.interval.min > q.max) break;
+      out->push_back(item.payload);
+    }
+    QueryNode(node->left.get(), q, out);
+  } else if (q.min > node->center) {
+    for (const Item& item : node->by_max) {
+      if (item.interval.max < q.min) break;
+      out->push_back(item.payload);
+    }
+    QueryNode(node->right.get(), q, out);
+  } else {
+    // The query straddles the center: all stored intervals intersect,
+    // and both subtrees may contribute.
+    for (const Item& item : node->by_min) {
+      out->push_back(item.payload);
+    }
+    QueryNode(node->left.get(), q, out);
+    QueryNode(node->right.get(), q, out);
+  }
+}
+
+void IntervalTree::Stab(double w, std::vector<uint64_t>* out) const {
+  const size_t before = out->size();
+  StabNode(root_.get(), w, out);
+  std::sort(out->begin() + before, out->end());
+}
+
+void IntervalTree::Query(const ValueInterval& query,
+                         std::vector<uint64_t>* out) const {
+  if (query.IsEmpty()) return;
+  const size_t before = out->size();
+  QueryNode(root_.get(), query, out);
+  std::sort(out->begin() + before, out->end());
+}
+
+size_t IntervalTree::NodeBytes(const Node* node) {
+  if (node == nullptr) return 0;
+  return sizeof(Node) +
+         (node->by_min.capacity() + node->by_max.capacity()) *
+             sizeof(Item) +
+         NodeBytes(node->left.get()) + NodeBytes(node->right.get());
+}
+
+size_t IntervalTree::MemoryBytes() const { return NodeBytes(root_.get()); }
+
+}  // namespace fielddb

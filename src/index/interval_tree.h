@@ -1,0 +1,69 @@
+#ifndef FIELDDB_INDEX_INTERVAL_TREE_H_
+#define FIELDDB_INDEX_INTERVAL_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+
+namespace fielddb {
+
+/// The classic centered interval tree (Edelsbrunner [5]) over cell value
+/// intervals — the structure the isosurface/isoline literature the paper
+/// discusses in §2.3 uses ([4], [24]). Built here as a *main-memory*
+/// baseline: stabbing and intersection queries are O(log n + k), but the
+/// whole structure lives in RAM, which is exactly the paper's objection
+/// ("the Interval tree data structure is a main-memory based indexing
+/// method thus it is not suitable for a large field database").
+/// MemoryBytes() quantifies that objection.
+class IntervalTree {
+ public:
+  struct Item {
+    ValueInterval interval;
+    uint64_t payload = 0;
+  };
+
+  /// Builds a static tree over `items` (O(n log n)).
+  static IntervalTree Build(std::vector<Item> items);
+
+  /// Appends the payloads of all intervals containing `w` (stabbing
+  /// query), in ascending payload order.
+  void Stab(double w, std::vector<uint64_t>* out) const;
+
+  /// Appends the payloads of all intervals intersecting `query`, in
+  /// ascending payload order.
+  void Query(const ValueInterval& query, std::vector<uint64_t>* out) const;
+
+  size_t size() const { return size_; }
+
+  /// Approximate resident bytes of the structure — the cost of being
+  /// main-memory-only.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    double center = 0.0;
+    // Intervals containing `center`, sorted two ways for the classic
+    // stabbing scan.
+    std::vector<Item> by_min;   // ascending min
+    std::vector<Item> by_max;   // descending max
+    std::unique_ptr<Node> left;   // intervals entirely below center
+    std::unique_ptr<Node> right;  // intervals entirely above center
+  };
+
+  static std::unique_ptr<Node> BuildNode(std::vector<Item> items);
+  static void StabNode(const Node* node, double w,
+                       std::vector<uint64_t>* out);
+  static void QueryNode(const Node* node, const ValueInterval& q,
+                        std::vector<uint64_t>* out);
+  static size_t NodeBytes(const Node* node);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_INDEX_INTERVAL_TREE_H_

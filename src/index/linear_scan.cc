@@ -1,0 +1,62 @@
+#include "index/linear_scan.h"
+
+#include <chrono>
+
+#include "index/update_util.h"
+
+namespace fielddb {
+
+const char* IndexMethodName(IndexMethod method) {
+  switch (method) {
+    case IndexMethod::kLinearScan:
+      return "LinearScan";
+    case IndexMethod::kIAll:
+      return "I-All";
+    case IndexMethod::kIHilbert:
+      return "I-Hilbert";
+    case IndexMethod::kIntervalQuadtree:
+      return "I-Quadtree";
+    case IndexMethod::kRowIp:
+      return "Row-IP";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<LinearScanIndex>> LinearScanIndex::Build(
+    BufferPool* pool, const Field& field) {
+  const auto t0 = std::chrono::steady_clock::now();
+  StatusOr<CellStore> store = CellStore::Build(pool, field, {});
+  if (!store.ok()) return store.status();
+  IndexBuildInfo info;
+  info.num_cells = store->size();
+  info.store_pages = store->num_pages();
+  info.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return std::unique_ptr<LinearScanIndex>(
+      new LinearScanIndex(std::move(store).value(), info));
+}
+
+Status LinearScanIndex::UpdateCellValues(CellId id,
+                                         const std::vector<double>& values) {
+  if (id >= store_.size()) {
+    return Status::OutOfRange("no such cell");
+  }
+  ValueInterval old_iv, new_iv;
+  // No index structure to maintain: the scan sees the new values.
+  return ApplyValueUpdate(&store_, store_.PositionOf(id), values, &old_iv,
+                          &new_iv);
+}
+
+Status LinearScanIndex::FilterCandidates(
+    const ValueInterval& query, std::vector<uint64_t>* positions) const {
+  return store_.Scan(0, store_.size(),
+                     [&](uint64_t pos, const CellRecord& cell) {
+                       if (cell.Interval().Intersects(query)) {
+                         positions->push_back(pos);
+                       }
+                       return true;
+                     });
+}
+
+}  // namespace fielddb

@@ -1,0 +1,47 @@
+#ifndef FIELDDB_INDEX_LINEAR_SCAN_H_
+#define FIELDDB_INDEX_LINEAR_SCAN_H_
+
+#include <memory>
+
+#include "field/field.h"
+#include "index/value_index.h"
+#include "storage/buffer_pool.h"
+
+namespace fielddb {
+
+/// The paper's 'LinearScan' baseline: no index at all — the filtering
+/// step reads every page of the cell store and tests each cell's interval
+/// against the query.
+class LinearScanIndex final : public ValueIndex {
+ public:
+  /// Serializes `field` into `pool` in native cell order and returns the
+  /// scan "index" over it.
+  static StatusOr<std::unique_ptr<LinearScanIndex>> Build(BufferPool* pool,
+                                                          const Field& field);
+
+  /// Re-wraps a persisted store (for FieldDatabase::Open).
+  static std::unique_ptr<LinearScanIndex> Attach(CellStore store,
+                                                 const IndexBuildInfo& info) {
+    return std::unique_ptr<LinearScanIndex>(
+        new LinearScanIndex(std::move(store), info));
+  }
+
+  IndexMethod method() const override { return IndexMethod::kLinearScan; }
+  Status FilterCandidates(const ValueInterval& query,
+                          std::vector<uint64_t>* positions) const override;
+  const CellStore& cell_store() const override { return store_; }
+  const IndexBuildInfo& build_info() const override { return info_; }
+  Status UpdateCellValues(CellId id,
+                          const std::vector<double>& values) override;
+
+ private:
+  LinearScanIndex(CellStore store, IndexBuildInfo info)
+      : store_(std::move(store)), info_(info) {}
+
+  CellStore store_;
+  IndexBuildInfo info_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_INDEX_LINEAR_SCAN_H_

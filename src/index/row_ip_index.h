@@ -1,0 +1,70 @@
+#ifndef FIELDDB_INDEX_ROW_IP_INDEX_H_
+#define FIELDDB_INDEX_ROW_IP_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "field/field.h"
+#include "index/value_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/record_store.h"
+
+namespace fielddb {
+
+/// The related-work baseline of Section 2.3: Lin & Risch's IP-index
+/// applied row by row to a DEM ([18, 19] — each grid row treated as a
+/// 1-D "time sequence" with its own value index). The paper's critique:
+/// "this approach could not handle the continuity of terrain by
+/// considering only the continuity of one dimension (the axis X)."
+///
+/// Emulation: cells are stored row-major; per row, a paged directory of
+/// (min, max, position) entries sorted by interval min. A value query
+/// probes *every row's* directory (binary search on min, forward scan
+/// while min <= query.max) — 1-D continuity within rows is exploited,
+/// but nothing groups across rows, so the number of access regions
+/// scales with the row count. Grid-shaped fields only (row structure is
+/// inferred from cell geometry).
+class RowIpIndex final : public ValueIndex {
+ public:
+  static StatusOr<std::unique_ptr<RowIpIndex>> Build(BufferPool* pool,
+                                                     const Field& field);
+
+  IndexMethod method() const override { return IndexMethod::kRowIp; }
+  Status FilterCandidates(const ValueInterval& query,
+                          std::vector<uint64_t>* positions) const override;
+  const CellStore& cell_store() const override { return store_; }
+  const IndexBuildInfo& build_info() const override { return info_; }
+  Status UpdateCellValues(CellId id,
+                          const std::vector<double>& values) override;
+
+  uint32_t num_rows() const {
+    return static_cast<uint32_t>(rows_.size());
+  }
+
+ private:
+  /// One directory entry: a cell's interval + its store position.
+  struct DirEntry {
+    double min = 0.0;
+    double max = 0.0;
+    uint64_t position = 0;
+  };
+
+  struct Row {
+    uint64_t dir_start = 0;  // first slot in the shared directory store
+    uint64_t dir_end = 0;
+  };
+
+  RowIpIndex(CellStore store, RecordStore<DirEntry> directory,
+             std::vector<Row> rows, IndexBuildInfo info)
+      : store_(std::move(store)), directory_(std::move(directory)),
+        rows_(std::move(rows)), info_(info) {}
+
+  CellStore store_;
+  RecordStore<DirEntry> directory_;
+  std::vector<Row> rows_;
+  IndexBuildInfo info_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_INDEX_ROW_IP_INDEX_H_

@@ -1,0 +1,68 @@
+#include "index/subfield.h"
+
+#include <cassert>
+
+namespace fielddb {
+
+SubfieldCostModel::SubfieldCostModel(const ValueInterval& value_range,
+                                     const SubfieldCostConfig& config)
+    : config_(config) {
+  range_size_ = value_range.IsEmpty() ? 1.0 : value_range.PaperSize();
+  if (range_size_ <= 0.0) range_size_ = 1.0;
+}
+
+double SubfieldCostModel::Cost(const ValueInterval& interval,
+                               double sum_interval_sizes) const {
+  assert(sum_interval_sizes > 0.0);
+  // With normalization, C = (L/R + q̄) / (SI/R) = (L + q̄·R) / SI: the
+  // q̄·R term is the fixed access probability every subfield pays, which
+  // is what rewards grouping cells (it gets amortized over a larger SI).
+  const double fixed =
+      config_.normalize ? config_.avg_query_fraction * range_size_ : 0.0;
+  return (interval.PaperSize() + fixed) / sum_interval_sizes;
+}
+
+bool SubfieldCostModel::ShouldAppend(const Subfield& current,
+                                     const ValueInterval& cell) const {
+  const double cost_before =
+      Cost(current.interval, current.sum_interval_sizes);
+  const ValueInterval merged = ValueInterval::Hull(current.interval, cell);
+  const double cost_after =
+      Cost(merged, current.sum_interval_sizes + cell.PaperSize());
+  // Paper Section 3.1: "This insertion can be executed only if Ca > Cb";
+  // on Ca <= Cb a new subfield starts.
+  return cost_before > cost_after;
+}
+
+std::vector<Subfield> BuildSubfields(
+    const std::vector<ValueInterval>& cell_intervals,
+    const ValueInterval& value_range, const SubfieldCostConfig& config) {
+  std::vector<Subfield> subfields;
+  if (cell_intervals.empty()) return subfields;
+
+  const SubfieldCostModel model(value_range, config);
+  Subfield current;
+  current.start = 0;
+  current.end = 1;
+  current.interval = cell_intervals[0];
+  current.sum_interval_sizes = cell_intervals[0].PaperSize();
+
+  for (uint64_t pos = 1; pos < cell_intervals.size(); ++pos) {
+    const ValueInterval& cell = cell_intervals[pos];
+    if (model.ShouldAppend(current, cell)) {
+      current.end = pos + 1;
+      current.interval.Extend(cell);
+      current.sum_interval_sizes += cell.PaperSize();
+    } else {
+      subfields.push_back(current);
+      current.start = pos;
+      current.end = pos + 1;
+      current.interval = cell;
+      current.sum_interval_sizes = cell.PaperSize();
+    }
+  }
+  subfields.push_back(current);
+  return subfields;
+}
+
+}  // namespace fielddb

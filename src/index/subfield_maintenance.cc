@@ -1,0 +1,49 @@
+#include "index/subfield_maintenance.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rtree/box.h"
+
+namespace fielddb {
+
+size_t SubfieldContaining(const std::vector<Subfield>& subfields,
+                          uint64_t pos) {
+  // First subfield whose end exceeds pos; the partition is contiguous,
+  // so that subfield's start is <= pos.
+  const auto it = std::upper_bound(
+      subfields.begin(), subfields.end(), pos,
+      [](uint64_t p, const Subfield& sf) { return p < sf.end; });
+  assert(it != subfields.end() && it->start <= pos && pos < it->end);
+  return static_cast<size_t>(it - subfields.begin());
+}
+
+Status RefreshSubfieldAfterUpdate(const CellStore& store,
+                                  RStarTree<1>* tree,
+                                  std::vector<Subfield>* subfields,
+                                  uint64_t pos) {
+  const size_t si = SubfieldContaining(*subfields, pos);
+  Subfield& sf = (*subfields)[si];
+
+  ValueInterval hull = ValueInterval::Empty();
+  double sum_sizes = 0.0;
+  FIELDDB_RETURN_IF_ERROR(
+      store.Scan(sf.start, sf.end, [&](uint64_t, const CellRecord& cell) {
+        const ValueInterval iv = cell.Interval();
+        hull.Extend(iv);
+        sum_sizes += iv.PaperSize();
+        return true;
+      }));
+
+  if (hull != sf.interval) {
+    FIELDDB_RETURN_IF_ERROR(
+        tree->Delete(BoxFromInterval(sf.interval), sf.start, sf.end));
+    FIELDDB_RETURN_IF_ERROR(
+        tree->Insert(BoxFromInterval(hull), sf.start, sf.end));
+    sf.interval = hull;
+  }
+  sf.sum_interval_sizes = sum_sizes;
+  return Status::OK();
+}
+
+}  // namespace fielddb

@@ -1,0 +1,30 @@
+#ifndef FIELDDB_INDEX_SUBFIELD_MAINTENANCE_H_
+#define FIELDDB_INDEX_SUBFIELD_MAINTENANCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/cell_store.h"
+#include "index/subfield.h"
+#include "rtree/rstar_tree.h"
+
+namespace fielddb {
+
+/// Index of the subfield whose [start, end) range contains store
+/// position `pos`. Subfields must be the contiguous ordered partition
+/// the builders produce.
+size_t SubfieldContaining(const std::vector<Subfield>& subfields,
+                          uint64_t pos);
+
+/// After the cell at store position `pos` changed values, refreshes the
+/// containing subfield: recomputes its interval hull and SI from its
+/// members and, if the hull moved, replaces its entry in the 1-D
+/// R*-tree. Shared by I-Hilbert and the Interval Quadtree.
+Status RefreshSubfieldAfterUpdate(const CellStore& store,
+                                  RStarTree<1>* tree,
+                                  std::vector<Subfield>* subfields,
+                                  uint64_t pos);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_INDEX_SUBFIELD_MAINTENANCE_H_

@@ -1,0 +1,36 @@
+#ifndef FIELDDB_INDEX_UPDATE_UTIL_H_
+#define FIELDDB_INDEX_UPDATE_UTIL_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "index/cell_store.h"
+
+namespace fielddb {
+
+/// Rewrites the sample values of the record at store position `pos`
+/// (geometry untouched) and reports the value interval before and after.
+/// Shared by every ValueIndex::UpdateCellValues implementation.
+inline Status ApplyValueUpdate(CellStore* store, uint64_t pos,
+                               const std::vector<double>& values,
+                               ValueInterval* old_iv,
+                               ValueInterval* new_iv) {
+  CellRecord record;
+  FIELDDB_RETURN_IF_ERROR(store->Get(pos, &record));
+  if (values.size() != record.num_vertices) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(record.num_vertices) +
+        " values, got " + std::to_string(values.size()));
+  }
+  *old_iv = record.Interval();
+  for (uint32_t i = 0; i < record.num_vertices; ++i) {
+    record.w[i] = values[i];
+  }
+  *new_iv = record.Interval();
+  return store->Put(pos, record);
+}
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_INDEX_UPDATE_UTIL_H_

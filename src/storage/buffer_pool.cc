@@ -1,0 +1,140 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace fielddb {
+
+PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+    other.id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+const Page& PinnedPage::page() const {
+  assert(valid());
+  return pool_->FrameOf(id_).page;
+}
+
+Page& PinnedPage::MutablePage() {
+  assert(valid());
+  BufferPool::Frame& f = pool_->FrameOf(id_);
+  f.dirty = true;
+  return f.page;
+}
+
+void PinnedPage::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_);
+    pool_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, size_t capacity)
+    : file_(file), capacity_(capacity == 0 ? 1 : capacity) {}
+
+BufferPool::~BufferPool() { Flush(); }
+
+BufferPool::Frame& BufferPool::FrameOf(PageId id) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  return it->second;
+}
+
+Status BufferPool::Fetch(PageId id, PinnedPage* out) {
+  ++stats_.logical_reads;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame& f = it->second;
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    *out = PinnedPage(this, id);
+    return Status::OK();
+  }
+  FIELDDB_RETURN_IF_ERROR(EnsureCapacity());
+  ++stats_.physical_reads;
+  if (id == last_physical_read_ + 1) ++stats_.sequential_reads;
+  last_physical_read_ = id;
+  Frame frame;
+  frame.page = Page(file_->page_size());
+  FIELDDB_RETURN_IF_ERROR(file_->Read(id, &frame.page));
+  frame.pin_count = 1;
+  frames_.emplace(id, std::move(frame));
+  *out = PinnedPage(this, id);
+  return Status::OK();
+}
+
+StatusOr<PageId> BufferPool::Allocate(PinnedPage* out) {
+  StatusOr<PageId> id = file_->Allocate();
+  if (!id.ok()) return id.status();
+  FIELDDB_RETURN_IF_ERROR(EnsureCapacity());
+  Frame frame;
+  frame.page = Page(file_->page_size());
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frames_.emplace(*id, std::move(frame));
+  *out = PinnedPage(this, *id);
+  return *id;
+}
+
+void BufferPool::Unpin(PageId id) {
+  Frame& f = FrameOf(id);
+  assert(f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    lru_.push_back(id);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::WriteBack(PageId id, Frame& frame) {
+  if (frame.dirty) {
+    FIELDDB_RETURN_IF_ERROR(file_->Write(id, frame.page));
+    frame.dirty = false;
+    ++stats_.writes;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EnsureCapacity() {
+  if (frames_.size() < capacity_) return Status::OK();
+  if (lru_.empty()) {
+    return Status::FailedPrecondition(
+        "buffer pool exhausted: all frames pinned");
+  }
+  const PageId victim = lru_.front();
+  lru_.pop_front();
+  Frame& f = FrameOf(victim);
+  FIELDDB_RETURN_IF_ERROR(WriteBack(victim, f));
+  frames_.erase(victim);
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Status BufferPool::Flush() {
+  for (auto& [id, frame] : frames_) {
+    FIELDDB_RETURN_IF_ERROR(WriteBack(id, frame));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Clear() {
+  while (!lru_.empty()) {
+    const PageId victim = lru_.front();
+    lru_.pop_front();
+    Frame& f = FrameOf(victim);
+    FIELDDB_RETURN_IF_ERROR(WriteBack(victim, f));
+    frames_.erase(victim);
+  }
+  return Status::OK();
+}
+
+}  // namespace fielddb

@@ -1,0 +1,111 @@
+#ifndef FIELDDB_STORAGE_BUFFER_POOL_H_
+#define FIELDDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace fielddb {
+
+class BufferPool;
+
+/// RAII pin on a buffer-pool frame. While alive, the underlying page is
+/// guaranteed not to be evicted; `page()` stays valid. Marking the pin
+/// dirty causes a write-back on eviction / flush.
+class PinnedPage {
+ public:
+  PinnedPage() = default;
+  ~PinnedPage() { Release(); }
+
+  PinnedPage(PinnedPage&& other) noexcept { *this = std::move(other); }
+  PinnedPage& operator=(PinnedPage&& other) noexcept;
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+
+  const Page& page() const;
+  /// Grants mutable access and marks the frame dirty.
+  Page& MutablePage();
+
+  /// Drops the pin early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PinnedPage(BufferPool* pool, PageId id) : pool_(pool), id_(id) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+};
+
+/// A fixed-capacity LRU page cache over a PageFile. All page traffic in
+/// the library goes through a pool, which is also where the experiment
+/// harness reads its I/O counters (logical accesses vs. misses).
+class BufferPool {
+ public:
+  /// `capacity` is the number of frames; must be >= 1. The pool does not
+  /// take ownership of `file`.
+  BufferPool(PageFile* file, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the file on a miss.
+  Status Fetch(PageId id, PinnedPage* out);
+
+  /// Allocates a fresh page in the file and pins it (dirty).
+  StatusOr<PageId> Allocate(PinnedPage* out);
+
+  /// Writes back all dirty frames.
+  Status Flush();
+
+  /// Drops every unpinned frame (after flushing it). Used by benchmarks
+  /// to cold-start the cache between runs.
+  Status Clear();
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  size_t capacity() const { return capacity_; }
+  size_t num_frames() const { return frames_.size(); }
+  PageFile* file() const { return file_; }
+
+ private:
+  friend class PinnedPage;
+
+  struct Frame {
+    Page page;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when pin_count == 0.
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id);
+  Frame& FrameOf(PageId id);
+  /// Evicts one unpinned frame if at capacity. Fails if all are pinned.
+  Status EnsureCapacity();
+  Status WriteBack(PageId id, Frame& frame);
+
+  PageFile* file_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  // Unpinned frames in LRU order (front = least recently used).
+  std::list<PageId> lru_;
+  IoStats stats_;
+  // Previous physical read's page id, for sequential-read accounting.
+  PageId last_physical_read_ = kInvalidPageId - 1;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_STORAGE_BUFFER_POOL_H_

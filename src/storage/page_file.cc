@@ -1,0 +1,105 @@
+#include "storage/page_file.h"
+
+#include <cstring>
+
+namespace fielddb {
+
+StatusOr<PageId> MemPageFile::Allocate() {
+  pages_.emplace_back(page_size_, 0);
+  return PageId{pages_.size() - 1};
+}
+
+Status MemPageFile::Read(PageId id, Page* out) const {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page id " + std::to_string(id) +
+                              " >= " + std::to_string(pages_.size()));
+  }
+  if (out->size() != page_size_) *out = Page(page_size_);
+  std::memcpy(out->data(), pages_[id].data(), page_size_);
+  return Status::OK();
+}
+
+Status MemPageFile::Write(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page id " + std::to_string(id) +
+                              " >= " + std::to_string(pages_.size()));
+  }
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument("page size mismatch");
+  }
+  std::memcpy(pages_[id].data(), page.data(), page_size_);
+  return Status::OK();
+}
+
+DiskPageFile::~DiskPageFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<std::unique_ptr<DiskPageFile>> DiskPageFile::Create(
+    const std::string& path, uint32_t page_size) {
+  std::FILE* f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot create " + path);
+  }
+  return std::unique_ptr<DiskPageFile>(new DiskPageFile(f, page_size, 0));
+}
+
+StatusOr<std::unique_ptr<DiskPageFile>> DiskPageFile::Open(
+    const std::string& path, uint32_t page_size) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("seek failed on " + path);
+  }
+  const long length = std::ftell(f);
+  if (length < 0 || static_cast<uint64_t>(length) % page_size != 0) {
+    std::fclose(f);
+    return Status::Corruption("file length not a multiple of page size: " +
+                              path);
+  }
+  return std::unique_ptr<DiskPageFile>(
+      new DiskPageFile(f, page_size, static_cast<uint64_t>(length) / page_size));
+}
+
+StatusOr<PageId> DiskPageFile::Allocate() {
+  const PageId id = num_pages_;
+  const std::vector<uint8_t> zeros(page_size_, 0);
+  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IOError("allocate failed");
+  }
+  ++num_pages_;
+  return id;
+}
+
+Status DiskPageFile::Read(PageId id, Page* out) const {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("page id out of range");
+  }
+  if (out->size() != page_size_) *out = Page(page_size_);
+  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0 ||
+      std::fread(out->data(), 1, page_size_, file_) != page_size_) {
+    return Status::IOError("read failed");
+  }
+  return Status::OK();
+}
+
+Status DiskPageFile::Write(PageId id, const Page& page) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("page id out of range");
+  }
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument("page size mismatch");
+  }
+  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0 ||
+      std::fwrite(page.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IOError("write failed");
+  }
+  std::fflush(file_);
+  return Status::OK();
+}
+
+}  // namespace fielddb

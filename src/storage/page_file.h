@@ -1,0 +1,89 @@
+#ifndef FIELDDB_STORAGE_PAGE_FILE_H_
+#define FIELDDB_STORAGE_PAGE_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace fielddb {
+
+/// Backing store for pages. Two implementations: in-memory (the default
+/// for benchmarks — timing then reflects algorithmic work, while the
+/// BufferPool still counts "physical" reads) and an actual on-disk file
+/// (useful for persistence tests and to sanity-check the simulation).
+class PageFile {
+ public:
+  virtual ~PageFile() = default;
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Number of allocated pages; valid ids are [0, NumPages()).
+  virtual uint64_t NumPages() const = 0;
+
+  /// Appends a zeroed page and returns its id.
+  virtual StatusOr<PageId> Allocate() = 0;
+
+  /// Reads page `id` into `*out` (resized to page_size() if needed).
+  virtual Status Read(PageId id, Page* out) const = 0;
+
+  /// Writes `page` (must have size == page_size()) to page `id`.
+  virtual Status Write(PageId id, const Page& page) = 0;
+
+ protected:
+  explicit PageFile(uint32_t page_size) : page_size_(page_size) {}
+
+  uint32_t page_size_;
+};
+
+/// Heap-backed page file.
+class MemPageFile final : public PageFile {
+ public:
+  explicit MemPageFile(uint32_t page_size = kDefaultPageSize)
+      : PageFile(page_size) {}
+
+  uint64_t NumPages() const override { return pages_.size(); }
+  StatusOr<PageId> Allocate() override;
+  Status Read(PageId id, Page* out) const override;
+  Status Write(PageId id, const Page& page) override;
+
+ private:
+  std::vector<std::vector<uint8_t>> pages_;
+};
+
+/// On-disk page file backed by stdio. Pages live at offset id*page_size.
+class DiskPageFile final : public PageFile {
+ public:
+  ~DiskPageFile() override;
+
+  /// Creates (truncating) a new page file at `path`.
+  static StatusOr<std::unique_ptr<DiskPageFile>> Create(
+      const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  /// Opens an existing page file; the file length must be a multiple of
+  /// `page_size`.
+  static StatusOr<std::unique_ptr<DiskPageFile>> Open(
+      const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  uint64_t NumPages() const override { return num_pages_; }
+  StatusOr<PageId> Allocate() override;
+  Status Read(PageId id, Page* out) const override;
+  Status Write(PageId id, const Page& page) override;
+
+ private:
+  DiskPageFile(std::FILE* f, uint32_t page_size, uint64_t num_pages)
+      : PageFile(page_size), file_(f), num_pages_(num_pages) {}
+
+  std::FILE* file_;
+  uint64_t num_pages_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,66 @@
+#ifndef FIELDDB_TEMPORAL_TEMPORAL_FIELD_H_
+#define FIELDDB_TEMPORAL_TEMPORAL_FIELD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "field/grid_field.h"
+
+namespace fielddb {
+
+/// A time-varying scalar field: the paper's spatio-temporal domain
+/// (Section 2.1 allows R^d with a temporal coordinate, e.g. (x, y, t))
+/// sampled as T snapshots of a shared spatial grid, measured at times
+/// 0, 1, ..., T-1 and interpolated linearly in time between them (so the
+/// space-time interpolant is trilinear in (x, y, t) and attains extrema
+/// at snapshot vertices).
+class TemporalGridField {
+ public:
+  /// `snapshots[k]` holds the (cols+1)*(rows+1) vertex samples at time k.
+  /// Needs at least 2 snapshots.
+  static StatusOr<TemporalGridField> Create(
+      uint32_t cols, uint32_t rows, const Rect2& domain,
+      std::vector<std::vector<double>> snapshots);
+
+  uint32_t cols() const { return cols_; }
+  uint32_t rows() const { return rows_; }
+  const Rect2& domain() const { return domain_; }
+  CellId NumCells() const { return cols_ * rows_; }
+  /// Number of snapshots T; valid query times are [0, T-1].
+  uint32_t NumSnapshots() const {
+    return static_cast<uint32_t>(snapshots_.size());
+  }
+  /// Number of time slabs (T-1); slab k spans times [k, k+1].
+  uint32_t NumSlabs() const { return NumSnapshots() - 1; }
+
+  /// The spatial field at snapshot k (a copy, cheap at our grid sizes).
+  StatusOr<GridField> Snapshot(uint32_t k) const;
+
+  /// The spatial field at an arbitrary time t in [0, T-1]: vertex
+  /// samples linearly interpolated between the bracketing snapshots.
+  StatusOr<GridField> SnapshotAt(double t) const;
+
+  /// Field value at position p and time t.
+  StatusOr<double> ValueAt(Point2 p, double t) const;
+
+  /// Vertex sample at (i, j) of snapshot k.
+  double SampleAt(uint32_t k, uint32_t i, uint32_t j) const {
+    return snapshots_[k][static_cast<size_t>(j) * (cols_ + 1) + i];
+  }
+
+  /// Hull of all samples across all snapshots.
+  ValueInterval ValueRange() const { return value_range_; }
+
+ private:
+  TemporalGridField(uint32_t cols, uint32_t rows, const Rect2& domain,
+                    std::vector<std::vector<double>> snapshots);
+
+  uint32_t cols_, rows_;
+  Rect2 domain_;
+  std::vector<std::vector<double>> snapshots_;
+  ValueInterval value_range_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_TEMPORAL_TEMPORAL_FIELD_H_

@@ -1,0 +1,218 @@
+#include "temporal/temporal_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "field/isoband.h"
+
+namespace fielddb {
+
+namespace {
+
+// Synthesizes the spatial cell record of a slab record at intra-slab
+// time tau in [0, 1] (vertex-wise linear interpolation).
+CellRecord AtTau(const VectorCellRecord& rec, double tau) {
+  CellRecord cell;
+  cell.num_vertices = rec.num_vertices;
+  cell.id = rec.id;
+  for (uint32_t i = 0; i < rec.num_vertices; ++i) {
+    cell.x[i] = rec.x[i];
+    cell.y[i] = rec.y[i];
+    cell.w[i] = (1.0 - tau) * rec.u[i] + tau * rec.v[i];
+  }
+  return cell;
+}
+
+// A slab record's value interval over the whole slab.
+ValueInterval SlabInterval(const VectorCellRecord& rec) {
+  ValueInterval iv = ValueInterval::Empty();
+  for (uint32_t i = 0; i < rec.num_vertices; ++i) {
+    iv.Extend(rec.u[i]);
+    iv.Extend(rec.v[i]);
+  }
+  return iv;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TemporalFieldDatabase>>
+TemporalFieldDatabase::Build(const TemporalGridField& field,
+                             const Options& options) {
+  auto db =
+      std::unique_ptr<TemporalFieldDatabase>(new TemporalFieldDatabase());
+  db->num_slabs_ = field.NumSlabs();
+  db->t_max_ = static_cast<double>(field.NumSnapshots() - 1);
+  db->file_ = std::make_unique<MemPageFile>(options.page_size);
+  db->pool_ =
+      std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
+
+  // One shared Hilbert order over the (time-invariant) cell geometry.
+  StatusOr<GridField> first = field.Snapshot(0);
+  if (!first.ok()) return first.status();
+  const std::unique_ptr<SpaceFillingCurve> curve =
+      MakeCurve(options.curve, options.curve_order);
+  const std::vector<CellId> order = LinearizeCells(*first, *curve);
+
+  const ValueInterval range = field.ValueRange();
+  std::vector<RTreeEntry<2>> entries;
+
+  for (uint32_t k = 0; k < db->num_slabs_; ++k) {
+    Slab slab;
+    const CellId n = field.NumCells();
+    std::vector<VectorCellRecord> records(n);
+    std::vector<ValueInterval> intervals(n);
+    for (CellId pos = 0; pos < n; ++pos) {
+      const CellId id = order[pos];
+      const CellRecord geometry = first->GetCell(id);
+      VectorCellRecord rec;
+      rec.num_vertices = geometry.num_vertices;
+      rec.id = id;
+      // Vertex grid coordinates of the quad corners.
+      const uint32_t ci = id % field.cols();
+      const uint32_t cj = id / field.cols();
+      const uint32_t vi[4] = {ci, ci + 1, ci + 1, ci};
+      const uint32_t vj[4] = {cj, cj, cj + 1, cj + 1};
+      for (int corner = 0; corner < 4; ++corner) {
+        rec.x[corner] = geometry.x[corner];
+        rec.y[corner] = geometry.y[corner];
+        rec.u[corner] = field.SampleAt(k, vi[corner], vj[corner]);
+        rec.v[corner] = field.SampleAt(k + 1, vi[corner], vj[corner]);
+      }
+      records[pos] = rec;
+      intervals[pos] = SlabInterval(rec);
+    }
+    StatusOr<RecordStore<VectorCellRecord>> store =
+        RecordStore<VectorCellRecord>::Build(db->pool_.get(), records);
+    if (!store.ok()) return store.status();
+    slab.store = std::make_unique<RecordStore<VectorCellRecord>>(
+        std::move(store).value());
+    slab.subfields = BuildSubfields(intervals, range, options.cost);
+
+    for (size_t si = 0; si < slab.subfields.size(); ++si) {
+      RTreeEntry<2> e;
+      e.box.lo = {slab.subfields[si].interval.min,
+                  static_cast<double>(k)};
+      e.box.hi = {slab.subfields[si].interval.max,
+                  static_cast<double>(k + 1)};
+      e.a = k;
+      e.b = si;
+      entries.push_back(e);
+    }
+    db->total_subfields_ += slab.subfields.size();
+    db->slabs_.push_back(std::move(slab));
+  }
+
+  // Entries arrive slab-major in Hilbert order — already well packed.
+  StatusOr<RStarTree<2>> tree =
+      RStarTree<2>::BulkLoad(db->pool_.get(), entries, options.rstar);
+  if (!tree.ok()) return tree.status();
+  db->tree_ = std::make_unique<RStarTree<2>>(std::move(tree).value());
+  db->pool_->ResetStats();
+  return db;
+}
+
+Status TemporalFieldDatabase::SnapshotValueQuery(double t,
+                                                 const ValueInterval& band,
+                                                 ValueQueryResult* out) {
+  if (band.IsEmpty()) {
+    return Status::InvalidArgument("empty query band");
+  }
+  if (t < 0.0 || t > t_max_) {
+    return Status::OutOfRange("time outside [0, T-1]");
+  }
+  out->region.pieces.clear();
+  out->stats = QueryStats{};
+  const IoStats io_before = pool_->stats();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const uint32_t k = static_cast<uint32_t>(
+      std::min(std::floor(t), t_max_ - 1.0));
+  const double tau = t - k;
+
+  Box<2> query;
+  query.lo = {band.min, t};
+  query.hi = {band.max, t};
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  FIELDDB_RETURN_IF_ERROR(
+      tree_->Search(query, [&](const RTreeEntry<2>& e) {
+        if (e.a == k) {  // integer t also brushes the previous slab
+          const Subfield& sf = slabs_[k].subfields[e.b];
+          ranges.emplace_back(sf.start, sf.end);
+        }
+        return true;
+      }));
+  std::sort(ranges.begin(), ranges.end());
+
+  Status inner = Status::OK();
+  uint64_t covered_to = 0;
+  for (const auto& [start, end] : ranges) {
+    const uint64_t begin = std::max(start, covered_to);
+    if (begin < end) {
+      out->stats.candidate_cells += end - begin;
+      FIELDDB_RETURN_IF_ERROR(slabs_[k].store->Scan(
+          begin, end, [&](uint64_t, const VectorCellRecord& rec) {
+            const CellRecord cell = AtTau(rec, tau);
+            StatusOr<size_t> pieces =
+                CellIsoband(cell, band, &out->region);
+            if (!pieces.ok()) {
+              inner = pieces.status();
+              return false;
+            }
+            if (*pieces > 0) {
+              ++out->stats.answer_cells;
+              out->stats.region_pieces += *pieces;
+            }
+            return true;
+          }));
+      FIELDDB_RETURN_IF_ERROR(inner);
+    }
+    covered_to = std::max(covered_to, end);
+  }
+
+  out->stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out->stats.io = pool_->stats() - io_before;
+  return Status::OK();
+}
+
+Status TemporalFieldDatabase::TimeRangeCandidates(
+    const ValueInterval& band, double t0, double t1,
+    std::vector<CellId>* out) {
+  if (band.IsEmpty() || t0 > t1) {
+    return Status::InvalidArgument("bad query");
+  }
+  Box<2> query;
+  query.lo = {band.min, std::max(0.0, t0)};
+  query.hi = {band.max, std::min(t_max_, t1)};
+
+  std::vector<bool> seen;
+  Status inner = Status::OK();
+  FIELDDB_RETURN_IF_ERROR(
+      tree_->Search(query, [&](const RTreeEntry<2>& e) {
+        const Slab& slab = slabs_[e.a];
+        const Subfield& sf = slab.subfields[e.b];
+        const Status s = slab.store->Scan(
+            sf.start, sf.end, [&](uint64_t, const VectorCellRecord& rec) {
+              if (seen.empty()) {
+                seen.resize(slab.store->size(), false);
+              }
+              if (!seen[rec.id]) {
+                seen[rec.id] = true;
+                out->push_back(rec.id);
+              }
+              return true;
+            });
+        if (!s.ok()) {
+          inner = s;
+          return false;
+        }
+        return true;
+      }));
+  FIELDDB_RETURN_IF_ERROR(inner);
+  std::sort(out->begin(), out->end());
+  return Status::OK();
+}
+
+}  // namespace fielddb

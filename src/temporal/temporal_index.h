@@ -1,0 +1,75 @@
+#ifndef FIELDDB_TEMPORAL_TEMPORAL_INDEX_H_
+#define FIELDDB_TEMPORAL_TEMPORAL_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/field_database.h"
+#include "curve/curves.h"
+#include "index/subfield.h"
+#include "rtree/rstar_tree.h"
+#include "storage/page_file.h"
+#include "storage/record_store.h"
+#include "temporal/temporal_field.h"
+#include "vector/vector_record.h"
+
+namespace fielddb {
+
+/// I-Hilbert lifted to space-time: cells are Hilbert-ordered once; each
+/// *time slab* [k, k+1] stores one record per cell carrying the vertex
+/// samples at both slab endpoints (time interpolation is linear, so the
+/// slab's per-cell value interval is the hull of the endpoint vertex
+/// values — exact). Slab subfields are built with the scalar cost
+/// function; their entries live in a single 2-D R*-tree over
+/// (value-interval x time-interval), so one box query answers both
+/// "at time t" and "at any time in [t0, t1]" filtering.
+class TemporalFieldDatabase {
+ public:
+  struct Options {
+    CurveType curve = CurveType::kHilbert;
+    int curve_order = 16;
+    SubfieldCostConfig cost;
+    uint32_t page_size = kDefaultPageSize;
+    size_t pool_pages = 2048;
+    RStarOptions rstar;
+  };
+
+  static StatusOr<std::unique_ptr<TemporalFieldDatabase>> Build(
+      const TemporalGridField& field, const Options& options);
+
+  /// Q2 at a time instant: exact regions where band.min <= F(p, t) <=
+  /// band.max. `t` must lie in [0, T-1].
+  Status SnapshotValueQuery(double t, const ValueInterval& band,
+                            ValueQueryResult* out);
+
+  /// Filtering step over a time range: the cells whose value interval
+  /// over any moment of [t0, t1] intersects `band` (no false negatives;
+  /// may include slab-level false positives). Cell ids, ascending,
+  /// deduplicated.
+  Status TimeRangeCandidates(const ValueInterval& band, double t0,
+                             double t1, std::vector<CellId>* out);
+
+  uint32_t num_slabs() const { return num_slabs_; }
+  uint64_t num_subfields() const { return total_subfields_; }
+  BufferPool& pool() { return *pool_; }
+
+ private:
+  TemporalFieldDatabase() = default;
+
+  struct Slab {
+    std::unique_ptr<RecordStore<VectorCellRecord>> store;
+    std::vector<Subfield> subfields;
+  };
+
+  uint32_t num_slabs_ = 0;
+  double t_max_ = 0.0;
+  uint64_t total_subfields_ = 0;
+  std::unique_ptr<MemPageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::vector<Slab> slabs_;
+  std::unique_ptr<RStarTree<2>> tree_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_TEMPORAL_TEMPORAL_INDEX_H_

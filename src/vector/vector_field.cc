@@ -1,0 +1,44 @@
+#include "vector/vector_field.h"
+
+namespace fielddb {
+
+StatusOr<VectorGridField> VectorGridField::Create(
+    uint32_t cols, uint32_t rows, const Rect2& domain,
+    std::vector<double> samples_u, std::vector<double> samples_v) {
+  StatusOr<GridField> u =
+      GridField::Create(cols, rows, domain, std::move(samples_u));
+  if (!u.ok()) return u.status();
+  StatusOr<GridField> v =
+      GridField::Create(cols, rows, domain, std::move(samples_v));
+  if (!v.ok()) return v.status();
+  return VectorGridField(std::move(u).value(), std::move(v).value());
+}
+
+Box<2> VectorGridField::CellValueBox(CellId id) const {
+  const ValueInterval iu = u_.GetCell(id).Interval();
+  const ValueInterval iv = v_.GetCell(id).Interval();
+  Box<2> b;
+  b.lo = {iu.min, iv.min};
+  b.hi = {iu.max, iv.max};
+  return b;
+}
+
+Box<2> VectorGridField::ValueRangeBox() const {
+  const ValueInterval iu = u_.ValueRange();
+  const ValueInterval iv = v_.ValueRange();
+  Box<2> b;
+  b.lo = {iu.min, iv.min};
+  b.hi = {iu.max, iv.max};
+  return b;
+}
+
+StatusOr<std::pair<double, double>> VectorGridField::ValueAt(
+    Point2 p) const {
+  StatusOr<double> wu = u_.ValueAt(p);
+  if (!wu.ok()) return wu.status();
+  StatusOr<double> wv = v_.ValueAt(p);
+  if (!wv.ok()) return wv.status();
+  return std::make_pair(*wu, *wv);
+}
+
+}  // namespace fielddb

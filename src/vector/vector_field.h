@@ -1,0 +1,76 @@
+#ifndef FIELDDB_VECTOR_VECTOR_FIELD_H_
+#define FIELDDB_VECTOR_VECTOR_FIELD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "field/grid_field.h"
+#include "rtree/box.h"
+
+namespace fielddb {
+
+/// A 2-component vector field (k = 2 in the paper's model — e.g. wind as
+/// (u, v) velocity components) on a DEM grid: the paper's announced
+/// future work ("extend our method to process value queries in vector
+/// field databases such as wind", Section 5).
+///
+/// Both components share the cell structure; a cell's value descriptor
+/// is therefore a *2-D box* in value space — the per-component value
+/// intervals — and the 1-D R*-tree of the scalar method generalizes to a
+/// 2-D R*-tree over these boxes.
+class VectorGridField {
+ public:
+  /// `samples_u` / `samples_v` each hold (cols+1)*(rows+1) row-major
+  /// vertex samples of the two components.
+  static StatusOr<VectorGridField> Create(uint32_t cols, uint32_t rows,
+                                          const Rect2& domain,
+                                          std::vector<double> samples_u,
+                                          std::vector<double> samples_v);
+
+  CellId NumCells() const { return u_.NumCells(); }
+  Rect2 Domain() const { return u_.Domain(); }
+
+  /// The scalar sub-field of one component (0 = u, 1 = v).
+  const GridField& component(int c) const { return c == 0 ? u_ : v_; }
+
+  /// Scalar cell record of component `c` for cell `id` (geometry is
+  /// identical across components).
+  CellRecord ComponentCell(int c, CellId id) const {
+    return component(c).GetCell(id);
+  }
+
+  /// The cell's 2-D value box: [min_u, max_u] x [min_v, max_v].
+  Box<2> CellValueBox(CellId id) const;
+
+  /// Hull of all cell value boxes.
+  Box<2> ValueRangeBox() const;
+
+  /// Vector value (u, v) at a point.
+  StatusOr<std::pair<double, double>> ValueAt(Point2 p) const;
+
+ private:
+  VectorGridField(GridField u, GridField v)
+      : u_(std::move(u)), v_(std::move(v)) {}
+
+  GridField u_;
+  GridField v_;
+};
+
+/// A conjunctive vector value query: u in [u_band], v in [v_band] —
+/// "find the regions where the wind blows east at 5..10 m/s and north at
+/// 0..2 m/s".
+struct VectorBandQuery {
+  ValueInterval u;
+  ValueInterval v;
+
+  Box<2> AsBox() const {
+    Box<2> b;
+    b.lo = {u.min, v.min};
+    b.hi = {u.max, v.max};
+    return b;
+  }
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_VECTOR_VECTOR_FIELD_H_

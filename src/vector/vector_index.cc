@@ -1,0 +1,195 @@
+#include "vector/vector_index.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "curve/hilbert.h"
+
+namespace fielddb {
+
+VectorSubfieldCostModel::VectorSubfieldCostModel(
+    const Box<2>& value_range, const VectorCostConfig& config)
+    : config_(config) {
+  range_u_ = value_range.IsEmpty()
+                 ? 1.0
+                 : value_range.hi[0] - value_range.lo[0] + 1.0;
+  range_v_ = value_range.IsEmpty()
+                 ? 1.0
+                 : value_range.hi[1] - value_range.lo[1] + 1.0;
+  if (range_u_ <= 0) range_u_ = 1.0;
+  if (range_v_ <= 0) range_v_ = 1.0;
+}
+
+double VectorSubfieldCostModel::Cost(const Box<2>& box,
+                                     double sum_box_sizes) const {
+  // (Lu + q̄·Ru)(Lv + q̄·Rv) / SI — the scale-free form of
+  // (Lu' + q̄)(Lv' + q̄) / SI' with normalized extents.
+  const double q = config_.avg_query_fraction;
+  const double pu = (box.hi[0] - box.lo[0] + 1.0) + q * range_u_;
+  const double pv = (box.hi[1] - box.lo[1] + 1.0) + q * range_v_;
+  return pu * pv / sum_box_sizes;
+}
+
+bool VectorSubfieldCostModel::ShouldAppend(const VectorSubfield& current,
+                                           const Box<2>& cell_box) const {
+  const double before = Cost(current.box, current.sum_box_sizes);
+  Box<2> merged = current.box;
+  merged.Extend(cell_box);
+  const double after =
+      Cost(merged, current.sum_box_sizes + BoxPaperSize(cell_box));
+  return before > after;
+}
+
+std::vector<VectorSubfield> BuildVectorSubfields(
+    const std::vector<Box<2>>& cell_boxes, const Box<2>& value_range,
+    const VectorCostConfig& config) {
+  std::vector<VectorSubfield> subfields;
+  if (cell_boxes.empty()) return subfields;
+  const VectorSubfieldCostModel model(value_range, config);
+
+  const auto box_size = [](const Box<2>& b) {
+    return (b.hi[0] - b.lo[0] + 1.0) * (b.hi[1] - b.lo[1] + 1.0);
+  };
+
+  VectorSubfield current;
+  current.start = 0;
+  current.end = 1;
+  current.box = cell_boxes[0];
+  current.sum_box_sizes = box_size(cell_boxes[0]);
+  for (uint64_t pos = 1; pos < cell_boxes.size(); ++pos) {
+    if (model.ShouldAppend(current, cell_boxes[pos])) {
+      current.end = pos + 1;
+      current.box.Extend(cell_boxes[pos]);
+      current.sum_box_sizes += box_size(cell_boxes[pos]);
+    } else {
+      subfields.push_back(current);
+      current.start = pos;
+      current.end = pos + 1;
+      current.box = cell_boxes[pos];
+      current.sum_box_sizes = box_size(cell_boxes[pos]);
+    }
+  }
+  subfields.push_back(current);
+  return subfields;
+}
+
+const char* VectorIndexMethodName(VectorIndexMethod method) {
+  switch (method) {
+    case VectorIndexMethod::kLinearScan:
+      return "V-LinearScan";
+    case VectorIndexMethod::kIHilbert:
+      return "V-I-Hilbert";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<VectorFieldDatabase>> VectorFieldDatabase::Build(
+    const VectorGridField& field, const Options& options) {
+  auto db = std::unique_ptr<VectorFieldDatabase>(new VectorFieldDatabase());
+  db->method_ = options.method;
+  db->file_ = std::make_unique<MemPageFile>(options.page_size);
+  db->pool_ =
+      std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
+
+  // Hilbert-order the cells (also for LinearScan — the scan is
+  // order-insensitive and sharing the layout isolates the index effect).
+  const std::unique_ptr<SpaceFillingCurve> curve =
+      MakeCurve(options.curve, options.curve_order);
+  const CellId n = field.NumCells();
+  const Rect2 domain = field.Domain();
+  std::vector<std::pair<uint64_t, CellId>> keyed(n);
+  for (CellId id = 0; id < n; ++id) {
+    const Point2 c = field.ComponentCell(0, id).Centroid();
+    keyed[id] = {curve->EncodeUnit((c.x - domain.lo.x) / domain.Width(),
+                                   (c.y - domain.lo.y) / domain.Height()),
+                 id};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<VectorCellRecord> records(n);
+  std::vector<Box<2>> boxes(n);
+  for (CellId pos = 0; pos < n; ++pos) {
+    records[pos] = VectorCellRecord::FromField(field, keyed[pos].second);
+    boxes[pos] = records[pos].ValueBox();
+  }
+  StatusOr<RecordStore<VectorCellRecord>> store =
+      RecordStore<VectorCellRecord>::Build(db->pool_.get(), records);
+  if (!store.ok()) return store.status();
+  db->store_ = std::make_unique<RecordStore<VectorCellRecord>>(
+      std::move(store).value());
+
+  if (options.method == VectorIndexMethod::kIHilbert) {
+    db->subfields_ =
+        BuildVectorSubfields(boxes, field.ValueRangeBox(), options.cost);
+    std::vector<RTreeEntry<2>> entries(db->subfields_.size());
+    for (size_t i = 0; i < db->subfields_.size(); ++i) {
+      entries[i].box = db->subfields_[i].box;
+      entries[i].a = db->subfields_[i].start;
+      entries[i].b = db->subfields_[i].end;
+    }
+    StatusOr<RStarTree<2>> tree =
+        RStarTree<2>::BulkLoad(db->pool_.get(), entries, options.rstar);
+    if (!tree.ok()) return tree.status();
+    db->tree_ = std::make_unique<RStarTree<2>>(std::move(tree).value());
+  }
+  db->pool_->ResetStats();
+  return db;
+}
+
+Status VectorFieldDatabase::BandQuery(const VectorBandQuery& query,
+                                      VectorQueryResult* out) {
+  if (query.u.IsEmpty() || query.v.IsEmpty()) {
+    return Status::InvalidArgument("empty query band");
+  }
+  out->region.pieces.clear();
+  out->stats = QueryStats{};
+  const IoStats io_before = pool_->stats();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Status inner = Status::OK();
+  const auto visit_cell = [&](uint64_t, const VectorCellRecord& cell) {
+    StatusOr<size_t> pieces =
+        VectorCellIsoband(cell, query, &out->region);
+    if (!pieces.ok()) {
+      inner = pieces.status();
+      return false;
+    }
+    if (*pieces > 0) {
+      ++out->stats.answer_cells;
+      out->stats.region_pieces += *pieces;
+    }
+    return true;
+  };
+
+  if (tree_ == nullptr) {
+    out->stats.candidate_cells = store_->size();
+    FIELDDB_RETURN_IF_ERROR(store_->Scan(0, store_->size(), visit_cell));
+    FIELDDB_RETURN_IF_ERROR(inner);
+  } else {
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;
+    FIELDDB_RETURN_IF_ERROR(
+        tree_->Search(query.AsBox(), [&](const RTreeEntry<2>& e) {
+          ranges.emplace_back(e.a, e.b);
+          return true;
+        }));
+    std::sort(ranges.begin(), ranges.end());
+    uint64_t covered_to = 0;
+    for (const auto& [start, end] : ranges) {
+      const uint64_t begin = std::max(start, covered_to);
+      if (begin < end) {
+        out->stats.candidate_cells += end - begin;
+        FIELDDB_RETURN_IF_ERROR(store_->Scan(begin, end, visit_cell));
+        FIELDDB_RETURN_IF_ERROR(inner);
+      }
+      covered_to = std::max(covered_to, end);
+    }
+  }
+
+  out->stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out->stats.io = pool_->stats() - io_before;
+  return Status::OK();
+}
+
+}  // namespace fielddb

@@ -1,0 +1,117 @@
+#ifndef FIELDDB_VECTOR_VECTOR_INDEX_H_
+#define FIELDDB_VECTOR_VECTOR_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/stats.h"
+#include "curve/curves.h"
+#include "field/region.h"
+#include "rtree/rstar_tree.h"
+#include "storage/page_file.h"
+#include "storage/record_store.h"
+#include "vector/vector_isoband.h"
+#include "vector/vector_record.h"
+
+namespace fielddb {
+
+/// A subfield of a vector field: a Hilbert-contiguous run of cells with
+/// the 2-D MBR of their (u, v) values. Generalizes the scalar Subfield.
+struct VectorSubfield {
+  uint64_t start = 0;
+  uint64_t end = 0;
+  Box<2> box = Box<2>::Empty();
+  double sum_box_sizes = 0.0;  // Σ per-cell PaperSize(u) * PaperSize(v)
+
+  uint64_t NumCells() const { return end - start; }
+};
+
+/// Cost model generalizing Section 3.1 to 2-D value boxes, after the 2-D
+/// case of Kamel & Faloutsos [14]: a box with normalized extents
+/// (Lu, Lv) is touched by the average box query with probability
+/// P = (Lu + q̄)(Lv + q̄); the subfield cost is C = P / SI with SI the
+/// sum of member cells' value-box sizes.
+struct VectorCostConfig {
+  double avg_query_fraction = 0.5;
+};
+
+class VectorSubfieldCostModel {
+ public:
+  VectorSubfieldCostModel(const Box<2>& value_range,
+                          const VectorCostConfig& config);
+
+  double Cost(const Box<2>& box, double sum_box_sizes) const;
+  bool ShouldAppend(const VectorSubfield& current,
+                    const Box<2>& cell_box) const;
+
+ private:
+  static double BoxPaperSize(const Box<2>& b) {
+    return (b.hi[0] - b.lo[0] + 1.0) * (b.hi[1] - b.lo[1] + 1.0);
+  }
+
+  VectorCostConfig config_;
+  double range_u_;
+  double range_v_;
+};
+
+/// Greedy grouping of curve-ordered cell value boxes, same insertion
+/// rule as the scalar builder.
+std::vector<VectorSubfield> BuildVectorSubfields(
+    const std::vector<Box<2>>& cell_boxes, const Box<2>& value_range,
+    const VectorCostConfig& config);
+
+/// Query-processing methods for vector fields.
+enum class VectorIndexMethod {
+  kLinearScan,  // scan every cell record
+  kIHilbert,    // subfields over Hilbert-ordered cells, 2-D R*-tree
+};
+
+const char* VectorIndexMethodName(VectorIndexMethod method);
+
+/// Result of a vector band query.
+struct VectorQueryResult {
+  Region region;
+  QueryStats stats;
+};
+
+/// A self-contained vector-field database: cells clustered in Hilbert
+/// order in paged storage, indexed (optionally) by a 2-D R*-tree over
+/// subfield value boxes.
+class VectorFieldDatabase {
+ public:
+  struct Options {
+    VectorIndexMethod method = VectorIndexMethod::kIHilbert;
+    CurveType curve = CurveType::kHilbert;
+    int curve_order = 16;
+    VectorCostConfig cost;
+    uint32_t page_size = kDefaultPageSize;
+    size_t pool_pages = 1024;
+    RStarOptions rstar;
+  };
+
+  static StatusOr<std::unique_ptr<VectorFieldDatabase>> Build(
+      const VectorGridField& field, const Options& options);
+
+  /// Conjunctive band query over both components: exact answer regions.
+  Status BandQuery(const VectorBandQuery& query, VectorQueryResult* out);
+
+  const std::vector<VectorSubfield>& subfields() const {
+    return subfields_;
+  }
+  uint64_t num_cells() const { return store_->size(); }
+  BufferPool& pool() { return *pool_; }
+
+ private:
+  VectorFieldDatabase() = default;
+
+  VectorIndexMethod method_ = VectorIndexMethod::kIHilbert;
+  std::unique_ptr<MemPageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<RecordStore<VectorCellRecord>> store_;
+  std::unique_ptr<RStarTree<2>> tree_;  // null for LinearScan
+  std::vector<VectorSubfield> subfields_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_VECTOR_VECTOR_INDEX_H_

@@ -1,0 +1,21 @@
+#ifndef FIELDDB_VECTOR_VECTOR_ISOBAND_H_
+#define FIELDDB_VECTOR_VECTOR_ISOBAND_H_
+
+#include "common/status.h"
+#include "field/region.h"
+#include "vector/vector_record.h"
+
+namespace fielddb {
+
+/// Estimation step of a vector band query: the exact sub-region of the
+/// cell where u_lo <= u(p) <= u_hi AND v_lo <= v(p) <= v_hi under the
+/// piecewise-linear interpretation — each sub-triangle of the cell is
+/// clipped by four iso half-planes (two per component). Appends pieces
+/// to `*out`; returns the number appended.
+StatusOr<size_t> VectorCellIsoband(const VectorCellRecord& cell,
+                                   const VectorBandQuery& query,
+                                   Region* out);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_VECTOR_VECTOR_ISOBAND_H_

@@ -1,0 +1,86 @@
+#ifndef FIELDDB_VECTOR_VECTOR_RECORD_H_
+#define FIELDDB_VECTOR_VECTOR_RECORD_H_
+
+#include "field/cell.h"
+#include "rtree/box.h"
+#include "vector/vector_field.h"
+
+namespace fielddb {
+
+/// Self-contained record of one vector-field cell: shared geometry plus
+/// per-vertex samples of both components. The unit stored by the vector
+/// cell store.
+struct VectorCellRecord {
+  uint32_t num_vertices = 0;
+  CellId id = kInvalidCellId;
+  double x[4] = {0, 0, 0, 0};
+  double y[4] = {0, 0, 0, 0};
+  double u[4] = {0, 0, 0, 0};
+  double v[4] = {0, 0, 0, 0};
+
+  static VectorCellRecord FromField(const VectorGridField& field,
+                                    CellId id) {
+    const CellRecord cu = field.ComponentCell(0, id);
+    const CellRecord cv = field.ComponentCell(1, id);
+    VectorCellRecord r;
+    r.num_vertices = cu.num_vertices;
+    r.id = id;
+    for (uint32_t i = 0; i < cu.num_vertices; ++i) {
+      r.x[i] = cu.x[i];
+      r.y[i] = cu.y[i];
+      r.u[i] = cu.w[i];
+      r.v[i] = cv.w[i];
+    }
+    return r;
+  }
+
+  Point2 Vertex(int i) const { return {x[i], y[i]}; }
+
+  /// Scalar record of one component (0 = u, 1 = v).
+  CellRecord Component(int c) const {
+    CellRecord r;
+    r.num_vertices = num_vertices;
+    r.id = id;
+    for (uint32_t i = 0; i < num_vertices; ++i) {
+      r.x[i] = x[i];
+      r.y[i] = y[i];
+      r.w[i] = c == 0 ? u[i] : v[i];
+    }
+    return r;
+  }
+
+  /// 2-D value box: per-component vertex hulls.
+  Box<2> ValueBox() const {
+    Box<2> b = Box<2>::Empty();
+    for (uint32_t i = 0; i < num_vertices; ++i) {
+      b.lo[0] = std::min(b.lo[0], u[i]);
+      b.hi[0] = std::max(b.hi[0], u[i]);
+      b.lo[1] = std::min(b.lo[1], v[i]);
+      b.hi[1] = std::max(b.hi[1], v[i]);
+    }
+    return b;
+  }
+
+  Rect2 Bounds() const {
+    Rect2 r = Rect2::Empty();
+    for (uint32_t i = 0; i < num_vertices; ++i) r.Extend(Vertex(i));
+    return r;
+  }
+
+  Point2 Centroid() const {
+    Point2 c{0, 0};
+    for (uint32_t i = 0; i < num_vertices; ++i) {
+      c.x += x[i];
+      c.y += y[i];
+    }
+    const double n = num_vertices > 0 ? num_vertices : 1;
+    return {c.x / n, c.y / n};
+  }
+};
+
+static_assert(sizeof(VectorCellRecord) == 136,
+              "VectorCellRecord layout is part of the store page format");
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_VECTOR_VECTOR_RECORD_H_

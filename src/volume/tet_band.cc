@@ -1,0 +1,81 @@
+#include "volume/tet_band.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fielddb {
+
+double TetFractionBelow(std::array<double, 4> values, double t) {
+  std::sort(values.begin(), values.end());
+  const double a = values[0], b = values[1], c = values[2], d = values[3];
+  if (t <= a) return 0.0;
+  if (t >= d) return 1.0;
+  // The CDF of a linear functional over a uniform tetrahedron is the
+  // cubic B-spline CDF with knots (a, b, c, d) (Curry–Schoenberg). The
+  // three pieces below are its closed forms, arranged so that repeated
+  // knots never divide by zero:
+  //  - t in (a, b] forces b > a, and then c-a, d-a >= b-a > 0;
+  //  - t in [c, d) forces d > c, and then d-a, d-b >= d-c > 0;
+  //  - t in (b, c) forces c > b, and the e = b-a singularity of the raw
+  //    truncated-power sum is cancelled analytically (substitute
+  //    u = t-a, e = b-a and divide N and D by e), leaving only the
+  //    strictly positive factors (c-a)(d-a)(c-b)(d-b).
+  if (t <= b) {
+    const double f = (t - a) * (t - a) * (t - a) /
+                     ((b - a) * (c - a) * (d - a));
+    return std::clamp(f, 0.0, 1.0);
+  }
+  if (t >= c) {
+    const double f = 1.0 - (d - t) * (d - t) * (d - t) /
+                               ((d - a) * (d - b) * (d - c));
+    return std::clamp(f, 0.0, 1.0);
+  }
+  const double u = t - a;
+  const double e = b - a;
+  const double ca = c - a, da = d - a, cb = c - b, db = d - b;
+  const double f =
+      ((3 * u * u - 3 * u * e + e * e) * ca * da -
+       u * u * u * (ca + da - e)) /
+      (ca * da * cb * db);
+  return std::clamp(f, 0.0, 1.0);
+}
+
+double TetBandFraction(const std::array<double, 4>& values,
+                       const ValueInterval& band) {
+  if (band.IsEmpty()) return 0.0;
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi - lo <= 0.0) {
+    // Constant tetrahedron: all or nothing (this is where an exact-value
+    // query can still return positive volume).
+    return band.Contains(lo) ? 1.0 : 0.0;
+  }
+  return TetFractionBelow(values, band.max) -
+         TetFractionBelow(values, band.min);
+}
+
+double VoxelBandFraction(const double corners[8],
+                         const ValueInterval& band) {
+  // Kuhn (Freudenthal) decomposition: one tetrahedron per permutation of
+  // the three axes, tracing corner paths 0 -> 7.
+  static constexpr int kAxisOrders[6][3] = {{0, 1, 2}, {0, 2, 1},
+                                            {1, 0, 2}, {1, 2, 0},
+                                            {2, 0, 1}, {2, 1, 0}};
+  double total = 0.0;
+  for (const auto& order : kAxisOrders) {
+    int m = 0;
+    std::array<double, 4> values;
+    values[0] = corners[0];
+    for (int step = 0; step < 3; ++step) {
+      m |= 1 << order[step];
+      values[step + 1] = corners[m];
+    }
+    total += TetBandFraction(values, band);
+  }
+  return total / 6.0;
+}
+
+}  // namespace fielddb

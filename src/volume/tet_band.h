@@ -1,0 +1,31 @@
+#ifndef FIELDDB_VOLUME_TET_BAND_H_
+#define FIELDDB_VOLUME_TET_BAND_H_
+
+#include <array>
+
+#include "common/interval.h"
+
+namespace fielddb {
+
+/// Fraction of a tetrahedron's volume where the linear interpolant of
+/// the four vertex values is <= t. Uses the truncated-power (simplex
+/// B-spline CDF) formula
+///   F(t) = sum_{i: v_i < t} (t - v_i)^3 / prod_{j != i} (v_j - v_i),
+/// with tiny symbolic perturbation for coincident values. Exact up to
+/// floating point for distinct values; continuous in the inputs.
+double TetFractionBelow(std::array<double, 4> values, double t);
+
+/// Fraction of a tetrahedron where lo <= w <= hi.
+double TetBandFraction(const std::array<double, 4>& values,
+                       const ValueInterval& band);
+
+/// Fraction of a hexahedral voxel (corner order: bit0=+x, bit1=+y,
+/// bit2=+z) where lo <= w <= hi, under the piecewise-linear reading of
+/// the trilinear cell: the voxel is split into the six Kuhn tetrahedra
+/// and each contributes its exact linear band fraction. This is the 3-D
+/// estimation step — the volume analogue of CellIsoband.
+double VoxelBandFraction(const double corners[8], const ValueInterval& band);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_VOLUME_TET_BAND_H_

@@ -1,0 +1,148 @@
+#include "volume/volume_index.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "curve/hilbert.h"
+#include "volume/tet_band.h"
+
+namespace fielddb {
+
+const char* VolumeIndexMethodName(VolumeIndexMethod method) {
+  switch (method) {
+    case VolumeIndexMethod::kLinearScan:
+      return "3D-LinearScan";
+    case VolumeIndexMethod::kIHilbert:
+      return "3D-I-Hilbert";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<VolumeFieldDatabase>> VolumeFieldDatabase::Build(
+    const VolumeGridField& field, const Options& options) {
+  auto db = std::unique_ptr<VolumeFieldDatabase>(new VolumeFieldDatabase());
+  db->method_ = options.method;
+  db->file_ = std::make_unique<MemPageFile>(options.page_size);
+  db->pool_ =
+      std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
+  db->value_range_ = field.ValueRange();
+  db->voxel_volume_ = field.VoxelVolume();
+
+  // 3-D Hilbert order over voxel coordinates.
+  const uint32_t max_dim =
+      std::max({field.nx(), field.ny(), field.nz(), 2u});
+  int order = 1;
+  while ((uint32_t{1} << order) < max_dim) ++order;
+
+  const VoxelId n = field.NumCells();
+  std::vector<std::pair<uint64_t, VoxelId>> keyed(n);
+  for (VoxelId id = 0; id < n; ++id) {
+    const std::array<uint32_t, 3> c = field.VoxelCoords(id);
+    keyed[id] = {HilbertEncodeND(order, {c[0], c[1], c[2]}), id};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<VoxelRecord> records(n);
+  std::vector<ValueInterval> intervals(n);
+  for (VoxelId pos = 0; pos < n; ++pos) {
+    records[pos] = field.GetCell(keyed[pos].second);
+    intervals[pos] = records[pos].Interval();
+  }
+  StatusOr<RecordStore<VoxelRecord>> store =
+      RecordStore<VoxelRecord>::Build(db->pool_.get(), records);
+  if (!store.ok()) return store.status();
+  db->store_ =
+      std::make_unique<RecordStore<VoxelRecord>>(std::move(store).value());
+
+  if (options.method == VolumeIndexMethod::kIHilbert) {
+    db->subfields_ =
+        BuildSubfields(intervals, db->value_range_, options.cost);
+    std::vector<RTreeEntry<1>> entries(db->subfields_.size());
+    for (size_t i = 0; i < db->subfields_.size(); ++i) {
+      entries[i].box = BoxFromInterval(db->subfields_[i].interval);
+      entries[i].a = db->subfields_[i].start;
+      entries[i].b = db->subfields_[i].end;
+    }
+    StatusOr<RStarTree<1>> tree =
+        RStarTree<1>::BulkLoad(db->pool_.get(), entries, options.rstar);
+    if (!tree.ok()) return tree.status();
+    db->tree_ = std::make_unique<RStarTree<1>>(std::move(tree).value());
+  }
+  db->pool_->ResetStats();
+  return db;
+}
+
+Status VolumeFieldDatabase::BandQuery(const ValueInterval& band,
+                                      VolumeQueryResult* out) {
+  if (band.IsEmpty()) {
+    return Status::InvalidArgument("empty query band");
+  }
+  out->volume = 0.0;
+  out->stats = QueryStats{};
+  const IoStats io_before = pool_->stats();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const auto visit = [&](uint64_t, const VoxelRecord& voxel) {
+    if (!voxel.Interval().Intersects(band)) return true;
+    const double fraction = VoxelBandFraction(voxel.w, band);
+    if (fraction > 0.0) {
+      out->volume += fraction * voxel_volume_;
+      ++out->stats.answer_cells;
+    }
+    return true;
+  };
+
+  if (tree_ == nullptr) {
+    out->stats.candidate_cells = store_->size();
+    FIELDDB_RETURN_IF_ERROR(store_->Scan(0, store_->size(), visit));
+  } else {
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;
+    FIELDDB_RETURN_IF_ERROR(
+        tree_->Search(BoxFromInterval(band), [&](const RTreeEntry<1>& e) {
+          ranges.emplace_back(e.a, e.b);
+          return true;
+        }));
+    std::sort(ranges.begin(), ranges.end());
+    uint64_t covered_to = 0;
+    for (const auto& [start, end] : ranges) {
+      const uint64_t begin = std::max(start, covered_to);
+      if (begin < end) {
+        out->stats.candidate_cells += end - begin;
+        FIELDDB_RETURN_IF_ERROR(store_->Scan(begin, end, visit));
+      }
+      covered_to = std::max(covered_to, end);
+    }
+  }
+
+  out->stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out->stats.io = pool_->stats() - io_before;
+  return Status::OK();
+}
+
+StatusOr<WorkloadStats> VolumeFieldDatabase::RunWorkload(
+    const std::vector<ValueInterval>& queries) {
+  WorkloadStats ws;
+  ws.num_queries = static_cast<uint32_t>(queries.size());
+  if (queries.empty()) return ws;
+  QueryStats total;
+  VolumeQueryResult result;
+  for (const ValueInterval& q : queries) {
+    FIELDDB_RETURN_IF_ERROR(pool_->Clear());
+    FIELDDB_RETURN_IF_ERROR(BandQuery(q, &result));
+    total.Accumulate(result.stats);
+  }
+  const double n = queries.size();
+  ws.avg_wall_ms = total.wall_seconds * 1000.0 / n;
+  ws.avg_candidates = static_cast<double>(total.candidate_cells) / n;
+  ws.avg_answer_cells = static_cast<double>(total.answer_cells) / n;
+  ws.avg_logical_reads = static_cast<double>(total.io.logical_reads) / n;
+  ws.avg_physical_reads = static_cast<double>(total.io.physical_reads) / n;
+  ws.avg_sequential_reads =
+      static_cast<double>(total.io.sequential_reads) / n;
+  ws.avg_random_reads = static_cast<double>(total.io.random_reads()) / n;
+  return ws;
+}
+
+}  // namespace fielddb

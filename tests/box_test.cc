@@ -1,0 +1,107 @@
+#include "rtree/box.h"
+
+#include <gtest/gtest.h>
+
+namespace fielddb {
+namespace {
+
+Box<2> MakeBox(double x0, double y0, double x1, double y1) {
+  Box<2> b;
+  b.lo = {x0, y0};
+  b.hi = {x1, y1};
+  return b;
+}
+
+TEST(BoxTest, EmptyIdentity) {
+  Box<2> e = Box<2>::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(e.Margin(), 0.0);
+  e.Extend(MakeBox(1, 2, 3, 4));
+  EXPECT_FALSE(e.IsEmpty());
+  EXPECT_EQ(e, MakeBox(1, 2, 3, 4));
+}
+
+TEST(BoxTest, AreaAndMargin) {
+  const Box<2> b = MakeBox(0, 0, 2, 3);
+  EXPECT_DOUBLE_EQ(b.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(b.Margin(), 5.0);
+
+  Box<1> iv;
+  iv.lo = {1};
+  iv.hi = {4};
+  EXPECT_DOUBLE_EQ(iv.Area(), 3.0);  // length in 1-D
+  EXPECT_DOUBLE_EQ(iv.Margin(), 3.0);
+
+  Box<3> cube;
+  cube.lo = {0, 0, 0};
+  cube.hi = {2, 2, 2};
+  EXPECT_DOUBLE_EQ(cube.Area(), 8.0);  // volume in 3-D
+  EXPECT_DOUBLE_EQ(cube.Margin(), 6.0);
+}
+
+TEST(BoxTest, IntersectsClosedBoundaries) {
+  const Box<2> a = MakeBox(0, 0, 1, 1);
+  EXPECT_TRUE(a.Intersects(MakeBox(1, 0, 2, 1)));   // shared edge
+  EXPECT_TRUE(a.Intersects(MakeBox(1, 1, 2, 2)));   // shared corner
+  EXPECT_FALSE(a.Intersects(MakeBox(1.01, 0, 2, 1)));
+  EXPECT_TRUE(a.Intersects(a));
+}
+
+TEST(BoxTest, Contains) {
+  const Box<2> outer = MakeBox(0, 0, 4, 4);
+  EXPECT_TRUE(outer.Contains(MakeBox(1, 1, 2, 2)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(MakeBox(3, 3, 5, 5)));
+  EXPECT_FALSE(MakeBox(1, 1, 2, 2).Contains(outer));
+}
+
+TEST(BoxTest, OverlapArea) {
+  const Box<2> a = MakeBox(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(MakeBox(1, 1, 3, 3)), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(MakeBox(2, 0, 3, 2)), 0.0);  // edge
+  EXPECT_DOUBLE_EQ(a.OverlapArea(MakeBox(5, 5, 6, 6)), 0.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(a), 4.0);
+}
+
+TEST(BoxTest, CenterAndDistance) {
+  const Box<2> a = MakeBox(0, 0, 2, 2);
+  const Box<2> b = MakeBox(3, 4, 5, 4);
+  const auto ca = a.Center();
+  EXPECT_DOUBLE_EQ(ca[0], 1.0);
+  EXPECT_DOUBLE_EQ(ca[1], 1.0);
+  // Centers (1,1) and (4,4): squared distance 9 + 9 = 18.
+  EXPECT_DOUBLE_EQ(a.CenterDistance2(b), 18.0);
+}
+
+TEST(BoxTest, IntervalAdapters) {
+  const ValueInterval iv{2, 5};
+  const Box<1> b = BoxFromInterval(iv);
+  EXPECT_DOUBLE_EQ(b.lo[0], 2.0);
+  EXPECT_DOUBLE_EQ(b.hi[0], 5.0);
+  EXPECT_EQ(IntervalFromBox(b), iv);
+}
+
+TEST(BoxTest, RectAdapters) {
+  const Rect2 r{{1, 2}, {3, 4}};
+  EXPECT_EQ(RectFromBox(BoxFromRect(r)), r);
+  const Box<2> p = BoxFromPoint({5, 6});
+  EXPECT_EQ(p.lo, p.hi);
+  EXPECT_TRUE(p.Intersects(MakeBox(5, 6, 7, 8)));
+}
+
+TEST(BoxTest, DegenerateBoxBehaves) {
+  // Zero-extent boxes (exact-value intervals) are not "empty".
+  Box<1> point;
+  point.lo = {3};
+  point.hi = {3};
+  EXPECT_FALSE(point.IsEmpty());
+  EXPECT_DOUBLE_EQ(point.Area(), 0.0);
+  Box<1> other;
+  other.lo = {3};
+  other.hi = {9};
+  EXPECT_TRUE(point.Intersects(other));
+}
+
+}  // namespace
+}  // namespace fielddb

@@ -1,0 +1,174 @@
+#include "index/cell_store.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "field/grid_field.h"
+#include "storage/page_file.h"
+
+namespace fielddb {
+namespace {
+
+GridField MakeGrid(uint32_t n) {
+  std::vector<double> samples;
+  for (uint32_t j = 0; j <= n; ++j) {
+    for (uint32_t i = 0; i <= n; ++i) {
+      samples.push_back(i + 100.0 * j);
+    }
+  }
+  auto field = GridField::Create(n, n, Rect2{{0, 0}, {1, 1}}, samples);
+  EXPECT_TRUE(field.ok());
+  return std::move(field).value();
+}
+
+TEST(CellStoreTest, BuildIdentityOrder) {
+  MemPageFile file;
+  BufferPool pool(&file, 64);
+  const GridField field = MakeGrid(4);
+  auto store = CellStore::Build(&pool, field, {});
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->size(), 16u);
+  EXPECT_EQ(store->cells_per_page(), 4096u / sizeof(CellRecord));
+
+  CellRecord rec;
+  for (uint64_t pos = 0; pos < 16; ++pos) {
+    ASSERT_TRUE(store->Get(pos, &rec).ok());
+    EXPECT_EQ(rec.id, pos);
+    EXPECT_EQ(store->PositionOf(static_cast<CellId>(pos)), pos);
+  }
+}
+
+TEST(CellStoreTest, BuildPermutedOrder) {
+  MemPageFile file;
+  BufferPool pool(&file, 64);
+  const GridField field = MakeGrid(3);  // 9 cells
+  std::vector<CellId> order = {8, 0, 7, 1, 6, 2, 5, 3, 4};
+  auto store = CellStore::Build(&pool, field, order);
+  ASSERT_TRUE(store.ok());
+  CellRecord rec;
+  for (uint64_t pos = 0; pos < order.size(); ++pos) {
+    ASSERT_TRUE(store->Get(pos, &rec).ok());
+    EXPECT_EQ(rec.id, order[pos]);
+    EXPECT_EQ(store->PositionOf(order[pos]), pos);
+  }
+}
+
+TEST(CellStoreTest, RejectsNonPermutation) {
+  MemPageFile file;
+  BufferPool pool(&file, 64);
+  const GridField field = MakeGrid(2);  // 4 cells
+  EXPECT_FALSE(CellStore::Build(&pool, field, {0, 1, 2}).ok());
+  EXPECT_FALSE(CellStore::Build(&pool, field, {0, 1, 2, 2}).ok());
+  EXPECT_FALSE(CellStore::Build(&pool, field, {0, 1, 2, 9}).ok());
+}
+
+TEST(CellStoreTest, RecordContentsSurviveStorage) {
+  MemPageFile file;
+  BufferPool pool(&file, 64);
+  const GridField field = MakeGrid(4);
+  auto store = CellStore::Build(&pool, field, {});
+  ASSERT_TRUE(store.ok());
+  CellRecord rec;
+  ASSERT_TRUE(store->Get(7, &rec).ok());
+  const CellRecord expected = field.GetCell(7);
+  EXPECT_EQ(rec.num_vertices, expected.num_vertices);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(rec.x[i], expected.x[i]);
+    EXPECT_DOUBLE_EQ(rec.y[i], expected.y[i]);
+    EXPECT_DOUBLE_EQ(rec.w[i], expected.w[i]);
+  }
+}
+
+TEST(CellStoreTest, ScanVisitsRangeInOrder) {
+  MemPageFile file;
+  BufferPool pool(&file, 64);
+  const GridField field = MakeGrid(8);  // 64 cells
+  auto store = CellStore::Build(&pool, field, {});
+  ASSERT_TRUE(store.ok());
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(store->Scan(10, 50, [&](uint64_t pos, const CellRecord& rec) {
+                     EXPECT_EQ(rec.id, pos);
+                     seen.push_back(pos);
+                     return true;
+                   }).ok());
+  std::vector<uint64_t> expected(40);
+  std::iota(expected.begin(), expected.end(), 10);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(CellStoreTest, ScanEarlyStop) {
+  MemPageFile file;
+  BufferPool pool(&file, 64);
+  const GridField field = MakeGrid(4);
+  auto store = CellStore::Build(&pool, field, {});
+  ASSERT_TRUE(store.ok());
+  int visited = 0;
+  ASSERT_TRUE(store->Scan(0, 16, [&](uint64_t, const CellRecord&) {
+                     return ++visited < 3;
+                   }).ok());
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(CellStoreTest, ScanBoundsChecked) {
+  MemPageFile file;
+  BufferPool pool(&file, 64);
+  const GridField field = MakeGrid(2);
+  auto store = CellStore::Build(&pool, field, {});
+  ASSERT_TRUE(store.ok());
+  const auto noop = [](uint64_t, const CellRecord&) { return true; };
+  EXPECT_FALSE(store->Scan(0, 5, noop).ok());
+  EXPECT_FALSE(store->Scan(3, 2, noop).ok());
+  EXPECT_TRUE(store->Scan(4, 4, noop).ok());  // empty range is fine
+}
+
+TEST(CellStoreTest, GetOutOfRange) {
+  MemPageFile file;
+  BufferPool pool(&file, 64);
+  const GridField field = MakeGrid(2);
+  auto store = CellStore::Build(&pool, field, {});
+  ASSERT_TRUE(store.ok());
+  CellRecord rec;
+  EXPECT_EQ(store->Get(4, &rec).code(), StatusCode::kOutOfRange);
+}
+
+TEST(CellStoreTest, PageAccountingOneFetchPerPageOnScan) {
+  MemPageFile file;
+  BufferPool pool(&file, 256);
+  const GridField field = MakeGrid(32);  // 1024 cells
+  auto store = CellStore::Build(&pool, field, {});
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(pool.Clear().ok());
+  pool.ResetStats();
+  ASSERT_TRUE(store->Scan(0, store->size(),
+                          [](uint64_t, const CellRecord&) { return true; })
+                  .ok());
+  EXPECT_EQ(pool.stats().logical_reads, store->num_pages());
+  EXPECT_EQ(pool.stats().physical_reads, store->num_pages());
+}
+
+TEST(CellStoreTest, NumPagesFormula) {
+  MemPageFile file;
+  BufferPool pool(&file, 64);
+  const GridField field = MakeGrid(8);  // 64 cells, 39 per 4 KB page
+  auto store = CellStore::Build(&pool, field, {});
+  ASSERT_TRUE(store.ok());
+  const uint64_t per = store->cells_per_page();
+  EXPECT_EQ(store->num_pages(), (64 + per - 1) / per);
+}
+
+TEST(CellStoreTest, SmallPagesSpanManyPages) {
+  MemPageFile file(256);  // 2 cells per page
+  BufferPool pool(&file, 64);
+  const GridField field = MakeGrid(4);  // 16 cells
+  auto store = CellStore::Build(&pool, field, {});
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->cells_per_page(), 2u);
+  EXPECT_EQ(store->num_pages(), 8u);
+  CellRecord rec;
+  ASSERT_TRUE(store->Get(15, &rec).ok());
+  EXPECT_EQ(rec.id, 15u);
+}
+
+}  // namespace
+}  // namespace fielddb

@@ -1,0 +1,140 @@
+#include "gen/delaunay.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace fielddb {
+namespace {
+
+std::vector<Point2> RandomPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2> pts(n);
+  for (auto& p : pts) p = {rng.NextDouble(), rng.NextDouble()};
+  return pts;
+}
+
+TEST(InCircumcircleTest, UnitCircleCases) {
+  // CCW triangle on the unit circle centered at origin.
+  const Point2 a{1, 0}, b{0, 1}, c{-1, 0};
+  EXPECT_TRUE(InCircumcircle(a, b, c, {0, 0}));
+  EXPECT_TRUE(InCircumcircle(a, b, c, {0.5, -0.5}));
+  EXPECT_FALSE(InCircumcircle(a, b, c, {2, 0}));
+  EXPECT_FALSE(InCircumcircle(a, b, c, {0, -1.001}));
+}
+
+TEST(DelaunayTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(DelaunayTriangulate({{0, 0}, {1, 1}}).ok());
+  EXPECT_FALSE(
+      DelaunayTriangulate({{0, 0}, {1, 1}, {1, 1 + 1e-15}}).ok());
+  EXPECT_FALSE(
+      DelaunayTriangulate({{0, 0}, {1, 1}, {2, 2}, {3, 3}}).ok());
+}
+
+TEST(DelaunayTest, TriangleOfThree) {
+  auto tris = DelaunayTriangulate({{0, 0}, {1, 0}, {0, 1}});
+  ASSERT_TRUE(tris.ok());
+  ASSERT_EQ(tris->size(), 1u);
+}
+
+TEST(DelaunayTest, SquareSplitsInTwo) {
+  auto tris = DelaunayTriangulate({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  ASSERT_TRUE(tris.ok());
+  EXPECT_EQ(tris->size(), 2u);
+}
+
+class DelaunayPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelaunayPropertyTest, EmptyCircumcircleHolds) {
+  const std::vector<Point2> pts = RandomPoints(GetParam(), GetParam());
+  auto tris = DelaunayTriangulate(pts);
+  ASSERT_TRUE(tris.ok());
+  for (const IndexTriangle& t : *tris) {
+    const Point2 a = pts[t.v[0]], b = pts[t.v[1]], c = pts[t.v[2]];
+    for (uint32_t pi = 0; pi < pts.size(); ++pi) {
+      if (pi == t.v[0] || pi == t.v[1] || pi == t.v[2]) continue;
+      ASSERT_FALSE(InCircumcircle(a, b, c, pts[pi]))
+          << "point " << pi << " violates Delaunay";
+    }
+  }
+}
+
+TEST_P(DelaunayPropertyTest, TrianglesAreCcwAndNonDegenerate) {
+  const std::vector<Point2> pts = RandomPoints(GetParam(), GetParam() + 1);
+  auto tris = DelaunayTriangulate(pts);
+  ASSERT_TRUE(tris.ok());
+  for (const IndexTriangle& t : *tris) {
+    const Triangle2 tri{{pts[t.v[0]], pts[t.v[1]], pts[t.v[2]]}};
+    EXPECT_GT(tri.SignedArea(), 0.0);
+  }
+}
+
+TEST_P(DelaunayPropertyTest, TriangulationTilesConvexHull) {
+  const std::vector<Point2> pts = RandomPoints(GetParam(), GetParam() + 2);
+  auto tris = DelaunayTriangulate(pts);
+  ASSERT_TRUE(tris.ok());
+
+  // Total area equals the convex hull area (computed via the monotone
+  // chain hull + shoelace), and internal edges are shared exactly twice.
+  double tri_area = 0;
+  std::map<std::pair<uint32_t, uint32_t>, int> edge_count;
+  for (const IndexTriangle& t : *tris) {
+    const Triangle2 tri{{pts[t.v[0]], pts[t.v[1]], pts[t.v[2]]}};
+    tri_area += tri.Area();
+    for (int e = 0; e < 3; ++e) {
+      uint32_t u = t.v[e], v = t.v[(e + 1) % 3];
+      if (u > v) std::swap(u, v);
+      ++edge_count[{u, v}];
+    }
+  }
+  for (const auto& [edge, count] : edge_count) {
+    EXPECT_LE(count, 2) << "edge shared by more than two triangles";
+  }
+
+  // Monotone-chain convex hull.
+  std::vector<Point2> sorted = pts;
+  std::sort(sorted.begin(), sorted.end(), [](Point2 a, Point2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  std::vector<Point2> hull;
+  for (int pass = 0; pass < 2; ++pass) {
+    const size_t base = hull.size();
+    for (const Point2& p : sorted) {
+      while (hull.size() >= base + 2 &&
+             Cross(hull[hull.size() - 1] - hull[hull.size() - 2],
+                   p - hull[hull.size() - 2]) <= 0) {
+        hull.pop_back();
+      }
+      hull.push_back(p);
+    }
+    hull.pop_back();
+    std::reverse(sorted.begin(), sorted.end());
+  }
+  double hull_area = 0;
+  for (size_t i = 0; i < hull.size(); ++i) {
+    hull_area += Cross(hull[i], hull[(i + 1) % hull.size()]);
+  }
+  hull_area = std::abs(hull_area) / 2;
+  EXPECT_NEAR(tri_area, hull_area, 1e-9 * std::max(1.0, hull_area));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunayPropertyTest,
+                         ::testing::Values(5, 20, 100, 400),
+                         ::testing::PrintToStringParamName());
+
+TEST(DelaunayTest, ExpectedTriangleCount) {
+  // For n points with h on the hull: triangles = 2n - h - 2.
+  const int n = 500;
+  const std::vector<Point2> pts = RandomPoints(n, 777);
+  auto tris = DelaunayTriangulate(pts);
+  ASSERT_TRUE(tris.ok());
+  // Uniform random points have few hull points (O(log n)); the count must
+  // land close to 2n.
+  EXPECT_GT(tris->size(), 2u * n - 60);
+  EXPECT_LT(tris->size(), 2u * n);
+}
+
+}  // namespace
+}  // namespace fielddb

@@ -1,0 +1,173 @@
+#include "gen/fractal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/monotonic.h"
+#include "gen/noise_tin.h"
+#include "gen/workload.h"
+
+namespace fielddb {
+namespace {
+
+TEST(DiamondSquareTest, DeterministicInSeed) {
+  FractalOptions a, b;
+  a.seed = b.seed = 99;
+  a.size_exp = b.size_exp = 5;
+  EXPECT_EQ(DiamondSquare(a), DiamondSquare(b));
+  b.seed = 100;
+  EXPECT_NE(DiamondSquare(a), DiamondSquare(b));
+}
+
+TEST(DiamondSquareTest, OutputSize) {
+  FractalOptions options;
+  options.size_exp = 4;
+  EXPECT_EQ(DiamondSquare(options).size(), 17u * 17u);
+}
+
+TEST(DiamondSquareTest, SmoothnessIncreasesWithH) {
+  // Mean absolute neighbor difference must shrink as H grows (the
+  // paper's Fig. 10 contrast between H=0.2 and H=0.8).
+  const auto roughness = [](double h_param) {
+    FractalOptions options;
+    options.size_exp = 6;
+    options.roughness_h = h_param;
+    options.seed = 7;
+    const std::vector<double> h = DiamondSquare(options);
+    const int side = 65;
+    double sum = 0;
+    int count = 0;
+    for (int j = 0; j < side; ++j) {
+      for (int i = 0; i + 1 < side; ++i) {
+        sum += std::abs(h[j * side + i + 1] - h[j * side + i]);
+        ++count;
+      }
+    }
+    return sum / count;
+  };
+  const double rough = roughness(0.1);
+  const double smooth = roughness(0.9);
+  EXPECT_GT(rough, 2.0 * smooth);
+}
+
+TEST(MakeFractalFieldTest, ValidatesOptions) {
+  FractalOptions options;
+  options.size_exp = 0;
+  EXPECT_FALSE(MakeFractalField(options).ok());
+  options.size_exp = 5;
+  options.roughness_h = 1.5;
+  EXPECT_FALSE(MakeFractalField(options).ok());
+}
+
+TEST(MakeFractalFieldTest, FieldShape) {
+  FractalOptions options;
+  options.size_exp = 5;
+  auto field = MakeFractalField(options);
+  ASSERT_TRUE(field.ok());
+  EXPECT_EQ(field->NumCells(), 32u * 32u);
+  EXPECT_EQ(field->Domain(), (Rect2{{0, 0}, {1, 1}}));
+  EXPECT_FALSE(field->ValueRange().IsEmpty());
+}
+
+TEST(MakeRoseburgLikeTerrainTest, MatchesPaperResolution) {
+  auto field = MakeRoseburgLikeTerrain();
+  ASSERT_TRUE(field.ok());
+  // 512x512 cells = 262,144, the paper's "266,144 rectangular cells"
+  // (sic; 512*512 with four vertices each).
+  EXPECT_EQ(field->NumCells(), 262144u);
+}
+
+TEST(MonotonicTest, ValuesAreXPlusY) {
+  auto field = MakeMonotonicField(8, 8);
+  ASSERT_TRUE(field.ok());
+  EXPECT_NEAR(*field->ValueAt({0.25, 0.5}), 0.75, 1e-12);
+  EXPECT_NEAR(*field->ValueAt({1.0, 1.0}), 2.0, 1e-12);
+  EXPECT_EQ(field->ValueRange(), (ValueInterval{0, 2}));
+}
+
+TEST(MonotonicTest, RejectsEmptyGrid) {
+  EXPECT_FALSE(MakeMonotonicField(0, 8).ok());
+}
+
+TEST(NoiseTinTest, ProducesRoughly2xSitesTriangles) {
+  NoiseTinOptions options;
+  options.num_sites = 500;
+  auto tin = MakeUrbanNoiseTin(options);
+  ASSERT_TRUE(tin.ok());
+  EXPECT_GT(tin->NumCells(), 900u);
+  EXPECT_LT(tin->NumCells(), 1000u);
+}
+
+TEST(NoiseTinTest, DefaultMatchesPaperScale) {
+  auto tin = MakeUrbanNoiseTin();
+  ASSERT_TRUE(tin.ok());
+  // "about 9000 triangles".
+  EXPECT_GT(tin->NumCells(), 8500u);
+  EXPECT_LT(tin->NumCells(), 9500u);
+}
+
+TEST(NoiseTinTest, ValuesInPlausibleDbRange) {
+  NoiseTinOptions options;
+  options.num_sites = 400;
+  auto tin = MakeUrbanNoiseTin(options);
+  ASSERT_TRUE(tin.ok());
+  const ValueInterval range = tin->ValueRange();
+  EXPECT_GE(range.min, options.base_min_db - 1.0);
+  EXPECT_LE(range.max,
+            options.base_max_db +
+                options.num_corridors * options.corridor_gain_db);
+  // Corridors must actually create loud spots for the ">80 dB" query.
+  EXPECT_GT(range.max, 80.0);
+}
+
+TEST(NoiseTinTest, DeterministicInSeed) {
+  NoiseTinOptions options;
+  options.num_sites = 300;
+  auto a = MakeUrbanNoiseTin(options);
+  auto b = MakeUrbanNoiseTin(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->NumCells(), b->NumCells());
+  for (CellId id = 0; id < a->NumCells(); ++id) {
+    EXPECT_EQ(a->GetCell(id).Interval(), b->GetCell(id).Interval());
+  }
+}
+
+TEST(WorkloadTest, QueriesRespectRangeAndLength) {
+  const ValueInterval range{10, 30};
+  WorkloadOptions options;
+  options.qinterval_fraction = 0.1;
+  options.num_queries = 500;
+  const auto queries = GenerateValueQueries(range, options);
+  ASSERT_EQ(queries.size(), 500u);
+  for (const ValueInterval& q : queries) {
+    EXPECT_GE(q.min, 10.0);
+    EXPECT_LE(q.max, 30.0 + 1e-9);
+    EXPECT_NEAR(q.Length(), 2.0, 1e-9);  // 0.1 * 20
+  }
+}
+
+TEST(WorkloadTest, ZeroFractionGivesExactQueries) {
+  const auto queries =
+      GenerateValueQueries(ValueInterval{0, 1},
+                           WorkloadOptions{0.0, 100, 3});
+  for (const ValueInterval& q : queries) {
+    EXPECT_DOUBLE_EQ(q.min, q.max);
+  }
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  const WorkloadOptions options{0.05, 50, 42};
+  EXPECT_EQ(GenerateValueQueries(ValueInterval{0, 1}, options),
+            GenerateValueQueries(ValueInterval{0, 1}, options));
+}
+
+TEST(WorkloadTest, EmptyRangeYieldsNothing) {
+  EXPECT_TRUE(
+      GenerateValueQueries(ValueInterval::Empty(), WorkloadOptions{})
+          .empty());
+}
+
+}  // namespace
+}  // namespace fielddb

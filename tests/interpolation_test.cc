@@ -1,0 +1,166 @@
+#include "field/interpolation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fielddb {
+namespace {
+
+CellRecord UnitQuad(double ll, double lr, double ur, double ul) {
+  return CellRecord::Quad(0, Rect2{{0, 0}, {1, 1}}, ll, lr, ur, ul);
+}
+
+CellRecord RightTriangle(double wa, double wb, double wc) {
+  return CellRecord::Triangle(0, {0, 0}, wa, {1, 0}, wb, {0, 1}, wc);
+}
+
+TEST(CellRecordTest, IntervalIsVertexHull) {
+  const CellRecord quad = UnitQuad(3, 7, 1, 5);
+  EXPECT_EQ(quad.Interval(), (ValueInterval{1, 7}));
+  const CellRecord tri = RightTriangle(2, 2, 2);
+  EXPECT_EQ(tri.Interval(), (ValueInterval{2, 2}));
+  EXPECT_DOUBLE_EQ(tri.Interval().PaperSize(), 1.0);
+}
+
+TEST(CellRecordTest, BoundsAndCentroid) {
+  const CellRecord quad =
+      CellRecord::Quad(0, Rect2{{2, 3}, {4, 7}}, 0, 0, 0, 0);
+  EXPECT_EQ(quad.Bounds(), (Rect2{{2, 3}, {4, 7}}));
+  EXPECT_EQ(quad.Centroid(), (Point2{3, 5}));
+  const CellRecord tri = RightTriangle(0, 0, 0);
+  EXPECT_NEAR(tri.Centroid().x, 1.0 / 3, 1e-12);
+  EXPECT_NEAR(tri.Centroid().y, 1.0 / 3, 1e-12);
+}
+
+TEST(CellContainsTest, QuadBoundaryInclusive) {
+  const CellRecord quad = UnitQuad(0, 0, 0, 0);
+  EXPECT_TRUE(CellContains(quad, {0, 0}));
+  EXPECT_TRUE(CellContains(quad, {1, 1}));
+  EXPECT_TRUE(CellContains(quad, {0.5, 0.5}));
+  EXPECT_FALSE(CellContains(quad, {1.01, 0.5}));
+}
+
+TEST(CellContainsTest, TriangleMembership) {
+  const CellRecord tri = RightTriangle(0, 0, 0);
+  EXPECT_TRUE(CellContains(tri, {0.2, 0.2}));
+  EXPECT_TRUE(CellContains(tri, {0.5, 0.5}));  // hypotenuse
+  EXPECT_FALSE(CellContains(tri, {0.8, 0.8}));
+}
+
+TEST(InterpolateTest, BilinearAtCornersMatchesSamples) {
+  const CellRecord quad = UnitQuad(1, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(*InterpolateCell(quad, {0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(*InterpolateCell(quad, {1, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(*InterpolateCell(quad, {1, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(*InterpolateCell(quad, {0, 1}), 4.0);
+}
+
+TEST(InterpolateTest, BilinearCenterIsCornerAverage) {
+  const CellRecord quad = UnitQuad(1, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(*InterpolateCell(quad, {0.5, 0.5}), 2.5);
+}
+
+TEST(InterpolateTest, BilinearEdgesAreLinear) {
+  const CellRecord quad = UnitQuad(0, 10, 30, 20);
+  // Along the bottom edge: linear in x between 0 and 10.
+  EXPECT_DOUBLE_EQ(*InterpolateCell(quad, {0.3, 0}), 3.0);
+  // Along the left edge: linear in y between 0 and 20.
+  EXPECT_DOUBLE_EQ(*InterpolateCell(quad, {0, 0.25}), 5.0);
+}
+
+TEST(InterpolateTest, BilinearReproducesAffineFunctions) {
+  // For w = a + bx + cy the bilinear interpolant is exact everywhere.
+  const auto f = [](Point2 p) { return 3.0 + 2.0 * p.x - 1.5 * p.y; };
+  const CellRecord quad = UnitQuad(f({0, 0}), f({1, 0}), f({1, 1}),
+                                   f({0, 1}));
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Point2 p{rng.NextDouble(), rng.NextDouble()};
+    EXPECT_NEAR(*InterpolateCell(quad, p), f(p), 1e-12);
+  }
+}
+
+TEST(InterpolateTest, BilinearStaysInsideVertexHull) {
+  // The property that justifies Interval() = vertex min/max.
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double w0 = rng.NextDouble(-10, 10), w1 = rng.NextDouble(-10, 10);
+    const double w2 = rng.NextDouble(-10, 10), w3 = rng.NextDouble(-10, 10);
+    const CellRecord quad = UnitQuad(w0, w1, w2, w3);
+    const ValueInterval iv = quad.Interval();
+    for (int i = 0; i < 50; ++i) {
+      const Point2 p{rng.NextDouble(), rng.NextDouble()};
+      const double w = *InterpolateCell(quad, p);
+      EXPECT_GE(w, iv.min - 1e-9);
+      EXPECT_LE(w, iv.max + 1e-9);
+    }
+  }
+}
+
+TEST(InterpolateTest, BarycentricAtVerticesMatchesSamples) {
+  const CellRecord tri = RightTriangle(5, 7, 11);
+  EXPECT_DOUBLE_EQ(*InterpolateCell(tri, {0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(*InterpolateCell(tri, {1, 0}), 7.0);
+  EXPECT_DOUBLE_EQ(*InterpolateCell(tri, {0, 1}), 11.0);
+}
+
+TEST(InterpolateTest, BarycentricIsAffine) {
+  const auto f = [](Point2 p) { return -2.0 + 4.0 * p.x + 0.5 * p.y; };
+  const CellRecord tri = CellRecord::Triangle(
+      0, {0.1, 0.1}, f({0.1, 0.1}), {0.9, 0.2}, f({0.9, 0.2}), {0.3, 0.8},
+      f({0.3, 0.8}));
+  Rng rng(5);
+  int tested = 0;
+  while (tested < 100) {
+    const Point2 p{rng.NextDouble(), rng.NextDouble()};
+    if (!CellContains(tri, p)) continue;
+    EXPECT_NEAR(*InterpolateCell(tri, p), f(p), 1e-10);
+    ++tested;
+  }
+}
+
+TEST(InterpolateTest, BarycentricStaysInsideVertexHull) {
+  Rng rng(29);
+  const CellRecord tri = RightTriangle(rng.NextDouble(-5, 5),
+                                       rng.NextDouble(-5, 5),
+                                       rng.NextDouble(-5, 5));
+  const ValueInterval iv = tri.Interval();
+  int tested = 0;
+  while (tested < 200) {
+    const Point2 p{rng.NextDouble(), rng.NextDouble()};
+    if (!CellContains(tri, p)) continue;
+    const double w = *InterpolateCell(tri, p);
+    EXPECT_GE(w, iv.min - 1e-9);
+    EXPECT_LE(w, iv.max + 1e-9);
+    ++tested;
+  }
+}
+
+TEST(InterpolateTest, OutsideCellIsOutOfRange) {
+  const CellRecord quad = UnitQuad(0, 0, 0, 0);
+  EXPECT_EQ(InterpolateCell(quad, {2, 2}).status().code(),
+            StatusCode::kOutOfRange);
+  const CellRecord tri = RightTriangle(0, 0, 0);
+  EXPECT_EQ(InterpolateCell(tri, {0.9, 0.9}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(FitTrianglePlaneTest, RecoversCoefficients) {
+  // w = 1 + 2x + 3y.
+  auto plane = FitTrianglePlane({0, 0}, 1, {1, 0}, 3, {0, 1}, 4);
+  ASSERT_TRUE(plane.ok());
+  EXPECT_NEAR(plane->gx, 2.0, 1e-12);
+  EXPECT_NEAR(plane->gy, 3.0, 1e-12);
+  EXPECT_NEAR(plane->c, 1.0, 1e-12);
+  EXPECT_NEAR(plane->Eval({0.25, 0.5}), 1 + 0.5 + 1.5, 1e-12);
+}
+
+TEST(FitTrianglePlaneTest, DegenerateRejected) {
+  auto plane = FitTrianglePlane({0, 0}, 1, {1, 1}, 2, {2, 2}, 3);
+  EXPECT_FALSE(plane.ok());
+  EXPECT_EQ(plane.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fielddb

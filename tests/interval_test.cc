@@ -1,0 +1,75 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace fielddb {
+namespace {
+
+TEST(ValueIntervalTest, EmptyIdentity) {
+  const ValueInterval e = ValueInterval::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Length(), 0.0);
+  EXPECT_DOUBLE_EQ(e.PaperSize(), 0.0);
+  EXPECT_FALSE(e.Contains(0.0));
+}
+
+TEST(ValueIntervalTest, OfNormalizesOrder) {
+  const ValueInterval iv = ValueInterval::Of(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(iv.min, 2.0);
+  EXPECT_DOUBLE_EQ(iv.max, 5.0);
+}
+
+TEST(ValueIntervalTest, ContainsClosed) {
+  const ValueInterval iv{2.0, 5.0};
+  EXPECT_TRUE(iv.Contains(2.0));
+  EXPECT_TRUE(iv.Contains(5.0));
+  EXPECT_TRUE(iv.Contains(3.3));
+  EXPECT_FALSE(iv.Contains(1.999));
+  EXPECT_FALSE(iv.Contains(5.001));
+}
+
+TEST(ValueIntervalTest, IntersectsSharedEndpoint) {
+  const ValueInterval a{0, 2}, b{2, 4}, c{4.1, 5};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c) == false);
+}
+
+TEST(ValueIntervalTest, DegenerateIntersection) {
+  const ValueInterval point{3, 3};
+  EXPECT_TRUE(point.Intersects({0, 3}));
+  EXPECT_TRUE(point.Intersects({3, 9}));
+  EXPECT_FALSE(point.Intersects({3.0001, 9}));
+}
+
+TEST(ValueIntervalTest, ExtendValueAndInterval) {
+  ValueInterval iv = ValueInterval::Empty();
+  iv.Extend(3.0);
+  EXPECT_EQ(iv, (ValueInterval{3, 3}));
+  iv.Extend(ValueInterval{1, 2});
+  EXPECT_EQ(iv, (ValueInterval{1, 3}));
+  iv.Extend(ValueInterval::Empty());  // no-op
+  EXPECT_EQ(iv, (ValueInterval{1, 3}));
+}
+
+TEST(ValueIntervalTest, Hull) {
+  const ValueInterval h =
+      ValueInterval::Hull(ValueInterval{0, 1}, ValueInterval{5, 9});
+  EXPECT_EQ(h, (ValueInterval{0, 9}));
+}
+
+TEST(ValueIntervalTest, PaperSizeDefinition) {
+  // Section 3.1: I = max - min + 1, and 1 for degenerate intervals (a
+  // constant interpolation function).
+  EXPECT_DOUBLE_EQ((ValueInterval{20, 30}).PaperSize(), 11.0);
+  EXPECT_DOUBLE_EQ((ValueInterval{7, 7}).PaperSize(), 1.0);
+}
+
+TEST(ValueIntervalTest, ToString) {
+  EXPECT_EQ((ValueInterval{1.5, 2.5}).ToString(), "[1.5, 2.5]");
+  EXPECT_EQ(ValueInterval::Empty().ToString(), "[empty]");
+}
+
+}  // namespace
+}  // namespace fielddb

@@ -1,0 +1,166 @@
+#include "field/isoband.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "field/region.h"
+
+namespace fielddb {
+namespace {
+
+double BandArea(const CellRecord& cell, double lo, double hi) {
+  Region region;
+  const StatusOr<size_t> n = CellIsoband(cell, ValueInterval{lo, hi},
+                                         &region);
+  EXPECT_TRUE(n.ok());
+  return region.TotalArea();
+}
+
+TEST(IsobandTest, TriangleFullCoverage) {
+  const CellRecord tri =
+      CellRecord::Triangle(0, {0, 0}, 1, {1, 0}, 2, {0, 1}, 3);
+  EXPECT_NEAR(BandArea(tri, 0, 10), 0.5, 1e-12);
+}
+
+TEST(IsobandTest, TriangleNoCoverage) {
+  const CellRecord tri =
+      CellRecord::Triangle(0, {0, 0}, 1, {1, 0}, 2, {0, 1}, 3);
+  Region region;
+  const StatusOr<size_t> n = CellIsoband(tri, ValueInterval{5, 6}, &region);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  EXPECT_TRUE(region.IsEmpty());
+}
+
+TEST(IsobandTest, TriangleHalfPlaneCut) {
+  // w = x on the unit right triangle: w <= 0.5 keeps the left part,
+  // whose area is 1/2 - (1/2)(1/2)^2 = 3/8.
+  const CellRecord tri =
+      CellRecord::Triangle(0, {0, 0}, 0, {1, 0}, 1, {0, 1}, 0);
+  EXPECT_NEAR(BandArea(tri, -1, 0.5), 0.375, 1e-12);
+  // Complementary band: w >= 0.5 keeps 1/8.
+  EXPECT_NEAR(BandArea(tri, 0.5, 2), 0.125, 1e-12);
+}
+
+TEST(IsobandTest, TriangleBandsPartition) {
+  // Bands [0, t] and [t, 1] must tile the triangle for any threshold.
+  const CellRecord tri =
+      CellRecord::Triangle(0, {0, 0}, 0, {1, 0}, 1, {0, 1}, 0.3);
+  for (const double t : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double below = BandArea(tri, -1, t);
+    const double above = BandArea(tri, t, 2);
+    EXPECT_NEAR(below + above, 0.5, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(IsobandTest, ConstantTriangleAllOrNothing) {
+  const CellRecord tri =
+      CellRecord::Triangle(0, {0, 0}, 5, {1, 0}, 5, {0, 1}, 5);
+  EXPECT_NEAR(BandArea(tri, 4, 6), 0.5, 1e-12);
+  EXPECT_NEAR(BandArea(tri, 5, 5), 0.5, 1e-12);  // exact-value query
+  EXPECT_NEAR(BandArea(tri, 6, 7), 0.0, 1e-12);
+}
+
+TEST(IsobandTest, QuadAffinePlane) {
+  // w = x on the unit quad: band [0.25, 0.75] is a vertical strip of
+  // area 0.5, regardless of the 4-triangle fan decomposition.
+  const CellRecord quad =
+      CellRecord::Quad(0, Rect2{{0, 0}, {1, 1}}, 0, 1, 1, 0);
+  EXPECT_NEAR(BandArea(quad, 0.25, 0.75), 0.5, 1e-12);
+  EXPECT_NEAR(BandArea(quad, 0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(BandArea(quad, 0.9, 2), 0.1, 1e-12);
+}
+
+TEST(IsobandTest, QuadDiagonalPlane) {
+  // w = x + y: band [0, 1] on the unit quad is the lower-left half.
+  const CellRecord quad =
+      CellRecord::Quad(0, Rect2{{0, 0}, {1, 1}}, 0, 1, 2, 1);
+  EXPECT_NEAR(BandArea(quad, 0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(BandArea(quad, 1, 2), 0.5, 1e-12);
+}
+
+TEST(IsobandTest, QuadBandsPartitionRandom) {
+  Rng rng(13);
+  for (int trial = 0; trial < 25; ++trial) {
+    const CellRecord quad = CellRecord::Quad(
+        0, Rect2{{0, 0}, {1, 1}}, rng.NextDouble(), rng.NextDouble(),
+        rng.NextDouble(), rng.NextDouble());
+    const double t = rng.NextDouble();
+    const double below = BandArea(quad, -1, t);
+    const double above = BandArea(quad, t, 2);
+    EXPECT_NEAR(below + above, 1.0, 1e-9);
+  }
+}
+
+TEST(IsobandTest, MonotoneInBandWidth) {
+  Rng rng(31);
+  const CellRecord quad = CellRecord::Quad(
+      0, Rect2{{0, 0}, {1, 1}}, rng.NextDouble(), rng.NextDouble(),
+      rng.NextDouble(), rng.NextDouble());
+  double prev = 0.0;
+  for (const double hw : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    const double area = BandArea(quad, 0.5 - hw, 0.5 + hw);
+    EXPECT_GE(area, prev - 1e-12);
+    prev = area;
+  }
+}
+
+TEST(IsobandTest, RegionPiecesStayInsideCell) {
+  const CellRecord quad = CellRecord::Quad(
+      0, Rect2{{2, 3}, {4, 5}}, 1, 9, 4, 7);
+  Region region;
+  ASSERT_TRUE(CellIsoband(quad, ValueInterval{3, 6}, &region).ok());
+  for (const ConvexPolygon& piece : region.pieces) {
+    for (const Point2& p : piece.vertices) {
+      EXPECT_TRUE(quad.Bounds().Contains(p));
+    }
+  }
+}
+
+TEST(IsobandTest, EmptyQueryRejected) {
+  const CellRecord quad =
+      CellRecord::Quad(0, Rect2{{0, 0}, {1, 1}}, 0, 0, 0, 0);
+  Region region;
+  const StatusOr<size_t> n =
+      CellIsoband(quad, ValueInterval::Empty(), &region);
+  EXPECT_FALSE(n.ok());
+}
+
+TEST(RegionTest, AppendAndTotals) {
+  Region a, b;
+  a.pieces.push_back(PolygonFromRect(Rect2{{0, 0}, {1, 1}}));
+  b.pieces.push_back(PolygonFromRect(Rect2{{2, 2}, {4, 3}}));
+  a.Append(b);
+  EXPECT_EQ(a.NumPieces(), 2u);
+  EXPECT_NEAR(a.TotalArea(), 3.0, 1e-12);
+  EXPECT_EQ(a.BoundingBox(), (Rect2{{0, 0}, {4, 3}}));
+}
+
+TEST(SvgTest, RejectsEmptyViewportAndBadPath) {
+  Region region;
+  region.pieces.push_back(PolygonFromRect(Rect2{{0, 0}, {1, 1}}));
+  const std::string path = ::testing::TempDir() + "/fielddb_bad.svg";
+  EXPECT_FALSE(WriteSvg(path.c_str(), Rect2::Empty(),
+                        {SvgLayer{region.pieces}}));
+  EXPECT_FALSE(WriteSvg("/no/such/dir/out.svg", Rect2{{0, 0}, {1, 1}},
+                        {SvgLayer{region.pieces}}));
+  std::remove(path.c_str());
+}
+
+TEST(SvgTest, WritesFile) {
+  Region region;
+  region.pieces.push_back(PolygonFromRect(Rect2{{0, 0}, {1, 1}}));
+  const std::string path = ::testing::TempDir() + "/fielddb_region.svg";
+  ASSERT_TRUE(WriteSvg(path.c_str(), Rect2{{0, 0}, {2, 2}},
+                       {SvgLayer{region.pieces, "#ff0000", "#000000", 0.5}}));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_NE(std::string(buf).find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fielddb

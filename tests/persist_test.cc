@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/field_database.h"
+#include "gen/fractal.h"
+#include "gen/monotonic.h"
+#include "gen/workload.h"
+
+namespace fielddb {
+namespace {
+
+class PersistTest : public ::testing::TestWithParam<IndexMethod> {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/fielddb_persist_" +
+              std::to_string(static_cast<int>(GetParam()));
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    std::remove((prefix_ + ".pages").c_str());
+    std::remove((prefix_ + ".meta").c_str());
+  }
+  std::string prefix_;
+};
+
+TEST_P(PersistTest, SaveOpenRoundTripAnswersMatch) {
+  FractalOptions fo;
+  fo.size_exp = 5;
+  fo.roughness_h = 0.6;
+  auto field = MakeFractalField(fo);
+  ASSERT_TRUE(field.ok());
+
+  FieldDatabaseOptions options;
+  options.method = GetParam();
+  auto original = FieldDatabase::Build(*field, options);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE((*original)->Save(prefix_).ok());
+
+  auto reopened = FieldDatabase::Open(prefix_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->method(), GetParam());
+  EXPECT_EQ((*reopened)->build_info().num_cells, field->NumCells());
+  EXPECT_EQ((*reopened)->value_range(), (*original)->value_range());
+  EXPECT_EQ((*reopened)->domain(), (*original)->domain());
+
+  const auto queries = GenerateValueQueries(field->ValueRange(),
+                                            WorkloadOptions{0.03, 15, 61});
+  for (const ValueInterval& q : queries) {
+    ValueQueryResult expected, actual;
+    ASSERT_TRUE((*original)->ValueQuery(q, &expected).ok());
+    ASSERT_TRUE((*reopened)->ValueQuery(q, &actual).ok());
+    EXPECT_NEAR(actual.region.TotalArea(), expected.region.TotalArea(),
+                1e-9);
+    EXPECT_EQ(actual.stats.candidate_cells, expected.stats.candidate_cells);
+    EXPECT_EQ(actual.stats.answer_cells, expected.stats.answer_cells);
+  }
+}
+
+TEST_P(PersistTest, PointQueriesSurvive) {
+  auto field = MakeMonotonicField(16, 16);
+  ASSERT_TRUE(field.ok());
+  FieldDatabaseOptions options;
+  options.method = GetParam();
+  auto original = FieldDatabase::Build(*field, options);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE((*original)->Save(prefix_).ok());
+  auto reopened = FieldDatabase::Open(prefix_);
+  ASSERT_TRUE(reopened.ok());
+  for (const Point2 p :
+       {Point2{0.1, 0.9}, Point2{0.5, 0.5}, Point2{0.99, 0.01}}) {
+    EXPECT_NEAR(*(*reopened)->PointQuery(p), p.x + p.y, 1e-12);
+  }
+}
+
+TEST_P(PersistTest, UpdatesAfterReopen) {
+  auto field = MakeMonotonicField(8, 8);
+  ASSERT_TRUE(field.ok());
+  FieldDatabaseOptions options;
+  options.method = GetParam();
+  auto original = FieldDatabase::Build(*field, options);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE((*original)->Save(prefix_).ok());
+  auto reopened = FieldDatabase::Open(prefix_);
+  ASSERT_TRUE(reopened.ok());
+
+  ASSERT_TRUE(
+      (*reopened)->UpdateCellValues(3, {400.0, 400, 400, 400}).ok());
+  ValueQueryResult result;
+  ASSERT_TRUE(
+      (*reopened)->ValueQuery(ValueInterval{399, 401}, &result).ok());
+  EXPECT_EQ(result.stats.answer_cells, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, PersistTest,
+    ::testing::Values(IndexMethod::kLinearScan, IndexMethod::kIAll,
+                      IndexMethod::kIHilbert,
+                      IndexMethod::kIntervalQuadtree),
+    [](const ::testing::TestParamInfo<IndexMethod>& info) {
+      std::string name = IndexMethodName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(PersistErrorsTest, OpenMissingFiles) {
+  auto db = FieldDatabase::Open(::testing::TempDir() + "/no_such_db");
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(PersistErrorsTest, CorruptMetaRejected) {
+  const std::string prefix = ::testing::TempDir() + "/fielddb_corrupt";
+  std::FILE* f = std::fopen((prefix + ".meta").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not-a-catalog at all\n", f);
+  std::fclose(f);
+  auto db = FieldDatabase::Open(prefix);
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+  std::remove((prefix + ".meta").c_str());
+}
+
+}  // namespace
+}  // namespace fielddb

@@ -1,0 +1,120 @@
+#include "storage/record_store.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "storage/page_file.h"
+
+namespace fielddb {
+namespace {
+
+struct TestRecord {
+  uint64_t key = 0;
+  double payload[7] = {0};
+};
+static_assert(sizeof(TestRecord) == 64);
+
+std::vector<TestRecord> MakeRecords(int n) {
+  std::vector<TestRecord> records(n);
+  for (int i = 0; i < n; ++i) {
+    records[i].key = static_cast<uint64_t>(i) * 10;
+    records[i].payload[0] = i * 0.5;
+  }
+  return records;
+}
+
+TEST(RecordStoreTest, BuildAndGet) {
+  MemPageFile file(512);  // 8 records per page
+  BufferPool pool(&file, 64);
+  auto store = RecordStore<TestRecord>::Build(&pool, MakeRecords(20));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->size(), 20u);
+  EXPECT_EQ(store->records_per_page(), 8u);
+  EXPECT_EQ(store->num_pages(), 3u);
+  TestRecord rec;
+  ASSERT_TRUE(store->Get(13, &rec).ok());
+  EXPECT_EQ(rec.key, 130u);
+  EXPECT_DOUBLE_EQ(rec.payload[0], 6.5);
+}
+
+TEST(RecordStoreTest, EmptyStore) {
+  MemPageFile file;
+  BufferPool pool(&file, 16);
+  auto store = RecordStore<TestRecord>::Build(&pool, {});
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->size(), 0u);
+  EXPECT_EQ(store->num_pages(), 1u);
+  TestRecord rec;
+  EXPECT_EQ(store->Get(0, &rec).code(), StatusCode::kOutOfRange);
+}
+
+TEST(RecordStoreTest, PutOverwrites) {
+  MemPageFile file(512);
+  BufferPool pool(&file, 64);
+  auto store = RecordStore<TestRecord>::Build(&pool, MakeRecords(10));
+  ASSERT_TRUE(store.ok());
+  TestRecord updated;
+  updated.key = 999;
+  ASSERT_TRUE(store->Put(4, updated).ok());
+  TestRecord rec;
+  ASSERT_TRUE(store->Get(4, &rec).ok());
+  EXPECT_EQ(rec.key, 999u);
+  // Neighbors untouched.
+  ASSERT_TRUE(store->Get(3, &rec).ok());
+  EXPECT_EQ(rec.key, 30u);
+  EXPECT_EQ(store->Put(10, updated).code(), StatusCode::kOutOfRange);
+}
+
+TEST(RecordStoreTest, ScanRangeAndEarlyStop) {
+  MemPageFile file(512);
+  BufferPool pool(&file, 64);
+  auto store = RecordStore<TestRecord>::Build(&pool, MakeRecords(30));
+  ASSERT_TRUE(store.ok());
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(store->Scan(5, 25, [&](uint64_t pos, const TestRecord& r) {
+                     EXPECT_EQ(r.key, pos * 10);
+                     seen.push_back(pos);
+                     return true;
+                   }).ok());
+  std::vector<uint64_t> expected(20);
+  std::iota(expected.begin(), expected.end(), 5);
+  EXPECT_EQ(seen, expected);
+
+  int visited = 0;
+  ASSERT_TRUE(store->Scan(0, 30, [&](uint64_t, const TestRecord&) {
+                     return ++visited < 4;
+                   }).ok());
+  EXPECT_EQ(visited, 4);
+  EXPECT_FALSE(store->Scan(10, 31, [](uint64_t, const TestRecord&) {
+                      return true;
+                    }).ok());
+}
+
+TEST(RecordStoreTest, ScanTouchesEachPageOnce) {
+  MemPageFile file(512);
+  BufferPool pool(&file, 64);
+  auto store = RecordStore<TestRecord>::Build(&pool, MakeRecords(64));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(pool.Clear().ok());
+  pool.ResetStats();
+  ASSERT_TRUE(store->Scan(0, 64, [](uint64_t, const TestRecord&) {
+                     return true;
+                   }).ok());
+  EXPECT_EQ(pool.stats().logical_reads, store->num_pages());
+}
+
+TEST(RecordStoreTest, SurvivesEvictionPressure) {
+  MemPageFile file(512);
+  BufferPool pool(&file, 2);  // tiny pool forces constant eviction
+  auto store = RecordStore<TestRecord>::Build(&pool, MakeRecords(100));
+  ASSERT_TRUE(store.ok());
+  TestRecord rec;
+  for (uint64_t pos = 0; pos < 100; pos += 7) {
+    ASSERT_TRUE(store->Get(pos, &rec).ok());
+    EXPECT_EQ(rec.key, pos * 10);
+  }
+}
+
+}  // namespace
+}  // namespace fielddb

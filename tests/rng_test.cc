@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace fielddb {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, SmallSeedsAreWellMixed) {
+  // SplitMix64 expansion: seed 0 must not produce a degenerate stream.
+  Rng r(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.NextU64());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.NextDouble(-3.0, 5.5);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.5);
+  }
+}
+
+TEST(RngTest, DoubleMeanIsCentered) {
+  Rng r(99);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng r(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(11);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(RngTest, ReseedResetsStream) {
+  Rng r(42);
+  const uint64_t first = r.NextU64();
+  r.NextU64();
+  r.Seed(42);
+  EXPECT_EQ(r.NextU64(), first);
+}
+
+}  // namespace
+}  // namespace fielddb

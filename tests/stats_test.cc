@@ -1,0 +1,75 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fielddb {
+namespace {
+
+TEST(QueryStatsTest, AccumulateAddsEveryField) {
+  QueryStats a;
+  a.wall_seconds = 1.0;
+  a.candidate_cells = 10;
+  a.answer_cells = 4;
+  a.region_pieces = 6;
+  a.io = IoStats{100, 50, 30, 2, 1};
+
+  QueryStats b;
+  b.wall_seconds = 0.5;
+  b.candidate_cells = 5;
+  b.answer_cells = 2;
+  b.region_pieces = 3;
+  b.io = IoStats{40, 20, 10, 1, 1};
+
+  a.Accumulate(b);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 1.5);
+  EXPECT_EQ(a.candidate_cells, 15u);
+  EXPECT_EQ(a.answer_cells, 6u);
+  EXPECT_EQ(a.region_pieces, 9u);
+  EXPECT_EQ(a.io.logical_reads, 140u);
+  EXPECT_EQ(a.io.physical_reads, 70u);
+  EXPECT_EQ(a.io.sequential_reads, 40u);
+  EXPECT_EQ(a.io.writes, 3u);
+  EXPECT_EQ(a.io.evictions, 2u);
+}
+
+TEST(IoStatsTest, DiffAndRandomReads) {
+  const IoStats now{100, 60, 45, 5, 2};
+  const IoStats before{40, 20, 15, 1, 1};
+  const IoStats delta = now - before;
+  EXPECT_EQ(delta.logical_reads, 60u);
+  EXPECT_EQ(delta.physical_reads, 40u);
+  EXPECT_EQ(delta.sequential_reads, 30u);
+  EXPECT_EQ(delta.random_reads(), 10u);
+}
+
+TEST(DiskModelTest, CostFormula) {
+  const DiskModel disk{10.0, 0.2};
+  // 100 sequential pages: transfer only.
+  EXPECT_DOUBLE_EQ(disk.EstimateMs(100, 0), 20.0);
+  // 10 random pages: seek + transfer each.
+  EXPECT_DOUBLE_EQ(disk.EstimateMs(0, 10), 102.0);
+  // A sequential scan of many pages must beat the same page count read
+  // randomly — the effect behind the paper's Fig. 11.a crossover.
+  EXPECT_LT(disk.EstimateMs(1000, 1), disk.EstimateMs(0, 500));
+}
+
+TEST(WorkloadStatsTest, AvgDiskMs) {
+  WorkloadStats ws;
+  ws.num_queries = 10;
+  ws.avg_sequential_reads = 100;
+  ws.avg_random_reads = 5;
+  const DiskModel disk{9.0, 0.16};
+  EXPECT_NEAR(ws.AvgDiskMs(disk), 100 * 0.16 + 5 * 9.16, 1e-9);
+}
+
+TEST(WorkloadStatsTest, ToStringContainsFields) {
+  WorkloadStats ws;
+  ws.num_queries = 7;
+  ws.avg_wall_ms = 1.25;
+  const std::string s = ws.ToString();
+  EXPECT_NE(s.find("queries=7"), std::string::npos);
+  EXPECT_NE(s.find("avg_ms=1.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fielddb

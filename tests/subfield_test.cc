@@ -1,0 +1,190 @@
+#include "index/subfield.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/subfield_maintenance.h"
+
+namespace fielddb {
+namespace {
+
+SubfieldCostConfig PaperExampleConfig() {
+  // The arithmetic mode of the paper's worked example (Fig. 5): raw
+  // interval sizes, no q̄ term.
+  SubfieldCostConfig config;
+  config.normalize = false;
+  config.avg_query_fraction = 0.0;
+  return config;
+}
+
+TEST(SubfieldCostTest, PaperFig5Example) {
+  // Subfield 1 holds cells with intervals of sizes 11, 10, 11, 13 and a
+  // hull of size 21. Cost before inserting c5 = 21/45 ≈ 0.466; inserting
+  // c5 (interval size 13, growing the hull to size 31) gives
+  // 31/58 ≈ 0.534 — so a new subfield starts with c5.
+  const SubfieldCostModel model(ValueInterval{0, 100},
+                                PaperExampleConfig());
+  // Reconstruction matching Fig. 5's arithmetic: cells [20,30], [25,34],
+  // [28,38], [28,40]; hull [20,40] has PaperSize 21; then c5 = [10,22]
+  // extends the hull to [10,40], PaperSize 31.
+  Subfield sf;
+  sf.start = 0;
+  sf.end = 4;
+  sf.interval = ValueInterval{20, 40};
+  sf.sum_interval_sizes = 11 + 10 + 11 + 13;
+
+  EXPECT_NEAR(model.Cost(sf.interval, sf.sum_interval_sizes), 21.0 / 45.0,
+              1e-12);
+  const ValueInterval c5{10, 22};  // PaperSize 13
+  const ValueInterval merged = ValueInterval::Hull(sf.interval, c5);
+  EXPECT_NEAR(model.Cost(merged, sf.sum_interval_sizes + c5.PaperSize()),
+              31.0 / 58.0, 1e-12);
+  // Cost increases -> the paper starts Subfield 2 with c5.
+  EXPECT_FALSE(model.ShouldAppend(sf, c5));
+}
+
+TEST(SubfieldCostTest, SimilarCellLowersCost) {
+  const SubfieldCostModel model(ValueInterval{0, 100},
+                                PaperExampleConfig());
+  Subfield sf;
+  sf.interval = ValueInterval{20, 30};
+  sf.sum_interval_sizes = 11;
+  // An identical interval doubles SI without growing the hull.
+  EXPECT_TRUE(model.ShouldAppend(sf, ValueInterval{20, 30}));
+}
+
+TEST(SubfieldCostTest, NormalizedModeMatchesScaledRaw) {
+  // (L + q̄·R)/SI is scale-free: costs computed on a value range [0, 1]
+  // and on [0, 1000] with proportionally scaled intervals order the same
+  // way.
+  SubfieldCostConfig config;  // normalized, q̄ = 0.5
+  const SubfieldCostModel small(ValueInterval{0, 1}, config);
+  const SubfieldCostModel large(ValueInterval{0, 1000}, config);
+  Subfield sf_small;
+  sf_small.interval = ValueInterval{0.2, 0.3};
+  sf_small.sum_interval_sizes = (ValueInterval{0.2, 0.3}).PaperSize();
+  Subfield sf_large;
+  sf_large.interval = ValueInterval{200, 300};
+  sf_large.sum_interval_sizes = (ValueInterval{200, 300}).PaperSize();
+  EXPECT_EQ(small.ShouldAppend(sf_small, ValueInterval{0.25, 0.35}),
+            large.ShouldAppend(sf_large, ValueInterval{250, 350}));
+}
+
+TEST(BuildSubfieldsTest, EmptyInput) {
+  EXPECT_TRUE(BuildSubfields({}, ValueInterval{0, 1}, {}).empty());
+}
+
+TEST(BuildSubfieldsTest, SingleCell) {
+  const std::vector<Subfield> sfs =
+      BuildSubfields({ValueInterval{1, 2}}, ValueInterval{0, 10}, {});
+  ASSERT_EQ(sfs.size(), 1u);
+  EXPECT_EQ(sfs[0].start, 0u);
+  EXPECT_EQ(sfs[0].end, 1u);
+  EXPECT_EQ(sfs[0].interval, (ValueInterval{1, 2}));
+}
+
+TEST(BuildSubfieldsTest, PartitionInvariants) {
+  Rng rng(8);
+  std::vector<ValueInterval> intervals(500);
+  double v = 0;
+  ValueInterval range = ValueInterval::Empty();
+  for (auto& iv : intervals) {
+    v += rng.NextGaussian();  // a random walk: spatially correlated values
+    iv = ValueInterval::Of(v, v + rng.NextDouble());
+    range.Extend(iv);
+  }
+  const std::vector<Subfield> sfs = BuildSubfields(intervals, range, {});
+  ASSERT_FALSE(sfs.empty());
+
+  // Contiguous, ordered, exhaustive.
+  EXPECT_EQ(sfs.front().start, 0u);
+  EXPECT_EQ(sfs.back().end, intervals.size());
+  for (size_t i = 0; i + 1 < sfs.size(); ++i) {
+    EXPECT_EQ(sfs[i].end, sfs[i + 1].start);
+    EXPECT_LT(sfs[i].start, sfs[i].end);
+  }
+
+  // Each subfield's interval is exactly the hull of its members and SI
+  // is the sum of member sizes.
+  for (const Subfield& sf : sfs) {
+    ValueInterval hull = ValueInterval::Empty();
+    double si = 0;
+    for (uint64_t pos = sf.start; pos < sf.end; ++pos) {
+      hull.Extend(intervals[pos]);
+      si += intervals[pos].PaperSize();
+    }
+    EXPECT_EQ(sf.interval, hull);
+    EXPECT_NEAR(sf.sum_interval_sizes, si, 1e-9);
+  }
+}
+
+TEST(BuildSubfieldsTest, SmoothSequenceGroupsAggressively) {
+  // Nearly identical intervals should merge into few subfields.
+  std::vector<ValueInterval> intervals(1000);
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    const double base = 50.0 + 0.001 * static_cast<double>(i);
+    intervals[i] = ValueInterval{base, base + 1.0};
+  }
+  const std::vector<Subfield> sfs =
+      BuildSubfields(intervals, ValueInterval{0, 100}, {});
+  EXPECT_LT(sfs.size(), 20u);
+}
+
+TEST(BuildSubfieldsTest, JaggedSequenceSplitsOften) {
+  // Alternating far-apart intervals should rarely merge.
+  std::vector<ValueInterval> intervals(1000);
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    const double base = (i % 2 == 0) ? 0.0 : 90.0;
+    intervals[i] = ValueInterval{base, base + 1.0};
+  }
+  SubfieldCostConfig config;
+  config.normalize = false;  // raw mode: merging [0,1] with [90,91] is
+                             // clearly cost-increasing
+  const std::vector<Subfield> jagged =
+      BuildSubfields(intervals, ValueInterval{0, 100}, config);
+
+  std::vector<ValueInterval> smooth(1000, ValueInterval{45, 46});
+  const std::vector<Subfield> merged =
+      BuildSubfields(smooth, ValueInterval{0, 100}, config);
+  EXPECT_GT(jagged.size(), 10 * merged.size());
+}
+
+TEST(SubfieldContainingTest, BinarySearchOverPartition) {
+  std::vector<Subfield> sfs(3);
+  sfs[0].start = 0;
+  sfs[0].end = 4;
+  sfs[1].start = 4;
+  sfs[1].end = 5;
+  sfs[2].start = 5;
+  sfs[2].end = 12;
+  EXPECT_EQ(SubfieldContaining(sfs, 0), 0u);
+  EXPECT_EQ(SubfieldContaining(sfs, 3), 0u);
+  EXPECT_EQ(SubfieldContaining(sfs, 4), 1u);
+  EXPECT_EQ(SubfieldContaining(sfs, 5), 2u);
+  EXPECT_EQ(SubfieldContaining(sfs, 11), 2u);
+}
+
+TEST(BuildSubfieldsTest, LargerQBarGivesFewerSubfields) {
+  // A larger assumed query length raises the fixed access cost, which
+  // rewards bigger subfields (design-choice ablation #4 in DESIGN.md).
+  Rng rng(15);
+  std::vector<ValueInterval> intervals(2000);
+  double v = 0;
+  ValueInterval range = ValueInterval::Empty();
+  for (auto& iv : intervals) {
+    v += rng.NextGaussian();
+    iv = ValueInterval::Of(v, v + 0.5);
+    range.Extend(iv);
+  }
+  SubfieldCostConfig small_q, large_q;
+  small_q.avg_query_fraction = 0.05;
+  large_q.avg_query_fraction = 0.9;
+  const size_t with_small =
+      BuildSubfields(intervals, range, small_q).size();
+  const size_t with_large =
+      BuildSubfields(intervals, range, large_q).size();
+  EXPECT_LE(with_large, with_small);
+}
+
+}  // namespace
+}  // namespace fielddb

@@ -1,0 +1,239 @@
+// fielddb command-line tool: generate field databases, persist them, and
+// query them from the shell.
+//
+//   fielddb_cli gen     --out PREFIX [--type fractal|monotonic|noise-tin]
+//                       [--size-exp N] [--h H] [--seed S]
+//                       [--method i-hilbert|i-all|linear-scan|i-quadtree]
+//   fielddb_cli info    --db PREFIX
+//   fielddb_cli query   --db PREFIX --min W --max W [--svg FILE]
+//   fielddb_cli isoline --db PREFIX --level W
+//   fielddb_cli point   --db PREFIX --x X --y Y
+//   fielddb_cli bench   --db PREFIX [--qinterval F] [--queries N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/field_database.h"
+#include "gen/fractal.h"
+#include "gen/monotonic.h"
+#include "gen/noise_tin.h"
+#include "gen/workload.h"
+
+namespace {
+
+using namespace fielddb;
+
+// Minimal --key value argument parsing.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+  long GetLong(const std::string& key, long def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::atol(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+StatusOr<IndexMethod> ParseMethod(const std::string& name) {
+  if (name == "i-hilbert") return IndexMethod::kIHilbert;
+  if (name == "i-all") return IndexMethod::kIAll;
+  if (name == "linear-scan") return IndexMethod::kLinearScan;
+  if (name == "i-quadtree") return IndexMethod::kIntervalQuadtree;
+  return Status::InvalidArgument("unknown method: " + name);
+}
+
+int CmdGen(const Args& args) {
+  const std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "gen requires --out PREFIX\n");
+    return 2;
+  }
+  StatusOr<IndexMethod> method =
+      ParseMethod(args.Get("method", "i-hilbert"));
+  if (!method.ok()) return Fail(method.status());
+
+  FieldDatabaseOptions options;
+  options.method = *method;
+
+  const std::string type = args.Get("type", "fractal");
+  std::unique_ptr<FieldDatabase> db;
+  if (type == "fractal" || type == "monotonic") {
+    StatusOr<GridField> field = [&]() -> StatusOr<GridField> {
+      if (type == "monotonic") {
+        const uint32_t n = uint32_t{1}
+                           << args.GetLong("size-exp", 8);
+        return MakeMonotonicField(n, n);
+      }
+      FractalOptions fo;
+      fo.size_exp = static_cast<int>(args.GetLong("size-exp", 8));
+      fo.roughness_h = args.GetDouble("h", 0.7);
+      fo.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
+      return MakeFractalField(fo);
+    }();
+    if (!field.ok()) return Fail(field.status());
+    auto built = FieldDatabase::Build(*field, options);
+    if (!built.ok()) return Fail(built.status());
+    db = std::move(built).value();
+  } else if (type == "noise-tin") {
+    NoiseTinOptions no;
+    no.seed = static_cast<uint64_t>(args.GetLong("seed", 69));
+    StatusOr<TinField> field = MakeUrbanNoiseTin(no);
+    if (!field.ok()) return Fail(field.status());
+    auto built = FieldDatabase::Build(*field, options);
+    if (!built.ok()) return Fail(built.status());
+    db = std::move(built).value();
+  } else {
+    std::fprintf(stderr, "unknown --type %s\n", type.c_str());
+    return 2;
+  }
+
+  const Status s = db->Save(out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s.pages / %s.meta (%llu cells, %s, %llu subfields)\n",
+              out.c_str(), out.c_str(),
+              static_cast<unsigned long long>(db->build_info().num_cells),
+              IndexMethodName(db->method()),
+              static_cast<unsigned long long>(
+                  db->build_info().num_subfields));
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  auto db = FieldDatabase::Open(args.Get("db", ""));
+  if (!db.ok()) return Fail(db.status());
+  const IndexBuildInfo& info = (*db)->build_info();
+  std::printf("method:       %s\n", IndexMethodName((*db)->method()));
+  std::printf("cells:        %llu\n",
+              static_cast<unsigned long long>(info.num_cells));
+  std::printf("index entries:%llu\n",
+              static_cast<unsigned long long>(info.num_index_entries));
+  std::printf("subfields:    %llu\n",
+              static_cast<unsigned long long>(info.num_subfields));
+  std::printf("tree height:  %u\n", info.tree_height);
+  std::printf("store pages:  %llu\n",
+              static_cast<unsigned long long>(info.store_pages));
+  std::printf("value range:  %s\n",
+              (*db)->value_range().ToString().c_str());
+  const Rect2& d = (*db)->domain();
+  std::printf("domain:       [%g, %g] x [%g, %g]\n", d.lo.x, d.hi.x,
+              d.lo.y, d.hi.y);
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  auto db = FieldDatabase::Open(args.Get("db", ""));
+  if (!db.ok()) return Fail(db.status());
+  const ValueInterval band{args.GetDouble("min", 0),
+                           args.GetDouble("max", 0)};
+  ValueQueryResult result;
+  const Status s = (*db)->ValueQuery(band, &result);
+  if (!s.ok()) return Fail(s);
+  std::printf(
+      "band %s: %zu pieces, area %.6f, %llu candidates, %llu answer "
+      "cells, %llu pages, %.3f ms\n",
+      band.ToString().c_str(), result.region.NumPieces(),
+      result.region.TotalArea(),
+      static_cast<unsigned long long>(result.stats.candidate_cells),
+      static_cast<unsigned long long>(result.stats.answer_cells),
+      static_cast<unsigned long long>(result.stats.io.logical_reads),
+      result.stats.wall_seconds * 1000.0);
+  if (args.Has("svg")) {
+    const std::string path = args.Get("svg", "query.svg");
+    if (!WriteSvg(path.c_str(), (*db)->domain(),
+                  {SvgLayer{result.region.pieces}})) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int CmdIsoline(const Args& args) {
+  auto db = FieldDatabase::Open(args.Get("db", ""));
+  if (!db.ok()) return Fail(db.status());
+  IsolineQueryResult result;
+  const Status s =
+      (*db)->IsolineQuery(args.GetDouble("level", 0), &result);
+  if (!s.ok()) return Fail(s);
+  std::printf("isoline: %zu polylines, total length %.6f, %llu cells\n",
+              result.isoline.polylines.size(),
+              result.isoline.TotalLength(),
+              static_cast<unsigned long long>(result.stats.answer_cells));
+  return 0;
+}
+
+int CmdPoint(const Args& args) {
+  auto db = FieldDatabase::Open(args.Get("db", ""));
+  if (!db.ok()) return Fail(db.status());
+  StatusOr<double> w = (*db)->PointQuery(
+      {args.GetDouble("x", 0), args.GetDouble("y", 0)});
+  if (!w.ok()) return Fail(w.status());
+  std::printf("%.10g\n", *w);
+  return 0;
+}
+
+int CmdBench(const Args& args) {
+  auto db = FieldDatabase::Open(args.Get("db", ""));
+  if (!db.ok()) return Fail(db.status());
+  WorkloadOptions wo;
+  wo.qinterval_fraction = args.GetDouble("qinterval", 0.02);
+  wo.num_queries = static_cast<uint32_t>(args.GetLong("queries", 200));
+  wo.seed = static_cast<uint64_t>(args.GetLong("seed", 2002));
+  auto ws = (*db)->RunWorkload(
+      GenerateValueQueries((*db)->value_range(), wo));
+  if (!ws.ok()) return Fail(ws.status());
+  std::printf("%s\n", ws->ToString().c_str());
+  std::printf("simulated 2002-disk: %.1f ms/query\n", ws->AvgDiskMs());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: fielddb_cli <gen|info|query|isoline|point|bench> "
+               "[--key value ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const Args args(argc, argv, 2);
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "query") return CmdQuery(args);
+  if (cmd == "isoline") return CmdIsoline(args);
+  if (cmd == "point") return CmdPoint(args);
+  if (cmd == "bench") return CmdBench(args);
+  Usage();
+  return 2;
+}
