@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pagesize.dir/bench_ablation_pagesize.cc.o"
+  "CMakeFiles/bench_ablation_pagesize.dir/bench_ablation_pagesize.cc.o.d"
+  "bench_ablation_pagesize"
+  "bench_ablation_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qbar.dir/bench_ablation_qbar.cc.o"
+  "CMakeFiles/bench_ablation_qbar.dir/bench_ablation_qbar.cc.o.d"
+  "bench_ablation_qbar"
+  "bench_ablation_qbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_vector.dir/bench_ext_vector.cc.o"
+  "CMakeFiles/bench_ext_vector.dir/bench_ext_vector.cc.o.d"
+  "bench_ext_vector"
+  "bench_ext_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

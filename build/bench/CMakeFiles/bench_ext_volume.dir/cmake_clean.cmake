@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_volume.dir/bench_ext_volume.cc.o"
+  "CMakeFiles/bench_ext_volume.dir/bench_ext_volume.cc.o.d"
+  "bench_ext_volume"
+  "bench_ext_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

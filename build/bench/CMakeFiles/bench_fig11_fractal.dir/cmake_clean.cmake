@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fractal.dir/bench_fig11_fractal.cc.o"
+  "CMakeFiles/bench_fig11_fractal.dir/bench_fig11_fractal.cc.o.d"
+  "bench_fig11_fractal"
+  "bench_fig11_fractal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fractal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_monotonic.dir/bench_fig12_monotonic.cc.o"
+  "CMakeFiles/bench_fig12_monotonic.dir/bench_fig12_monotonic.cc.o.d"
+  "bench_fig12_monotonic"
+  "bench_fig12_monotonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_monotonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_terrain.dir/bench_fig8a_terrain.cc.o"
+  "CMakeFiles/bench_fig8a_terrain.dir/bench_fig8a_terrain.cc.o.d"
+  "bench_fig8a_terrain"
+  "bench_fig8a_terrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_terrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_noise_tin.dir/bench_fig8b_noise_tin.cc.o"
+  "CMakeFiles/bench_fig8b_noise_tin.dir/bench_fig8b_noise_tin.cc.o.d"
+  "bench_fig8b_noise_tin"
+  "bench_fig8b_noise_tin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_noise_tin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fielddb_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/fielddb_bench_harness.dir/harness.cc.o.d"
+  "libfielddb_bench_harness.a"
+  "libfielddb_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fielddb_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfielddb_bench_harness.a"
+)

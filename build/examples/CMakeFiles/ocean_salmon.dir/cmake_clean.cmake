@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_salmon.dir/ocean_salmon.cc.o"
+  "CMakeFiles/ocean_salmon.dir/ocean_salmon.cc.o.d"
+  "ocean_salmon"
+  "ocean_salmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_salmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrain_subfields.dir/terrain_subfields.cc.o"
+  "CMakeFiles/terrain_subfields.dir/terrain_subfields.cc.o.d"
+  "terrain_subfields"
+  "terrain_subfields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrain_subfields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_noise.dir/urban_noise.cc.o"
+  "CMakeFiles/urban_noise.dir/urban_noise.cc.o.d"
+  "urban_noise"
+  "urban_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wind_vector.dir/wind_vector.cc.o"
+  "CMakeFiles/wind_vector.dir/wind_vector.cc.o.d"
+  "wind_vector"
+  "wind_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wind_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/geometry.cc" "src/CMakeFiles/fielddb.dir/common/geometry.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/common/geometry.cc.o.d"
+  "/root/repo/src/common/interval.cc" "src/CMakeFiles/fielddb.dir/common/interval.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/common/interval.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/fielddb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/fielddb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/common/status.cc.o.d"
+  "/root/repo/src/core/field_database.cc" "src/CMakeFiles/fielddb.dir/core/field_database.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/core/field_database.cc.o.d"
+  "/root/repo/src/core/persist.cc" "src/CMakeFiles/fielddb.dir/core/persist.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/core/persist.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/fielddb.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/core/stats.cc.o.d"
+  "/root/repo/src/curve/curves.cc" "src/CMakeFiles/fielddb.dir/curve/curves.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/curve/curves.cc.o.d"
+  "/root/repo/src/curve/gray.cc" "src/CMakeFiles/fielddb.dir/curve/gray.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/curve/gray.cc.o.d"
+  "/root/repo/src/curve/hilbert.cc" "src/CMakeFiles/fielddb.dir/curve/hilbert.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/curve/hilbert.cc.o.d"
+  "/root/repo/src/curve/zorder.cc" "src/CMakeFiles/fielddb.dir/curve/zorder.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/curve/zorder.cc.o.d"
+  "/root/repo/src/field/field.cc" "src/CMakeFiles/fielddb.dir/field/field.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/field/field.cc.o.d"
+  "/root/repo/src/field/grid_field.cc" "src/CMakeFiles/fielddb.dir/field/grid_field.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/field/grid_field.cc.o.d"
+  "/root/repo/src/field/interpolation.cc" "src/CMakeFiles/fielddb.dir/field/interpolation.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/field/interpolation.cc.o.d"
+  "/root/repo/src/field/isoband.cc" "src/CMakeFiles/fielddb.dir/field/isoband.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/field/isoband.cc.o.d"
+  "/root/repo/src/field/isoline.cc" "src/CMakeFiles/fielddb.dir/field/isoline.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/field/isoline.cc.o.d"
+  "/root/repo/src/field/region.cc" "src/CMakeFiles/fielddb.dir/field/region.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/field/region.cc.o.d"
+  "/root/repo/src/field/tin_field.cc" "src/CMakeFiles/fielddb.dir/field/tin_field.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/field/tin_field.cc.o.d"
+  "/root/repo/src/gen/delaunay.cc" "src/CMakeFiles/fielddb.dir/gen/delaunay.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/gen/delaunay.cc.o.d"
+  "/root/repo/src/gen/fractal.cc" "src/CMakeFiles/fielddb.dir/gen/fractal.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/gen/fractal.cc.o.d"
+  "/root/repo/src/gen/monotonic.cc" "src/CMakeFiles/fielddb.dir/gen/monotonic.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/gen/monotonic.cc.o.d"
+  "/root/repo/src/gen/noise_tin.cc" "src/CMakeFiles/fielddb.dir/gen/noise_tin.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/gen/noise_tin.cc.o.d"
+  "/root/repo/src/gen/workload.cc" "src/CMakeFiles/fielddb.dir/gen/workload.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/gen/workload.cc.o.d"
+  "/root/repo/src/index/cell_store.cc" "src/CMakeFiles/fielddb.dir/index/cell_store.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/index/cell_store.cc.o.d"
+  "/root/repo/src/index/i_all.cc" "src/CMakeFiles/fielddb.dir/index/i_all.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/index/i_all.cc.o.d"
+  "/root/repo/src/index/i_hilbert.cc" "src/CMakeFiles/fielddb.dir/index/i_hilbert.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/index/i_hilbert.cc.o.d"
+  "/root/repo/src/index/interval_quadtree.cc" "src/CMakeFiles/fielddb.dir/index/interval_quadtree.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/index/interval_quadtree.cc.o.d"
+  "/root/repo/src/index/interval_tree.cc" "src/CMakeFiles/fielddb.dir/index/interval_tree.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/index/interval_tree.cc.o.d"
+  "/root/repo/src/index/linear_scan.cc" "src/CMakeFiles/fielddb.dir/index/linear_scan.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/index/linear_scan.cc.o.d"
+  "/root/repo/src/index/row_ip_index.cc" "src/CMakeFiles/fielddb.dir/index/row_ip_index.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/index/row_ip_index.cc.o.d"
+  "/root/repo/src/index/subfield.cc" "src/CMakeFiles/fielddb.dir/index/subfield.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/index/subfield.cc.o.d"
+  "/root/repo/src/index/subfield_maintenance.cc" "src/CMakeFiles/fielddb.dir/index/subfield_maintenance.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/index/subfield_maintenance.cc.o.d"
+  "/root/repo/src/rtree/rstar_tree.cc" "src/CMakeFiles/fielddb.dir/rtree/rstar_tree.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/rtree/rstar_tree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/fielddb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/fielddb.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/temporal/temporal_field.cc" "src/CMakeFiles/fielddb.dir/temporal/temporal_field.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/temporal/temporal_field.cc.o.d"
+  "/root/repo/src/temporal/temporal_index.cc" "src/CMakeFiles/fielddb.dir/temporal/temporal_index.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/temporal/temporal_index.cc.o.d"
+  "/root/repo/src/vector/vector_field.cc" "src/CMakeFiles/fielddb.dir/vector/vector_field.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/vector/vector_field.cc.o.d"
+  "/root/repo/src/vector/vector_index.cc" "src/CMakeFiles/fielddb.dir/vector/vector_index.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/vector/vector_index.cc.o.d"
+  "/root/repo/src/vector/vector_isoband.cc" "src/CMakeFiles/fielddb.dir/vector/vector_isoband.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/vector/vector_isoband.cc.o.d"
+  "/root/repo/src/volume/tet_band.cc" "src/CMakeFiles/fielddb.dir/volume/tet_band.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/volume/tet_band.cc.o.d"
+  "/root/repo/src/volume/volume_field.cc" "src/CMakeFiles/fielddb.dir/volume/volume_field.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/volume/volume_field.cc.o.d"
+  "/root/repo/src/volume/volume_index.cc" "src/CMakeFiles/fielddb.dir/volume/volume_index.cc.o" "gcc" "src/CMakeFiles/fielddb.dir/volume/volume_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoband_test.dir/isoband_test.cc.o"
+  "CMakeFiles/isoband_test.dir/isoband_test.cc.o.d"
+  "isoband_test"
+  "isoband_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoband_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

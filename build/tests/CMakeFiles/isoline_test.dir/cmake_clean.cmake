@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoline_test.dir/isoline_test.cc.o"
+  "CMakeFiles/isoline_test.dir/isoline_test.cc.o.d"
+  "isoline_test"
+  "isoline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subfield_test.dir/subfield_test.cc.o"
+  "CMakeFiles/subfield_test.dir/subfield_test.cc.o.d"
+  "subfield_test"
+  "subfield_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subfield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

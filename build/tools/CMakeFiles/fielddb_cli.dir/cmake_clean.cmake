@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fielddb_cli.dir/fielddb_cli.cc.o"
+  "CMakeFiles/fielddb_cli.dir/fielddb_cli.cc.o.d"
+  "fielddb_cli"
+  "fielddb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fielddb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
