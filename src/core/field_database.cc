@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 
 #include "field/interpolation.h"
 #include "field/isoband.h"
@@ -19,10 +20,22 @@ double SecondsSince(Clock::time_point t0) {
 
 }  // namespace
 
+FieldDatabase::~FieldDatabase() {
+  if (pool_ != nullptr && !pool_->closed()) {
+    const Status s = pool_->Close();
+    if (!s.ok()) {
+      std::fprintf(stderr, "FieldDatabase: close failed at destruction: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+}
+
 StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
     const Field& field, const FieldDatabaseOptions& options) {
   auto db = std::unique_ptr<FieldDatabase>(new FieldDatabase());
-  db->file_ = std::make_unique<MemPageFile>(options.page_size);
+  db->file_ = options.page_file_factory
+                  ? options.page_file_factory(options.page_size)
+                  : std::make_unique<MemPageFile>(options.page_size);
   db->pool_ =
       std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
   db->value_range_ = field.ValueRange();
@@ -164,6 +177,28 @@ Status FieldDatabase::FusedScanQuery(const ValueInterval& query,
   return inner;
 }
 
+Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
+                                       Region* region, QueryStats* stats) {
+  if (index_->method() == IndexMethod::kLinearScan) {
+    return FusedScanQuery(query, region, stats);
+  }
+  std::vector<uint64_t> positions;
+  const Status filter = index_->FilterCandidates(query, &positions);
+  if (filter.code() == StatusCode::kCorruption) {
+    // The value index is damaged but the cell store holds every answer:
+    // degrade to the LinearScan path so the query still returns exact
+    // results, and record the fallback for observability.
+    ++index_fallbacks_;
+    stats->index_fallbacks = 1;
+    stats->candidate_cells = 0;
+    if (region != nullptr) region->pieces.clear();
+    return FusedScanQuery(query, region, stats);
+  }
+  FIELDDB_RETURN_IF_ERROR(filter);
+  stats->candidate_cells = positions.size();
+  return EstimateCandidates(positions, query, region, stats);
+}
+
 Status FieldDatabase::ValueQuery(const ValueInterval& query,
                                  ValueQueryResult* out) {
   if (query.IsEmpty()) {
@@ -174,16 +209,7 @@ Status FieldDatabase::ValueQuery(const ValueInterval& query,
   const IoStats io_before = pool_->stats();
   const auto t0 = Clock::now();
 
-  if (index_->method() == IndexMethod::kLinearScan) {
-    FIELDDB_RETURN_IF_ERROR(
-        FusedScanQuery(query, &out->region, &out->stats));
-  } else {
-    std::vector<uint64_t> positions;
-    FIELDDB_RETURN_IF_ERROR(index_->FilterCandidates(query, &positions));
-    out->stats.candidate_cells = positions.size();
-    FIELDDB_RETURN_IF_ERROR(
-        EstimateCandidates(positions, query, &out->region, &out->stats));
-  }
+  FIELDDB_RETURN_IF_ERROR(AnswerValueQuery(query, &out->region, &out->stats));
 
   out->stats.wall_seconds = SecondsSince(t0);
   out->stats.io = pool_->stats() - io_before;
@@ -199,15 +225,7 @@ Status FieldDatabase::ValueQueryStats(const ValueInterval& query,
   const IoStats io_before = pool_->stats();
   const auto t0 = Clock::now();
 
-  if (index_->method() == IndexMethod::kLinearScan) {
-    FIELDDB_RETURN_IF_ERROR(FusedScanQuery(query, nullptr, out));
-  } else {
-    std::vector<uint64_t> positions;
-    FIELDDB_RETURN_IF_ERROR(index_->FilterCandidates(query, &positions));
-    out->candidate_cells = positions.size();
-    FIELDDB_RETURN_IF_ERROR(
-        EstimateCandidates(positions, query, nullptr, out));
-  }
+  FIELDDB_RETURN_IF_ERROR(AnswerValueQuery(query, nullptr, out));
 
   out->wall_seconds = SecondsSince(t0);
   out->io = pool_->stats() - io_before;
@@ -313,30 +331,42 @@ Status FieldDatabase::IsolineQuery(double level, IsolineQueryResult* out) {
     return true;
   };
 
-  if (index_->method() == IndexMethod::kLinearScan) {
-    // Single pass, as with FusedScanQuery.
+  // Single pass over the whole store, as with FusedScanQuery. Also the
+  // degraded path when the value index turns out to be corrupt.
+  const auto full_scan = [&]() -> Status {
     FIELDDB_RETURN_IF_ERROR(store.Scan(
         0, store.size(), [&](uint64_t pos, const CellRecord& cell) {
           if (!cell.Interval().Contains(level)) return true;
           ++out->stats.candidate_cells;
           return visit_cell(pos, cell);
         }));
-    FIELDDB_RETURN_IF_ERROR(inner);
+    return inner;
+  };
+
+  if (index_->method() == IndexMethod::kLinearScan) {
+    FIELDDB_RETURN_IF_ERROR(full_scan());
   } else {
     std::vector<uint64_t> positions;
-    FIELDDB_RETURN_IF_ERROR(index_->FilterCandidates(query, &positions));
-    out->stats.candidate_cells = positions.size();
-    size_t i = 0;
-    while (i < positions.size()) {
-      size_t j = i + 1;
-      while (j < positions.size() &&
-             positions[j] == positions[j - 1] + 1) {
-        ++j;
+    const Status filter = index_->FilterCandidates(query, &positions);
+    if (filter.code() == StatusCode::kCorruption) {
+      ++index_fallbacks_;
+      out->stats.index_fallbacks = 1;
+      FIELDDB_RETURN_IF_ERROR(full_scan());
+    } else {
+      FIELDDB_RETURN_IF_ERROR(filter);
+      out->stats.candidate_cells = positions.size();
+      size_t i = 0;
+      while (i < positions.size()) {
+        size_t j = i + 1;
+        while (j < positions.size() &&
+               positions[j] == positions[j - 1] + 1) {
+          ++j;
+        }
+        FIELDDB_RETURN_IF_ERROR(
+            store.Scan(positions[i], positions[j - 1] + 1, visit_cell));
+        FIELDDB_RETURN_IF_ERROR(inner);
+        i = j;
       }
-      FIELDDB_RETURN_IF_ERROR(
-          store.Scan(positions[i], positions[j - 1] + 1, visit_cell));
-      FIELDDB_RETURN_IF_ERROR(inner);
-      i = j;
     }
   }
   out->isoline = AssembleIsoline(segments);
@@ -413,6 +443,30 @@ StatusOr<WorkloadStats> FieldDatabase::RunWorkload(
   ws.avg_random_reads = static_cast<double>(total.io.random_reads()) / n;
   return ws;
 }
+
+Status FieldDatabase::Scrub(ScrubReport* out) {
+  *out = ScrubReport{};
+  // Dirty frames shadow the file contents; push them down first so the
+  // walk verifies what a reopen would actually read.
+  FIELDDB_RETURN_IF_ERROR(pool_->Flush());
+  for (PageId id = 0; id < file_->NumPages(); ++id) {
+    Status s = file_->VerifyPage(id);
+    for (int attempt = 0; !s.ok() && s.code() == StatusCode::kIOError &&
+                          attempt < BufferPool::kMaxReadRetries;
+         ++attempt) {
+      s = file_->VerifyPage(id);
+    }
+    ++out->pages_checked;
+    if (s.code() == StatusCode::kCorruption) {
+      out->corrupt_pages.push_back(id);
+    } else if (!s.ok()) {
+      return s;  // persistent I/O error: the medium, not the data
+    }
+  }
+  return Status::OK();
+}
+
+Status FieldDatabase::Close() { return pool_->Close(); }
 
 const std::vector<Subfield>* FieldDatabase::subfields() const {
   if (index_->method() == IndexMethod::kIHilbert) {

@@ -1,8 +1,10 @@
 #ifndef FIELDDB_CORE_FIELD_DATABASE_H_
 #define FIELDDB_CORE_FIELD_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/stats.h"
@@ -32,6 +34,12 @@ struct FieldDatabaseOptions {
   /// Build a 2-D R*-tree over cell MBRs for conventional (Q1) point
   /// queries.
   bool build_spatial_index = true;
+  /// Factory for the backing page file (defaults to MemPageFile). Fault-
+  /// injection tests pass a factory wrapping the file in a
+  /// FaultInjectingPageFile and keep a pointer to the wrapper to
+  /// schedule faults against the live database.
+  std::function<std::unique_ptr<PageFile>(uint32_t page_size)>
+      page_file_factory;
 
   IHilbertIndex::Options ihilbert;
   IAllIndex::Options iall;
@@ -63,10 +71,22 @@ class FieldDatabase {
   static StatusOr<std::unique_ptr<FieldDatabase>> Build(
       const Field& field, const FieldDatabaseOptions& options = {});
 
-  /// Persists the database as `<prefix>.pages` (the raw page file) plus
-  /// `<prefix>.meta` (a small text catalog: page size, method, tree
-  /// roots, subfield table, value range, domain).
+  ~FieldDatabase();
+
+  /// Persists the database as `<prefix>.pages` (the checksummed page
+  /// file) plus `<prefix>.meta` (a small text catalog: page size,
+  /// method, tree roots, subfield table, value range, domain). The save
+  /// is crash-safe: both files are written to `.tmp` siblings, fsynced,
+  /// then atomically renamed over the previous snapshot — a crash at
+  /// any point leaves either the old snapshot or the new one loadable,
+  /// never a torn mix (each Save stamps a fresh epoch into every page
+  /// header and the catalog, so a mix is detected as corruption).
   Status Save(const std::string& prefix);
+
+  /// Save that stops ("crashes") after the temp files are durable but
+  /// before either rename. Exists so tests can prove the previous
+  /// snapshot survives an interrupted save.
+  Status SaveCrashBeforeRenameForTest(const std::string& prefix);
 
   /// Reopens a database persisted by Save. Queries run against the
   /// on-disk page file through a buffer pool of `pool_pages` frames.
@@ -126,6 +146,30 @@ class FieldDatabase {
   StatusOr<WorkloadStats> RunWorkload(const std::vector<ValueInterval>& queries,
                                       bool cold_cache = true);
 
+  /// Result of a Scrub() pass over the page file.
+  struct ScrubReport {
+    uint64_t pages_checked = 0;
+    /// Pages whose integrity verification reported kCorruption.
+    std::vector<PageId> corrupt_pages;
+    bool clean() const { return corrupt_pages.empty(); }
+  };
+
+  /// Flushes dirty frames, then walks every page of the backing file
+  /// verifying integrity (checksums for disk files). Corrupt pages are
+  /// collected in the report rather than aborting the walk; transient
+  /// read faults are retried with the same bounded policy as Fetch.
+  /// Returns non-OK only for errors that persist after retries.
+  Status Scrub(ScrubReport* out);
+
+  /// Flushes and closes the underlying buffer pool, surfacing write-back
+  /// errors the destructor could only log. The database is unusable
+  /// after a successful Close.
+  Status Close();
+
+  /// Cumulative count of queries that fell back from a corrupt value
+  /// index to a full store scan (see QueryStats::index_fallbacks).
+  uint64_t index_fallbacks() const { return index_fallbacks_; }
+
   const ValueIndex& index() const { return *index_; }
   const IndexBuildInfo& build_info() const { return index_->build_info(); }
   IndexMethod method() const { return index_->method(); }
@@ -138,6 +182,15 @@ class FieldDatabase {
 
  private:
   FieldDatabase() = default;
+
+  Status SaveImpl(const std::string& prefix, bool crash_before_rename);
+
+  /// Shared Q2 dispatch: filter + estimate for indexed methods, fused
+  /// scan for LinearScan, and the degraded path — a corrupt index page
+  /// during filtering downgrades the query to a full store scan (the
+  /// store holds the truth; the index is only an accelerator).
+  Status AnswerValueQuery(const ValueInterval& query, Region* region,
+                          QueryStats* stats);
 
   Status EstimateCandidates(const std::vector<uint64_t>& positions,
                             const ValueInterval& query, Region* region,
@@ -154,6 +207,10 @@ class FieldDatabase {
   std::optional<RStarTree<2>> spatial_;
   ValueInterval value_range_;
   Rect2 domain_;
+  /// Snapshot generation: 0 for a freshly built database, the catalog's
+  /// epoch after Open. Save stamps epoch_ + 1.
+  uint32_t epoch_ = 0;
+  uint64_t index_fallbacks_ = 0;
 };
 
 }  // namespace fielddb

@@ -1,8 +1,15 @@
-// FieldDatabase persistence: Save copies the page file to disk next to a
-// text catalog; Open re-attaches every component (cell store, value
-// index, spatial tree) against the on-disk pages.
+// FieldDatabase persistence: Save writes the checksummed page file and a
+// text catalog to temp paths, fsyncs, then atomically renames them over
+// the previous snapshot (crash-safe: an interrupted save leaves the old
+// snapshot loadable). Open validates the catalog strictly and re-attaches
+// every component (cell store, value index, spatial tree) against the
+// on-disk pages.
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -12,10 +19,15 @@ namespace fielddb {
 
 namespace {
 
-constexpr const char* kMagic = "fielddb-meta-v1";
+// v2 bumped for the per-page [crc | epoch | page id] header framing and
+// the catalog's `epoch` key; v1 files have no page headers and cannot be
+// verified, so they are rejected rather than trusted.
+constexpr const char* kMagic = "fielddb-meta-v2";
+constexpr const char* kMagicV1 = "fielddb-meta-v1";
 
 struct MetaData {
   uint32_t page_size = 0;
+  uint32_t epoch = 0;
   int method = 0;
   uint64_t num_cells = 0;
   PageId store_first_page = 0;
@@ -27,6 +39,7 @@ struct MetaData {
   RStarMeta spatial;
   IndexBuildInfo info;
   std::vector<Subfield> subfields;
+  uint64_t declared_subfields = 0;
 };
 
 void WriteRStarMeta(std::FILE* f, const char* key, const RStarMeta& m) {
@@ -39,6 +52,7 @@ Status WriteMeta(const std::string& path, const MetaData& meta) {
   if (f == nullptr) return Status::IOError("cannot write " + path);
   std::fprintf(f, "%s\n", kMagic);
   std::fprintf(f, "page_size %u\n", meta.page_size);
+  std::fprintf(f, "epoch %u\n", meta.epoch);
   std::fprintf(f, "method %d\n", meta.method);
   std::fprintf(f, "num_cells %" PRIu64 "\n", meta.num_cells);
   std::fprintf(f, "store_first_page %" PRIu64 "\n", meta.store_first_page);
@@ -56,9 +70,50 @@ Status WriteMeta(const std::string& path, const MetaData& meta) {
                  sf.start, sf.end, sf.interval.min, sf.interval.max,
                  sf.sum_interval_sizes);
   }
-  const bool ok = std::fflush(f) == 0;
+  // Make the catalog durable before it can become a rename target.
+  const bool ok =
+      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   std::fclose(f);
   return ok ? Status::OK() : Status::IOError("flush failed for " + path);
+}
+
+/// Numeric-range validation after parsing. The parser only proves the
+/// catalog is well-formed text; this proves the values can be acted on
+/// without feeding garbage (zero page sizes, NaN ranges, inverted
+/// subfields) into the storage layer. kCorruption names the bad key.
+Status ValidateMeta(const MetaData& meta, const std::string& path) {
+  const auto bad = [&](const char* key) {
+    return Status::Corruption("catalog " + path + ": invalid value for '" +
+                              key + "'");
+  };
+  if (meta.page_size == 0 || meta.page_size > (1u << 26)) {
+    return bad("page_size");
+  }
+  if (meta.method < 0 ||
+      meta.method > static_cast<int>(IndexMethod::kRowIp)) {
+    return bad("method");
+  }
+  if (!std::isfinite(meta.value_range.min) ||
+      !std::isfinite(meta.value_range.max) ||
+      meta.value_range.min > meta.value_range.max) {
+    return bad("value_range");
+  }
+  if (!std::isfinite(meta.domain.lo.x) || !std::isfinite(meta.domain.lo.y) ||
+      !std::isfinite(meta.domain.hi.x) || !std::isfinite(meta.domain.hi.y)) {
+    return bad("domain");
+  }
+  if (meta.declared_subfields != meta.subfields.size()) {
+    return bad("subfields");
+  }
+  for (const Subfield& sf : meta.subfields) {
+    if (sf.start > sf.end || sf.end > meta.num_cells) return bad("sf");
+    if (!std::isfinite(sf.interval.min) || !std::isfinite(sf.interval.max) ||
+        sf.interval.min > sf.interval.max ||
+        !std::isfinite(sf.sum_interval_sizes)) {
+      return bad("sf");
+    }
+  }
+  return Status::OK();
 }
 
 StatusOr<MetaData> ReadMeta(const std::string& path) {
@@ -66,8 +121,17 @@ StatusOr<MetaData> ReadMeta(const std::string& path) {
   if (f == nullptr) return Status::IOError("cannot read " + path);
   MetaData meta;
   char magic[64] = {};
-  if (std::fscanf(f, "%63s", magic) != 1 ||
-      std::string(magic) != kMagic) {
+  if (std::fscanf(f, "%63s", magic) != 1) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (std::string(magic) == kMagicV1) {
+    std::fclose(f);
+    return Status::Corruption(
+        "unsupported v1 catalog (no page checksums) in " + path +
+        "; re-save with this version");
+  }
+  if (std::string(magic) != kMagic) {
     std::fclose(f);
     return Status::Corruption("bad magic in " + path);
   }
@@ -77,6 +141,8 @@ StatusOr<MetaData> ReadMeta(const std::string& path) {
     const std::string k = key;
     if (k == "page_size") {
       ok = std::fscanf(f, "%u", &meta.page_size) == 1;
+    } else if (k == "epoch") {
+      ok = std::fscanf(f, "%u", &meta.epoch) == 1;
     } else if (k == "method") {
       ok = std::fscanf(f, "%d", &meta.method) == 1;
     } else if (k == "num_cells") {
@@ -104,9 +170,12 @@ StatusOr<MetaData> ReadMeta(const std::string& path) {
         meta.has_spatial = true;
       }
     } else if (k == "subfields") {
-      size_t count = 0;
-      ok = std::fscanf(f, "%zu", &count) == 1;
-      meta.subfields.reserve(count);
+      ok = std::fscanf(f, "%" SCNu64, &meta.declared_subfields) == 1;
+      // Bound the reserve: a corrupt count must not become an
+      // allocation bomb. The mismatch is caught by ValidateMeta.
+      if (ok && meta.declared_subfields <= (uint64_t{1} << 24)) {
+        meta.subfields.reserve(meta.declared_subfields);
+      }
     } else if (k == "sf") {
       Subfield sf;
       ok = std::fscanf(f, "%" SCNu64 " %" SCNu64 " %lg %lg %lg", &sf.start,
@@ -119,27 +188,66 @@ StatusOr<MetaData> ReadMeta(const std::string& path) {
   }
   std::fclose(f);
   if (!ok) return Status::Corruption("malformed catalog " + path);
+  FIELDDB_RETURN_IF_ERROR(ValidateMeta(meta, path));
   return meta;
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError("rename " + from + " -> " + to + " failed");
+  }
+  return Status::OK();
+}
+
+// Best-effort directory fsync so the renames themselves are durable.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
 }
 
 }  // namespace
 
 Status FieldDatabase::Save(const std::string& prefix) {
+  return SaveImpl(prefix, /*crash_before_rename=*/false);
+}
+
+Status FieldDatabase::SaveCrashBeforeRenameForTest(const std::string& prefix) {
+  return SaveImpl(prefix, /*crash_before_rename=*/true);
+}
+
+Status FieldDatabase::SaveImpl(const std::string& prefix,
+                               bool crash_before_rename) {
   FIELDDB_RETURN_IF_ERROR(pool_->Flush());
 
-  StatusOr<std::unique_ptr<DiskPageFile>> out =
-      DiskPageFile::Create(prefix + ".pages", file_->page_size());
-  if (!out.ok()) return out.status();
-  Page page(file_->page_size());
-  for (PageId id = 0; id < file_->NumPages(); ++id) {
-    FIELDDB_RETURN_IF_ERROR(file_->Read(id, &page));
-    StatusOr<PageId> copied = (*out)->Allocate();
-    if (!copied.ok()) return copied.status();
-    FIELDDB_RETURN_IF_ERROR((*out)->Write(*copied, page));
+  const uint32_t epoch = epoch_ + 1;
+  const std::string pages_tmp = prefix + ".pages.tmp";
+  const std::string meta_tmp = prefix + ".meta.tmp";
+
+  {
+    StatusOr<std::unique_ptr<DiskPageFile>> out =
+        DiskPageFile::Create(pages_tmp, file_->page_size(), epoch);
+    if (!out.ok()) return out.status();
+    Page page(file_->page_size());
+    for (PageId id = 0; id < file_->NumPages(); ++id) {
+      FIELDDB_RETURN_IF_ERROR(file_->Read(id, &page));
+      StatusOr<PageId> copied = (*out)->Allocate();
+      if (!copied.ok()) return copied.status();
+      FIELDDB_RETURN_IF_ERROR((*out)->Write(*copied, page));
+    }
+    FIELDDB_RETURN_IF_ERROR((*out)->Sync());
+    // Scope end closes the temp file before it is renamed into place.
   }
 
   MetaData meta;
   meta.page_size = file_->page_size();
+  meta.epoch = epoch;
   meta.method = static_cast<int>(index_->method());
   meta.num_cells = index_->cell_store().size();
   meta.store_first_page = index_->cell_store().first_page();
@@ -176,7 +284,20 @@ Status FieldDatabase::Save(const std::string& prefix) {
     meta.has_spatial = true;
     meta.spatial = spatial_->meta();
   }
-  return WriteMeta(prefix + ".meta", meta);
+  FIELDDB_RETURN_IF_ERROR(WriteMeta(meta_tmp, meta));
+
+  if (crash_before_rename) return Status::OK();
+
+  // Commit. Pages first: a crash between the renames leaves new pages
+  // under the old catalog, which the epoch check in every page header
+  // turns into a detected corruption instead of a silent mix. (The old
+  // snapshot is gone only after BOTH renames; before the first one it
+  // is fully intact.)
+  FIELDDB_RETURN_IF_ERROR(RenameFile(pages_tmp, prefix + ".pages"));
+  FIELDDB_RETURN_IF_ERROR(RenameFile(meta_tmp, prefix + ".meta"));
+  SyncParentDir(prefix + ".meta");
+  epoch_ = epoch;
+  return Status::OK();
 }
 
 StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
@@ -185,14 +306,31 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
   if (!meta.ok()) return meta.status();
 
   StatusOr<std::unique_ptr<DiskPageFile>> file =
-      DiskPageFile::Open(prefix + ".pages", meta->page_size);
+      DiskPageFile::Open(prefix + ".pages", meta->page_size, meta->epoch);
   if (!file.ok()) return file.status();
+
+  // Page-range validation against the actual file: a truncated or
+  // mismatched page file must not turn into out-of-range reads later.
+  const uint64_t num_pages = (*file)->NumPages();
+  if (meta->num_cells > 0 && meta->store_first_page >= num_pages) {
+    return Status::Corruption("catalog " + prefix +
+                              ".meta: invalid value for 'store_first_page'");
+  }
+  if (meta->has_tree && meta->tree.root >= num_pages) {
+    return Status::Corruption("catalog " + prefix +
+                              ".meta: invalid value for 'tree'");
+  }
+  if (meta->has_spatial && meta->spatial.root >= num_pages) {
+    return Status::Corruption("catalog " + prefix +
+                              ".meta: invalid value for 'spatial'");
+  }
 
   auto db = std::unique_ptr<FieldDatabase>(new FieldDatabase());
   db->file_ = std::move(file).value();
   db->pool_ = std::make_unique<BufferPool>(db->file_.get(), pool_pages);
   db->value_range_ = meta->value_range;
   db->domain_ = meta->domain;
+  db->epoch_ = meta->epoch;
 
   StatusOr<CellStore> store = CellStore::Attach(
       db->pool_.get(), meta->store_first_page, meta->num_cells);

@@ -20,6 +20,9 @@ struct QueryStats {
   /// Candidates that actually contributed answer regions.
   uint64_t answer_cells = 0;
   uint64_t region_pieces = 0;
+  /// 1 when the filtering step hit a corrupt index page and the query
+  /// was answered by a full store scan instead (degraded mode).
+  uint64_t index_fallbacks = 0;
   IoStats io;  // page traffic attributable to this query
 
   void Accumulate(const QueryStats& q) {
@@ -27,11 +30,15 @@ struct QueryStats {
     candidate_cells += q.candidate_cells;
     answer_cells += q.answer_cells;
     region_pieces += q.region_pieces;
+    index_fallbacks += q.index_fallbacks;
     io.logical_reads += q.io.logical_reads;
     io.physical_reads += q.io.physical_reads;
     io.sequential_reads += q.io.sequential_reads;
     io.writes += q.io.writes;
     io.evictions += q.io.evictions;
+    io.read_retries += q.io.read_retries;
+    io.failed_reads += q.io.failed_reads;
+    io.failed_writes += q.io.failed_writes;
   }
 };
 

@@ -1,6 +1,9 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <thread>
 
 namespace fielddb {
 
@@ -38,7 +41,17 @@ void PinnedPage::Release() {
 BufferPool::BufferPool(PageFile* file, size_t capacity)
     : file_(file), capacity_(capacity == 0 ? 1 : capacity) {}
 
-BufferPool::~BufferPool() { Flush(); }
+BufferPool::~BufferPool() {
+  if (closed_) return;
+  const Status s = Flush();
+  if (!s.ok()) {
+    // A destructor cannot surface the error; callers that care must use
+    // Close(). Dirty data may not have reached the file.
+    std::fprintf(stderr,
+                 "BufferPool: dropping dirty frames at destruction: %s\n",
+                 s.ToString().c_str());
+  }
+}
 
 BufferPool::Frame& BufferPool::FrameOf(PageId id) {
   auto it = frames_.find(id);
@@ -46,7 +59,25 @@ BufferPool::Frame& BufferPool::FrameOf(PageId id) {
   return it->second;
 }
 
+Status BufferPool::ReadWithRetry(PageId id, Page* out) {
+  Status s = file_->Read(id, out);
+  for (int attempt = 0; !s.ok() && s.code() == StatusCode::kIOError &&
+                        attempt < kMaxReadRetries;
+       ++attempt) {
+    ++stats_.read_retries;
+    // Capped exponential backoff: 64us, 128us, 256us. Long enough to
+    // ride out a transient stall, short enough not to dominate tests.
+    std::this_thread::sleep_for(std::chrono::microseconds(64) * (1 << attempt));
+    s = file_->Read(id, out);
+  }
+  if (!s.ok()) ++stats_.failed_reads;
+  return s;
+}
+
 Status BufferPool::Fetch(PageId id, PinnedPage* out) {
+  if (closed_) {
+    return Status::FailedPrecondition("buffer pool is closed");
+  }
   ++stats_.logical_reads;
   auto it = frames_.find(id);
   if (it != frames_.end()) {
@@ -65,7 +96,7 @@ Status BufferPool::Fetch(PageId id, PinnedPage* out) {
   last_physical_read_ = id;
   Frame frame;
   frame.page = Page(file_->page_size());
-  FIELDDB_RETURN_IF_ERROR(file_->Read(id, &frame.page));
+  FIELDDB_RETURN_IF_ERROR(ReadWithRetry(id, &frame.page));
   frame.pin_count = 1;
   frames_.emplace(id, std::move(frame));
   *out = PinnedPage(this, id);
@@ -73,6 +104,9 @@ Status BufferPool::Fetch(PageId id, PinnedPage* out) {
 }
 
 StatusOr<PageId> BufferPool::Allocate(PinnedPage* out) {
+  if (closed_) {
+    return Status::FailedPrecondition("buffer pool is closed");
+  }
   StatusOr<PageId> id = file_->Allocate();
   if (!id.ok()) return id.status();
   FIELDDB_RETURN_IF_ERROR(EnsureCapacity());
@@ -97,7 +131,11 @@ void BufferPool::Unpin(PageId id) {
 
 Status BufferPool::WriteBack(PageId id, Frame& frame) {
   if (frame.dirty) {
-    FIELDDB_RETURN_IF_ERROR(file_->Write(id, frame.page));
+    const Status s = file_->Write(id, frame.page);
+    if (!s.ok()) {
+      ++stats_.failed_writes;
+      return s;
+    }
     frame.dirty = false;
     ++stats_.writes;
   }
@@ -113,7 +151,17 @@ Status BufferPool::EnsureCapacity() {
   const PageId victim = lru_.front();
   lru_.pop_front();
   Frame& f = FrameOf(victim);
-  FIELDDB_RETURN_IF_ERROR(WriteBack(victim, f));
+  f.in_lru = false;
+  const Status s = WriteBack(victim, f);
+  if (!s.ok()) {
+    // The victim stays resident (its dirty data would otherwise be
+    // lost); re-enter it into the LRU so the pool's bookkeeping stays
+    // consistent and a later eviction can retry the write-back.
+    lru_.push_back(victim);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+    return s;
+  }
   frames_.erase(victim);
   ++stats_.evictions;
   return Status::OK();
@@ -126,12 +174,27 @@ Status BufferPool::Flush() {
   return Status::OK();
 }
 
+Status BufferPool::Close() {
+  if (closed_) return Status::OK();
+  FIELDDB_RETURN_IF_ERROR(Flush());
+  FIELDDB_RETURN_IF_ERROR(file_->Sync());
+  closed_ = true;
+  return Status::OK();
+}
+
 Status BufferPool::Clear() {
   while (!lru_.empty()) {
     const PageId victim = lru_.front();
     lru_.pop_front();
     Frame& f = FrameOf(victim);
-    FIELDDB_RETURN_IF_ERROR(WriteBack(victim, f));
+    f.in_lru = false;
+    const Status s = WriteBack(victim, f);
+    if (!s.ok()) {
+      lru_.push_back(victim);
+      f.lru_pos = std::prev(lru_.end());
+      f.in_lru = true;
+      return s;
+    }
     frames_.erase(victim);
   }
   return Status::OK();

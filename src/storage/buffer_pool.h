@@ -48,8 +48,18 @@ class PinnedPage {
 /// A fixed-capacity LRU page cache over a PageFile. All page traffic in
 /// the library goes through a pool, which is also where the experiment
 /// harness reads its I/O counters (logical accesses vs. misses).
+///
+/// Failure behavior: transient read faults (kIOError) are absorbed by a
+/// bounded retry loop with capped backoff; corruption and out-of-range
+/// errors are never retried. A failed write-back leaves the dirty frame
+/// resident and re-enters it into the LRU, so the data is not lost and a
+/// later Flush/eviction can retry.
 class BufferPool {
  public:
+  /// Reads that fail with kIOError are retried up to this many times
+  /// before the error propagates to the caller.
+  static constexpr int kMaxReadRetries = 3;
+
   /// `capacity` is the number of frames; must be >= 1. The pool does not
   /// take ownership of `file`.
   BufferPool(PageFile* file, size_t capacity);
@@ -66,6 +76,15 @@ class BufferPool {
 
   /// Writes back all dirty frames.
   Status Flush();
+
+  /// Flushes and shuts the pool down; the explicit counterpart to the
+  /// destructor (which can only log a failed final flush, not report
+  /// it). Idempotent; after a successful Close, Fetch/Allocate fail
+  /// with kFailedPrecondition. A failing Close leaves the pool open so
+  /// the caller can retry once the fault clears.
+  Status Close();
+
+  bool closed() const { return closed_; }
 
   /// Drops every unpinned frame (after flushing it). Used by benchmarks
   /// to cold-start the cache between runs.
@@ -95,9 +114,12 @@ class BufferPool {
   /// Evicts one unpinned frame if at capacity. Fails if all are pinned.
   Status EnsureCapacity();
   Status WriteBack(PageId id, Frame& frame);
+  /// file_->Read with the bounded transient-fault retry policy.
+  Status ReadWithRetry(PageId id, Page* out);
 
   PageFile* file_;
   size_t capacity_;
+  bool closed_ = false;
   std::unordered_map<PageId, Frame> frames_;
   // Unpinned frames in LRU order (front = least recently used).
   std::list<PageId> lru_;

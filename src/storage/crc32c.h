@@ -1,0 +1,33 @@
+#ifndef FIELDDB_STORAGE_CRC32C_H_
+#define FIELDDB_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fielddb {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum
+/// used by iSCSI, ext4 and most storage engines. Software table-driven
+/// implementation — fast enough for page-granularity framing, and
+/// portable (no SSE4.2 requirement).
+uint32_t Crc32c(const void* data, size_t n);
+
+/// Extends a running CRC with more bytes (crc is the value returned by a
+/// previous Crc32c/Crc32cExtend call).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// Masked CRC in the style of LevelDB/RocksDB: storing the raw CRC of
+/// data that itself embeds CRCs is error-prone (a zeroed page has the
+/// CRC of zeros), so persisted checksums are masked with a rotation and
+/// an additive constant.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_STORAGE_CRC32C_H_

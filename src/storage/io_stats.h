@@ -19,6 +19,13 @@ struct IoStats {
   uint64_t sequential_reads = 0;
   uint64_t writes = 0;
   uint64_t evictions = 0;
+  /// Transient read faults absorbed by the pool's bounded retry loop
+  /// (each retry that was needed counts once).
+  uint64_t read_retries = 0;
+  /// Reads that still failed after retries (I/O errors or corruption).
+  uint64_t failed_reads = 0;
+  /// Write-backs that failed (the dirty frame stays resident).
+  uint64_t failed_writes = 0;
 
   uint64_t random_reads() const { return physical_reads - sequential_reads; }
 
@@ -28,7 +35,11 @@ struct IoStats {
     return IoStats{logical_reads - o.logical_reads,
                    physical_reads - o.physical_reads,
                    sequential_reads - o.sequential_reads,
-                   writes - o.writes, evictions - o.evictions};
+                   writes - o.writes,
+                   evictions - o.evictions,
+                   read_retries - o.read_retries,
+                   failed_reads - o.failed_reads,
+                   failed_writes - o.failed_writes};
   }
 };
 

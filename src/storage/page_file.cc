@@ -1,8 +1,17 @@
 #include "storage/page_file.h"
 
+#include <unistd.h>
+
 #include <cstring>
 
+#include "storage/crc32c.h"
+
 namespace fielddb {
+
+Status PageFile::VerifyPage(PageId id) const {
+  Page scratch(page_size_);
+  return Read(id, &scratch);
+}
 
 StatusOr<PageId> MemPageFile::Allocate() {
   pages_.emplace_back(page_size_, 0);
@@ -36,16 +45,17 @@ DiskPageFile::~DiskPageFile() {
 }
 
 StatusOr<std::unique_ptr<DiskPageFile>> DiskPageFile::Create(
-    const std::string& path, uint32_t page_size) {
+    const std::string& path, uint32_t page_size, uint32_t epoch) {
   std::FILE* f = std::fopen(path.c_str(), "w+b");
   if (f == nullptr) {
     return Status::IOError("cannot create " + path);
   }
-  return std::unique_ptr<DiskPageFile>(new DiskPageFile(f, page_size, 0));
+  return std::unique_ptr<DiskPageFile>(
+      new DiskPageFile(f, page_size, 0, epoch));
 }
 
 StatusOr<std::unique_ptr<DiskPageFile>> DiskPageFile::Open(
-    const std::string& path, uint32_t page_size) {
+    const std::string& path, uint32_t page_size, uint32_t epoch) {
   std::FILE* f = std::fopen(path.c_str(), "r+b");
   if (f == nullptr) {
     return Status::IOError("cannot open " + path);
@@ -55,22 +65,35 @@ StatusOr<std::unique_ptr<DiskPageFile>> DiskPageFile::Open(
     return Status::IOError("seek failed on " + path);
   }
   const long length = std::ftell(f);
-  if (length < 0 || static_cast<uint64_t>(length) % page_size != 0) {
+  const uint64_t slot = uint64_t{kPageHeaderSize} + page_size;
+  if (length < 0 || static_cast<uint64_t>(length) % slot != 0) {
     std::fclose(f);
-    return Status::Corruption("file length not a multiple of page size: " +
-                              path);
+    return Status::Corruption(
+        "file length not a multiple of the page slot size: " + path);
   }
-  return std::unique_ptr<DiskPageFile>(
-      new DiskPageFile(f, page_size, static_cast<uint64_t>(length) / page_size));
+  return std::unique_ptr<DiskPageFile>(new DiskPageFile(
+      f, page_size, static_cast<uint64_t>(length) / slot, epoch));
+}
+
+Status DiskPageFile::WriteSlot(PageId id, const uint8_t* payload) {
+  std::vector<uint8_t> slot(SlotSize());
+  std::memcpy(slot.data() + 4, &epoch_, sizeof(epoch_));
+  std::memcpy(slot.data() + 8, &id, sizeof(id));
+  std::memcpy(slot.data() + kPageHeaderSize, payload, page_size_);
+  const uint32_t crc =
+      MaskCrc(Crc32c(slot.data() + 4, slot.size() - 4));
+  std::memcpy(slot.data(), &crc, sizeof(crc));
+  if (std::fseek(file_, static_cast<long>(id * SlotSize()), SEEK_SET) != 0 ||
+      std::fwrite(slot.data(), 1, slot.size(), file_) != slot.size()) {
+    return Status::IOError("write failed for page " + std::to_string(id));
+  }
+  return Status::OK();
 }
 
 StatusOr<PageId> DiskPageFile::Allocate() {
   const PageId id = num_pages_;
   const std::vector<uint8_t> zeros(page_size_, 0);
-  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0 ||
-      std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
-    return Status::IOError("allocate failed");
-  }
+  FIELDDB_RETURN_IF_ERROR(WriteSlot(id, zeros.data()));
   ++num_pages_;
   return id;
 }
@@ -80,10 +103,32 @@ Status DiskPageFile::Read(PageId id, Page* out) const {
     return Status::OutOfRange("page id out of range");
   }
   if (out->size() != page_size_) *out = Page(page_size_);
-  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0 ||
-      std::fread(out->data(), 1, page_size_, file_) != page_size_) {
-    return Status::IOError("read failed");
+  std::vector<uint8_t> slot(SlotSize());
+  if (std::fseek(file_, static_cast<long>(id * SlotSize()), SEEK_SET) != 0 ||
+      std::fread(slot.data(), 1, slot.size(), file_) != slot.size()) {
+    return Status::IOError("read failed for page " + std::to_string(id));
   }
+  uint32_t stored_crc = 0;
+  uint32_t stored_epoch = 0;
+  uint64_t stored_id = 0;
+  std::memcpy(&stored_crc, slot.data(), sizeof(stored_crc));
+  std::memcpy(&stored_epoch, slot.data() + 4, sizeof(stored_epoch));
+  std::memcpy(&stored_id, slot.data() + 8, sizeof(stored_id));
+  const uint32_t actual = Crc32c(slot.data() + 4, slot.size() - 4);
+  if (UnmaskCrc(stored_crc) != actual) {
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id));
+  }
+  if (stored_id != id) {
+    return Status::Corruption("misdirected page: slot " + std::to_string(id) +
+                              " holds page " + std::to_string(stored_id));
+  }
+  if (epoch_ != 0 && stored_epoch != epoch_) {
+    return Status::Corruption(
+        "epoch mismatch on page " + std::to_string(id) + ": stored " +
+        std::to_string(stored_epoch) + ", expected " + std::to_string(epoch_));
+  }
+  std::memcpy(out->data(), slot.data() + kPageHeaderSize, page_size_);
   return Status::OK();
 }
 
@@ -94,9 +139,36 @@ Status DiskPageFile::Write(PageId id, const Page& page) {
   if (page.size() != page_size_) {
     return Status::InvalidArgument("page size mismatch");
   }
-  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0 ||
-      std::fwrite(page.data(), 1, page_size_, file_) != page_size_) {
-    return Status::IOError("write failed");
+  FIELDDB_RETURN_IF_ERROR(WriteSlot(id, page.data()));
+  std::fflush(file_);
+  return Status::OK();
+}
+
+Status DiskPageFile::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed");
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("fsync failed");
+  }
+  return Status::OK();
+}
+
+Status DiskPageFile::CorruptRawForTest(PageId id, uint32_t offset,
+                                       uint8_t xor_mask) {
+  if (id >= num_pages_ || offset >= SlotSize()) {
+    return Status::OutOfRange("corrupt target out of range");
+  }
+  const long pos = static_cast<long>(id * SlotSize() + offset);
+  uint8_t byte = 0;
+  if (std::fseek(file_, pos, SEEK_SET) != 0 ||
+      std::fread(&byte, 1, 1, file_) != 1) {
+    return Status::IOError("corrupt-for-test read failed");
+  }
+  byte ^= xor_mask;
+  if (std::fseek(file_, pos, SEEK_SET) != 0 ||
+      std::fwrite(&byte, 1, 1, file_) != 1) {
+    return Status::IOError("corrupt-for-test write failed");
   }
   std::fflush(file_);
   return Status::OK();

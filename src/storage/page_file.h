@@ -31,10 +31,21 @@ class PageFile {
   virtual StatusOr<PageId> Allocate() = 0;
 
   /// Reads page `id` into `*out` (resized to page_size() if needed).
+  /// Implementations with integrity framing return kCorruption (naming
+  /// the page id) instead of handing back bytes that fail verification.
   virtual Status Read(PageId id, Page* out) const = 0;
 
   /// Writes `page` (must have size == page_size()) to page `id`.
   virtual Status Write(PageId id, const Page& page) = 0;
+
+  /// Verifies the integrity of page `id` without exposing its contents.
+  /// The default reads the page into a scratch buffer, so any Read-side
+  /// checksum verification applies; kCorruption identifies a bad page.
+  virtual Status VerifyPage(PageId id) const;
+
+  /// Durably flushes buffered writes to the backing medium (fsync for
+  /// disk files). No-op for memory-backed files.
+  virtual Status Sync() { return Status::OK(); }
 
  protected:
   explicit PageFile(uint32_t page_size) : page_size_(page_size) {}
@@ -57,31 +68,61 @@ class MemPageFile final : public PageFile {
   std::vector<std::vector<uint8_t>> pages_;
 };
 
-/// On-disk page file backed by stdio. Pages live at offset id*page_size.
+/// Per-page framing prepended to every on-disk page slot:
+///   [masked CRC32C (4) | epoch (4) | page id (8)] + payload.
+/// The CRC covers epoch, page id and payload, so torn writes, bit rot
+/// and misdirected (right data, wrong offset) pages are all detected on
+/// Read. The epoch is stamped by each Save generation; a mismatch means
+/// the catalog and the page file come from different snapshots (e.g. a
+/// crash landed between the two commit renames).
+inline constexpr uint32_t kPageHeaderSize = 16;
+
+/// On-disk page file backed by stdio. Page `id` occupies the slot at
+/// offset id * (kPageHeaderSize + page_size).
 class DiskPageFile final : public PageFile {
  public:
   ~DiskPageFile() override;
 
-  /// Creates (truncating) a new page file at `path`.
+  /// Creates (truncating) a new page file at `path`. Pages written are
+  /// stamped with `epoch`; reads verify it.
   static StatusOr<std::unique_ptr<DiskPageFile>> Create(
-      const std::string& path, uint32_t page_size = kDefaultPageSize);
+      const std::string& path, uint32_t page_size = kDefaultPageSize,
+      uint32_t epoch = 1);
 
   /// Opens an existing page file; the file length must be a multiple of
-  /// `page_size`.
+  /// kPageHeaderSize + `page_size`. Pass `epoch` = 0 to skip epoch
+  /// verification (the CRC and page-id checks still apply).
   static StatusOr<std::unique_ptr<DiskPageFile>> Open(
-      const std::string& path, uint32_t page_size = kDefaultPageSize);
+      const std::string& path, uint32_t page_size = kDefaultPageSize,
+      uint32_t epoch = 0);
 
   uint64_t NumPages() const override { return num_pages_; }
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Page* out) const override;
   Status Write(PageId id, const Page& page) override;
+  Status Sync() override;
+
+  uint32_t epoch() const { return epoch_; }
+
+  /// Testing back-door: XORs `xor_mask` into one byte of the raw on-disk
+  /// slot of page `id` (offset counted from the slot start, i.e. 0..15
+  /// hits the header). Simulates bit rot / a torn sector beneath the
+  /// checksum layer; a subsequent Read reports kCorruption.
+  Status CorruptRawForTest(PageId id, uint32_t offset, uint8_t xor_mask);
 
  private:
-  DiskPageFile(std::FILE* f, uint32_t page_size, uint64_t num_pages)
-      : PageFile(page_size), file_(f), num_pages_(num_pages) {}
+  DiskPageFile(std::FILE* f, uint32_t page_size, uint64_t num_pages,
+               uint32_t epoch)
+      : PageFile(page_size), file_(f), num_pages_(num_pages),
+        epoch_(epoch) {}
+
+  uint64_t SlotSize() const { return uint64_t{kPageHeaderSize} + page_size_; }
+  Status WriteSlot(PageId id, const uint8_t* payload);
 
   std::FILE* file_;
   uint64_t num_pages_;
+  /// Stamped into written headers; verified on Read when non-zero.
+  uint32_t epoch_;
 };
 
 }  // namespace fielddb

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/fault_injection.h"
+
 namespace fielddb {
 namespace {
 
@@ -191,6 +193,61 @@ TEST_F(BufferPoolTest, CapacityZeroClampsToOne) {
   AllocViaPool(pool, 1);
   AllocViaPool(pool, 2);  // forces eviction through the single frame
   EXPECT_GE(pool.stats().evictions, 1u);
+}
+
+TEST_F(BufferPoolTest, CloseFlushesAndFencesThePool) {
+  BufferPool pool(&file_, 4);
+  const PageId id = AllocViaPool(pool, 33);
+  ASSERT_TRUE(pool.Close().ok());
+  EXPECT_TRUE(pool.closed());
+  // The dirty frame reached the file before the pool shut down.
+  Page raw(256);
+  ASSERT_TRUE(file_.Read(id, &raw).ok());
+  EXPECT_EQ(raw.ReadAt<uint64_t>(0), 33u);
+  // A closed pool rejects traffic but tolerates another Close.
+  PinnedPage pin;
+  EXPECT_EQ(pool.Fetch(id, &pin).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pool.Allocate(&pin).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(pool.Close().ok());
+}
+
+TEST_F(BufferPoolTest, TransientReadFaultRetriedTransparently) {
+  FaultInjectingPageFile faulty(&file_);
+  BufferPool pool(&faulty, 4);
+  PinnedPage pin;
+  StatusOr<PageId> id = pool.Allocate(&pin);
+  ASSERT_TRUE(id.ok());
+  pin.MutablePage().WriteAt<uint64_t>(0, 8);
+  pin.Release();
+  ASSERT_TRUE(pool.Clear().ok());
+
+  faulty.FailNextReads(*id, BufferPool::kMaxReadRetries);
+  ASSERT_TRUE(pool.Fetch(*id, &pin).ok());
+  EXPECT_EQ(pin.page().ReadAt<uint64_t>(0), 8u);
+  EXPECT_EQ(pool.stats().read_retries,
+            static_cast<uint64_t>(BufferPool::kMaxReadRetries));
+}
+
+TEST_F(BufferPoolTest, EvictionWriteBackFailureDoesNotLoseData) {
+  FaultInjectingPageFile faulty(&file_);
+  BufferPool pool(&faulty, 1);
+  PinnedPage pin;
+  StatusOr<PageId> victim = pool.Allocate(&pin);
+  ASSERT_TRUE(victim.ok());
+  pin.MutablePage().WriteAt<uint64_t>(0, 55);
+  pin.Release();
+
+  faulty.FailAllWrites(*victim);
+  PinnedPage other;
+  EXPECT_EQ(pool.Allocate(&other).status().code(), StatusCode::kIOError);
+  // The dirty frame survived the failed eviction; once the device
+  // recovers, a flush writes it out intact.
+  faulty.ClearFaults();
+  ASSERT_TRUE(pool.Flush().ok());
+  Page raw(256);
+  ASSERT_TRUE(file_.Read(*victim, &raw).ok());
+  EXPECT_EQ(raw.ReadAt<uint64_t>(0), 55u);
 }
 
 }  // namespace

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "core/field_database.h"
 #include "gen/fractal.h"
 #include "gen/monotonic.h"
 #include "gen/workload.h"
+#include "storage/page_file.h"
 
 namespace fielddb {
 namespace {
@@ -121,6 +125,255 @@ TEST(PersistErrorsTest, CorruptMetaRejected) {
   EXPECT_FALSE(db.ok());
   EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
   std::remove((prefix + ".meta").c_str());
+}
+
+// ---------------------------------------------------------------------
+// Catalog validation: every numerically absurd value must be rejected as
+// kCorruption naming the offending key, never acted on.
+
+std::string ReadTextFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  out << contents;
+}
+
+// Replaces the first catalog line starting with `key ` by `replacement`
+// (which must include the key itself). Returns false if no line matched.
+bool ReplaceMetaLine(const std::string& path, const std::string& key,
+                     const std::string& replacement) {
+  const std::string contents = ReadTextFile(path);
+  const std::string prefix = key + " ";
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    const size_t eol = contents.find('\n', pos);
+    const size_t end = eol == std::string::npos ? contents.size() : eol;
+    if (contents.compare(pos, prefix.size(), prefix) == 0) {
+      WriteTextFile(path, contents.substr(0, pos) + replacement +
+                              contents.substr(end));
+      return true;
+    }
+    pos = end + 1;
+  }
+  return false;
+}
+
+uint64_t MetaValueOf(const std::string& path, const std::string& key) {
+  std::ifstream in(path);
+  std::string k;
+  uint64_t v = 0;
+  while (in >> k) {
+    if (k == key) {
+      in >> v;
+      return v;
+    }
+    std::getline(in, k);  // skip the rest of the line
+  }
+  ADD_FAILURE() << "key " << key << " not found in " << path;
+  return 0;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+class MetaValidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/fielddb_meta_validation";
+    Cleanup();
+    auto field = MakeMonotonicField(8, 8);
+    ASSERT_TRUE(field.ok());
+    FieldDatabaseOptions options;
+    options.method = IndexMethod::kIHilbert;  // so the catalog has sf lines
+    auto db = FieldDatabase::Build(*field, options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Save(prefix_).ok());
+    meta_path_ = prefix_ + ".meta";
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    for (const char* suffix :
+         {".pages", ".meta", ".pages.tmp", ".meta.tmp"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+
+  // Mutates one catalog line and asserts Open reports kCorruption whose
+  // message names `expect_in_message`.
+  void ExpectRejected(const std::string& key, const std::string& line,
+                      const std::string& expect_in_message) {
+    ASSERT_TRUE(ReplaceMetaLine(meta_path_, key, line));
+    auto db = FieldDatabase::Open(prefix_);
+    ASSERT_FALSE(db.ok());
+    EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+    EXPECT_NE(db.status().message().find(expect_in_message),
+              std::string::npos)
+        << db.status().ToString();
+  }
+
+  std::string prefix_;
+  std::string meta_path_;
+};
+
+TEST_F(MetaValidationTest, RejectsZeroPageSize) {
+  ExpectRejected("page_size", "page_size 0", "page_size");
+}
+
+TEST_F(MetaValidationTest, RejectsAbsurdPageSize) {
+  ExpectRejected("page_size", "page_size 4294967295", "page_size");
+}
+
+TEST_F(MetaValidationTest, RejectsOutOfRangeMethod) {
+  ExpectRejected("method", "method 99", "method");
+}
+
+TEST_F(MetaValidationTest, RejectsNonFiniteValueRange) {
+  ExpectRejected("value_range", "value_range nan 1", "value_range");
+}
+
+TEST_F(MetaValidationTest, RejectsInvertedValueRange) {
+  ExpectRejected("value_range", "value_range 5 -5", "value_range");
+}
+
+TEST_F(MetaValidationTest, RejectsNonFiniteDomain) {
+  ExpectRejected("domain", "domain 0 0 inf 1", "domain");
+}
+
+TEST_F(MetaValidationTest, RejectsSubfieldCountMismatch) {
+  ExpectRejected("subfields", "subfields 999", "subfields");
+}
+
+TEST_F(MetaValidationTest, RejectsInvertedSubfield) {
+  ExpectRejected("sf", "sf 5 2 0 1 1", "sf");
+}
+
+TEST_F(MetaValidationTest, RejectsNonFiniteSubfieldInterval) {
+  ExpectRejected("sf", "sf 0 2 nan 1 1", "sf");
+}
+
+TEST_F(MetaValidationTest, RejectsOutOfRangeTreeRoot) {
+  ExpectRejected("tree", "tree 999999 1 64 1", "tree");
+}
+
+TEST_F(MetaValidationTest, RejectsV1Catalog) {
+  const std::string contents = ReadTextFile(meta_path_);
+  WriteTextFile(meta_path_,
+                "fielddb-meta-v1" + contents.substr(contents.find('\n')));
+  auto db = FieldDatabase::Open(prefix_);
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(db.status().message().find("v1"), std::string::npos);
+}
+
+TEST_F(MetaValidationTest, CorruptStorePageFailsOpenWithChecksumError) {
+  const uint32_t page_size =
+      static_cast<uint32_t>(MetaValueOf(meta_path_, "page_size"));
+  const PageId store_page = MetaValueOf(meta_path_, "store_first_page");
+  {
+    // epoch 0 = skip the epoch check; we want raw byte access only.
+    auto f = DiskPageFile::Open(prefix_ + ".pages", page_size, 0);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(
+        (*f)->CorruptRawForTest(store_page, kPageHeaderSize + 3, 0x40).ok());
+  }
+  // The cell store is scanned during attach, so the flip surfaces as a
+  // checksum failure at Open, naming the page.
+  auto db = FieldDatabase::Open(prefix_);
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(db.status().message().find("checksum"), std::string::npos)
+      << db.status().ToString();
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe save: an interrupted save must leave the previous snapshot
+// fully loadable, and a half-committed one must be detected, not mixed.
+
+class CrashSafetyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/fielddb_crash_safety";
+    Cleanup();
+    auto field = MakeMonotonicField(8, 8);
+    ASSERT_TRUE(field.ok());
+    auto db = FieldDatabase::Build(*field);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->Save(prefix_).ok());  // snapshot A
+    // Mutate the live database so snapshot B would differ from A.
+    ASSERT_TRUE(db_->UpdateCellValues(3, {400.0, 400, 400, 400}).ok());
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    for (const char* suffix :
+         {".pages", ".meta", ".pages.tmp", ".meta.tmp"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+
+  // Number of cells with value ~400 in the persisted snapshot.
+  uint64_t UpdatedCellsOnDisk() {
+    auto reopened = FieldDatabase::Open(prefix_);
+    EXPECT_TRUE(reopened.ok()) << reopened.status().ToString();
+    if (!reopened.ok()) return ~uint64_t{0};
+    ValueQueryResult result;
+    EXPECT_TRUE(
+        (*reopened)->ValueQuery(ValueInterval{399, 401}, &result).ok());
+    return result.stats.answer_cells;
+  }
+
+  std::string prefix_;
+  std::unique_ptr<FieldDatabase> db_;
+};
+
+TEST_F(CrashSafetyTest, InterruptedSaveLeavesOldSnapshotLoadable) {
+  // "Crash" after the temp files are durable but before either rename.
+  ASSERT_TRUE(db_->SaveCrashBeforeRenameForTest(prefix_).ok());
+  EXPECT_TRUE(FileExists(prefix_ + ".pages.tmp"));
+  EXPECT_TRUE(FileExists(prefix_ + ".meta.tmp"));
+  // Snapshot A is untouched: the update is not visible.
+  EXPECT_EQ(UpdatedCellsOnDisk(), 0u);
+  // Recovery is simply saving again; the stale temps are overwritten.
+  ASSERT_TRUE(db_->Save(prefix_).ok());
+  EXPECT_FALSE(FileExists(prefix_ + ".pages.tmp"));
+  EXPECT_FALSE(FileExists(prefix_ + ".meta.tmp"));
+  EXPECT_EQ(UpdatedCellsOnDisk(), 1u);
+}
+
+TEST_F(CrashSafetyTest, LeftoverTempFilesDoNotInterfereWithOpen) {
+  WriteTextFile(prefix_ + ".pages.tmp", "garbage from a dead process");
+  WriteTextFile(prefix_ + ".meta.tmp", "more garbage");
+  EXPECT_EQ(UpdatedCellsOnDisk(), 0u);  // snapshot A opens fine
+  ASSERT_TRUE(db_->Save(prefix_).ok());
+  EXPECT_EQ(UpdatedCellsOnDisk(), 1u);
+}
+
+TEST_F(CrashSafetyTest, CrashBetweenRenamesIsDetectedAsEpochMismatch) {
+  // Simulate a crash after the pages rename but before the meta rename:
+  // new pages (epoch A+1) under the old catalog (epoch A).
+  ASSERT_TRUE(db_->SaveCrashBeforeRenameForTest(prefix_).ok());
+  ASSERT_EQ(std::rename((prefix_ + ".pages.tmp").c_str(),
+                        (prefix_ + ".pages").c_str()),
+            0);
+  auto db = FieldDatabase::Open(prefix_);
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(db.status().message().find("epoch"), std::string::npos)
+      << db.status().ToString();
+  // Completing the interrupted commit (the meta rename) recovers.
+  ASSERT_EQ(std::rename((prefix_ + ".meta.tmp").c_str(),
+                        (prefix_ + ".meta").c_str()),
+            0);
+  EXPECT_EQ(UpdatedCellsOnDisk(), 1u);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 //   fielddb_cli isoline --db PREFIX --level W
 //   fielddb_cli point   --db PREFIX --x X --y Y
 //   fielddb_cli bench   --db PREFIX [--qinterval F] [--queries N]
+//   fielddb_cli scrub   --db PREFIX
 
 #include <cstdio>
 #include <cstdlib>
@@ -213,10 +214,25 @@ int CmdBench(const Args& args) {
   return 0;
 }
 
+int CmdScrub(const Args& args) {
+  auto db = FieldDatabase::Open(args.Get("db", ""));
+  if (!db.ok()) return Fail(db.status());
+  FieldDatabase::ScrubReport report;
+  const Status s = (*db)->Scrub(&report);
+  if (!s.ok()) return Fail(s);
+  std::printf("scrub: %llu pages checked, %zu corrupt\n",
+              static_cast<unsigned long long>(report.pages_checked),
+              report.corrupt_pages.size());
+  for (const PageId id : report.corrupt_pages) {
+    std::printf("corrupt page %llu\n", static_cast<unsigned long long>(id));
+  }
+  return report.clean() ? 0 : 1;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: fielddb_cli <gen|info|query|isoline|point|bench> "
-               "[--key value ...]\n");
+               "usage: fielddb_cli <gen|info|query|isoline|point|bench"
+               "|scrub> [--key value ...]\n");
 }
 
 }  // namespace
@@ -234,6 +250,7 @@ int main(int argc, char** argv) {
   if (cmd == "isoline") return CmdIsoline(args);
   if (cmd == "point") return CmdPoint(args);
   if (cmd == "bench") return CmdBench(args);
+  if (cmd == "scrub") return CmdScrub(args);
   Usage();
   return 2;
 }

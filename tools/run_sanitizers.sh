@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ASan and UBSan (separate build
+# trees, so neither pollutes the default build/ directory).
+#
+#   tools/run_sanitizers.sh [asan|ubsan|all]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+
+run_one() {
+  local name="$1" flags="$2"
+  local dir="build-${name}"
+  echo "=== ${name}: configuring (${flags}) ==="
+  cmake -B "${dir}" -S . \
+    -DFIELDDB_SANITIZE="${flags}" \
+    -DFIELDDB_BUILD_BENCHMARKS=OFF \
+    -DFIELDDB_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${dir}" -j >/dev/null
+  echo "=== ${name}: running tests ==="
+  (cd "${dir}" && ctest --output-on-failure -j)
+}
+
+case "${mode}" in
+  asan)  run_one asan address ;;
+  ubsan) run_one ubsan undefined ;;
+  all)   run_one asan address && run_one ubsan undefined ;;
+  *)     echo "usage: $0 [asan|ubsan|all]" >&2; exit 2 ;;
+esac
+echo "sanitizer runs passed"
