@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
                   "Fig 11 (H=%.1f): fractal DEM 1024x1024, 1,048,576 cells",
                   h);
     config.title = title;
+    char bench_id[32];
+    std::snprintf(bench_id, sizeof(bench_id), "fig11_h%02d",
+                  static_cast<int>(h * 10 + 0.5));
+    config.bench_id = bench_id;
     config.qintervals = {0.0, 0.01, 0.02, 0.03, 0.04, 0.05};
     bench::ApplyFlags(argc, argv, &config);
     if (!bench::RunFigure(*field, config)) return 1;

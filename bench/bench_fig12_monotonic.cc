@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   bench::FigureConfig config;
   config.title = "Fig 12: monotonic DEM w=x+y, 512x512 cells";
+  config.bench_id = "fig12";
   config.qintervals = {0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06};
   bench::ApplyFlags(argc, argv, &config);
   return bench::RunFigure(*field, config) ? 0 : 1;

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   bench::FigureConfig config;
   config.title =
       "Fig 8a: real terrain DEM 512x512 (fractal H=0.7 substitute)";
+  config.bench_id = "fig8a";
   config.qintervals = {0.0, 0.02, 0.04, 0.06, 0.08, 0.10};
   bench::ApplyFlags(argc, argv, &config);
   return bench::RunFigure(*terrain, config) ? 0 : 1;

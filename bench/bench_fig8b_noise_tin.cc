@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   bench::FigureConfig config;
   config.title =
       "Fig 8b: urban noise TIN ~9000 triangles (synthetic substitute)";
+  config.bench_id = "fig8b";
   config.qintervals = {0.0, 0.02, 0.04, 0.06, 0.08, 0.10};
   bench::ApplyFlags(argc, argv, &config);
   return bench::RunFigure(*city, config) ? 0 : 1;

@@ -1,0 +1,75 @@
+// End-to-end smoke run of the figure harness, small enough for CTest: a
+// 64x64 fractal DEM swept through every method, with telemetry written
+// to BENCH_smoke.json. The binary asserts the report's structure itself
+// (series/points/counts); the companion check_bench_json CTest then
+// validates the JSON file against the documented schema with
+// tools/check_bench_json.py.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "gen/fractal.h"
+
+namespace {
+
+bool Check(bool ok, const char* what) {
+  if (!ok) std::fprintf(stderr, "bench_smoke: FAILED: %s\n", what);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fielddb;
+  FractalOptions options;
+  options.size_exp = 6;  // 64x64 = 4096 cells
+  options.roughness_h = 0.7;
+  options.seed = 7;
+  StatusOr<GridField> field = MakeFractalField(options);
+  if (!field.ok()) {
+    std::fprintf(stderr, "%s\n", field.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::FigureConfig config;
+  config.title = "smoke: 64x64 fractal DEM through the figure harness";
+  config.bench_id = "smoke";
+  config.qintervals = {0.02, 0.10};
+  config.num_queries = 20;
+  bench::ApplyFlags(argc, argv, &config);
+
+  BenchReport report;
+  if (!bench::RunFigure(*field, config, &report)) return 1;
+
+  bool ok = true;
+  ok &= Check(report.series.size() == config.methods.size(),
+              "one series per method");
+  for (const BenchSeries& s : report.series) {
+    ok &= Check(!s.method.empty(), "series has a method name");
+    ok &= Check(s.points.size() == config.qintervals.size(),
+                "one point per qinterval");
+    ok &= Check(s.build.num_cells == field->NumCells(),
+                "build info counts the field's cells");
+    for (const BenchPoint& p : s.points) {
+      ok &= Check(p.stats.num_queries == config.num_queries,
+                  "point ran the configured workload");
+      ok &= Check(p.stats.avg_logical_reads > 0,
+                  "queries touched pages");
+      ok &= Check(p.stats.max_wall_ms >= p.stats.p50_wall_ms,
+                  "wall-time percentiles are ordered");
+    }
+  }
+  // The harness must have calibrated instrumentation overhead.
+  ok &= Check(report.metrics_overhead_pct ==
+                  report.metrics_overhead_pct,  // not NaN
+              "metrics overhead was measured");
+  std::FILE* f = std::fopen("BENCH_smoke.json", "rb");
+  ok &= Check(f != nullptr, "BENCH_smoke.json exists");
+  if (f != nullptr) {
+    const int first = std::fgetc(f);
+    ok &= Check(first == '{', "BENCH_smoke.json starts a JSON object");
+    std::fclose(f);
+  }
+  if (ok) std::printf("bench_smoke: OK\n");
+  return ok ? 0 : 1;
+}

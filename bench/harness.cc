@@ -1,20 +1,15 @@
 #include "bench/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <map>
+#include <ctime>
+#include <vector>
 
 #include "gen/workload.h"
+#include "obs/metrics.h"
 
 namespace fielddb::bench {
-
-namespace {
-
-struct SeriesPoint {
-  WorkloadStats stats;
-};
-
-}  // namespace
 
 void ApplyFlags(int argc, char** argv, FigureConfig* config) {
   for (int i = 1; i < argc; ++i) {
@@ -25,14 +20,28 @@ void ApplyFlags(int argc, char** argv, FigureConfig* config) {
 }
 
 bool RunFigure(const Field& field, const FigureConfig& config) {
+  BenchReport report;
+  return RunFigure(field, config, &report);
+}
+
+bool RunFigure(const Field& field, const FigureConfig& config,
+               BenchReport* out_report) {
   std::printf("=== %s ===\n", config.title.c_str());
   std::printf("cells=%u value_range=%s queries_per_point=%u\n",
               field.NumCells(), field.ValueRange().ToString().c_str(),
               config.num_queries);
 
-  // results[method][qinterval index]
-  std::map<IndexMethod, std::vector<SeriesPoint>> results;
+  BenchReport& report = *out_report;
+  report = BenchReport{};
+  report.bench_id = config.bench_id;
+  report.title = config.title;
+  report.field_cells = field.NumCells();
+  report.value_min = field.ValueRange().min;
+  report.value_max = field.ValueRange().max;
+  report.num_queries = config.num_queries;
+  report.workload_seed = config.workload_seed;
 
+  bool first_workload = true;
   for (const IndexMethod method : config.methods) {
     FieldDatabaseOptions options = config.base_options;
     options.method = method;
@@ -44,25 +53,75 @@ bool RunFigure(const Field& field, const FigureConfig& config) {
                    db.status().ToString().c_str());
       return false;
     }
-    const IndexBuildInfo& info = (*db)->build_info();
-    std::printf(
-        "[build] %-11s entries=%-8llu subfields=%-7llu tree_h=%u "
-        "tree_nodes=%-6llu store_pages=%-6llu build_s=%.2f\n",
-        IndexMethodName(method),
-        static_cast<unsigned long long>(info.num_index_entries),
-        static_cast<unsigned long long>(info.num_subfields),
-        info.tree_height,
-        static_cast<unsigned long long>(info.tree_nodes),
-        static_cast<unsigned long long>(info.store_pages),
-        info.build_seconds);
+    BenchSeries series;
+    series.method = IndexMethodName(method);
+    series.build = (*db)->build_info();
 
     for (const double qi : config.qintervals) {
       WorkloadOptions wo;
       wo.qinterval_fraction = qi;
       wo.num_queries = config.num_queries;
       wo.seed = config.workload_seed;  // same queries for every method
-      const auto queries =
-          GenerateValueQueries(field.ValueRange(), wo);
+      const auto queries = GenerateValueQueries(field.ValueRange(), wo);
+
+      if (first_workload && !config.bench_id.empty()) {
+        // Instrumentation-overhead calibration: the very first workload
+        // runs twice, metrics recording off then on, and the relative
+        // wall-time delta lands in the report (and BENCH_*.json) so
+        // every bench run carries its own measurement of what the
+        // observability layer costs.
+        const bool prev = MetricsRegistry::enabled();
+        // Warmup pass so neither side pays first-touch costs (allocator,
+        // page-file growth). The delta we are after is percent-level,
+        // far below the timing noise on a shared machine (a single
+        // off/on wall-time pair swings ±30% here; even per-pass CPU
+        // time drifts ±15% in slow waves). So the calibration (a) times
+        // each pass in *process CPU time* — preemption by other tenants
+        // never shows up in it; (b) runs each rep in an ABBA order
+        // (off, on, on, off), which cancels any drift that is linear in
+        // time within the rep — including the observed
+        // "second-pass-slower" effect a simple alternating pair folds
+        // into the ratio; and (c) reports the median rep ratio, which
+        // discards reps that caught a machine-state transient.
+        // A short pass (a slice of the workload) keeps each ABBA rep
+        // well inside one drift wave, where the cancellation is near
+        // exact; the paired design supplies the statistical power the
+        // shorter interval gives up.
+        std::vector<ValueInterval> cal_queries(
+            queries.begin(),
+            queries.begin() + std::min<size_t>(queries.size(), 50));
+        (void)(*db)->RunWorkload(cal_queries);
+        auto cpu_ms_pass = [&](bool enable) -> double {
+          MetricsRegistry::set_enabled(enable);
+          const std::clock_t t0 = std::clock();
+          StatusOr<WorkloadStats> ws = (*db)->RunWorkload(cal_queries);
+          const std::clock_t t1 = std::clock();
+          if (!ws.ok()) return 0.0;
+          return 1000.0 * static_cast<double>(t1 - t0) / CLOCKS_PER_SEC;
+        };
+        std::vector<double> ratios;
+        for (int rep = 0; rep < 15; ++rep) {
+          const bool a_is_off = (rep % 2 == 0);  // ABBA then BAAB, ...
+          const double a1 = cpu_ms_pass(!a_is_off);
+          const double b1 = cpu_ms_pass(a_is_off);
+          const double b2 = cpu_ms_pass(a_is_off);
+          const double a2 = cpu_ms_pass(!a_is_off);
+          const double off_ms = a_is_off ? a1 + a2 : b1 + b2;
+          const double on_ms = a_is_off ? b1 + b2 : a1 + a2;
+          if (off_ms > 0 && on_ms > 0) ratios.push_back(on_ms / off_ms);
+        }
+        MetricsRegistry::set_enabled(prev);
+        if (!ratios.empty()) {
+          std::sort(ratios.begin(), ratios.end());
+          const size_t n = ratios.size();
+          const double median =
+              (n % 2 == 1) ? ratios[n / 2]
+                           : (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0;
+          report.metrics_overhead_pct = (median - 1.0) * 100.0;
+        }
+      }
+      first_workload = false;
+
       StatusOr<WorkloadStats> ws = (*db)->RunWorkload(queries);
       if (!ws.ok()) {
         std::fprintf(stderr, "workload %s qi=%g: %s\n",
@@ -70,89 +129,23 @@ bool RunFigure(const Field& field, const FigureConfig& config) {
                      ws.status().ToString().c_str());
         return false;
       }
-      results[method].push_back(SeriesPoint{*ws});
+      series.points.push_back(BenchPoint{qi, *ws});
     }
+    report.series.push_back(std::move(series));
   }
 
-  // Paper-figure table: avg execution time per query.
-  std::printf("\n%-10s", "Qinterval");
-  for (const IndexMethod method : config.methods) {
-    std::printf(" %14s", (std::string(IndexMethodName(method)) + "(ms)")
-                             .c_str());
-  }
-  std::printf("\n");
-  for (size_t i = 0; i < config.qintervals.size(); ++i) {
-    std::printf("%-10.3f", config.qintervals[i]);
-    for (const IndexMethod method : config.methods) {
-      std::printf(" %14.4f", results[method][i].stats.avg_wall_ms);
-    }
-    std::printf("\n");
-  }
+  PrintBenchReport(report);
 
-  // Companion table: average pages read per query (the quantity that
-  // drives the wall-time shapes on a real disk).
-  std::printf("\n%-10s", "Qinterval");
-  for (const IndexMethod method : config.methods) {
-    std::printf(" %14s", (std::string(IndexMethodName(method)) + "(pg)")
-                             .c_str());
-  }
-  std::printf("\n");
-  for (size_t i = 0; i < config.qintervals.size(); ++i) {
-    std::printf("%-10.3f", config.qintervals[i]);
-    for (const IndexMethod method : config.methods) {
-      std::printf(" %14.1f", results[method][i].stats.avg_logical_reads);
+  if (!config.bench_id.empty()) {
+    const std::string path = "BENCH_" + config.bench_id + ".json";
+    const Status s = report.WriteJson(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write %s: %s\n", path.c_str(),
+                   s.ToString().c_str());
+      return false;
     }
-    std::printf("\n");
+    std::printf("telemetry: %s\n\n", path.c_str());
   }
-
-  // Third table: the simulated 2002-disk I/O time per query (seek cost
-  // for random pages, transfer-only for sequential ones — see DiskModel).
-  // This is the regime the paper measured in: LinearScan reads the store
-  // sequentially while index candidates are scattered, which is exactly
-  // what makes I-All *lose* to LinearScan on high-selectivity workloads
-  // (Fig. 11.a) even though it reads fewer pages.
-  const DiskModel disk;
-  std::printf("\n%-10s", "Qinterval");
-  for (const IndexMethod method : config.methods) {
-    std::printf(" %14s", (std::string(IndexMethodName(method)) + "(io_ms)")
-                             .c_str());
-  }
-  std::printf("\n");
-  for (size_t i = 0; i < config.qintervals.size(); ++i) {
-    std::printf("%-10.3f", config.qintervals[i]);
-    for (const IndexMethod method : config.methods) {
-      std::printf(" %14.1f", results[method][i].stats.AvgDiskMs(disk));
-    }
-    std::printf("\n");
-  }
-
-  // Headline ratios when both series are present.
-  const bool has_scan = results.count(IndexMethod::kLinearScan) > 0;
-  const bool has_hilbert = results.count(IndexMethod::kIHilbert) > 0;
-  if (has_scan && has_hilbert) {
-    double min_ratio = 1e300, max_ratio = 0;
-    double min_io = 1e300, max_io = 0;
-    for (size_t i = 0; i < config.qintervals.size(); ++i) {
-      const WorkloadStats& scan =
-          results[IndexMethod::kLinearScan][i].stats;
-      const WorkloadStats& hil = results[IndexMethod::kIHilbert][i].stats;
-      if (hil.avg_wall_ms > 0) {
-        const double r = scan.avg_wall_ms / hil.avg_wall_ms;
-        min_ratio = std::min(min_ratio, r);
-        max_ratio = std::max(max_ratio, r);
-      }
-      if (hil.AvgDiskMs(disk) > 0) {
-        const double r = scan.AvgDiskMs(disk) / hil.AvgDiskMs(disk);
-        min_io = std::min(min_io, r);
-        max_io = std::max(max_io, r);
-      }
-    }
-    std::printf(
-        "\nI-Hilbert speedup over LinearScan: wall %.1fx .. %.1fx, "
-        "sim-disk %.1fx .. %.1fx\n",
-        min_ratio, max_ratio, min_io, max_io);
-  }
-  std::printf("\n");
   return true;
 }
 

@@ -7,6 +7,8 @@
 
 #include "field/interpolation.h"
 #include "field/isoband.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace fielddb {
 
@@ -16,6 +18,43 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Facade-level instruments. Looked up once; the registry keeps the
+/// pointers stable for the process lifetime.
+struct DbMetrics {
+  Counter* value_queries;
+  Counter* isoline_queries;
+  Counter* point_queries;
+  Counter* index_fallbacks;
+  Counter* scrub_pages;
+  Counter* scrub_corrupt_pages;
+  Histogram* query_wall_us;
+
+  static const DbMetrics& Get() {
+    static const DbMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Default();
+      return DbMetrics{reg.GetCounter("db.value_queries"),
+                       reg.GetCounter("db.isoline_queries"),
+                       reg.GetCounter("db.point_queries"),
+                       reg.GetCounter("db.index_fallbacks"),
+                       reg.GetCounter("db.scrub_pages"),
+                       reg.GetCounter("db.scrub_corrupt_pages"),
+                       reg.GetHistogram("db.query_wall_us")};
+    }();
+    return m;
+  }
+};
+
+/// Number of maximal consecutive runs in an ascending position list —
+/// the store ranges the fetch phase will Scan (each run is sequential
+/// page I/O; the gaps between runs are where seeks happen).
+uint64_t CountRuns(const std::vector<uint64_t>& positions) {
+  uint64_t runs = positions.empty() ? 0 : 1;
+  for (size_t i = 1; i < positions.size(); ++i) {
+    if (positions[i] != positions[i - 1] + 1) ++runs;
+  }
+  return runs;
 }
 
 }  // namespace
@@ -104,12 +143,32 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
 
 Status FieldDatabase::EstimateCandidates(
     const std::vector<uint64_t>& positions, const ValueInterval& query,
-    Region* region, QueryStats* stats) {
+    Region* region, QueryStats* stats, double* est_seconds) {
   const CellStore& store = index_->cell_store();
+  Status inner_status = Status::OK();
+  // The pure estimation work, separated out so traced queries can time
+  // it per cell (fetch I/O happens in Scan, outside this lambda).
+  const auto estimate_cell = [&](const CellRecord& cell) {
+    if (region != nullptr) {
+      StatusOr<size_t> pieces = CellIsoband(cell, query, region);
+      if (!pieces.ok()) {
+        inner_status = pieces.status();
+        return false;
+      }
+      if (*pieces > 0) {
+        ++stats->answer_cells;
+        stats->region_pieces += *pieces;
+      }
+    } else if (cell.Interval().Intersects(query)) {
+      // Stats-only mode still performs the inverse-interpolation
+      // test the estimation step pays for.
+      ++stats->answer_cells;
+    }
+    return true;
+  };
   // Coalesce candidate positions into contiguous runs so each store page
   // is fetched once.
   size_t i = 0;
-  Status inner_status = Status::OK();
   while (i < positions.size()) {
     size_t j = i + 1;
     while (j < positions.size() && positions[j] == positions[j - 1] + 1) {
@@ -124,22 +183,11 @@ Status FieldDatabase::EstimateCandidates(
           // by construction (strictly consecutive). So every visited
           // cell is a candidate.
           (void)pos;
-          if (region != nullptr) {
-            StatusOr<size_t> pieces = CellIsoband(cell, query, region);
-            if (!pieces.ok()) {
-              inner_status = pieces.status();
-              return false;
-            }
-            if (*pieces > 0) {
-              ++stats->answer_cells;
-              stats->region_pieces += *pieces;
-            }
-          } else if (cell.Interval().Intersects(query)) {
-            // Stats-only mode still performs the inverse-interpolation
-            // test the estimation step pays for.
-            ++stats->answer_cells;
-          }
-          return true;
+          if (est_seconds == nullptr) return estimate_cell(cell);
+          const auto t = Clock::now();
+          const bool keep_going = estimate_cell(cell);
+          *est_seconds += SecondsSince(t);
+          return keep_going;
         }));
     FIELDDB_RETURN_IF_ERROR(inner_status);
     i = j;
@@ -148,55 +196,114 @@ Status FieldDatabase::EstimateCandidates(
 }
 
 Status FieldDatabase::FusedScanQuery(const ValueInterval& query,
-                                     Region* region, QueryStats* stats) {
+                                     Region* region, QueryStats* stats,
+                                     double* est_seconds) {
   // The paper's 'LinearScan' is a single pass: each cell is tested and,
   // if it qualifies, interpolated immediately — there is no candidate
   // list to re-fetch. (Indexed methods genuinely pay the second touch:
   // their filter step sees only intervals and store positions.)
   const CellStore& store = index_->cell_store();
   Status inner = Status::OK();
+  const auto estimate_cell = [&](const CellRecord& cell) {
+    if (!cell.Interval().Intersects(query)) return true;
+    ++stats->candidate_cells;
+    if (region != nullptr) {
+      StatusOr<size_t> pieces = CellIsoband(cell, query, region);
+      if (!pieces.ok()) {
+        inner = pieces.status();
+        return false;
+      }
+      if (*pieces > 0) {
+        ++stats->answer_cells;
+        stats->region_pieces += *pieces;
+      }
+    } else {
+      ++stats->answer_cells;
+    }
+    return true;
+  };
   FIELDDB_RETURN_IF_ERROR(store.Scan(
       0, store.size(), [&](uint64_t, const CellRecord& cell) {
-        if (!cell.Interval().Intersects(query)) return true;
-        ++stats->candidate_cells;
-        if (region != nullptr) {
-          StatusOr<size_t> pieces = CellIsoband(cell, query, region);
-          if (!pieces.ok()) {
-            inner = pieces.status();
-            return false;
-          }
-          if (*pieces > 0) {
-            ++stats->answer_cells;
-            stats->region_pieces += *pieces;
-          }
-        } else {
-          ++stats->answer_cells;
-        }
-        return true;
+        if (est_seconds == nullptr) return estimate_cell(cell);
+        const auto t = Clock::now();
+        const bool keep_going = estimate_cell(cell);
+        *est_seconds += SecondsSince(t);
+        return keep_going;
       }));
   return inner;
 }
 
 Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
-                                       Region* region, QueryStats* stats) {
+                                       Region* region, QueryStats* stats,
+                                       QueryTrace* trace) {
+  // Fused scan used for LinearScan and the corruption fallback. Traced,
+  // it reports as a "fetch" span (the single pass is candidate retrieval
+  // with estimation inlined) plus a zero-I/O "estimate" span carrying the
+  // per-cell estimation time deducted from the fetch wall time.
+  const auto fused_scan = [&]() -> Status {
+    double est = 0.0;
+    Status s;
+    {
+      ScopedSpan fetch(trace, "fetch", &pool_->stats());
+      s = FusedScanQuery(query, region, stats,
+                         trace != nullptr ? &est : nullptr);
+      fetch.set_items(stats->candidate_cells);
+      fetch.set_detail("full_scan");
+      fetch.DeductWallSeconds(est);
+    }
+    if (trace != nullptr) {
+      TraceSpan span;
+      span.name = "estimate";
+      span.wall_seconds = est;
+      span.items = stats->answer_cells;
+      trace->AddSpan(std::move(span));
+    }
+    return s;
+  };
+
   if (index_->method() == IndexMethod::kLinearScan) {
-    return FusedScanQuery(query, region, stats);
+    return fused_scan();
   }
+
   std::vector<uint64_t> positions;
-  const Status filter = index_->FilterCandidates(query, &positions);
+  Status filter;
+  {
+    ScopedSpan span(trace, "filter", &pool_->stats());
+    filter = index_->FilterCandidates(query, &positions);
+    span.set_items(positions.size());
+    span.set_detail("runs=" + std::to_string(CountRuns(positions)));
+  }
   if (filter.code() == StatusCode::kCorruption) {
     // The value index is damaged but the cell store holds every answer:
     // degrade to the LinearScan path so the query still returns exact
     // results, and record the fallback for observability.
     ++index_fallbacks_;
+    DbMetrics::Get().index_fallbacks->Increment();
     stats->index_fallbacks = 1;
     stats->candidate_cells = 0;
     if (region != nullptr) region->pieces.clear();
-    return FusedScanQuery(query, region, stats);
+    return fused_scan();
   }
   FIELDDB_RETURN_IF_ERROR(filter);
   stats->candidate_cells = positions.size();
-  return EstimateCandidates(positions, query, region, stats);
+
+  double est = 0.0;
+  {
+    ScopedSpan fetch(trace, "fetch", &pool_->stats());
+    fetch.set_items(positions.size());
+    Status s = EstimateCandidates(positions, query, region, stats,
+                                  trace != nullptr ? &est : nullptr);
+    fetch.DeductWallSeconds(est);
+    if (!s.ok()) return s;
+  }
+  if (trace != nullptr) {
+    TraceSpan span;
+    span.name = "estimate";
+    span.wall_seconds = est;
+    span.items = stats->answer_cells;
+    trace->AddSpan(std::move(span));
+  }
+  return Status::OK();
 }
 
 Status FieldDatabase::ValueQuery(const ValueInterval& query,
@@ -206,6 +313,7 @@ Status FieldDatabase::ValueQuery(const ValueInterval& query,
   }
   out->region.pieces.clear();
   out->stats = QueryStats{};
+  DbMetrics::Get().value_queries->Increment();
   const IoStats io_before = pool_->stats();
   const auto t0 = Clock::now();
 
@@ -213,6 +321,7 @@ Status FieldDatabase::ValueQuery(const ValueInterval& query,
 
   out->stats.wall_seconds = SecondsSince(t0);
   out->stats.io = pool_->stats() - io_before;
+  DbMetrics::Get().query_wall_us->Record(out->stats.wall_seconds * 1e6);
   return Status::OK();
 }
 
@@ -222,6 +331,7 @@ Status FieldDatabase::ValueQueryStats(const ValueInterval& query,
     return Status::InvalidArgument("empty query interval");
   }
   *out = QueryStats{};
+  DbMetrics::Get().value_queries->Increment();
   const IoStats io_before = pool_->stats();
   const auto t0 = Clock::now();
 
@@ -229,6 +339,27 @@ Status FieldDatabase::ValueQueryStats(const ValueInterval& query,
 
   out->wall_seconds = SecondsSince(t0);
   out->io = pool_->stats() - io_before;
+  DbMetrics::Get().query_wall_us->Record(out->wall_seconds * 1e6);
+  return Status::OK();
+}
+
+Status FieldDatabase::TracedValueQueryStats(const ValueInterval& query,
+                                            QueryStats* out) {
+  if (query.IsEmpty()) {
+    return Status::InvalidArgument("empty query interval");
+  }
+  *out = QueryStats{};
+  out->trace = std::make_shared<QueryTrace>();
+  DbMetrics::Get().value_queries->Increment();
+  const IoStats io_before = pool_->stats();
+  const auto t0 = Clock::now();
+
+  FIELDDB_RETURN_IF_ERROR(
+      AnswerValueQuery(query, nullptr, out, out->trace.get()));
+
+  out->wall_seconds = SecondsSince(t0);
+  out->io = pool_->stats() - io_before;
+  DbMetrics::Get().query_wall_us->Record(out->wall_seconds * 1e6);
   return Status::OK();
 }
 
@@ -314,6 +445,7 @@ Status FieldDatabase::NearestValueQuery(double w, size_t k,
 Status FieldDatabase::IsolineQuery(double level, IsolineQueryResult* out) {
   out->isoline.polylines.clear();
   out->stats = QueryStats{};
+  DbMetrics::Get().isoline_queries->Increment();
   const IoStats io_before = pool_->stats();
   const auto t0 = Clock::now();
 
@@ -350,6 +482,7 @@ Status FieldDatabase::IsolineQuery(double level, IsolineQueryResult* out) {
     const Status filter = index_->FilterCandidates(query, &positions);
     if (filter.code() == StatusCode::kCorruption) {
       ++index_fallbacks_;
+      DbMetrics::Get().index_fallbacks->Increment();
       out->stats.index_fallbacks = 1;
       FIELDDB_RETURN_IF_ERROR(full_scan());
     } else {
@@ -386,6 +519,7 @@ Status FieldDatabase::UpdateCellValues(CellId id,
 }
 
 StatusOr<double> FieldDatabase::PointQuery(Point2 p) {
+  DbMetrics::Get().point_queries->Increment();
   const CellStore& store = index_->cell_store();
   if (spatial_.has_value()) {
     StatusOr<double> result = Status::NotFound("point outside field domain");
@@ -424,6 +558,8 @@ StatusOr<WorkloadStats> FieldDatabase::RunWorkload(
   ws.num_queries = static_cast<uint32_t>(queries.size());
   if (queries.empty()) return ws;
   QueryStats total;
+  std::vector<double> wall_ms;
+  wall_ms.reserve(queries.size());
   for (const ValueInterval& q : queries) {
     if (cold_cache) {
       FIELDDB_RETURN_IF_ERROR(pool_->Clear());
@@ -431,9 +567,15 @@ StatusOr<WorkloadStats> FieldDatabase::RunWorkload(
     QueryStats qs;
     FIELDDB_RETURN_IF_ERROR(ValueQueryStats(q, &qs));
     total.Accumulate(qs);
+    wall_ms.push_back(qs.wall_seconds * 1000.0);
   }
   const double n = queries.size();
   ws.avg_wall_ms = total.wall_seconds * 1000.0 / n;
+  std::sort(wall_ms.begin(), wall_ms.end());
+  ws.p50_wall_ms = PercentileOfSorted(wall_ms, 50);
+  ws.p90_wall_ms = PercentileOfSorted(wall_ms, 90);
+  ws.p99_wall_ms = PercentileOfSorted(wall_ms, 99);
+  ws.max_wall_ms = wall_ms.back();
   ws.avg_candidates = static_cast<double>(total.candidate_cells) / n;
   ws.avg_answer_cells = static_cast<double>(total.answer_cells) / n;
   ws.avg_logical_reads = static_cast<double>(total.io.logical_reads) / n;
@@ -441,6 +583,9 @@ StatusOr<WorkloadStats> FieldDatabase::RunWorkload(
   ws.avg_sequential_reads =
       static_cast<double>(total.io.sequential_reads) / n;
   ws.avg_random_reads = static_cast<double>(total.io.random_reads()) / n;
+  ws.avg_index_fallbacks = static_cast<double>(total.index_fallbacks) / n;
+  ws.avg_read_retries = static_cast<double>(total.io.read_retries) / n;
+  ws.avg_failed_reads = static_cast<double>(total.io.failed_reads) / n;
   return ws;
 }
 
@@ -457,8 +602,10 @@ Status FieldDatabase::Scrub(ScrubReport* out) {
       s = file_->VerifyPage(id);
     }
     ++out->pages_checked;
+    DbMetrics::Get().scrub_pages->Increment();
     if (s.code() == StatusCode::kCorruption) {
       out->corrupt_pages.push_back(id);
+      DbMetrics::Get().scrub_corrupt_pages->Increment();
     } else if (!s.ok()) {
       return s;  // persistent I/O error: the medium, not the data
     }
@@ -467,6 +614,180 @@ Status FieldDatabase::Scrub(ScrubReport* out) {
 }
 
 Status FieldDatabase::Close() { return pool_->Close(); }
+
+Status FieldDatabase::ExplainValueQuery(const ValueInterval& query,
+                                        ExplainResult* out) {
+  if (query.IsEmpty()) {
+    return Status::InvalidArgument("empty query interval");
+  }
+  *out = ExplainResult{};
+  out->method = index_->method();
+  out->query = query;
+  out->rtree_height = index_->build_info().tree_height;
+
+  // EXPLAIN forces metrics on so the R*-tree descent profile is
+  // recorded even when the process runs with recording disabled.
+  const bool prev_enabled = MetricsRegistry::enabled();
+  MetricsRegistry::set_enabled(true);
+  Counter* const node_visits =
+      MetricsRegistry::Default().GetCounter("rtree.node_visits");
+  const uint64_t visits_before = node_visits->value();
+
+  const Status run = [&]() -> Status {
+    // Cold start, so the physical-read pattern (and its disk-model cost)
+    // reflects the query itself rather than the pool's history.
+    FIELDDB_RETURN_IF_ERROR(pool_->Clear());
+    return TracedValueQueryStats(query, &out->stats);
+  }();
+  out->rtree_nodes_visited = node_visits->value() - visits_before;
+  MetricsRegistry::set_enabled(prev_enabled);
+  FIELDDB_RETURN_IF_ERROR(run);
+
+  if (out->stats.candidate_cells > 0) {
+    out->false_positive_ratio =
+        static_cast<double>(out->stats.candidate_cells -
+                            out->stats.answer_cells) /
+        static_cast<double>(out->stats.candidate_cells);
+  }
+  out->est_disk_ms = DiskModel{}.EstimateMs(out->stats.io.sequential_reads,
+                                            out->stats.io.random_reads());
+
+  // Annotate the touched subfields. This is a post-pass (the query's
+  // stats are already captured, so these store reads don't pollute it),
+  // and it is skipped after a corruption fallback: the plan the filter
+  // chose was not the plan that ran.
+  const std::vector<Subfield>* sfs = subfields();
+  if (sfs != nullptr && out->stats.index_fallbacks == 0) {
+    const CellStore& store = index_->cell_store();
+    for (uint32_t id = 0; id < sfs->size(); ++id) {
+      const Subfield& sf = (*sfs)[id];
+      if (!sf.interval.Intersects(query)) continue;
+      ExplainSubfield esf;
+      esf.id = id;
+      esf.start = sf.start;
+      esf.end = sf.end;
+      esf.interval = sf.interval;
+      esf.cells = sf.end - sf.start;
+      FIELDDB_RETURN_IF_ERROR(store.Scan(
+          sf.start, sf.end, [&](uint64_t, const CellRecord& cell) {
+            if (cell.Interval().Intersects(query)) ++esf.matching_cells;
+            return true;
+          }));
+      out->subfields.push_back(esf);
+    }
+  }
+  return Status::OK();
+}
+
+std::string FieldDatabase::ExplainResult::ToString() const {
+  std::string s;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "EXPLAIN value query [%.6g, %.6g] method=%s\n", query.min,
+                query.max, IndexMethodName(method));
+  s += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  wall_ms=%.3f candidates=%llu answers=%llu "
+                "false_positive_ratio=%.4f\n",
+                stats.wall_seconds * 1000.0,
+                static_cast<unsigned long long>(stats.candidate_cells),
+                static_cast<unsigned long long>(stats.answer_cells),
+                false_positive_ratio);
+  s += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  io: logical=%llu physical=%llu sequential=%llu "
+                "random=%llu  est_disk_ms=%.2f\n",
+                static_cast<unsigned long long>(stats.io.logical_reads),
+                static_cast<unsigned long long>(stats.io.physical_reads),
+                static_cast<unsigned long long>(stats.io.sequential_reads),
+                static_cast<unsigned long long>(stats.io.random_reads()),
+                est_disk_ms);
+  s += buf;
+  std::snprintf(buf, sizeof(buf), "  rtree: height=%u nodes_visited=%llu\n",
+                rtree_height,
+                static_cast<unsigned long long>(rtree_nodes_visited));
+  s += buf;
+  if (stats.index_fallbacks > 0) {
+    s += "  DEGRADED: corrupt index page; answered by full store scan\n";
+  }
+  if (!subfields.empty()) {
+    std::snprintf(buf, sizeof(buf), "  subfields touched: %zu\n",
+                  subfields.size());
+    s += buf;
+    for (const ExplainSubfield& sf : subfields) {
+      std::snprintf(buf, sizeof(buf),
+                    "    id=%u store=[%llu,%llu) cells=%llu matching=%llu "
+                    "interval=[%.6g,%.6g]\n",
+                    sf.id, static_cast<unsigned long long>(sf.start),
+                    static_cast<unsigned long long>(sf.end),
+                    static_cast<unsigned long long>(sf.cells),
+                    static_cast<unsigned long long>(sf.matching_cells),
+                    sf.interval.min, sf.interval.max);
+      s += buf;
+    }
+  }
+  if (stats.trace != nullptr) {
+    s += "  phases:\n";
+    // Indent the trace tree under this header.
+    const std::string tree = stats.trace->ToString();
+    size_t start = 0;
+    while (start < tree.size()) {
+      size_t nl = tree.find('\n', start);
+      if (nl == std::string::npos) nl = tree.size();
+      s += "    ";
+      s.append(tree, start, nl - start);
+      s += '\n';
+      start = nl + 1;
+    }
+  }
+  return s;
+}
+
+std::string FieldDatabase::ExplainResult::ToJson() const {
+  std::string s = "{\"method\":";
+  JsonAppendString(&s, IndexMethodName(method));
+  s += ",\"query\":{\"min\":";
+  JsonAppendDouble(&s, query.min);
+  s += ",\"max\":";
+  JsonAppendDouble(&s, query.max);
+  s += "},\"wall_ms\":";
+  JsonAppendDouble(&s, stats.wall_seconds * 1000.0);
+  s += ",\"candidate_cells\":" + std::to_string(stats.candidate_cells);
+  s += ",\"answer_cells\":" + std::to_string(stats.answer_cells);
+  s += ",\"index_fallbacks\":" + std::to_string(stats.index_fallbacks);
+  s += ",\"false_positive_ratio\":";
+  JsonAppendDouble(&s, false_positive_ratio);
+  s += ",\"io\":{\"logical_reads\":" +
+       std::to_string(stats.io.logical_reads) +
+       ",\"physical_reads\":" + std::to_string(stats.io.physical_reads) +
+       ",\"sequential_reads\":" + std::to_string(stats.io.sequential_reads) +
+       ",\"random_reads\":" + std::to_string(stats.io.random_reads()) + "}";
+  s += ",\"est_disk_ms\":";
+  JsonAppendDouble(&s, est_disk_ms);
+  s += ",\"rtree\":{\"height\":" + std::to_string(rtree_height) +
+       ",\"nodes_visited\":" + std::to_string(rtree_nodes_visited) + "}";
+  s += ",\"subfields\":[";
+  for (size_t i = 0; i < subfields.size(); ++i) {
+    const ExplainSubfield& sf = subfields[i];
+    if (i > 0) s += ',';
+    s += "{\"id\":" + std::to_string(sf.id) +
+         ",\"start\":" + std::to_string(sf.start) +
+         ",\"end\":" + std::to_string(sf.end) +
+         ",\"cells\":" + std::to_string(sf.cells) +
+         ",\"matching_cells\":" + std::to_string(sf.matching_cells) +
+         ",\"interval\":{\"min\":";
+    JsonAppendDouble(&s, sf.interval.min);
+    s += ",\"max\":";
+    JsonAppendDouble(&s, sf.interval.max);
+    s += "}}";
+  }
+  s += "]";
+  if (stats.trace != nullptr) {
+    s += ",\"trace\":" + stats.trace->ToJson();
+  }
+  s += "}";
+  return s;
+}
 
 const std::vector<Subfield>* FieldDatabase::subfields() const {
   if (index_->method() == IndexMethod::kIHilbert) {

@@ -17,6 +17,7 @@
 #include "index/linear_scan.h"
 #include "index/row_ip_index.h"
 #include "index/value_index.h"
+#include "obs/trace.h"
 #include "rtree/rstar_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
@@ -107,6 +108,59 @@ class FieldDatabase {
   /// identical work across methods either way).
   Status ValueQueryStats(const ValueInterval& query, QueryStats* out);
 
+  /// ValueQueryStats with per-phase tracing: `out->trace` is populated
+  /// with the pipeline's spans ("filter", "fetch", "estimate" on indexed
+  /// paths; "fetch"/"estimate" for LinearScan and the corruption
+  /// fallback). Span I/O deltas sum exactly to `out->io`. Slower than
+  /// the untraced path (per-cell clock reads in the estimation step), so
+  /// benches keep using ValueQueryStats.
+  Status TracedValueQueryStats(const ValueInterval& query, QueryStats* out);
+
+  /// One subfield the filtering step selected for an explained query.
+  /// `matching_cells` counts cells inside [start, end) whose own value
+  /// interval really intersects the query — the rest are the false
+  /// positives the paper's cost model trades for a smaller tree.
+  struct ExplainSubfield {
+    uint32_t id = 0;
+    uint64_t start = 0;  // [start, end) positions in the clustered store
+    uint64_t end = 0;
+    ValueInterval interval;
+    uint64_t cells = 0;
+    uint64_t matching_cells = 0;
+  };
+
+  /// The full query plan + execution profile produced by
+  /// ExplainValueQuery.
+  struct ExplainResult {
+    IndexMethod method = IndexMethod::kLinearScan;
+    ValueInterval query;
+    /// Executed-query measurements; `stats.trace` holds the phase spans.
+    QueryStats stats;
+    /// Subfields touched, in store order. Empty for methods without a
+    /// subfield partition (LinearScan, I-All, RowIp).
+    std::vector<ExplainSubfield> subfields;
+    /// (candidates - answers) / candidates; 0 when there were no
+    /// candidates.
+    double false_positive_ratio = 0.0;
+    /// R*-tree descent profile of the filtering step.
+    uint64_t rtree_nodes_visited = 0;
+    uint32_t rtree_height = 0;
+    /// What the simulated 2002 disk would charge for this query's
+    /// physical read pattern (DiskModel on sequential/random reads).
+    double est_disk_ms = 0.0;
+
+    std::string ToString() const;
+    std::string ToJson() const;
+  };
+
+  /// EXPLAIN for a value query: runs the query cold (buffer pool
+  /// cleared) with tracing on, then annotates the result with the
+  /// subfields the filter chose, their false-positive ratios, the
+  /// R*-tree descent count, and the disk-model cost of the observed I/O.
+  /// Metrics recording is forced on for the duration (EXPLAIN is
+  /// explicitly diagnostic); the previous enabled state is restored.
+  Status ExplainValueQuery(const ValueInterval& query, ExplainResult* out);
+
   /// One hit of a nearest-value query.
   struct NearestCell {
     CellId id = kInvalidCellId;
@@ -188,18 +242,23 @@ class FieldDatabase {
   /// Shared Q2 dispatch: filter + estimate for indexed methods, fused
   /// scan for LinearScan, and the degraded path — a corrupt index page
   /// during filtering downgrades the query to a full store scan (the
-  /// store holds the truth; the index is only an accelerator).
+  /// store holds the truth; the index is only an accelerator). A non-null
+  /// `trace` records the pipeline phases as spans.
   Status AnswerValueQuery(const ValueInterval& query, Region* region,
-                          QueryStats* stats);
+                          QueryStats* stats, QueryTrace* trace = nullptr);
 
+  /// When `est_seconds` is non-null, the pure estimation work (inverse
+  /// interpolation / interval tests, no I/O) is timed per cell and
+  /// accumulated there so the fetch and estimate phases can be reported
+  /// as separate spans.
   Status EstimateCandidates(const std::vector<uint64_t>& positions,
                             const ValueInterval& query, Region* region,
-                            QueryStats* stats);
+                            QueryStats* stats, double* est_seconds = nullptr);
 
   /// Single-pass scan-and-estimate used for the LinearScan method (the
   /// paper's baseline touches every store page exactly once).
   Status FusedScanQuery(const ValueInterval& query, Region* region,
-                        QueryStats* stats);
+                        QueryStats* stats, double* est_seconds = nullptr);
 
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;

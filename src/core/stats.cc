@@ -1,17 +1,31 @@
 #include "core/stats.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace fielddb {
 
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
 std::string WorkloadStats::ToString() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "queries=%u avg_ms=%.4f avg_candidates=%.1f "
-                "avg_answer_cells=%.1f avg_logical_reads=%.1f "
-                "avg_physical_reads=%.1f",
-                num_queries, avg_wall_ms, avg_candidates, avg_answer_cells,
-                avg_logical_reads, avg_physical_reads);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "queries=%u avg_ms=%.4f p50_ms=%.4f p99_ms=%.4f max_ms=%.4f "
+      "avg_candidates=%.1f avg_answer_cells=%.1f avg_logical_reads=%.1f "
+      "avg_physical_reads=%.1f avg_index_fallbacks=%.3f "
+      "avg_read_retries=%.3f avg_failed_reads=%.3f",
+      num_queries, avg_wall_ms, p50_wall_ms, p99_wall_ms, max_wall_ms,
+      avg_candidates, avg_answer_cells, avg_logical_reads,
+      avg_physical_reads, avg_index_fallbacks, avg_read_retries,
+      avg_failed_reads);
   return buf;
 }
 

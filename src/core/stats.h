@@ -3,11 +3,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "storage/io_stats.h"
 
 namespace fielddb {
+
+class QueryTrace;
 
 /// Per-query measurements — everything needed to reproduce the paper's
 /// curves and to diagnose them (the figures plot wall time; page counts
@@ -24,6 +28,9 @@ struct QueryStats {
   /// was answered by a full store scan instead (degraded mode).
   uint64_t index_fallbacks = 0;
   IoStats io;  // page traffic attributable to this query
+  /// Per-phase spans (obs/trace.h) when the query ran traced (EXPLAIN
+  /// or TracedValueQueryStats); null on the plain query path.
+  std::shared_ptr<QueryTrace> trace;
 
   void Accumulate(const QueryStats& q) {
     wall_seconds += q.wall_seconds;
@@ -31,14 +38,7 @@ struct QueryStats {
     answer_cells += q.answer_cells;
     region_pieces += q.region_pieces;
     index_fallbacks += q.index_fallbacks;
-    io.logical_reads += q.io.logical_reads;
-    io.physical_reads += q.io.physical_reads;
-    io.sequential_reads += q.io.sequential_reads;
-    io.writes += q.io.writes;
-    io.evictions += q.io.evictions;
-    io.read_retries += q.io.read_retries;
-    io.failed_reads += q.io.failed_reads;
-    io.failed_writes += q.io.failed_writes;
+    io += q.io;  // IoStats::operator+= keeps every counter in the rollup
   }
 };
 
@@ -58,16 +58,35 @@ struct DiskModel {
   }
 };
 
-/// Averages over a query workload (one point on a paper figure).
+/// Nearest-rank percentile of an ascending-sorted sample vector;
+/// `p` in [0, 100]. 0 for an empty vector.
+double PercentileOfSorted(const std::vector<double>& sorted, double p);
+
+/// Averages (plus wall-time distribution) over a query workload — one
+/// point on a paper figure, or one `BENCH_*.json` point.
 struct WorkloadStats {
   uint32_t num_queries = 0;
   double avg_wall_ms = 0.0;
+  /// Wall-time distribution across the workload's queries (exact
+  /// nearest-rank percentiles, not bucketized).
+  double p50_wall_ms = 0.0;
+  double p90_wall_ms = 0.0;
+  double p99_wall_ms = 0.0;
+  double max_wall_ms = 0.0;
   double avg_candidates = 0.0;
   double avg_answer_cells = 0.0;
   double avg_logical_reads = 0.0;
   double avg_physical_reads = 0.0;
   double avg_sequential_reads = 0.0;
   double avg_random_reads = 0.0;
+  /// Robustness signals, averaged per query: degraded-mode full scans,
+  /// transient read faults absorbed by retry, and reads that failed for
+  /// good. All 0 on a healthy run — nonzero values mean the wall-time
+  /// averages describe a degraded system and must not be compared
+  /// against healthy baselines.
+  double avg_index_fallbacks = 0.0;
+  double avg_read_retries = 0.0;
+  double avg_failed_reads = 0.0;
 
   /// Average per-query I/O time under `model` — wall time plus this is
   /// what the figures' disk-bound shapes reflect.

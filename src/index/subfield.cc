@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace fielddb {
 
 SubfieldCostModel::SubfieldCostModel(const ValueInterval& value_range,
@@ -62,6 +64,19 @@ std::vector<Subfield> BuildSubfields(
     }
   }
   subfields.push_back(current);
+
+  // Partition-shape telemetry: the subfield count and size distribution
+  // are what the paper's cost model trades off (few large subfields =>
+  // cheap tree, many false positives), so expose them per build.
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.GetCounter("subfield.builds")->Increment();
+  reg.GetCounter("subfield.subfields_built")->Increment(subfields.size());
+  reg.GetGauge("subfield.last_partition_size")
+      ->Set(static_cast<double>(subfields.size()));
+  Histogram* sizes = reg.GetHistogram("subfield.cells_per_subfield");
+  for (const Subfield& sf : subfields) {
+    sizes->Record(static_cast<double>(sf.NumCells()));
+  }
   return subfields;
 }
 

@@ -1,0 +1,237 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace fielddb {
+
+namespace metrics_internal {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace metrics_internal
+
+namespace {
+
+/// Single-writer accumulate/max for atomic<double>: a relaxed
+/// load+store pair, matching the recording model documented in
+/// metrics.h (one recording thread; readers only need torn-free loads).
+void SingleWriterAdd(std::atomic<double>* a, double v) {
+  a->store(a->load(std::memory_order_relaxed) + v,
+           std::memory_order_relaxed);
+}
+
+void SingleWriterMax(std::atomic<double>* a, double v) {
+  if (a->load(std::memory_order_relaxed) < v) {
+    a->store(v, std::memory_order_relaxed);
+  }
+}
+
+/// "storage.pool.read_latency_us" -> "fielddb_storage_pool_read_latency_us".
+std::string PromName(const std::string& name) {
+  std::string out = "fielddb_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(uint64_t n) {
+  // n is in [1, 2^kMaxOctave). Values below 2^kSubBits get exact
+  // single-value buckets; above, each power-of-two octave is split into
+  // 2^kSubBits linear sub-buckets.
+  const int k = std::bit_width(n) - 1;
+  if (k < kSubBits) return static_cast<int>(n);
+  const int sub = static_cast<int>((n >> (k - kSubBits)) & ((1 << kSubBits) - 1));
+  return ((k - kSubBits + 1) << kSubBits) + sub;
+}
+
+double Histogram::BucketMidpoint(int idx) {
+  if (idx < (1 << kSubBits)) return idx;
+  const int k = (idx >> kSubBits) + kSubBits - 1;
+  const int sub = idx & ((1 << kSubBits) - 1);
+  const double lower =
+      std::ldexp(static_cast<double>((1 << kSubBits) + sub), k - kSubBits);
+  const double width = std::ldexp(1.0, k - kSubBits);
+  return lower + width / 2.0;
+}
+
+void Histogram::Record(double value) {
+  if (!MetricsRegistry::enabled()) return;
+  if (!std::isfinite(value)) return;
+  uint64_t n = value <= 1.0 ? 1 : static_cast<uint64_t>(std::llround(value));
+  const uint64_t top = (uint64_t{1} << kMaxOctave) - 1;
+  if (n > top) n = top;
+  std::atomic<uint64_t>& bucket = buckets_[BucketIndex(n)];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  count_.store(count_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  SingleWriterAdd(&sum_, value < 0 ? 0 : value);
+  SingleWriterMax(&max_, value < 0 ? 0 : value);
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                                  static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Never report beyond the true max (the top bucket spans past it).
+      return std::min(BucketMidpoint(i), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = PromName(name);
+    out += "# TYPE " + pn + " counter\n" + pn + " " +
+           std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = PromName(name);
+    out += "# TYPE " + pn + " gauge\n" + pn + " ";
+    AppendDouble(&out, g->value());
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = PromName(name);
+    out += "# TYPE " + pn + " summary\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      char qbuf[16];
+      std::snprintf(qbuf, sizeof(qbuf), "%g", q);
+      out += pn + "{quantile=\"" + qbuf + "\"} ";
+      AppendDouble(&out, h->Percentile(q * 100.0));
+      out += "\n";
+    }
+    out += pn + "_sum ";
+    AppendDouble(&out, h->sum());
+    out += "\n" + pn + "_count " + std::to_string(h->count()) + "\n";
+    out += pn + "_max ";
+    AppendDouble(&out, h->max());
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    JsonAppendString(&out, name);
+    out += ": " + std::to_string(c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    JsonAppendString(&out, name);
+    out += ": ";
+    JsonAppendDouble(&out, g->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    JsonAppendString(&out, name);
+    out += ": {\"count\": " + std::to_string(h->count());
+    out += ", \"sum\": ";
+    JsonAppendDouble(&out, h->sum());
+    out += ", \"mean\": ";
+    JsonAppendDouble(&out, h->mean());
+    out += ", \"p50\": ";
+    JsonAppendDouble(&out, h->Percentile(50));
+    out += ", \"p90\": ";
+    JsonAppendDouble(&out, h->Percentile(90));
+    out += ", \"p99\": ";
+    JsonAppendDouble(&out, h->Percentile(99));
+    out += ", \"max\": ";
+    JsonAppendDouble(&out, h->max());
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+void MetricsRegistry::set_enabled(bool enabled) {
+  metrics_internal::g_metrics_enabled.store(enabled,
+                                            std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::enabled() { return metrics_internal::Enabled(); }
+
+}  // namespace fielddb

@@ -1,0 +1,66 @@
+#ifndef FIELDDB_OBS_REPORT_H_
+#define FIELDDB_OBS_REPORT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/stats.h"
+#include "index/value_index.h"
+
+namespace fielddb {
+
+/// Machine-readable benchmark telemetry. Every figure bench (and
+/// `fielddb_cli bench`) funnels its results through a BenchReport: the
+/// human tables printed to stdout and the `BENCH_<id>.json` file are two
+/// renderings of the same struct, so they cannot drift apart. The JSON
+/// schema is documented in DESIGN.md and validated by
+/// tools/check_bench_json.py (run by the bench_smoke CTest).
+
+/// One point of one series: a workload at a query-interval fraction.
+struct BenchPoint {
+  double qinterval = 0.0;
+  WorkloadStats stats;
+};
+
+/// One method's sweep across the Qinterval axis.
+struct BenchSeries {
+  std::string method;
+  IndexBuildInfo build;
+  std::vector<BenchPoint> points;
+};
+
+struct BenchReport {
+  /// Short stable id ("fig8a", "smoke"); names the output file
+  /// BENCH_<bench_id>.json. Empty = don't write a file.
+  std::string bench_id;
+  std::string title;
+  uint64_t field_cells = 0;
+  double value_min = 0.0;
+  double value_max = 0.0;
+  uint32_t num_queries = 0;
+  uint64_t workload_seed = 0;
+  /// Measured cost of leaving the metrics registry enabled, as a percent
+  /// of avg query wall time (same workload run with recording off, then
+  /// on). Negative values are timing noise around zero; NaN = not
+  /// measured (rendered as JSON null).
+  double metrics_overhead_pct = std::numeric_limits<double>::quiet_NaN();
+  DiskModel disk;
+  std::vector<BenchSeries> series;
+
+  std::string ToJson() const;
+  /// Writes ToJson() to `path` (truncating).
+  Status WriteJson(const std::string& path) const;
+};
+
+/// Prints the report the way the figure benches always have: build
+/// lines, then one table per quantity (wall ms, avg pages, simulated
+/// disk ms) with a Qinterval row per point, then the
+/// I-Hilbert-vs-LinearScan speedup summary when both series are present.
+void PrintBenchReport(const BenchReport& report);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_OBS_REPORT_H_

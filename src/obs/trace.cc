@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace fielddb {
+
+const TraceSpan* QueryTrace::Find(std::string_view name) const {
+  for (const TraceSpan& s : spans_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double QueryTrace::TotalWallSeconds() const {
+  double total = 0.0;
+  for (const TraceSpan& s : spans_) total += s.wall_seconds;
+  return total;
+}
+
+IoStats QueryTrace::TotalIo() const {
+  IoStats total;
+  for (const TraceSpan& s : spans_) total += s.io;
+  return total;
+}
+
+std::string QueryTrace::ToString() const {
+  std::string out = "trace\n";
+  char buf[256];
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    const char* branch = (i + 1 == spans_.size()) ? "`-" : "|-";
+    std::snprintf(buf, sizeof(buf),
+                  "%s %-9s %9.3f ms  logical=%llu physical=%llu "
+                  "sequential=%llu items=%llu%s%s\n",
+                  branch, s.name.c_str(), s.wall_seconds * 1000.0,
+                  static_cast<unsigned long long>(s.io.logical_reads),
+                  static_cast<unsigned long long>(s.io.physical_reads),
+                  static_cast<unsigned long long>(s.io.sequential_reads),
+                  static_cast<unsigned long long>(s.items),
+                  s.detail.empty() ? "" : "  ", s.detail.c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "= total     %9.3f ms  logical=%llu physical=%llu\n",
+                TotalWallSeconds() * 1000.0,
+                static_cast<unsigned long long>(TotalIo().logical_reads),
+                static_cast<unsigned long long>(TotalIo().physical_reads));
+  out += buf;
+  return out;
+}
+
+std::string QueryTrace::ToJson() const {
+  std::string out = "{\"spans\": [";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    if (i > 0) out += ", ";
+    out += "{\"name\": ";
+    JsonAppendString(&out, s.name);
+    out += ", \"wall_ms\": ";
+    JsonAppendDouble(&out, s.wall_seconds * 1000.0);
+    out += ", \"logical_reads\": " + std::to_string(s.io.logical_reads);
+    out += ", \"physical_reads\": " + std::to_string(s.io.physical_reads);
+    out += ", \"sequential_reads\": " + std::to_string(s.io.sequential_reads);
+    out += ", \"items\": " + std::to_string(s.items);
+    if (!s.detail.empty()) {
+      out += ", \"detail\": ";
+      JsonAppendString(&out, s.detail);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+ScopedSpan::ScopedSpan(QueryTrace* trace, const char* name,
+                       const IoStats* live_io)
+    : trace_(trace), live_io_(live_io) {
+  if (trace_ == nullptr) return;
+  span_.name = name;
+  io_start_ = *live_io_;
+  t0_ = std::chrono::steady_clock::now();
+}
+
+void ScopedSpan::Finish() {
+  if (trace_ == nullptr) return;
+  span_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count() -
+      deduct_;
+  if (span_.wall_seconds < 0) span_.wall_seconds = 0;
+  span_.io = *live_io_ - io_start_;
+  trace_->AddSpan(std::move(span_));
+  trace_ = nullptr;
+}
+
+}  // namespace fielddb

@@ -1,0 +1,88 @@
+#ifndef FIELDDB_OBS_TRACE_H_
+#define FIELDDB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/io_stats.h"
+
+namespace fielddb {
+
+/// One phase of a query's execution. The engine records the paper's
+/// three-step pipeline — "filter" (index search), "fetch" (candidate
+/// retrieval from the clustered store) and "estimate" (inverse
+/// interpolation over fetched cells) — but the model is generic: a span
+/// is any named stretch of work with a wall time, the page I/O it
+/// caused, and a phase-specific output cardinality.
+struct TraceSpan {
+  std::string name;
+  double wall_seconds = 0.0;
+  IoStats io;          // page traffic attributable to this span
+  uint64_t items = 0;  // e.g. candidates for "filter", answers for "estimate"
+  std::string detail;  // free-form annotation, e.g. "subfields=12"
+};
+
+/// An ordered list of spans attached to one query execution. Spans do
+/// not overlap: their I/O deltas sum exactly to the query's IoStats
+/// (asserted by tests/explain_test.cc), and their wall times sum to the
+/// query wall time minus the untraced glue between phases.
+class QueryTrace {
+ public:
+  void AddSpan(TraceSpan span) { spans_.push_back(std::move(span)); }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const TraceSpan* Find(std::string_view name) const;
+
+  double TotalWallSeconds() const;
+  IoStats TotalIo() const;
+
+  void Clear() { spans_.clear(); }
+
+  /// Human-readable tree, one line per span.
+  std::string ToString() const;
+  /// {"spans":[{"name":...,"wall_ms":...,"logical_reads":...,...}]}
+  std::string ToJson() const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+/// RAII span recorder. Snapshots the wall clock and `*live_io` (a
+/// stable pointer into the live IoStats being mutated underneath, e.g.
+/// BufferPool::stats()) at construction; Finish()/destruction appends
+/// the deltas to the trace. A null `trace` makes every operation a
+/// no-op, so untraced query paths pay one branch per phase.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, const char* name, const IoStats* live_io);
+  ~ScopedSpan() { Finish(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_items(uint64_t n) { span_.items = n; }
+  void set_detail(std::string d) { span_.detail = std::move(d); }
+
+  /// Moves `seconds` of this span's wall time out of it — used when a
+  /// nested phase (e.g. "estimate" inside the fetch scan) is timed
+  /// separately and reported as its own span.
+  void DeductWallSeconds(double seconds) { deduct_ += seconds; }
+
+  /// Records the span now (idempotent; also called by the destructor).
+  void Finish();
+
+ private:
+  QueryTrace* trace_ = nullptr;
+  const IoStats* live_io_ = nullptr;
+  TraceSpan span_;
+  IoStats io_start_;
+  double deduct_ = 0.0;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_OBS_TRACE_H_

@@ -24,6 +24,10 @@ RStarTree<Dim>::RStarTree(BufferPool* pool, const RStarOptions& options)
   reinsert_count_ = std::max<uint32_t>(
       1, static_cast<uint32_t>(options.reinsert_fraction * max_entries_));
   if (reinsert_count_ >= max_entries_) reinsert_count_ = max_entries_ - 1;
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  m_node_visits_ = reg.GetCounter("rtree.node_visits");
+  m_reinserts_ = reg.GetCounter("rtree.reinserts");
+  m_splits_ = reg.GetCounter("rtree.splits");
 }
 
 template <int Dim>
@@ -167,6 +171,7 @@ size_t RStarTree<Dim>::ChooseSubtree(const Node& node,
 
 template <int Dim>
 StatusOr<RTreeEntry<Dim>> RStarTree<Dim>::SplitNode(Node* node) {
+  m_splits_->Increment();
   std::vector<Entry>& entries = node->entries;
   const size_t total = entries.size();
   const size_t m = min_entries_;
@@ -298,6 +303,7 @@ Status RStarTree<Dim>::InsertRec(PageId page_id, const PendingInsert& ins,
     if (may_reinsert) {
       // Forced reinsert: remove the reinsert_count_ entries whose centers
       // are farthest from the node's center, re-add them from the top.
+      m_reinserts_->Increment();
       (*reinserted_at_level)[node.level] = true;
       const BoxT node_box = NodeBox(node);
       std::vector<std::pair<double, size_t>> by_dist;
@@ -471,6 +477,7 @@ template <int Dim>
 Status RStarTree<Dim>::SearchRec(PageId page_id, const BoxT& query,
                                  const Visitor& visit,
                                  bool* keep_going) const {
+  m_node_visits_->Increment();
   Node node;
   FIELDDB_RETURN_IF_ERROR(LoadNode(page_id, &node));
   for (const Entry& e : node.entries) {
@@ -533,6 +540,7 @@ Status RStarTree<Dim>::NearestNeighbors(
       out->push_back(Neighbor{item.entry, item.distance2});
       continue;
     }
+    m_node_visits_->Increment();
     FIELDDB_RETURN_IF_ERROR(LoadNode(item.page, &node));
     for (const Entry& e : node.entries) {
       const double d2 = e.box.MinDist2(point);

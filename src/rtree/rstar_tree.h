@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "rtree/box.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
@@ -185,6 +186,13 @@ class RStarTree {
   uint32_t min_entries_;
   uint32_t reinsert_count_;
   std::vector<PageId> free_pages_;
+
+  // Process-wide observability counters (obs/metrics.h), shared by every
+  // tree: search-time node visits explain filtering I/O, reinserts and
+  // splits expose update-path churn.
+  Counter* m_node_visits_;
+  Counter* m_reinserts_;
+  Counter* m_splits_;
 };
 
 // Instantiated in rstar_tree.cc for the dimensions the library uses.

@@ -38,8 +38,28 @@ void PinnedPage::Release() {
   }
 }
 
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
 BufferPool::BufferPool(PageFile* file, size_t capacity)
-    : file_(file), capacity_(capacity == 0 ? 1 : capacity) {}
+    : file_(file), capacity_(capacity == 0 ? 1 : capacity) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  m_logical_reads_ = reg.GetCounter("storage.pool.logical_reads");
+  m_physical_reads_ = reg.GetCounter("storage.pool.physical_reads");
+  m_evictions_ = reg.GetCounter("storage.pool.evictions");
+  m_read_retries_ = reg.GetCounter("storage.pool.read_retries");
+  m_failed_reads_ = reg.GetCounter("storage.pool.failed_reads");
+  m_failed_writes_ = reg.GetCounter("storage.pool.failed_writes");
+  m_read_latency_us_ = reg.GetHistogram("storage.pool.read_latency_us");
+  m_write_latency_us_ = reg.GetHistogram("storage.pool.write_latency_us");
+}
 
 BufferPool::~BufferPool() {
   if (closed_) return;
@@ -65,12 +85,16 @@ Status BufferPool::ReadWithRetry(PageId id, Page* out) {
                         attempt < kMaxReadRetries;
        ++attempt) {
     ++stats_.read_retries;
+    m_read_retries_->Increment();
     // Capped exponential backoff: 64us, 128us, 256us. Long enough to
     // ride out a transient stall, short enough not to dominate tests.
     std::this_thread::sleep_for(std::chrono::microseconds(64) * (1 << attempt));
     s = file_->Read(id, out);
   }
-  if (!s.ok()) ++stats_.failed_reads;
+  if (!s.ok()) {
+    ++stats_.failed_reads;
+    m_failed_reads_->Increment();
+  }
   return s;
 }
 
@@ -79,6 +103,7 @@ Status BufferPool::Fetch(PageId id, PinnedPage* out) {
     return Status::FailedPrecondition("buffer pool is closed");
   }
   ++stats_.logical_reads;
+  m_logical_reads_->Increment();
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     Frame& f = it->second;
@@ -92,11 +117,20 @@ Status BufferPool::Fetch(PageId id, PinnedPage* out) {
   }
   FIELDDB_RETURN_IF_ERROR(EnsureCapacity());
   ++stats_.physical_reads;
+  m_physical_reads_->Increment();
   if (id == last_physical_read_ + 1) ++stats_.sequential_reads;
   last_physical_read_ = id;
   Frame frame;
   frame.page = Page(file_->page_size());
-  FIELDDB_RETURN_IF_ERROR(ReadWithRetry(id, &frame.page));
+  const bool time_read = MetricsRegistry::enabled() &&
+                         stats_.physical_reads % kLatencySampleEvery == 0;
+  if (time_read) {
+    const auto t0 = std::chrono::steady_clock::now();
+    FIELDDB_RETURN_IF_ERROR(ReadWithRetry(id, &frame.page));
+    m_read_latency_us_->Record(MicrosSince(t0));
+  } else {
+    FIELDDB_RETURN_IF_ERROR(ReadWithRetry(id, &frame.page));
+  }
   frame.pin_count = 1;
   frames_.emplace(id, std::move(frame));
   *out = PinnedPage(this, id);
@@ -131,11 +165,16 @@ void BufferPool::Unpin(PageId id) {
 
 Status BufferPool::WriteBack(PageId id, Frame& frame) {
   if (frame.dirty) {
+    const bool time_write = MetricsRegistry::enabled();
+    const auto t0 = time_write ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
     const Status s = file_->Write(id, frame.page);
     if (!s.ok()) {
       ++stats_.failed_writes;
+      m_failed_writes_->Increment();
       return s;
     }
+    if (time_write) m_write_latency_us_->Record(MicrosSince(t0));
     frame.dirty = false;
     ++stats_.writes;
   }
@@ -164,6 +203,7 @@ Status BufferPool::EnsureCapacity() {
   }
   frames_.erase(victim);
   ++stats_.evictions;
+  m_evictions_->Increment();
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
@@ -126,6 +127,20 @@ class BufferPool {
   IoStats stats_;
   // Previous physical read's page id, for sequential-read accounting.
   PageId last_physical_read_ = kInvalidPageId - 1;
+
+  // Process-wide instruments (registered once per pool; cheap relaxed
+  // updates on the hot path, see obs/metrics.h). Physical-read latency
+  // is sampled 1-in-kLatencySampleEvery to keep the clock calls off the
+  // common path; write-backs are rare enough to time every one.
+  static constexpr uint64_t kLatencySampleEvery = 16;
+  Counter* m_logical_reads_;
+  Counter* m_physical_reads_;
+  Counter* m_evictions_;
+  Counter* m_read_retries_;
+  Counter* m_failed_reads_;
+  Counter* m_failed_writes_;
+  Histogram* m_read_latency_us_;
+  Histogram* m_write_latency_us_;
 };
 
 }  // namespace fielddb

@@ -31,6 +31,21 @@ struct IoStats {
 
   void Reset() { *this = IoStats{}; }
 
+  /// Field-wise accumulation. QueryStats::Accumulate and the trace/bench
+  /// aggregators all go through this, so adding a counter here is the
+  /// single place it must be added to stay in every rollup.
+  IoStats& operator+=(const IoStats& o) {
+    logical_reads += o.logical_reads;
+    physical_reads += o.physical_reads;
+    sequential_reads += o.sequential_reads;
+    writes += o.writes;
+    evictions += o.evictions;
+    read_retries += o.read_retries;
+    failed_reads += o.failed_reads;
+    failed_writes += o.failed_writes;
+    return *this;
+  }
+
   IoStats operator-(const IoStats& o) const {
     return IoStats{logical_reads - o.logical_reads,
                    physical_reads - o.physical_reads,

@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "storage/crc32c.h"
 
 namespace fielddb {
@@ -108,6 +109,8 @@ Status DiskPageFile::Read(PageId id, Page* out) const {
       std::fread(slot.data(), 1, slot.size(), file_) != slot.size()) {
     return Status::IOError("read failed for page " + std::to_string(id));
   }
+  static Counter* const corrupt_reads =
+      MetricsRegistry::Default().GetCounter("storage.file.corrupt_page_reads");
   uint32_t stored_crc = 0;
   uint32_t stored_epoch = 0;
   uint64_t stored_id = 0;
@@ -116,14 +119,17 @@ Status DiskPageFile::Read(PageId id, Page* out) const {
   std::memcpy(&stored_id, slot.data() + 8, sizeof(stored_id));
   const uint32_t actual = Crc32c(slot.data() + 4, slot.size() - 4);
   if (UnmaskCrc(stored_crc) != actual) {
+    corrupt_reads->Increment();
     return Status::Corruption("checksum mismatch on page " +
                               std::to_string(id));
   }
   if (stored_id != id) {
+    corrupt_reads->Increment();
     return Status::Corruption("misdirected page: slot " + std::to_string(id) +
                               " holds page " + std::to_string(stored_id));
   }
   if (epoch_ != 0 && stored_epoch != epoch_) {
+    corrupt_reads->Increment();
     return Status::Corruption(
         "epoch mismatch on page " + std::to_string(id) + ": stored " +
         std::to_string(stored_epoch) + ", expected " + std::to_string(epoch_));

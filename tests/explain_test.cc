@@ -1,0 +1,178 @@
+// Tests for the per-query trace spans (obs/trace.h threaded through
+// FieldDatabase) and the EXPLAIN path. The load-bearing invariants:
+// span I/O deltas sum exactly to the query's IoStats, and the EXPLAIN
+// subfield list agrees with what the filter actually produced.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/field_database.h"
+#include "gen/fractal.h"
+#include "obs/trace.h"
+
+namespace fielddb {
+namespace {
+
+StatusOr<GridField> MakeDem() {
+  FractalOptions options;
+  options.size_exp = 6;  // 64x64 = 4096 cells
+  options.roughness_h = 0.7;
+  options.seed = 20020613;
+  return MakeFractalField(options);
+}
+
+StatusOr<std::unique_ptr<FieldDatabase>> MakeDb(IndexMethod method) {
+  StatusOr<GridField> dem = MakeDem();
+  if (!dem.ok()) return dem.status();
+  FieldDatabaseOptions options;
+  options.method = method;
+  options.build_spatial_index = false;
+  return FieldDatabase::Build(*dem, options);
+}
+
+ValueInterval MidBand(const FieldDatabase& db, double lo_frac,
+                      double hi_frac) {
+  const ValueInterval& vr = db.value_range();
+  const double span = vr.max - vr.min;
+  return ValueInterval{vr.min + lo_frac * span, vr.min + hi_frac * span};
+}
+
+TEST(TraceTest, ScopedSpanIsNoOpWithoutTrace) {
+  IoStats io;
+  ScopedSpan span(nullptr, "filter", &io);
+  span.set_items(5);
+  span.Finish();  // must not crash or dereference anything
+}
+
+TEST(TraceTest, SpanIoDeltasSumToQueryIo) {
+  auto db = MakeDb(IndexMethod::kIHilbert);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const ValueInterval band = MidBand(**db, 0.30, 0.45);
+
+  QueryStats qs;
+  ASSERT_TRUE((*db)->TracedValueQueryStats(band, &qs).ok());
+  ASSERT_NE(qs.trace, nullptr);
+
+  // The indexed pipeline records its three phases, in order.
+  ASSERT_EQ(qs.trace->spans().size(), 3u);
+  EXPECT_EQ(qs.trace->spans()[0].name, "filter");
+  EXPECT_EQ(qs.trace->spans()[1].name, "fetch");
+  EXPECT_EQ(qs.trace->spans()[2].name, "estimate");
+
+  // Phase I/O deltas account for the query's I/O exactly: the spans are
+  // contiguous and nothing else touches the pool in between.
+  const IoStats total = qs.trace->TotalIo();
+  EXPECT_EQ(total.logical_reads, qs.io.logical_reads);
+  EXPECT_EQ(total.physical_reads, qs.io.physical_reads);
+  EXPECT_EQ(total.sequential_reads, qs.io.sequential_reads);
+
+  // The estimation phase is pure computation.
+  const TraceSpan* estimate = qs.trace->Find("estimate");
+  ASSERT_NE(estimate, nullptr);
+  EXPECT_EQ(estimate->io.logical_reads, 0u);
+  EXPECT_EQ(estimate->items, qs.answer_cells);
+
+  const TraceSpan* filter = qs.trace->Find("filter");
+  ASSERT_NE(filter, nullptr);
+  EXPECT_EQ(filter->items, qs.candidate_cells);
+
+  // Span wall times are disjoint pieces of the query wall time.
+  EXPECT_LE(qs.trace->TotalWallSeconds(), qs.wall_seconds + 1e-9);
+
+  // Renderings exist and mention every phase.
+  const std::string text = qs.trace->ToString();
+  const std::string json = qs.trace->ToJson();
+  for (const char* phase : {"filter", "fetch", "estimate"}) {
+    EXPECT_NE(text.find(phase), std::string::npos) << phase;
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+  }
+}
+
+TEST(TraceTest, LinearScanTracesFusedPipeline) {
+  auto db = MakeDb(IndexMethod::kLinearScan);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  QueryStats qs;
+  ASSERT_TRUE(
+      (*db)->TracedValueQueryStats(MidBand(**db, 0.3, 0.5), &qs).ok());
+  ASSERT_NE(qs.trace, nullptr);
+  // No index: no filter phase, just the fused scan + estimation split.
+  EXPECT_EQ(qs.trace->Find("filter"), nullptr);
+  ASSERT_NE(qs.trace->Find("fetch"), nullptr);
+  ASSERT_NE(qs.trace->Find("estimate"), nullptr);
+  EXPECT_EQ(qs.trace->TotalIo().logical_reads, qs.io.logical_reads);
+}
+
+TEST(ExplainTest, SubfieldListMatchesActualCandidates) {
+  auto db = MakeDb(IndexMethod::kIHilbert);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const ValueInterval band = MidBand(**db, 0.40, 0.55);
+
+  FieldDatabase::ExplainResult explain;
+  ASSERT_TRUE((*db)->ExplainValueQuery(band, &explain).ok());
+  EXPECT_EQ(explain.method, IndexMethod::kIHilbert);
+  ASSERT_NE(explain.stats.trace, nullptr);
+  ASSERT_FALSE(explain.subfields.empty());
+
+  // I-Hilbert's candidates are exactly the cells of the touched
+  // subfields, and `matching_cells` applies the same intersection test
+  // the estimation step applies — so the sums must agree with the
+  // executed query's stats.
+  uint64_t cells = 0;
+  uint64_t matching = 0;
+  for (const FieldDatabase::ExplainSubfield& sf : explain.subfields) {
+    ASSERT_LT(sf.start, sf.end);
+    EXPECT_EQ(sf.cells, sf.end - sf.start);
+    EXPECT_LE(sf.matching_cells, sf.cells);
+    EXPECT_TRUE(sf.interval.Intersects(band));
+    cells += sf.cells;
+    matching += sf.matching_cells;
+  }
+  EXPECT_EQ(cells, explain.stats.candidate_cells);
+  EXPECT_EQ(matching, explain.stats.answer_cells);
+
+  // Derived quantities are consistent with the stats.
+  const double expected_fp =
+      static_cast<double>(explain.stats.candidate_cells -
+                          explain.stats.answer_cells) /
+      static_cast<double>(explain.stats.candidate_cells);
+  EXPECT_DOUBLE_EQ(explain.false_positive_ratio, expected_fp);
+  EXPECT_EQ(explain.rtree_height, (*db)->build_info().tree_height);
+  EXPECT_GE(explain.rtree_nodes_visited, 1u);
+  EXPECT_GE(explain.est_disk_ms, 0.0);
+
+  const std::string text = explain.ToString();
+  EXPECT_NE(text.find("EXPLAIN"), std::string::npos);
+  EXPECT_NE(text.find("subfields touched"), std::string::npos);
+  EXPECT_NE(text.find("filter"), std::string::npos);
+  const std::string json = explain.ToJson();
+  EXPECT_NE(json.find("\"method\":\"I-Hilbert\""), std::string::npos)
+      << json.substr(0, 200);
+  EXPECT_NE(json.find("\"subfields\":["), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+}
+
+TEST(ExplainTest, LinearScanHasNoSubfields) {
+  auto db = MakeDb(IndexMethod::kLinearScan);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  FieldDatabase::ExplainResult explain;
+  ASSERT_TRUE(
+      (*db)->ExplainValueQuery(MidBand(**db, 0.3, 0.5), &explain).ok());
+  EXPECT_TRUE(explain.subfields.empty());
+  EXPECT_EQ(explain.rtree_nodes_visited, 0u);
+  ASSERT_NE(explain.stats.trace, nullptr);
+  EXPECT_NE(explain.stats.trace->Find("fetch"), nullptr);
+}
+
+TEST(ExplainTest, EmptyIntervalRejected) {
+  auto db = MakeDb(IndexMethod::kIHilbert);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  FieldDatabase::ExplainResult explain;
+  const Status s =
+      (*db)->ExplainValueQuery(ValueInterval{1.0, 0.0}, &explain);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fielddb

@@ -1,0 +1,182 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fielddb {
+namespace {
+
+/// Every test leaves recording enabled (the process default) so the
+/// instrumented-subsystem tests running in the same binary see live
+/// counters.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { MetricsRegistry::set_enabled(true); }
+};
+
+TEST_F(MetricsTest, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(5);
+  EXPECT_EQ(c.value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsSkipped) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  MetricsRegistry::set_enabled(false);
+  c.Increment(7);
+  g.Set(9.0);
+  h.Record(42.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  MetricsRegistry::set_enabled(true);
+  c.Increment(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST_F(MetricsTest, HistogramCountSumMaxMean) {
+  Histogram h;
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);  // exact, not bucketized
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramPercentileMath) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.Record(v);
+  // Sub-bucket resolution is 1/16 of an octave: ~6% relative error, so
+  // 8% is a safe assertion bound.
+  EXPECT_NEAR(h.Percentile(50), 500.0, 500.0 * 0.08);
+  EXPECT_NEAR(h.Percentile(90), 900.0, 900.0 * 0.08);
+  EXPECT_NEAR(h.Percentile(99), 990.0, 990.0 * 0.08);
+  // The reported quantile never exceeds the true max.
+  EXPECT_LE(h.Percentile(100), 1000.0);
+  EXPECT_GE(h.Percentile(100), 990.0);
+  EXPECT_GE(h.Percentile(0), 1.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketGeometry) {
+  // Below 2^kSubBits every integer has its own bucket (exact).
+  for (uint64_t n = 1; n < (1u << Histogram::kSubBits); ++n) {
+    EXPECT_EQ(Histogram::BucketIndex(n), static_cast<int>(n));
+    EXPECT_DOUBLE_EQ(Histogram::BucketMidpoint(static_cast<int>(n)),
+                     static_cast<double>(n));
+  }
+  // Above, the midpoint stays within one sub-bucket (~6.25%) of the
+  // recorded value, and indices are monotone in the value.
+  int prev_idx = -1;
+  for (const uint64_t n :
+       {uint64_t{16}, uint64_t{17}, uint64_t{100}, uint64_t{1000},
+        uint64_t{12345}, uint64_t{1} << 20, (uint64_t{1} << 30) + 12345}) {
+    const int idx = Histogram::BucketIndex(n);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    EXPECT_GT(idx, prev_idx);
+    prev_idx = idx;
+    const double mid = Histogram::BucketMidpoint(idx);
+    EXPECT_NEAR(mid, static_cast<double>(n),
+                static_cast<double>(n) * 0.0625);
+  }
+}
+
+TEST_F(MetricsTest, HistogramClampsSubUnitValues) {
+  Histogram h;
+  h.Record(0.25);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.25);  // min(bucket midpoint, max)
+}
+
+TEST_F(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("a.b");
+  Counter* c2 = reg.GetCounter("a.b");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(reg.GetCounter("a.c"), c1);
+  // Same name as a different kind is a distinct instrument.
+  EXPECT_NE(static_cast<void*>(reg.GetGauge("a.b")),
+            static_cast<void*>(c1));
+}
+
+TEST_F(MetricsTest, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("storage.pool.reads")->Increment(3);
+  reg.GetGauge("subfield.partition")->Set(2.5);
+  Histogram* h = reg.GetHistogram("pool.read_latency_us");
+  h->Record(10);
+  h->Record(20);
+
+  const std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE fielddb_storage_pool_reads counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fielddb_storage_pool_reads 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fielddb_subfield_partition gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fielddb_subfield_partition 2.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fielddb_pool_read_latency_us summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fielddb_pool_read_latency_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("fielddb_pool_read_latency_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("fielddb_pool_read_latency_us_count 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fielddb_pool_read_latency_us_max 20\n"),
+            std::string::npos);
+}
+
+TEST_F(MetricsTest, JsonExpositionRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("q.count")->Increment(11);
+  reg.GetGauge("q.gauge")->Set(1.5);
+  Histogram* h = reg.GetHistogram("q.lat");
+  for (int v = 1; v <= 100; ++v) h->Record(v);
+
+  const std::string json = reg.ToJson();
+  // Snapshot carries every instrument with its summary fields.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"q.count\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"q.gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"q.lat\": {\"count\": 100"), std::string::npos);
+  for (const char* key : {"\"sum\"", "\"mean\"", "\"p50\"", "\"p90\"",
+                          "\"p99\"", "\"max\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+
+  // Reset zeroes values but keeps the instruments (pointer stability).
+  Counter* before = reg.GetCounter("q.count");
+  reg.Reset();
+  EXPECT_EQ(reg.GetCounter("q.count"), before);
+  EXPECT_EQ(before->value(), 0u);
+  EXPECT_NE(reg.ToJson().find("\"q.count\": 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fielddb

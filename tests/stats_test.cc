@@ -32,6 +32,39 @@ TEST(QueryStatsTest, AccumulateAddsEveryField) {
   EXPECT_EQ(a.io.evictions, 2u);
 }
 
+TEST(QueryStatsTest, AccumulateKeepsRobustnessCounters) {
+  QueryStats a;
+  a.index_fallbacks = 1;
+  a.io.read_retries = 2;
+  a.io.failed_reads = 1;
+  a.io.failed_writes = 3;
+
+  QueryStats b;
+  b.index_fallbacks = 1;
+  b.io.read_retries = 5;
+  b.io.failed_reads = 2;
+
+  a.Accumulate(b);
+  EXPECT_EQ(a.index_fallbacks, 2u);
+  EXPECT_EQ(a.io.read_retries, 7u);
+  EXPECT_EQ(a.io.failed_reads, 3u);
+  EXPECT_EQ(a.io.failed_writes, 3u);
+}
+
+TEST(IoStatsTest, PlusEqualsAddsEveryField) {
+  IoStats a{1, 2, 3, 4, 5, 6, 7, 8};
+  const IoStats b{10, 20, 30, 40, 50, 60, 70, 80};
+  a += b;
+  EXPECT_EQ(a.logical_reads, 11u);
+  EXPECT_EQ(a.physical_reads, 22u);
+  EXPECT_EQ(a.sequential_reads, 33u);
+  EXPECT_EQ(a.writes, 44u);
+  EXPECT_EQ(a.evictions, 55u);
+  EXPECT_EQ(a.read_retries, 66u);
+  EXPECT_EQ(a.failed_reads, 77u);
+  EXPECT_EQ(a.failed_writes, 88u);
+}
+
 TEST(IoStatsTest, DiffAndRandomReads) {
   const IoStats now{100, 60, 45, 5, 2};
   const IoStats before{40, 20, 15, 1, 1};
@@ -66,9 +99,32 @@ TEST(WorkloadStatsTest, ToStringContainsFields) {
   WorkloadStats ws;
   ws.num_queries = 7;
   ws.avg_wall_ms = 1.25;
+  ws.p99_wall_ms = 4.5;
+  ws.avg_index_fallbacks = 0.125;
   const std::string s = ws.ToString();
   EXPECT_NE(s.find("queries=7"), std::string::npos);
   EXPECT_NE(s.find("avg_ms=1.25"), std::string::npos);
+  EXPECT_NE(s.find("p99_ms=4.5"), std::string::npos);
+  EXPECT_NE(s.find("avg_index_fallbacks=0.125"), std::string::npos);
+  EXPECT_NE(s.find("avg_read_retries="), std::string::npos);
+  EXPECT_NE(s.find("avg_failed_reads="), std::string::npos);
+}
+
+TEST(PercentileOfSortedTest, NearestRank) {
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({5.0}, 0), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({5.0}, 100), 5.0);
+
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 50), 50.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 90), 90.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 99), 99.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 100), 100.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 1), 1.0);
+  // Out-of-range percentiles clamp.
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, -5), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 150), 100.0);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json bench telemetry against the schema in DESIGN.md.
+
+Usage: check_bench_json.py FILE [FILE...]
+Exits 0 when every file is valid; prints each violation and exits 1
+otherwise. Stdlib only — this runs inside CTest (see bench/CMakeLists.txt)
+and in CI pipelines that plot the figures from the telemetry.
+"""
+
+import json
+import math
+import sys
+
+_POINT_FIELDS = [
+    "avg_wall_ms",
+    "p50_wall_ms",
+    "p90_wall_ms",
+    "p99_wall_ms",
+    "max_wall_ms",
+    "avg_candidates",
+    "avg_answer_cells",
+    "avg_logical_reads",
+    "avg_physical_reads",
+    "avg_sequential_reads",
+    "avg_random_reads",
+    "avg_index_fallbacks",
+    "avg_read_retries",
+    "avg_failed_reads",
+    "avg_disk_model_ms",
+]
+
+_BUILD_FIELDS = [
+    "num_cells",
+    "num_index_entries",
+    "num_subfields",
+    "tree_height",
+    "tree_nodes",
+    "store_pages",
+    "build_seconds",
+]
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def error(self, where, message):
+        self.errors.append(f"{self.path}: {where}: {message}")
+
+    def require(self, obj, key, types, where):
+        if key not in obj:
+            self.error(where, f"missing key '{key}'")
+            return None
+        value = obj[key]
+        if not isinstance(value, types) or isinstance(value, bool):
+            self.error(where, f"'{key}' has type {type(value).__name__}")
+            return None
+        return value
+
+    def number(self, obj, key, where, minimum=None):
+        value = self.require(obj, key, (int, float), where)
+        if value is None:
+            return None
+        if isinstance(value, float) and not math.isfinite(value):
+            self.error(where, f"'{key}' is not finite")
+            return None
+        if minimum is not None and value < minimum:
+            self.error(where, f"'{key}' = {value} < {minimum}")
+        return value
+
+    def check(self, report):
+        self.require(report, "bench_id", str, "report")
+        self.require(report, "title", str, "report")
+        self.number(report, "field_cells", "report", minimum=1)
+        self.number(report, "num_queries", "report", minimum=1)
+        self.number(report, "workload_seed", "report", minimum=0)
+
+        vr = self.require(report, "value_range", dict, "report")
+        if vr is not None:
+            lo = self.number(vr, "min", "value_range")
+            hi = self.number(vr, "max", "value_range")
+            if lo is not None and hi is not None and lo > hi:
+                self.error("value_range", f"min {lo} > max {hi}")
+
+        # May legitimately be slightly negative (timing noise around 0)
+        # or null (not measured); only its type is constrained.
+        if "metrics_overhead_pct" not in report:
+            self.error("report", "missing key 'metrics_overhead_pct'")
+        elif report["metrics_overhead_pct"] is not None:
+            self.number(report, "metrics_overhead_pct", "report")
+
+        disk = self.require(report, "disk_model", dict, "report")
+        if disk is not None:
+            self.number(disk, "seek_ms", "disk_model", minimum=0)
+            self.number(disk, "transfer_ms_per_page", "disk_model",
+                        minimum=0)
+
+        series = self.require(report, "series", list, "report")
+        if series is None:
+            return
+        if not series:
+            self.error("report", "'series' is empty")
+        for i, ser in enumerate(series):
+            self.check_series(ser, f"series[{i}]")
+
+    def check_series(self, ser, where):
+        if not isinstance(ser, dict):
+            self.error(where, "not an object")
+            return
+        method = self.require(ser, "method", str, where)
+        if method == "":
+            self.error(where, "'method' is empty")
+
+        build = self.require(ser, "build", dict, where)
+        if build is not None:
+            for key in _BUILD_FIELDS:
+                self.number(build, key, f"{where}.build", minimum=0)
+
+        points = self.require(ser, "points", list, where)
+        if points is None:
+            return
+        if not points:
+            self.error(where, "'points' is empty")
+        for j, point in enumerate(points):
+            pwhere = f"{where}.points[{j}]"
+            if not isinstance(point, dict):
+                self.error(pwhere, "not an object")
+                continue
+            self.number(point, "qinterval", pwhere, minimum=0)
+            self.number(point, "num_queries", pwhere, minimum=1)
+            for key in _POINT_FIELDS:
+                self.number(point, key, pwhere, minimum=0)
+            p50 = point.get("p50_wall_ms")
+            mx = point.get("max_wall_ms")
+            if isinstance(p50, (int, float)) and isinstance(mx, (int, float)):
+                if p50 > mx:
+                    self.error(pwhere, f"p50_wall_ms {p50} > max_wall_ms {mx}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        checker = Checker(path)
+        try:
+            with open(path, encoding="utf-8") as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: unreadable: {e}", file=sys.stderr)
+            failed = True
+            continue
+        if not isinstance(report, dict):
+            print(f"{path}: top level is not an object", file=sys.stderr)
+            failed = True
+            continue
+        checker.check(report)
+        if checker.errors:
+            failed = True
+            for err in checker.errors:
+                print(err, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

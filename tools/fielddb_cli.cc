@@ -6,9 +6,13 @@
 //                       [--method i-hilbert|i-all|linear-scan|i-quadtree]
 //   fielddb_cli info    --db PREFIX
 //   fielddb_cli query   --db PREFIX --min W --max W [--svg FILE]
+//   fielddb_cli explain --db PREFIX --min W --max W [--format text|json]
 //   fielddb_cli isoline --db PREFIX --level W
 //   fielddb_cli point   --db PREFIX --x X --y Y
 //   fielddb_cli bench   --db PREFIX [--qinterval F] [--queries N]
+//                       [--json FILE]
+//   fielddb_cli stats   --db PREFIX [--qinterval F] [--queries N]
+//                       [--format prom|json]
 //   fielddb_cli scrub   --db PREFIX
 
 #include <cstdio>
@@ -22,6 +26,8 @@
 #include "gen/monotonic.h"
 #include "gen/noise_tin.h"
 #include "gen/workload.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 
 namespace {
 
@@ -199,6 +205,22 @@ int CmdPoint(const Args& args) {
   return 0;
 }
 
+int CmdExplain(const Args& args) {
+  auto db = FieldDatabase::Open(args.Get("db", ""));
+  if (!db.ok()) return Fail(db.status());
+  const ValueInterval band{args.GetDouble("min", 0),
+                           args.GetDouble("max", 0)};
+  FieldDatabase::ExplainResult result;
+  const Status s = (*db)->ExplainValueQuery(band, &result);
+  if (!s.ok()) return Fail(s);
+  if (args.Get("format", "text") == "json") {
+    std::printf("%s\n", result.ToJson().c_str());
+  } else {
+    std::printf("%s", result.ToString().c_str());
+  }
+  return 0;
+}
+
 int CmdBench(const Args& args) {
   auto db = FieldDatabase::Open(args.Get("db", ""));
   if (!db.ok()) return Fail(db.status());
@@ -209,8 +231,53 @@ int CmdBench(const Args& args) {
   auto ws = (*db)->RunWorkload(
       GenerateValueQueries((*db)->value_range(), wo));
   if (!ws.ok()) return Fail(ws.status());
+
+  // Same reporting path as the figure benches: a one-series, one-point
+  // BenchReport renders both the stdout tables and (with --json) the
+  // telemetry file check_bench_json.py validates.
+  BenchReport report;
+  report.bench_id = "cli";
+  report.title = "fielddb_cli bench " + args.Get("db", "");
+  report.field_cells = (*db)->build_info().num_cells;
+  report.value_min = (*db)->value_range().min;
+  report.value_max = (*db)->value_range().max;
+  report.num_queries = wo.num_queries;
+  report.workload_seed = wo.seed;
+  BenchSeries series;
+  series.method = IndexMethodName((*db)->method());
+  series.build = (*db)->build_info();
+  series.points.push_back(BenchPoint{wo.qinterval_fraction, *ws});
+  report.series.push_back(std::move(series));
+  PrintBenchReport(report);
   std::printf("%s\n", ws->ToString().c_str());
-  std::printf("simulated 2002-disk: %.1f ms/query\n", ws->AvgDiskMs());
+  if (args.Has("json")) {
+    const std::string path = args.Get("json", "BENCH_cli.json");
+    const Status w = report.WriteJson(path);
+    if (!w.ok()) return Fail(w);
+    std::printf("telemetry: %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto db = FieldDatabase::Open(args.Get("db", ""));
+  if (!db.ok()) return Fail(db.status());
+  // Drive a short workload with recording on so the snapshot holds live
+  // data for this database (pool latency percentiles need physical
+  // reads to sample).
+  MetricsRegistry::set_enabled(true);
+  WorkloadOptions wo;
+  wo.qinterval_fraction = args.GetDouble("qinterval", 0.02);
+  wo.num_queries = static_cast<uint32_t>(args.GetLong("queries", 50));
+  wo.seed = static_cast<uint64_t>(args.GetLong("seed", 2002));
+  auto ws = (*db)->RunWorkload(
+      GenerateValueQueries((*db)->value_range(), wo));
+  if (!ws.ok()) return Fail(ws.status());
+  if (args.Get("format", "prom") == "json") {
+    std::printf("%s\n", MetricsRegistry::Default().ToJson().c_str());
+  } else {
+    std::printf("%s", MetricsRegistry::Default().ToPrometheusText().c_str());
+  }
   return 0;
 }
 
@@ -231,8 +298,8 @@ int CmdScrub(const Args& args) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: fielddb_cli <gen|info|query|isoline|point|bench"
-               "|scrub> [--key value ...]\n");
+               "usage: fielddb_cli <gen|info|query|explain|isoline|point"
+               "|bench|stats|scrub> [--key value ...]\n");
 }
 
 }  // namespace
@@ -247,9 +314,11 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "info") return CmdInfo(args);
   if (cmd == "query") return CmdQuery(args);
+  if (cmd == "explain") return CmdExplain(args);
   if (cmd == "isoline") return CmdIsoline(args);
   if (cmd == "point") return CmdPoint(args);
   if (cmd == "bench") return CmdBench(args);
+  if (cmd == "stats") return CmdStats(args);
   if (cmd == "scrub") return CmdScrub(args);
   Usage();
   return 2;
