@@ -1,0 +1,192 @@
+// Thread-scaling bench for the concurrent query engine: one database
+// per method, a fixed warm-cache workload, QPS and wall-time tails as
+// the QueryExecutor pool grows through {1, 2, 4, 8} threads.
+//
+// Unlike the figure benches (cold cache per query, disk-bound shapes),
+// this bench is deliberately CPU-bound: the pool is sized to hold the
+// whole database, a warmup pass populates it, and every measured query
+// is served from memory — so the curve isolates the engine's
+// shared-reader scalability (shard locks, atomic counters) rather than
+// simulated-disk behavior. speedup_vs_1 only approaches the thread
+// count when the host actually has that many cores; the emitted
+// hardware_threads field records what the machine could do.
+//
+// Emits BENCH_scaling.json (schema validated by tools/check_bench_json.py).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/field_database.h"
+#include "core/query_executor.h"
+#include "gen/fractal.h"
+#include "gen/workload.h"
+#include "obs/json.h"
+
+namespace {
+
+using namespace fielddb;
+
+struct ScalePoint {
+  size_t threads = 0;
+  double qps = 0.0;
+  double avg_wall_ms = 0.0;
+  double p50_wall_ms = 0.0;
+  double p99_wall_ms = 0.0;
+  double speedup_vs_1 = 0.0;
+  uint64_t failed = 0;
+};
+
+struct ScaleSeries {
+  std::string method;
+  std::vector<ScalePoint> points;
+};
+
+bool Fail(const Status& s) {
+  std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  return false;
+}
+
+bool RunScaling(const Field& field, uint32_t num_queries, uint64_t seed,
+                double qinterval, std::vector<ScaleSeries>* out,
+                uint64_t* field_cells) {
+  const std::vector<IndexMethod> methods = {
+      IndexMethod::kIHilbert, IndexMethod::kIAll, IndexMethod::kLinearScan};
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  for (const IndexMethod method : methods) {
+    FieldDatabaseOptions options;
+    options.method = method;
+    // Big enough for full residency: warm-cache queries never evict, so
+    // every thread count sees the identical all-hit I/O pattern.
+    options.pool_pages = 16384;
+    StatusOr<std::unique_ptr<FieldDatabase>> db =
+        FieldDatabase::Build(field, options);
+    if (!db.ok()) return Fail(db.status());
+    *field_cells = (*db)->build_info().num_cells;
+
+    WorkloadOptions wo;
+    wo.qinterval_fraction = qinterval;
+    wo.num_queries = num_queries;
+    wo.seed = seed;
+    const std::vector<ValueInterval> queries =
+        GenerateValueQueries((*db)->value_range(), wo);
+
+    ScaleSeries series;
+    series.method = IndexMethodName(method);
+    double qps_at_1 = 0.0;
+    for (const size_t threads : thread_counts) {
+      QueryExecutor::Options eo;
+      eo.threads = threads;
+      QueryExecutor executor(db->get(), eo);
+      QueryExecutor::BatchResult warmup;
+      const Status sw = executor.RunBatch(queries, &warmup);
+      if (!sw.ok()) return Fail(sw);
+      QueryExecutor::BatchResult batch;
+      const Status sb = executor.RunBatch(queries, &batch);
+      if (!sb.ok()) return Fail(sb);
+
+      ScalePoint p;
+      p.threads = threads;
+      p.qps = batch.qps;
+      p.avg_wall_ms =
+          batch.total.wall_seconds * 1000.0 / static_cast<double>(num_queries);
+      p.p50_wall_ms = batch.p50_wall_ms;
+      p.p99_wall_ms = batch.p99_wall_ms;
+      p.failed = batch.failed;
+      if (threads == 1) qps_at_1 = batch.qps;
+      p.speedup_vs_1 = qps_at_1 > 0.0 ? batch.qps / qps_at_1 : 0.0;
+      series.points.push_back(p);
+
+      std::printf("%-12s threads=%zu qps=%9.1f p50=%8.3fms p99=%8.3fms "
+                  "speedup=%.2fx failed=%llu\n",
+                  series.method.c_str(), threads, p.qps, p.p50_wall_ms,
+                  p.p99_wall_ms, p.speedup_vs_1,
+                  static_cast<unsigned long long>(p.failed));
+    }
+    out->push_back(std::move(series));
+  }
+  return true;
+}
+
+bool WriteJson(const std::string& path, const std::vector<ScaleSeries>& series,
+               uint64_t field_cells, uint32_t num_queries, uint64_t seed,
+               double qinterval) {
+  std::string j = "{\n  \"bench_id\": \"scaling\",\n  \"title\": ";
+  JsonAppendString(&j, "Thread scaling: warm-cache value queries, "
+                       "512x512 fractal terrain");
+  j += ",\n  \"field_cells\": " + std::to_string(field_cells);
+  j += ",\n  \"num_queries\": " + std::to_string(num_queries);
+  j += ",\n  \"workload_seed\": " + std::to_string(seed);
+  j += ",\n  \"qinterval\": ";
+  JsonAppendDouble(&j, qinterval);
+  j += ",\n  \"hardware_threads\": " +
+       std::to_string(std::thread::hardware_concurrency());
+  j += ",\n  \"series\": [";
+  for (size_t si = 0; si < series.size(); ++si) {
+    const ScaleSeries& s = series[si];
+    j += si == 0 ? "\n" : ",\n";
+    j += "    {\"method\": ";
+    JsonAppendString(&j, s.method);
+    j += ", \"points\": [";
+    for (size_t pi = 0; pi < s.points.size(); ++pi) {
+      const ScalePoint& p = s.points[pi];
+      j += pi == 0 ? "\n" : ",\n";
+      j += "      {\"threads\": " + std::to_string(p.threads);
+      j += ", \"qps\": ";
+      JsonAppendDouble(&j, p.qps);
+      j += ", \"avg_wall_ms\": ";
+      JsonAppendDouble(&j, p.avg_wall_ms);
+      j += ", \"p50_wall_ms\": ";
+      JsonAppendDouble(&j, p.p50_wall_ms);
+      j += ", \"p99_wall_ms\": ";
+      JsonAppendDouble(&j, p.p99_wall_ms);
+      j += ", \"speedup_vs_1\": ";
+      JsonAppendDouble(&j, p.speedup_vs_1);
+      j += ", \"failed\": " + std::to_string(p.failed) + "}";
+    }
+    j += "\n    ]}";
+  }
+  j += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(j.data(), 1, j.size(), f) == j.size();
+  std::fclose(f);
+  if (ok) std::printf("telemetry: %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t num_queries = 240;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) num_queries = 40;
+  }
+  const uint64_t seed = 2002;
+  const double qinterval = 0.05;
+
+  StatusOr<GridField> terrain = MakeRoseburgLikeTerrain();
+  if (!terrain.ok()) {
+    std::fprintf(stderr, "%s\n", terrain.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+  std::vector<ScaleSeries> series;
+  uint64_t field_cells = 0;
+  if (!RunScaling(*terrain, num_queries, seed, qinterval, &series,
+                  &field_cells)) {
+    return 1;
+  }
+  return WriteJson("BENCH_scaling.json", series, field_cells, num_queries,
+                   seed, qinterval)
+             ? 0
+             : 1;
+}

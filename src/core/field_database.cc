@@ -9,6 +9,7 @@
 #include "field/isoband.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "storage/io_sink.h"
 
 namespace fielddb {
 
@@ -143,7 +144,7 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
 
 Status FieldDatabase::EstimateCandidates(
     const std::vector<uint64_t>& positions, const ValueInterval& query,
-    Region* region, QueryStats* stats, double* est_seconds) {
+    Region* region, QueryStats* stats, double* est_seconds) const {
   const CellStore& store = index_->cell_store();
   Status inner_status = Status::OK();
   // The pure estimation work, separated out so traced queries can time
@@ -197,7 +198,7 @@ Status FieldDatabase::EstimateCandidates(
 
 Status FieldDatabase::FusedScanQuery(const ValueInterval& query,
                                      Region* region, QueryStats* stats,
-                                     double* est_seconds) {
+                                     double* est_seconds) const {
   // The paper's 'LinearScan' is a single pass: each cell is tested and,
   // if it qualifies, interpolated immediately — there is no candidate
   // list to re-fetch. (Indexed methods genuinely pay the second touch:
@@ -235,7 +236,8 @@ Status FieldDatabase::FusedScanQuery(const ValueInterval& query,
 
 Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
                                        Region* region, QueryStats* stats,
-                                       QueryTrace* trace) {
+                                       QueryContext* ctx,
+                                       QueryTrace* trace) const {
   // Fused scan used for LinearScan and the corruption fallback. Traced,
   // it reports as a "fetch" span (the single pass is candidate retrieval
   // with estimation inlined) plus a zero-I/O "estimate" span carrying the
@@ -244,7 +246,7 @@ Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
     double est = 0.0;
     Status s;
     {
-      ScopedSpan fetch(trace, "fetch", &pool_->stats());
+      ScopedSpan fetch(trace, "fetch", &ctx->io);
       s = FusedScanQuery(query, region, stats,
                          trace != nullptr ? &est : nullptr);
       fetch.set_items(stats->candidate_cells);
@@ -265,10 +267,11 @@ Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
     return fused_scan();
   }
 
-  std::vector<uint64_t> positions;
+  std::vector<uint64_t>& positions = ctx->positions;
+  positions.clear();
   Status filter;
   {
-    ScopedSpan span(trace, "filter", &pool_->stats());
+    ScopedSpan span(trace, "filter", &ctx->io);
     filter = index_->FilterCandidates(query, &positions);
     span.set_items(positions.size());
     span.set_detail("runs=" + std::to_string(CountRuns(positions)));
@@ -277,7 +280,7 @@ Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
     // The value index is damaged but the cell store holds every answer:
     // degrade to the LinearScan path so the query still returns exact
     // results, and record the fallback for observability.
-    ++index_fallbacks_;
+    index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     DbMetrics::Get().index_fallbacks->Increment();
     stats->index_fallbacks = 1;
     stats->candidate_cells = 0;
@@ -289,7 +292,7 @@ Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
 
   double est = 0.0;
   {
-    ScopedSpan fetch(trace, "fetch", &pool_->stats());
+    ScopedSpan fetch(trace, "fetch", &ctx->io);
     fetch.set_items(positions.size());
     Status s = EstimateCandidates(positions, query, region, stats,
                                   trace != nullptr ? &est : nullptr);
@@ -307,58 +310,83 @@ Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
 }
 
 Status FieldDatabase::ValueQuery(const ValueInterval& query,
-                                 ValueQueryResult* out) {
+                                 ValueQueryResult* out) const {
+  QueryContext ctx;
+  return ValueQuery(query, out, &ctx);
+}
+
+Status FieldDatabase::ValueQuery(const ValueInterval& query,
+                                 ValueQueryResult* out,
+                                 QueryContext* ctx) const {
   if (query.IsEmpty()) {
     return Status::InvalidArgument("empty query interval");
   }
   out->region.pieces.clear();
   out->stats = QueryStats{};
   DbMetrics::Get().value_queries->Increment();
-  const IoStats io_before = pool_->stats();
+  ctx->io.Reset();
+  ScopedIoSink sink(&ctx->io);
   const auto t0 = Clock::now();
 
-  FIELDDB_RETURN_IF_ERROR(AnswerValueQuery(query, &out->region, &out->stats));
+  FIELDDB_RETURN_IF_ERROR(
+      AnswerValueQuery(query, &out->region, &out->stats, ctx));
 
   out->stats.wall_seconds = SecondsSince(t0);
-  out->stats.io = pool_->stats() - io_before;
+  out->stats.io = ctx->io;
   DbMetrics::Get().query_wall_us->Record(out->stats.wall_seconds * 1e6);
   return Status::OK();
 }
 
 Status FieldDatabase::ValueQueryStats(const ValueInterval& query,
-                                      QueryStats* out) {
+                                      QueryStats* out) const {
+  QueryContext ctx;
+  return ValueQueryStats(query, out, &ctx);
+}
+
+Status FieldDatabase::ValueQueryStats(const ValueInterval& query,
+                                      QueryStats* out,
+                                      QueryContext* ctx) const {
   if (query.IsEmpty()) {
     return Status::InvalidArgument("empty query interval");
   }
   *out = QueryStats{};
   DbMetrics::Get().value_queries->Increment();
-  const IoStats io_before = pool_->stats();
+  ctx->io.Reset();
+  ScopedIoSink sink(&ctx->io);
   const auto t0 = Clock::now();
 
-  FIELDDB_RETURN_IF_ERROR(AnswerValueQuery(query, nullptr, out));
+  FIELDDB_RETURN_IF_ERROR(AnswerValueQuery(query, nullptr, out, ctx));
 
   out->wall_seconds = SecondsSince(t0);
-  out->io = pool_->stats() - io_before;
+  out->io = ctx->io;
   DbMetrics::Get().query_wall_us->Record(out->wall_seconds * 1e6);
   return Status::OK();
 }
 
 Status FieldDatabase::TracedValueQueryStats(const ValueInterval& query,
-                                            QueryStats* out) {
+                                            QueryStats* out) const {
+  QueryContext ctx;
+  return TracedValueQueryStats(query, out, &ctx);
+}
+
+Status FieldDatabase::TracedValueQueryStats(const ValueInterval& query,
+                                            QueryStats* out,
+                                            QueryContext* ctx) const {
   if (query.IsEmpty()) {
     return Status::InvalidArgument("empty query interval");
   }
   *out = QueryStats{};
   out->trace = std::make_shared<QueryTrace>();
   DbMetrics::Get().value_queries->Increment();
-  const IoStats io_before = pool_->stats();
+  ctx->io.Reset();
+  ScopedIoSink sink(&ctx->io);
   const auto t0 = Clock::now();
 
   FIELDDB_RETURN_IF_ERROR(
-      AnswerValueQuery(query, nullptr, out, out->trace.get()));
+      AnswerValueQuery(query, nullptr, out, ctx, out->trace.get()));
 
   out->wall_seconds = SecondsSince(t0);
-  out->io = pool_->stats() - io_before;
+  out->io = ctx->io;
   DbMetrics::Get().query_wall_us->Record(out->wall_seconds * 1e6);
   return Status::OK();
 }
@@ -374,7 +402,7 @@ double IntervalDistance(const ValueInterval& iv, double w) {
 }  // namespace
 
 Status FieldDatabase::NearestValueQuery(double w, size_t k,
-                                        std::vector<NearestCell>* out) {
+                                        std::vector<NearestCell>* out) const {
   out->clear();
   if (k == 0) return Status::OK();
   const CellStore& store = index_->cell_store();
@@ -442,11 +470,13 @@ Status FieldDatabase::NearestValueQuery(double w, size_t k,
   return Status::OK();
 }
 
-Status FieldDatabase::IsolineQuery(double level, IsolineQueryResult* out) {
+Status FieldDatabase::IsolineQuery(double level,
+                                   IsolineQueryResult* out) const {
   out->isoline.polylines.clear();
   out->stats = QueryStats{};
   DbMetrics::Get().isoline_queries->Increment();
-  const IoStats io_before = pool_->stats();
+  QueryContext ctx;
+  ScopedIoSink sink(&ctx.io);
   const auto t0 = Clock::now();
 
   const ValueInterval query{level, level};
@@ -478,10 +508,10 @@ Status FieldDatabase::IsolineQuery(double level, IsolineQueryResult* out) {
   if (index_->method() == IndexMethod::kLinearScan) {
     FIELDDB_RETURN_IF_ERROR(full_scan());
   } else {
-    std::vector<uint64_t> positions;
+    std::vector<uint64_t>& positions = ctx.positions;
     const Status filter = index_->FilterCandidates(query, &positions);
     if (filter.code() == StatusCode::kCorruption) {
-      ++index_fallbacks_;
+      index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
       DbMetrics::Get().index_fallbacks->Increment();
       out->stats.index_fallbacks = 1;
       FIELDDB_RETURN_IF_ERROR(full_scan());
@@ -505,7 +535,7 @@ Status FieldDatabase::IsolineQuery(double level, IsolineQueryResult* out) {
   out->isoline = AssembleIsoline(segments);
   out->stats.region_pieces = out->isoline.polylines.size();
   out->stats.wall_seconds = SecondsSince(t0);
-  out->stats.io = pool_->stats() - io_before;
+  out->stats.io = ctx.io;
   return Status::OK();
 }
 
@@ -518,7 +548,7 @@ Status FieldDatabase::UpdateCellValues(CellId id,
   return Status::OK();
 }
 
-StatusOr<double> FieldDatabase::PointQuery(Point2 p) {
+StatusOr<double> FieldDatabase::PointQuery(Point2 p) const {
   DbMetrics::Get().point_queries->Increment();
   const CellStore& store = index_->cell_store();
   if (spatial_.has_value()) {
@@ -553,19 +583,20 @@ StatusOr<double> FieldDatabase::PointQuery(Point2 p) {
 }
 
 StatusOr<WorkloadStats> FieldDatabase::RunWorkload(
-    const std::vector<ValueInterval>& queries, bool cold_cache) {
+    const std::vector<ValueInterval>& queries, bool cold_cache) const {
   WorkloadStats ws;
   ws.num_queries = static_cast<uint32_t>(queries.size());
   if (queries.empty()) return ws;
   QueryStats total;
   std::vector<double> wall_ms;
   wall_ms.reserve(queries.size());
+  QueryContext ctx;  // one context reused: this loop is single-threaded
   for (const ValueInterval& q : queries) {
     if (cold_cache) {
       FIELDDB_RETURN_IF_ERROR(pool_->Clear());
     }
     QueryStats qs;
-    FIELDDB_RETURN_IF_ERROR(ValueQueryStats(q, &qs));
+    FIELDDB_RETURN_IF_ERROR(ValueQueryStats(q, &qs, &ctx));
     total.Accumulate(qs);
     wall_ms.push_back(qs.wall_seconds * 1000.0);
   }
@@ -616,7 +647,7 @@ Status FieldDatabase::Scrub(ScrubReport* out) {
 Status FieldDatabase::Close() { return pool_->Close(); }
 
 Status FieldDatabase::ExplainValueQuery(const ValueInterval& query,
-                                        ExplainResult* out) {
+                                        ExplainResult* out) const {
   if (query.IsEmpty()) {
     return Status::InvalidArgument("empty query interval");
   }

@@ -1,12 +1,14 @@
 #ifndef FIELDDB_CORE_FIELD_DATABASE_H_
 #define FIELDDB_CORE_FIELD_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/query_context.h"
 #include "core/stats.h"
 #include "field/field.h"
 #include "field/isoline.h"
@@ -67,6 +69,16 @@ struct IsolineQueryResult {
 /// paper:
 ///  - Q2 `ValueQuery`: F^-1([w', w'']) -> regions (the paper's subject);
 ///  - Q1 `PointQuery`: F(v') -> value, via the 2-D R*-tree over cell MBRs.
+///
+/// Threading model: every query entry point is const and safe to call
+/// from any number of threads concurrently on one open database — the
+/// core (index, spatial tree, value range) is immutable after
+/// Build/Open, the buffer pool is internally sharded, and per-query
+/// mutable state lives in a QueryContext the caller may supply (one per
+/// thread; the context-less overloads use a local). The mutating
+/// operations — UpdateCellValues, Save, Scrub, Close — are not
+/// synchronized against queries or each other; callers must exclude
+/// them externally (see DESIGN.md §11).
 class FieldDatabase {
  public:
   static StatusOr<std::unique_ptr<FieldDatabase>> Build(
@@ -98,15 +110,21 @@ class FieldDatabase {
   FieldDatabase& operator=(const FieldDatabase&) = delete;
 
   /// Field value query: exact answer regions where
-  /// query.min <= F(p) <= query.max, plus per-query stats.
-  Status ValueQuery(const ValueInterval& query, ValueQueryResult* out);
+  /// query.min <= F(p) <= query.max, plus per-query stats. The overload
+  /// taking a QueryContext lets a thread reuse its scratch across
+  /// queries; the other creates a local context per call.
+  Status ValueQuery(const ValueInterval& query, ValueQueryResult* out) const;
+  Status ValueQuery(const ValueInterval& query, ValueQueryResult* out,
+                    QueryContext* ctx) const;
 
   /// Like ValueQuery but skips materializing polygons: only the stats and
   /// the answer-cell count are produced. This is what the figure benches
   /// time (the paper measures query processing, whose cost is filtering +
   /// candidate retrieval + inverse interpolation; polygon bookkeeping is
   /// identical work across methods either way).
-  Status ValueQueryStats(const ValueInterval& query, QueryStats* out);
+  Status ValueQueryStats(const ValueInterval& query, QueryStats* out) const;
+  Status ValueQueryStats(const ValueInterval& query, QueryStats* out,
+                         QueryContext* ctx) const;
 
   /// ValueQueryStats with per-phase tracing: `out->trace` is populated
   /// with the pipeline's spans ("filter", "fetch", "estimate" on indexed
@@ -114,7 +132,10 @@ class FieldDatabase {
   /// fallback). Span I/O deltas sum exactly to `out->io`. Slower than
   /// the untraced path (per-cell clock reads in the estimation step), so
   /// benches keep using ValueQueryStats.
-  Status TracedValueQueryStats(const ValueInterval& query, QueryStats* out);
+  Status TracedValueQueryStats(const ValueInterval& query,
+                               QueryStats* out) const;
+  Status TracedValueQueryStats(const ValueInterval& query, QueryStats* out,
+                               QueryContext* ctx) const;
 
   /// One subfield the filtering step selected for an explained query.
   /// `matching_cells` counts cells inside [start, end) whose own value
@@ -159,7 +180,8 @@ class FieldDatabase {
   /// R*-tree descent count, and the disk-model cost of the observed I/O.
   /// Metrics recording is forced on for the duration (EXPLAIN is
   /// explicitly diagnostic); the previous enabled state is restored.
-  Status ExplainValueQuery(const ValueInterval& query, ExplainResult* out);
+  Status ExplainValueQuery(const ValueInterval& query,
+                           ExplainResult* out) const;
 
   /// One hit of a nearest-value query.
   struct NearestCell {
@@ -176,16 +198,16 @@ class FieldDatabase {
   /// best-first R*-tree NN; subfield methods refine nearest subfields;
   /// LinearScan scans.
   Status NearestValueQuery(double w, size_t k,
-                           std::vector<NearestCell>* out);
+                           std::vector<NearestCell>* out) const;
 
   /// Isoline query: the curves where F(p) == level, assembled into
   /// polylines (the van Kreveld [24] use case: the filtering step runs
   /// with the degenerate interval [level, level], then per-cell segments
   /// are extracted and stitched).
-  Status IsolineQuery(double level, IsolineQueryResult* out);
+  Status IsolineQuery(double level, IsolineQueryResult* out) const;
 
   /// Conventional point query.
-  StatusOr<double> PointQuery(Point2 p);
+  StatusOr<double> PointQuery(Point2 p) const;
 
   /// Replaces the sample values of cell `id` (e.g. a new sensor reading;
   /// cell geometry is immutable). The value index maintains its interval
@@ -198,7 +220,7 @@ class FieldDatabase {
   /// is cleared before each query so every query starts cold, matching
   /// the paper's independent random queries.
   StatusOr<WorkloadStats> RunWorkload(const std::vector<ValueInterval>& queries,
-                                      bool cold_cache = true);
+                                      bool cold_cache = true) const;
 
   /// Result of a Scrub() pass over the page file.
   struct ScrubReport {
@@ -222,14 +244,16 @@ class FieldDatabase {
 
   /// Cumulative count of queries that fell back from a corrupt value
   /// index to a full store scan (see QueryStats::index_fallbacks).
-  uint64_t index_fallbacks() const { return index_fallbacks_; }
+  uint64_t index_fallbacks() const {
+    return index_fallbacks_.load(std::memory_order_relaxed);
+  }
 
   const ValueIndex& index() const { return *index_; }
   const IndexBuildInfo& build_info() const { return index_->build_info(); }
   IndexMethod method() const { return index_->method(); }
   const ValueInterval& value_range() const { return value_range_; }
   const Rect2& domain() const { return domain_; }
-  BufferPool& pool() { return *pool_; }
+  BufferPool& pool() const { return *pool_; }
 
   /// The subfield partition, when the method has one.
   const std::vector<Subfield>* subfields() const;
@@ -242,10 +266,12 @@ class FieldDatabase {
   /// Shared Q2 dispatch: filter + estimate for indexed methods, fused
   /// scan for LinearScan, and the degraded path — a corrupt index page
   /// during filtering downgrades the query to a full store scan (the
-  /// store holds the truth; the index is only an accelerator). A non-null
-  /// `trace` records the pipeline phases as spans.
+  /// store holds the truth; the index is only an accelerator). Uses
+  /// `ctx` for scratch and span I/O attribution; a non-null `trace`
+  /// records the pipeline phases as spans.
   Status AnswerValueQuery(const ValueInterval& query, Region* region,
-                          QueryStats* stats, QueryTrace* trace = nullptr);
+                          QueryStats* stats, QueryContext* ctx,
+                          QueryTrace* trace = nullptr) const;
 
   /// When `est_seconds` is non-null, the pure estimation work (inverse
   /// interpolation / interval tests, no I/O) is timed per cell and
@@ -253,12 +279,14 @@ class FieldDatabase {
   /// as separate spans.
   Status EstimateCandidates(const std::vector<uint64_t>& positions,
                             const ValueInterval& query, Region* region,
-                            QueryStats* stats, double* est_seconds = nullptr);
+                            QueryStats* stats,
+                            double* est_seconds = nullptr) const;
 
   /// Single-pass scan-and-estimate used for the LinearScan method (the
   /// paper's baseline touches every store page exactly once).
   Status FusedScanQuery(const ValueInterval& query, Region* region,
-                        QueryStats* stats, double* est_seconds = nullptr);
+                        QueryStats* stats,
+                        double* est_seconds = nullptr) const;
 
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
@@ -269,7 +297,9 @@ class FieldDatabase {
   /// Snapshot generation: 0 for a freshly built database, the catalog's
   /// epoch after Open. Save stamps epoch_ + 1.
   uint32_t epoch_ = 0;
-  uint64_t index_fallbacks_ = 0;
+  /// Mutable + atomic: the corruption fallback bumps it from const query
+  /// paths, possibly on several threads at once.
+  mutable std::atomic<uint64_t> index_fallbacks_{0};
 };
 
 }  // namespace fielddb

@@ -1,0 +1,120 @@
+#include "core/query_executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/query_context.h"
+
+namespace fielddb {
+
+QueryExecutor::QueryExecutor(const FieldDatabase* db, const Options& options)
+    : db_(db), queue_capacity_(std::max<size_t>(1, options.queue_capacity)) {
+  const size_t n = std::max<size_t>(1, options.threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void QueryExecutor::Submit(const ValueInterval& query, Callback done) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return queue_.size() < queue_capacity_; });
+    queue_.push_back(Task{query, std::move(done)});
+    ++in_flight_;
+  }
+  not_empty_.notify_one();
+}
+
+void QueryExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void QueryExecutor::WorkerLoop() {
+  // The worker's private per-query state; reused for every query this
+  // thread runs.
+  QueryContext ctx;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+
+    QueryStats stats;
+    const Status s = db_->ValueQueryStats(task.query, &stats, &ctx);
+    if (task.done) task.done(s, stats);
+
+    bool now_idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      now_idle = (--in_flight_ == 0);
+    }
+    if (now_idle) idle_.notify_all();
+  }
+}
+
+Status QueryExecutor::RunBatch(const std::vector<ValueInterval>& queries,
+                               BatchResult* out) {
+  *out = BatchResult{};
+  out->per_query.resize(queries.size());
+  if (queries.empty()) return Status::OK();
+
+  // Failure bookkeeping shared by the callbacks; guarded by its own
+  // mutex so it never contends with the queue lock.
+  std::mutex err_mu;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Each callback writes its own slot of per_query — disjoint
+    // locations, so no lock is needed for the stats themselves.
+    QueryStats* slot = &out->per_query[i];
+    Submit(queries[i], [slot, out, &err_mu](const Status& s,
+                                            const QueryStats& stats) {
+      if (s.ok()) {
+        *slot = stats;
+      } else {
+        std::lock_guard<std::mutex> lock(err_mu);
+        ++out->failed;
+        if (out->first_error.ok()) out->first_error = s;
+      }
+    });
+  }
+  Drain();
+  out->wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<double> wall_ms;
+  wall_ms.reserve(out->per_query.size());
+  for (const QueryStats& qs : out->per_query) {
+    out->total.Accumulate(qs);
+    wall_ms.push_back(qs.wall_seconds * 1000.0);
+  }
+  std::sort(wall_ms.begin(), wall_ms.end());
+  out->p50_wall_ms = PercentileOfSorted(wall_ms, 50);
+  out->p90_wall_ms = PercentileOfSorted(wall_ms, 90);
+  out->p99_wall_ms = PercentileOfSorted(wall_ms, 99);
+  const uint64_t succeeded = queries.size() - out->failed;
+  out->qps = out->wall_seconds > 0.0
+                 ? static_cast<double>(succeeded) / out->wall_seconds
+                 : 0.0;
+  return out->first_error;
+}
+
+}  // namespace fielddb

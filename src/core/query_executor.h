@@ -1,0 +1,110 @@
+#ifndef FIELDDB_CORE_QUERY_EXECUTOR_H_
+#define FIELDDB_CORE_QUERY_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/field_database.h"
+#include "core/stats.h"
+#include "field/region.h"
+
+namespace fielddb {
+
+/// Fixed-size thread pool running value queries against one open
+/// FieldDatabase. Each worker owns a QueryContext (so scratch and I/O
+/// attribution never cross threads) and pulls from one bounded queue;
+/// Submit blocks when the queue is full, which keeps a fast producer
+/// from buffering an unbounded workload.
+///
+/// The executor only issues const query calls — it never updates, saves
+/// or closes the database — so any number of executors may share a
+/// database, but the caller must not run mutating operations while one
+/// is active (the database's threading contract).
+class QueryExecutor {
+ public:
+  struct Options {
+    /// Worker threads; clamped to >= 1.
+    size_t threads = 4;
+    /// Pending (submitted, not yet started) queries before Submit
+    /// blocks; clamped to >= 1.
+    size_t queue_capacity = 1024;
+  };
+
+  /// Invoked on the worker thread that ran the query.
+  using Callback = std::function<void(const Status&, const QueryStats&)>;
+
+  /// Aggregate result of RunBatch. Per-query stats are in submission
+  /// order regardless of which worker ran each query.
+  struct BatchResult {
+    std::vector<QueryStats> per_query;
+    /// QueryStats::Accumulate over every successful query (its io field
+    /// is the exact sum of the per-thread IoStats deltas).
+    QueryStats total;
+    double wall_seconds = 0.0;  // batch wall time, submit to last result
+    double qps = 0.0;
+    double p50_wall_ms = 0.0;
+    double p90_wall_ms = 0.0;
+    double p99_wall_ms = 0.0;
+    uint64_t failed = 0;
+    /// OK when every query succeeded, else the first failure observed.
+    Status first_error = Status::OK();
+  };
+
+  /// `db` must outlive the executor and stay open while it runs.
+  QueryExecutor(const FieldDatabase* db, const Options& options);
+  explicit QueryExecutor(const FieldDatabase* db)
+      : QueryExecutor(db, Options()) {}
+
+  /// Drains outstanding work, then joins the workers.
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Enqueues a stats-only value query; `done` runs on a worker after
+  /// the query finishes. Blocks while the queue is at capacity.
+  void Submit(const ValueInterval& query, Callback done);
+
+  /// Blocks until every submitted query has finished.
+  void Drain();
+
+  /// Runs `queries` across the pool and blocks until all complete.
+  /// Individual query failures are recorded in `out` (failed count +
+  /// first_error) without aborting the batch; the returned status is
+  /// out->first_error.
+  Status RunBatch(const std::vector<ValueInterval>& queries,
+                  BatchResult* out);
+
+  size_t threads() const { return workers_.size(); }
+
+ private:
+  struct Task {
+    ValueInterval query;
+    Callback done;
+  };
+
+  void WorkerLoop();
+
+  const FieldDatabase* db_;
+  const size_t queue_capacity_;
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;  // queue gained work or stopping
+  std::condition_variable not_full_;   // queue dropped below capacity
+  std::condition_variable idle_;       // all submitted work finished
+  std::deque<Task> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_CORE_QUERY_EXECUTOR_H_

@@ -14,17 +14,20 @@ std::atomic<bool> g_metrics_enabled{true};
 
 namespace {
 
-/// Single-writer accumulate/max for atomic<double>: a relaxed
-/// load+store pair, matching the recording model documented in
-/// metrics.h (one recording thread; readers only need torn-free loads).
-void SingleWriterAdd(std::atomic<double>* a, double v) {
-  a->store(a->load(std::memory_order_relaxed) + v,
-           std::memory_order_relaxed);
+/// Lock-free accumulate/max for atomic<double> (no fetch_add for
+/// doubles pre-C++20): relaxed CAS loops, correct under any number of
+/// concurrent recorders.
+void AtomicAddDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v,
+                                   std::memory_order_relaxed)) {
+  }
 }
 
-void SingleWriterMax(std::atomic<double>* a, double v) {
-  if (a->load(std::memory_order_relaxed) < v) {
-    a->store(v, std::memory_order_relaxed);
+void AtomicMaxDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (cur < v && !a->compare_exchange_weak(cur, v,
+                                              std::memory_order_relaxed)) {
   }
 }
 
@@ -73,13 +76,10 @@ void Histogram::Record(double value) {
   uint64_t n = value <= 1.0 ? 1 : static_cast<uint64_t>(std::llround(value));
   const uint64_t top = (uint64_t{1} << kMaxOctave) - 1;
   if (n > top) n = top;
-  std::atomic<uint64_t>& bucket = buckets_[BucketIndex(n)];
-  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
-               std::memory_order_relaxed);
-  count_.store(count_.load(std::memory_order_relaxed) + 1,
-               std::memory_order_relaxed);
-  SingleWriterAdd(&sum_, value < 0 ? 0 : value);
-  SingleWriterMax(&max_, value < 0 ? 0 : value);
+  buckets_[BucketIndex(n)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value < 0 ? 0 : value);
+  AtomicMaxDouble(&max_, value < 0 ? 0 : value);
 }
 
 double Histogram::mean() const {

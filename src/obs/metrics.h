@@ -11,12 +11,12 @@
 namespace fielddb {
 
 /// Process-wide metrics for the observability layer. Design goals, in
-/// order: (1) recording must be cheap enough to leave on in production
-/// paths — the engine records from a single thread, so the hot updates
-/// are inline relaxed load+store pairs (no atomic RMW, no lock prefix);
-/// concurrent *readers* (an exporter thread) still see torn-free
-/// values, but a second concurrent writer would lose updates. The
-/// registry mutex is touched only at registration and export time.
+/// order: (1) recording must be cheap and safe from any thread — the
+/// query engine runs concurrent readers, so every hot update is a
+/// relaxed atomic RMW (fetch_add for integers, a CAS loop for the
+/// doubles); no recording is ever lost, and readers (an exporter
+/// thread) see torn-free values. The registry mutex is touched only at
+/// registration and export time.
 /// (2) Instruments are identified by dotted names
 /// ("storage.pool.read_latency_us") and exported as Prometheus-style
 /// text or JSON. (3) Everything can be disabled globally so benchmarks
@@ -37,8 +37,7 @@ class Counter {
  public:
   void Increment(uint64_t n = 1) {
     if (!metrics_internal::Enabled()) return;
-    value_.store(value_.load(std::memory_order_relaxed) + n,
-                 std::memory_order_relaxed);
+    value_.fetch_add(n, std::memory_order_relaxed);
   }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
@@ -65,8 +64,8 @@ class Gauge {
 /// two) split into 16 linear sub-buckets each, so any recorded value
 /// lands in a bucket within ~6% of its magnitude — accurate enough for
 /// p50/p90/p99 while using a fixed 592 * 8 bytes of storage and a
-/// handful of relaxed single-writer updates per Record. Values are
-/// clamped to
+/// handful of relaxed atomic RMWs per Record (safe under concurrent
+/// recorders). Values are clamped to
 /// [1, 2^40); sub-unit values all count as 1 (record latencies in a
 /// unit fine enough that 1 is "instant", e.g. microseconds).
 class Histogram {

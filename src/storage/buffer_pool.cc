@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "storage/io_sink.h"
+
 namespace fielddb {
 
 PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
@@ -12,22 +14,23 @@ PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
     Release();
     pool_ = other.pool_;
     id_ = other.id_;
+    frame_ = other.frame_;
     other.pool_ = nullptr;
     other.id_ = kInvalidPageId;
+    other.frame_ = nullptr;
   }
   return *this;
 }
 
 const Page& PinnedPage::page() const {
   assert(valid());
-  return pool_->FrameOf(id_).page;
+  return frame_->page;
 }
 
 Page& PinnedPage::MutablePage() {
   assert(valid());
-  BufferPool::Frame& f = pool_->FrameOf(id_);
-  f.dirty = true;
-  return f.page;
+  frame_->dirty.store(true, std::memory_order_relaxed);
+  return frame_->page;
 }
 
 void PinnedPage::Release() {
@@ -35,6 +38,7 @@ void PinnedPage::Release() {
     pool_->Unpin(id_);
     pool_ = nullptr;
     id_ = kInvalidPageId;
+    frame_ = nullptr;
   }
 }
 
@@ -48,8 +52,21 @@ double MicrosSince(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-BufferPool::BufferPool(PageFile* file, size_t capacity)
+BufferPool::BufferPool(PageFile* file, size_t capacity, size_t num_shards)
     : file_(file), capacity_(capacity == 0 ? 1 : capacity) {
+  if (num_shards == 0) {
+    // Small pools (the sizes eviction tests use) keep the single global
+    // LRU so their eviction order is exactly the classic one; pools big
+    // enough for real workloads split for concurrency.
+    num_shards = capacity_ >= 256 ? kDefaultShards : 1;
+  }
+  if (num_shards > capacity_) num_shards = capacity_;
+  num_shards_ = num_shards;
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  for (size_t i = 0; i < num_shards_; ++i) {
+    shards_[i].capacity =
+        capacity_ / num_shards_ + (i < capacity_ % num_shards_ ? 1 : 0);
+  }
   MetricsRegistry& reg = MetricsRegistry::Default();
   m_logical_reads_ = reg.GetCounter("storage.pool.logical_reads");
   m_physical_reads_ = reg.GetCounter("storage.pool.physical_reads");
@@ -62,7 +79,7 @@ BufferPool::BufferPool(PageFile* file, size_t capacity)
 }
 
 BufferPool::~BufferPool() {
-  if (closed_) return;
+  if (closed_.load(std::memory_order_acquire)) return;
   const Status s = Flush();
   if (!s.ok()) {
     // A destructor cannot surface the error; callers that care must use
@@ -73,10 +90,26 @@ BufferPool::~BufferPool() {
   }
 }
 
-BufferPool::Frame& BufferPool::FrameOf(PageId id) {
-  auto it = frames_.find(id);
-  assert(it != frames_.end());
-  return it->second;
+void BufferPool::CountLogicalRead() {
+  stats_.logical_reads.fetch_add(1, std::memory_order_relaxed);
+  if (IoStats* sink = CurrentIoSink()) ++sink->logical_reads;
+  m_logical_reads_->Increment();
+}
+
+bool BufferPool::CountPhysicalRead(PageId id) {
+  const uint64_t phys =
+      stats_.physical_reads.fetch_add(1, std::memory_order_relaxed) + 1;
+  const PageId prev = last_physical_read_.exchange(id, std::memory_order_relaxed);
+  const bool sequential = (id == prev + 1);
+  if (sequential) {
+    stats_.sequential_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (IoStats* sink = CurrentIoSink()) {
+    ++sink->physical_reads;
+    if (sequential) ++sink->sequential_reads;
+  }
+  m_physical_reads_->Increment();
+  return MetricsRegistry::enabled() && phys % kLatencySampleEvery == 0;
 }
 
 Status BufferPool::ReadWithRetry(PageId id, Page* out) {
@@ -84,7 +117,8 @@ Status BufferPool::ReadWithRetry(PageId id, Page* out) {
   for (int attempt = 0; !s.ok() && s.code() == StatusCode::kIOError &&
                         attempt < kMaxReadRetries;
        ++attempt) {
-    ++stats_.read_retries;
+    stats_.read_retries.fetch_add(1, std::memory_order_relaxed);
+    if (IoStats* sink = CurrentIoSink()) ++sink->read_retries;
     m_read_retries_->Increment();
     // Capped exponential backoff: 64us, 128us, 256us. Long enough to
     // ride out a transient stall, short enough not to dominate tests.
@@ -92,152 +126,201 @@ Status BufferPool::ReadWithRetry(PageId id, Page* out) {
     s = file_->Read(id, out);
   }
   if (!s.ok()) {
-    ++stats_.failed_reads;
+    stats_.failed_reads.fetch_add(1, std::memory_order_relaxed);
+    if (IoStats* sink = CurrentIoSink()) ++sink->failed_reads;
     m_failed_reads_->Increment();
   }
   return s;
 }
 
 Status BufferPool::Fetch(PageId id, PinnedPage* out) {
-  if (closed_) {
+  if (closed_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("buffer pool is closed");
   }
-  ++stats_.logical_reads;
-  m_logical_reads_->Increment();
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    Frame& f = it->second;
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
+  CountLogicalRead();
+  Shard& sh = ShardOf(id);
+  // The new pin is constructed under the shard lock but assigned into
+  // *out only after it is released: assigning may Release a previous
+  // pin *out holds, and that Unpin may need this same shard's mutex.
+  PinnedPage pin;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.frames.find(id);
+    if (it != sh.frames.end()) {
+      BufferFrame& f = it->second;
+      if (f.in_lru) {
+        sh.lru.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+      f.pin_count.fetch_add(1, std::memory_order_relaxed);
+      pin = PinnedPage(this, id, &f);
+    } else {
+      FIELDDB_RETURN_IF_ERROR(EnsureCapacityLocked(sh));
+      // The file read happens while the shard lock is held: concurrent
+      // misses for pages in the same shard serialize, which also
+      // guarantees the same page is never read (and counted) twice by
+      // racing threads.
+      const bool time_read = CountPhysicalRead(id);
+      Page page(file_->page_size());
+      if (time_read) {
+        const auto t0 = std::chrono::steady_clock::now();
+        FIELDDB_RETURN_IF_ERROR(ReadWithRetry(id, &page));
+        m_read_latency_us_->Record(MicrosSince(t0));
+      } else {
+        FIELDDB_RETURN_IF_ERROR(ReadWithRetry(id, &page));
+      }
+      auto [fit, inserted] = sh.frames.try_emplace(id);
+      assert(inserted);
+      (void)inserted;
+      BufferFrame& f = fit->second;
+      f.page = std::move(page);
+      f.pin_count.store(1, std::memory_order_relaxed);
+      pin = PinnedPage(this, id, &f);
     }
-    ++f.pin_count;
-    *out = PinnedPage(this, id);
-    return Status::OK();
   }
-  FIELDDB_RETURN_IF_ERROR(EnsureCapacity());
-  ++stats_.physical_reads;
-  m_physical_reads_->Increment();
-  if (id == last_physical_read_ + 1) ++stats_.sequential_reads;
-  last_physical_read_ = id;
-  Frame frame;
-  frame.page = Page(file_->page_size());
-  const bool time_read = MetricsRegistry::enabled() &&
-                         stats_.physical_reads % kLatencySampleEvery == 0;
-  if (time_read) {
-    const auto t0 = std::chrono::steady_clock::now();
-    FIELDDB_RETURN_IF_ERROR(ReadWithRetry(id, &frame.page));
-    m_read_latency_us_->Record(MicrosSince(t0));
-  } else {
-    FIELDDB_RETURN_IF_ERROR(ReadWithRetry(id, &frame.page));
-  }
-  frame.pin_count = 1;
-  frames_.emplace(id, std::move(frame));
-  *out = PinnedPage(this, id);
+  *out = std::move(pin);
   return Status::OK();
 }
 
 StatusOr<PageId> BufferPool::Allocate(PinnedPage* out) {
-  if (closed_) {
+  if (closed_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("buffer pool is closed");
   }
   StatusOr<PageId> id = file_->Allocate();
   if (!id.ok()) return id.status();
-  FIELDDB_RETURN_IF_ERROR(EnsureCapacity());
-  Frame frame;
-  frame.page = Page(file_->page_size());
-  frame.pin_count = 1;
-  frame.dirty = true;
-  frames_.emplace(*id, std::move(frame));
-  *out = PinnedPage(this, *id);
+  Shard& sh = ShardOf(*id);
+  PinnedPage pin;  // assigned into *out outside the lock, as in Fetch
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    FIELDDB_RETURN_IF_ERROR(EnsureCapacityLocked(sh));
+    auto [fit, inserted] = sh.frames.try_emplace(*id);
+    assert(inserted);
+    (void)inserted;
+    BufferFrame& f = fit->second;
+    f.page = Page(file_->page_size());
+    f.pin_count.store(1, std::memory_order_relaxed);
+    f.dirty.store(true, std::memory_order_relaxed);
+    pin = PinnedPage(this, *id, &f);
+  }
+  *out = std::move(pin);
   return *id;
 }
 
 void BufferPool::Unpin(PageId id) {
-  Frame& f = FrameOf(id);
-  assert(f.pin_count > 0);
-  if (--f.pin_count == 0) {
-    lru_.push_back(id);
-    f.lru_pos = std::prev(lru_.end());
+  Shard& sh = ShardOf(id);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.frames.find(id);
+  assert(it != sh.frames.end());
+  BufferFrame& f = it->second;
+  const uint32_t prev = f.pin_count.fetch_sub(1, std::memory_order_relaxed);
+  assert(prev > 0);
+  (void)prev;
+  if (prev == 1) {
+    sh.lru.push_back(id);
+    f.lru_pos = std::prev(sh.lru.end());
     f.in_lru = true;
   }
 }
 
-Status BufferPool::WriteBack(PageId id, Frame& frame) {
-  if (frame.dirty) {
+Status BufferPool::WriteBackLocked(PageId id, BufferFrame& frame) {
+  if (frame.dirty.load(std::memory_order_relaxed)) {
     const bool time_write = MetricsRegistry::enabled();
     const auto t0 = time_write ? std::chrono::steady_clock::now()
                                : std::chrono::steady_clock::time_point{};
     const Status s = file_->Write(id, frame.page);
     if (!s.ok()) {
-      ++stats_.failed_writes;
+      stats_.failed_writes.fetch_add(1, std::memory_order_relaxed);
+      if (IoStats* sink = CurrentIoSink()) ++sink->failed_writes;
       m_failed_writes_->Increment();
       return s;
     }
     if (time_write) m_write_latency_us_->Record(MicrosSince(t0));
-    frame.dirty = false;
-    ++stats_.writes;
+    frame.dirty.store(false, std::memory_order_relaxed);
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    if (IoStats* sink = CurrentIoSink()) ++sink->writes;
   }
   return Status::OK();
 }
 
-Status BufferPool::EnsureCapacity() {
-  if (frames_.size() < capacity_) return Status::OK();
-  if (lru_.empty()) {
+Status BufferPool::EnsureCapacityLocked(Shard& sh) {
+  if (sh.frames.size() < sh.capacity) return Status::OK();
+  if (sh.lru.empty()) {
     return Status::FailedPrecondition(
         "buffer pool exhausted: all frames pinned");
   }
-  const PageId victim = lru_.front();
-  lru_.pop_front();
-  Frame& f = FrameOf(victim);
+  const PageId victim = sh.lru.front();
+  sh.lru.pop_front();
+  auto it = sh.frames.find(victim);
+  assert(it != sh.frames.end());
+  BufferFrame& f = it->second;
   f.in_lru = false;
-  const Status s = WriteBack(victim, f);
+  const Status s = WriteBackLocked(victim, f);
   if (!s.ok()) {
     // The victim stays resident (its dirty data would otherwise be
-    // lost); re-enter it into the LRU so the pool's bookkeeping stays
+    // lost); re-enter it into the LRU so the shard's bookkeeping stays
     // consistent and a later eviction can retry the write-back.
-    lru_.push_back(victim);
-    f.lru_pos = std::prev(lru_.end());
+    sh.lru.push_back(victim);
+    f.lru_pos = std::prev(sh.lru.end());
     f.in_lru = true;
     return s;
   }
-  frames_.erase(victim);
-  ++stats_.evictions;
+  sh.frames.erase(it);
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  if (IoStats* sink = CurrentIoSink()) ++sink->evictions;
   m_evictions_->Increment();
   return Status::OK();
 }
 
 Status BufferPool::Flush() {
-  for (auto& [id, frame] : frames_) {
-    FIELDDB_RETURN_IF_ERROR(WriteBack(id, frame));
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& sh = shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (auto& [id, frame] : sh.frames) {
+      FIELDDB_RETURN_IF_ERROR(WriteBackLocked(id, frame));
+    }
   }
   return Status::OK();
 }
 
 Status BufferPool::Close() {
-  if (closed_) return Status::OK();
+  if (closed_.load(std::memory_order_acquire)) return Status::OK();
   FIELDDB_RETURN_IF_ERROR(Flush());
   FIELDDB_RETURN_IF_ERROR(file_->Sync());
-  closed_ = true;
+  closed_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
 Status BufferPool::Clear() {
-  while (!lru_.empty()) {
-    const PageId victim = lru_.front();
-    lru_.pop_front();
-    Frame& f = FrameOf(victim);
-    f.in_lru = false;
-    const Status s = WriteBack(victim, f);
-    if (!s.ok()) {
-      lru_.push_back(victim);
-      f.lru_pos = std::prev(lru_.end());
-      f.in_lru = true;
-      return s;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& sh = shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    while (!sh.lru.empty()) {
+      const PageId victim = sh.lru.front();
+      sh.lru.pop_front();
+      auto it = sh.frames.find(victim);
+      assert(it != sh.frames.end());
+      BufferFrame& f = it->second;
+      f.in_lru = false;
+      const Status s = WriteBackLocked(victim, f);
+      if (!s.ok()) {
+        sh.lru.push_back(victim);
+        f.lru_pos = std::prev(sh.lru.end());
+        f.in_lru = true;
+        return s;
+      }
+      sh.frames.erase(it);
     }
-    frames_.erase(victim);
   }
   return Status::OK();
+}
+
+size_t BufferPool::num_frames() const {
+  size_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].frames.size();
+  }
+  return total;
 }
 
 }  // namespace fielddb

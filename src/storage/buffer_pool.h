@@ -1,8 +1,11 @@
 #ifndef FIELDDB_STORAGE_BUFFER_POOL_H_
 #define FIELDDB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -15,9 +18,25 @@ namespace fielddb {
 
 class BufferPool;
 
+/// One resident page (internal to BufferPool; exposed at namespace scope
+/// only so PinnedPage's inline accessors can dereference it). The map
+/// entry, LRU membership and pin transitions are guarded by the owning
+/// shard's mutex; `dirty` is atomic because PinnedPage::MutablePage sets
+/// it without taking the shard lock.
+struct BufferFrame {
+  Page page;
+  std::atomic<uint32_t> pin_count{0};
+  std::atomic<bool> dirty{false};
+  // Position in the shard's LRU list when pin_count == 0.
+  std::list<PageId>::iterator lru_pos{};
+  bool in_lru = false;
+};
+
 /// RAII pin on a buffer-pool frame. While alive, the underlying page is
 /// guaranteed not to be evicted; `page()` stays valid. Marking the pin
-/// dirty causes a write-back on eviction / flush.
+/// dirty causes a write-back on eviction / flush. A pin is held and
+/// released by one thread; distinct threads may hold distinct pins on
+/// the same page concurrently.
 class PinnedPage {
  public:
   PinnedPage() = default;
@@ -32,7 +51,10 @@ class PinnedPage {
   PageId id() const { return id_; }
 
   const Page& page() const;
-  /// Grants mutable access and marks the frame dirty.
+  /// Grants mutable access and marks the frame dirty. Mutating a page
+  /// concurrently with readers of the same page is a caller-level data
+  /// race — the engine's contract is that writers (updates, Save) have
+  /// the database to themselves.
   Page& MutablePage();
 
   /// Drops the pin early (idempotent).
@@ -40,15 +62,23 @@ class PinnedPage {
 
  private:
   friend class BufferPool;
-  PinnedPage(BufferPool* pool, PageId id) : pool_(pool), id_(id) {}
+  PinnedPage(BufferPool* pool, PageId id, BufferFrame* frame)
+      : pool_(pool), id_(id), frame_(frame) {}
 
   BufferPool* pool_ = nullptr;
   PageId id_ = kInvalidPageId;
+  BufferFrame* frame_ = nullptr;
 };
 
-/// A fixed-capacity LRU page cache over a PageFile. All page traffic in
-/// the library goes through a pool, which is also where the experiment
-/// harness reads its I/O counters (logical accesses vs. misses).
+/// A fixed-capacity LRU page cache over a PageFile, safe for concurrent
+/// readers: the frame table and LRU list are split into shards (pages
+/// map to shards by id), each guarded by its own mutex, so N threads
+/// fetching different pages contend only when their pages share a shard.
+/// Pool-wide I/O counters are atomic; per-query attribution flows
+/// through the calling thread's ScopedIoSink (storage/io_sink.h). All
+/// page traffic in the library goes through a pool, which is also where
+/// the experiment harness reads its I/O counters (logical accesses vs.
+/// misses).
 ///
 /// Failure behavior: transient read faults (kIOError) are absorbed by a
 /// bounded retry loop with capped backoff; corruption and out-of-range
@@ -61,15 +91,24 @@ class BufferPool {
   /// before the error propagates to the caller.
   static constexpr int kMaxReadRetries = 3;
 
-  /// `capacity` is the number of frames; must be >= 1. The pool does not
-  /// take ownership of `file`.
-  BufferPool(PageFile* file, size_t capacity);
+  /// Shard count used when `num_shards` is 0 and the pool is large
+  /// enough to split.
+  static constexpr size_t kDefaultShards = 16;
+
+  /// `capacity` is the number of frames; must be >= 1. `num_shards` = 0
+  /// picks automatically: kDefaultShards for pools of >= 256 frames, 1
+  /// (exact global-LRU semantics) for the small pools tests use. The
+  /// pool does not take ownership of `file`; the file's Read must be
+  /// safe to call from multiple shards concurrently (both library
+  /// PageFiles are).
+  BufferPool(PageFile* file, size_t capacity, size_t num_shards = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `id`, reading it from the file on a miss.
+  /// Pins page `id`, reading it from the file on a miss. Safe to call
+  /// from any number of threads concurrently.
   Status Fetch(PageId id, PinnedPage* out);
 
   /// Allocates a fresh page in the file and pins it (dirty).
@@ -85,53 +124,65 @@ class BufferPool {
   /// the caller can retry once the fault clears.
   Status Close();
 
-  bool closed() const { return closed_; }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   /// Drops every unpinned frame (after flushing it). Used by benchmarks
   /// to cold-start the cache between runs.
   Status Clear();
 
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the pool-wide I/O counters. Each counter is exact;
+  /// a snapshot taken while traffic is in flight may be skewed between
+  /// counters by the in-flight events.
+  IoStats stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
 
   size_t capacity() const { return capacity_; }
-  size_t num_frames() const { return frames_.size(); }
+  size_t num_shards() const { return num_shards_; }
+  /// Total resident frames across shards (locks each shard briefly).
+  size_t num_frames() const;
   PageFile* file() const { return file_; }
 
  private:
   friend class PinnedPage;
 
-  struct Frame {
-    Page page;
-    uint32_t pin_count = 0;
-    bool dirty = false;
-    // Position in lru_ when pin_count == 0.
-    std::list<PageId>::iterator lru_pos;
-    bool in_lru = false;
+  struct Shard {
+    std::mutex mu;
+    size_t capacity = 0;
+    std::unordered_map<PageId, BufferFrame> frames;
+    // Unpinned frames in LRU order (front = least recently used).
+    std::list<PageId> lru;
   };
 
+  Shard& ShardOf(PageId id) { return shards_[id % num_shards_]; }
   void Unpin(PageId id);
-  Frame& FrameOf(PageId id);
-  /// Evicts one unpinned frame if at capacity. Fails if all are pinned.
-  Status EnsureCapacity();
-  Status WriteBack(PageId id, Frame& frame);
+  /// Evicts one unpinned frame if the shard is at capacity. Fails if
+  /// all of the shard's frames are pinned. Caller holds `shard.mu`.
+  Status EnsureCapacityLocked(Shard& shard);
+  /// Caller holds the owning shard's mutex.
+  Status WriteBackLocked(PageId id, BufferFrame& frame);
   /// file_->Read with the bounded transient-fault retry policy.
   Status ReadWithRetry(PageId id, Page* out);
+  /// Counter updates: pool-wide atomic + calling thread's sink + metric.
+  void CountLogicalRead();
+  /// Returns whether this physical read should be latency-sampled.
+  bool CountPhysicalRead(PageId id);
 
   PageFile* file_;
   size_t capacity_;
-  bool closed_ = false;
-  std::unordered_map<PageId, Frame> frames_;
-  // Unpinned frames in LRU order (front = least recently used).
-  std::list<PageId> lru_;
-  IoStats stats_;
+  size_t num_shards_;
+  std::atomic<bool> closed_{false};
+  std::unique_ptr<Shard[]> shards_;
+  AtomicIoStats stats_;
   // Previous physical read's page id, for sequential-read accounting.
-  PageId last_physical_read_ = kInvalidPageId - 1;
+  // Pool-wide: under one reader it reproduces the single-thread counts
+  // exactly; under concurrent readers interleaved streams make the
+  // split approximate (as they would on a real disk head).
+  std::atomic<PageId> last_physical_read_{kInvalidPageId - 1};
 
   // Process-wide instruments (registered once per pool; cheap relaxed
-  // updates on the hot path, see obs/metrics.h). Physical-read latency
-  // is sampled 1-in-kLatencySampleEvery to keep the clock calls off the
-  // common path; write-backs are rare enough to time every one.
+  // RMW updates on the hot path, see obs/metrics.h). Physical-read
+  // latency is sampled 1-in-kLatencySampleEvery to keep the clock calls
+  // off the common path; write-backs are rare enough to time every one.
   static constexpr uint64_t kLatencySampleEvery = 16;
   Counter* m_logical_reads_;
   Counter* m_physical_reads_;

@@ -15,6 +15,7 @@ bool FaultInjectingPageFile::ConsumeFault(
 }
 
 Status FaultInjectingPageFile::Read(PageId id, Page* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (ConsumeFault(&read_faults_, id)) {
     ++counters_.read_errors;
     return Status::IOError("injected read fault on page " +
@@ -43,6 +44,7 @@ Status FaultInjectingPageFile::Read(PageId id, Page* out) const {
 }
 
 Status FaultInjectingPageFile::Write(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (ConsumeFault(&write_faults_, id)) {
     ++counters_.write_errors;
     return Status::IOError("injected write fault on page " +
@@ -71,6 +73,7 @@ Status FaultInjectingPageFile::Write(PageId id, const Page& page) {
 }
 
 Status FaultInjectingPageFile::VerifyPage(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (const auto it = corrupt_.find(id); it != corrupt_.end()) {
     return Status::Corruption("injected corruption on page " +
                               std::to_string(id));
@@ -79,10 +82,12 @@ Status FaultInjectingPageFile::VerifyPage(PageId id) const {
 }
 
 void FaultInjectingPageFile::TearNextWrite(PageId id, uint32_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   torn_writes_[id] = keep_bytes < page_size_ ? keep_bytes : page_size_;
 }
 
 void FaultInjectingPageFile::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
   read_faults_.clear();
   write_faults_.clear();
   torn_writes_.clear();

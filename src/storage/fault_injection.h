@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/rng.h"
@@ -33,6 +34,11 @@ struct FaultInjectionOptions {
 ///
 /// The wrapper does not own the underlying file unless constructed with
 /// the owning overload.
+///
+/// Thread safety: one mutex serializes the schedule lookups, the rng
+/// draw and the wrapped call, so concurrent readers see a coherent
+/// fault schedule (at the cost of serializing I/O through the wrapper —
+/// fine for the failure tests this exists for).
 class FaultInjectingPageFile final : public PageFile {
  public:
   explicit FaultInjectingPageFile(PageFile* base,
@@ -56,13 +62,25 @@ class FaultInjectingPageFile final : public PageFile {
   /// --- Deterministic schedules (override the probabilistic draws) ---
 
   /// The next `count` reads of `id` fail with a transient IOError.
-  void FailNextReads(PageId id, int count) { read_faults_[id] = count; }
+  void FailNextReads(PageId id, int count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    read_faults_[id] = count;
+  }
   /// Every read of `id` fails with an IOError until ClearFaults().
-  void FailAllReads(PageId id) { read_faults_[id] = kPermanent; }
+  void FailAllReads(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    read_faults_[id] = kPermanent;
+  }
   /// The next `count` writes to `id` fail with a transient IOError.
-  void FailNextWrites(PageId id, int count) { write_faults_[id] = count; }
+  void FailNextWrites(PageId id, int count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_faults_[id] = count;
+  }
   /// Every write to `id` fails with an IOError until ClearFaults().
-  void FailAllWrites(PageId id) { write_faults_[id] = kPermanent; }
+  void FailAllWrites(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_faults_[id] = kPermanent;
+  }
 
   /// The next write to `id` is torn: only the first `keep_bytes` bytes
   /// reach the underlying file, the tail keeps its previous contents,
@@ -73,12 +91,16 @@ class FaultInjectingPageFile final : public PageFile {
 
   /// Marks `id` detected-corrupt: reads and verification report
   /// kCorruption, as checksummed storage would after bit rot.
-  void CorruptPage(PageId id) { corrupt_[id] = Corruption{false, 0xff}; }
+  void CorruptPage(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    corrupt_[id] = Corruption{false, 0xff};
+  }
 
   /// Marks `id` silently corrupt: reads succeed but every byte of the
   /// returned payload is XORed with `xor_mask` (storage without
   /// checksums hands back garbage). VerifyPage still reports it.
   void SilentlyCorruptPage(PageId id, uint8_t xor_mask = 0x01) {
+    std::lock_guard<std::mutex> lock(mu_);
     corrupt_[id] = Corruption{true, xor_mask};
   }
 
@@ -93,7 +115,10 @@ class FaultInjectingPageFile final : public PageFile {
     uint64_t corrupt_reads = 0;  // reads answered with kCorruption
     uint64_t silent_flips = 0;   // reads answered with flipped bits
   };
-  const Counters& counters() const { return counters_; }
+  Counters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
 
   PageFile* base() const { return base_; }
 
@@ -112,6 +137,7 @@ class FaultInjectingPageFile final : public PageFile {
   PageFile* base_;
   std::unique_ptr<PageFile> owned_;
   FaultInjectionOptions options_;
+  mutable std::mutex mu_;
   mutable Rng rng_;
   mutable Counters counters_;
   // Remaining failure counts per page (kPermanent = never recovers).

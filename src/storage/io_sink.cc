@@ -1,0 +1,17 @@
+#include "storage/io_sink.h"
+
+namespace fielddb {
+
+namespace {
+thread_local IoStats* t_io_sink = nullptr;
+}  // namespace
+
+IoStats* CurrentIoSink() { return t_io_sink; }
+
+ScopedIoSink::ScopedIoSink(IoStats* sink) : prev_(t_io_sink) {
+  t_io_sink = sink;
+}
+
+ScopedIoSink::~ScopedIoSink() { t_io_sink = prev_; }
+
+}  // namespace fielddb

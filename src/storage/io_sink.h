@@ -1,0 +1,37 @@
+#ifndef FIELDDB_STORAGE_IO_SINK_H_
+#define FIELDDB_STORAGE_IO_SINK_H_
+
+#include "storage/io_stats.h"
+
+namespace fielddb {
+
+/// Per-thread I/O attribution. A query installs its QueryContext's
+/// IoStats as the calling thread's sink; every BufferPool event on that
+/// thread is then mirrored into it lock-free (the sink is plain memory
+/// touched by exactly one thread). This is what lets N concurrent
+/// queries each report an exact per-query IoStats without sharing any
+/// mutable scratch: the pool's own counters stay process-wide, the sink
+/// carries the per-query delta.
+///
+/// Returns the calling thread's current sink, or nullptr when no query
+/// is attributing I/O on this thread (e.g. index build).
+IoStats* CurrentIoSink();
+
+/// RAII installer. Nests: the previous sink is restored on destruction,
+/// so a query issued from inside another query's callback attributes
+/// inner I/O to the inner sink only.
+class ScopedIoSink {
+ public:
+  explicit ScopedIoSink(IoStats* sink);
+  ~ScopedIoSink();
+
+  ScopedIoSink(const ScopedIoSink&) = delete;
+  ScopedIoSink& operator=(const ScopedIoSink&) = delete;
+
+ private:
+  IoStats* prev_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_STORAGE_IO_SINK_H_

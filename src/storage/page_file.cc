@@ -14,12 +14,19 @@ Status PageFile::VerifyPage(PageId id) const {
   return Read(id, &scratch);
 }
 
+uint64_t MemPageFile::NumPages() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return pages_.size();
+}
+
 StatusOr<PageId> MemPageFile::Allocate() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   pages_.emplace_back(page_size_, 0);
   return PageId{pages_.size() - 1};
 }
 
 Status MemPageFile::Read(PageId id, Page* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("page id " + std::to_string(id) +
                               " >= " + std::to_string(pages_.size()));
@@ -30,6 +37,7 @@ Status MemPageFile::Read(PageId id, Page* out) const {
 }
 
 Status MemPageFile::Write(PageId id, const Page& page) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("page id " + std::to_string(id) +
                               " >= " + std::to_string(pages_.size()));
@@ -92,22 +100,26 @@ Status DiskPageFile::WriteSlot(PageId id, const uint8_t* payload) {
 }
 
 StatusOr<PageId> DiskPageFile::Allocate() {
-  const PageId id = num_pages_;
+  std::lock_guard<std::mutex> lock(mu_);
+  const PageId id = num_pages_.load(std::memory_order_relaxed);
   const std::vector<uint8_t> zeros(page_size_, 0);
   FIELDDB_RETURN_IF_ERROR(WriteSlot(id, zeros.data()));
-  ++num_pages_;
+  num_pages_.store(id + 1, std::memory_order_release);
   return id;
 }
 
 Status DiskPageFile::Read(PageId id, Page* out) const {
-  if (id >= num_pages_) {
+  if (id >= NumPages()) {
     return Status::OutOfRange("page id out of range");
   }
   if (out->size() != page_size_) *out = Page(page_size_);
   std::vector<uint8_t> slot(SlotSize());
-  if (std::fseek(file_, static_cast<long>(id * SlotSize()), SEEK_SET) != 0 ||
-      std::fread(slot.data(), 1, slot.size(), file_) != slot.size()) {
-    return Status::IOError("read failed for page " + std::to_string(id));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::fseek(file_, static_cast<long>(id * SlotSize()), SEEK_SET) != 0 ||
+        std::fread(slot.data(), 1, slot.size(), file_) != slot.size()) {
+      return Status::IOError("read failed for page " + std::to_string(id));
+    }
   }
   static Counter* const corrupt_reads =
       MetricsRegistry::Default().GetCounter("storage.file.corrupt_page_reads");
@@ -139,18 +151,20 @@ Status DiskPageFile::Read(PageId id, Page* out) const {
 }
 
 Status DiskPageFile::Write(PageId id, const Page& page) {
-  if (id >= num_pages_) {
+  if (id >= NumPages()) {
     return Status::OutOfRange("page id out of range");
   }
   if (page.size() != page_size_) {
     return Status::InvalidArgument("page size mismatch");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   FIELDDB_RETURN_IF_ERROR(WriteSlot(id, page.data()));
   std::fflush(file_);
   return Status::OK();
 }
 
 Status DiskPageFile::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::fflush(file_) != 0) {
     return Status::IOError("fflush failed");
   }
@@ -162,9 +176,10 @@ Status DiskPageFile::Sync() {
 
 Status DiskPageFile::CorruptRawForTest(PageId id, uint32_t offset,
                                        uint8_t xor_mask) {
-  if (id >= num_pages_ || offset >= SlotSize()) {
+  if (id >= NumPages() || offset >= SlotSize()) {
     return Status::OutOfRange("corrupt target out of range");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   const long pos = static_cast<long>(id * SlotSize() + offset);
   uint8_t byte = 0;
   if (std::fseek(file_, pos, SEEK_SET) != 0 ||

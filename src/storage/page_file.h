@@ -1,8 +1,11 @@
 #ifndef FIELDDB_STORAGE_PAGE_FILE_H_
 #define FIELDDB_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,12 @@ namespace fielddb {
 /// for benchmarks — timing then reflects algorithmic work, while the
 /// BufferPool still counts "physical" reads) and an actual on-disk file
 /// (useful for persistence tests and to sanity-check the simulation).
+///
+/// Thread safety: Read/Write/Allocate/Sync on both library
+/// implementations are safe to call concurrently (the BufferPool's
+/// shards issue reads and write-backs in parallel). Same-page
+/// Write/Write and Read/Write overlap is the caller's job to exclude —
+/// the pool's per-shard locks guarantee it for all pool traffic.
 class PageFile {
  public:
   virtual ~PageFile() = default;
@@ -59,12 +68,15 @@ class MemPageFile final : public PageFile {
   explicit MemPageFile(uint32_t page_size = kDefaultPageSize)
       : PageFile(page_size) {}
 
-  uint64_t NumPages() const override { return pages_.size(); }
+  uint64_t NumPages() const override;
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Page* out) const override;
   Status Write(PageId id, const Page& page) override;
 
  private:
+  // Shared: Read/Write touch one slot (stable address); exclusive:
+  // Allocate may reallocate the outer vector.
+  mutable std::shared_mutex mu_;
   std::vector<std::vector<uint8_t>> pages_;
 };
 
@@ -96,7 +108,9 @@ class DiskPageFile final : public PageFile {
       const std::string& path, uint32_t page_size = kDefaultPageSize,
       uint32_t epoch = 0);
 
-  uint64_t NumPages() const override { return num_pages_; }
+  uint64_t NumPages() const override {
+    return num_pages_.load(std::memory_order_acquire);
+  }
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Page* out) const override;
   Status Write(PageId id, const Page& page) override;
@@ -117,10 +131,14 @@ class DiskPageFile final : public PageFile {
         epoch_(epoch) {}
 
   uint64_t SlotSize() const { return uint64_t{kPageHeaderSize} + page_size_; }
+  /// Caller holds mu_.
   Status WriteSlot(PageId id, const uint8_t* payload);
 
+  // Serializes the stdio seek+transfer pairs, which share one file
+  // position.
+  mutable std::mutex mu_;
   std::FILE* file_;
-  uint64_t num_pages_;
+  std::atomic<uint64_t> num_pages_;
   /// Stamped into written headers; verified on Read when non-zero.
   uint32_t epoch_;
 };

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -110,6 +112,34 @@ TEST_F(MetricsTest, HistogramClampsSubUnitValues) {
   h.Record(0.25);
   EXPECT_EQ(h.count(), 1u);
   EXPECT_DOUBLE_EQ(h.Percentile(50), 0.25);  // min(bucket midpoint, max)
+}
+
+TEST_F(MetricsTest, ConcurrentRecordersLoseNothing) {
+  // The instruments use atomic RMW, so concurrent recording must be
+  // exact — not approximately right, bit-for-bit right. All recorded
+  // values are small integers, so the double sum has no rounding and
+  // the equality checks below are legitimate.
+  Counter c;
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += (t + 1.0) * kPerThread;
+  EXPECT_DOUBLE_EQ(h.sum(), expected_sum);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kThreads));
 }
 
 TEST_F(MetricsTest, RegistryReturnsStablePointers) {

@@ -70,6 +70,13 @@ class Checker:
         return value
 
     def check(self, report):
+        # The thread-scaling bench (bench_scaling) has its own shape:
+        # points are keyed by thread count, not qinterval, and there is
+        # no disk model (warm-cache regime). Its marker is the top-level
+        # hardware_threads field.
+        if "hardware_threads" in report:
+            self.check_scaling(report)
+            return
         self.require(report, "bench_id", str, "report")
         self.require(report, "title", str, "report")
         self.number(report, "field_cells", "report", minimum=1)
@@ -103,6 +110,55 @@ class Checker:
             self.error("report", "'series' is empty")
         for i, ser in enumerate(series):
             self.check_series(ser, f"series[{i}]")
+
+    def check_scaling(self, report):
+        self.require(report, "bench_id", str, "report")
+        self.require(report, "title", str, "report")
+        self.number(report, "field_cells", "report", minimum=1)
+        self.number(report, "num_queries", "report", minimum=1)
+        self.number(report, "workload_seed", "report", minimum=0)
+        self.number(report, "qinterval", "report", minimum=0)
+        self.number(report, "hardware_threads", "report", minimum=0)
+
+        series = self.require(report, "series", list, "report")
+        if series is None:
+            return
+        if not series:
+            self.error("report", "'series' is empty")
+        for i, ser in enumerate(series):
+            where = f"series[{i}]"
+            if not isinstance(ser, dict):
+                self.error(where, "not an object")
+                continue
+            method = self.require(ser, "method", str, where)
+            if method == "":
+                self.error(where, "'method' is empty")
+            points = self.require(ser, "points", list, where)
+            if points is None:
+                continue
+            if not points:
+                self.error(where, "'points' is empty")
+            for j, point in enumerate(points):
+                pwhere = f"{where}.points[{j}]"
+                if not isinstance(point, dict):
+                    self.error(pwhere, "not an object")
+                    continue
+                self.number(point, "threads", pwhere, minimum=1)
+                self.number(point, "qps", pwhere, minimum=0)
+                qps = point.get("qps")
+                if isinstance(qps, (int, float)) and qps <= 0:
+                    self.error(pwhere, f"qps {qps} is not positive")
+                self.number(point, "avg_wall_ms", pwhere, minimum=0)
+                p50 = self.number(point, "p50_wall_ms", pwhere, minimum=0)
+                p99 = self.number(point, "p99_wall_ms", pwhere, minimum=0)
+                if p50 is not None and p99 is not None and p50 > p99:
+                    self.error(pwhere,
+                               f"p50_wall_ms {p50} > p99_wall_ms {p99}")
+                speedup = self.number(point, "speedup_vs_1", pwhere)
+                if speedup is not None and speedup <= 0:
+                    self.error(pwhere,
+                               f"speedup_vs_1 {speedup} is not positive")
+                self.number(point, "failed", pwhere, minimum=0)
 
     def check_series(self, ser, where):
         if not isinstance(ser, dict):

@@ -10,7 +10,10 @@
 //   fielddb_cli isoline --db PREFIX --level W
 //   fielddb_cli point   --db PREFIX --x X --y Y
 //   fielddb_cli bench   --db PREFIX [--qinterval F] [--queries N]
-//                       [--json FILE]
+//                       [--json FILE] [--threads N]
+//                       (--threads > 1 runs the workload through a
+//                       QueryExecutor thread pool, warm cache, and
+//                       reports throughput instead of per-figure stats)
 //   fielddb_cli stats   --db PREFIX [--qinterval F] [--queries N]
 //                       [--format prom|json]
 //   fielddb_cli scrub   --db PREFIX
@@ -22,6 +25,7 @@
 #include <string>
 
 #include "core/field_database.h"
+#include "core/query_executor.h"
 #include "gen/fractal.h"
 #include "gen/monotonic.h"
 #include "gen/noise_tin.h"
@@ -228,8 +232,36 @@ int CmdBench(const Args& args) {
   wo.qinterval_fraction = args.GetDouble("qinterval", 0.02);
   wo.num_queries = static_cast<uint32_t>(args.GetLong("queries", 200));
   wo.seed = static_cast<uint64_t>(args.GetLong("seed", 2002));
-  auto ws = (*db)->RunWorkload(
-      GenerateValueQueries((*db)->value_range(), wo));
+  const std::vector<ValueInterval> queries =
+      GenerateValueQueries((*db)->value_range(), wo);
+
+  if (const long threads = args.GetLong("threads", 1); threads > 1) {
+    // Concurrent mode: warm-cache throughput across a fixed thread
+    // pool. Cold cache makes no sense here — concurrent queries would
+    // clear each other's pages mid-flight.
+    QueryExecutor::Options eo;
+    eo.threads = static_cast<size_t>(threads);
+    QueryExecutor executor(db->get(), eo);
+    QueryExecutor::BatchResult warmup;  // populate the pool once
+    const Status sw = executor.RunBatch(queries, &warmup);
+    if (!sw.ok()) return Fail(sw);
+    QueryExecutor::BatchResult batch;
+    const Status sb = executor.RunBatch(queries, &batch);
+    if (!sb.ok()) return Fail(sb);
+    std::printf(
+        "threads=%zu queries=%zu wall=%.3fs qps=%.1f "
+        "p50=%.3fms p90=%.3fms p99=%.3fms failed=%llu\n",
+        executor.threads(), queries.size(), batch.wall_seconds, batch.qps,
+        batch.p50_wall_ms, batch.p90_wall_ms, batch.p99_wall_ms,
+        static_cast<unsigned long long>(batch.failed));
+    std::printf(
+        "total io: logical=%llu physical=%llu\n",
+        static_cast<unsigned long long>(batch.total.io.logical_reads),
+        static_cast<unsigned long long>(batch.total.io.physical_reads));
+    return 0;
+  }
+
+  auto ws = (*db)->RunWorkload(queries);
   if (!ws.ok()) return Fail(ws.status());
 
   // Same reporting path as the figure benches: a one-series, one-point
