@@ -1,0 +1,52 @@
+// The AVX2 interval-filter kernel. This is the only translation unit in
+// the library compiled with -mavx2 (see src/CMakeLists.txt); it is built
+// only when FIELDDB_ENABLE_AVX2 is ON and must stay behind the
+// FIELDDB_HAVE_AVX2 guard so a pure-scalar configuration compiles the
+// file to nothing.
+#if FIELDDB_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include "common/simd/interval_filter.h"
+
+namespace fielddb {
+namespace simd {
+
+void FilterIntervalRangesAvx2(const double* mins, const double* maxs,
+                              uint64_t count, uint64_t base, double qmin,
+                              double qmax, std::vector<PosRange>* out) {
+  const __m256d vqmin = _mm256_set1_pd(qmin);
+  const __m256d vqmax = _mm256_set1_pd(qmax);
+  uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d lo = _mm256_loadu_pd(mins + i);
+    const __m256d hi = _mm256_loadu_pd(maxs + i);
+    // Ordered, non-signaling comparisons: a NaN lane yields false in
+    // both, exactly like the scalar `<=` / `>=` predicates.
+    const __m256d match =
+        _mm256_and_pd(_mm256_cmp_pd(lo, vqmax, _CMP_LE_OQ),
+                      _mm256_cmp_pd(hi, vqmin, _CMP_GE_OQ));
+    const int mask = _mm256_movemask_pd(match);
+    if (mask == 0xF) {
+      // Whole block matches — extend the open run in one step. This is
+      // the common case inside a matching subfield.
+      if (!out->empty() && out->back().end == base + i) {
+        out->back().end += 4;
+      } else {
+        out->push_back(PosRange{base + i, base + i + 4});
+      }
+    } else if (mask != 0) {
+      for (int lane = 0; lane < 4; ++lane) {
+        if (mask & (1 << lane)) AppendPosition(out, base + i + lane);
+      }
+    }
+  }
+  for (; i < count; ++i) {
+    if (mins[i] <= qmax && maxs[i] >= qmin) AppendPosition(out, base + i);
+  }
+}
+
+}  // namespace simd
+}  // namespace fielddb
+
+#endif  // FIELDDB_HAVE_AVX2

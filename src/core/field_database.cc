@@ -30,6 +30,7 @@ struct DbMetrics {
   Counter* index_fallbacks;
   Counter* scrub_pages;
   Counter* scrub_corrupt_pages;
+  Counter* zonemap_cells_skipped;
   Histogram* query_wall_us;
 
   static const DbMetrics& Get() {
@@ -41,22 +42,12 @@ struct DbMetrics {
                        reg.GetCounter("db.index_fallbacks"),
                        reg.GetCounter("db.scrub_pages"),
                        reg.GetCounter("db.scrub_corrupt_pages"),
+                       reg.GetCounter("db.zonemap_cells_skipped"),
                        reg.GetHistogram("db.query_wall_us")};
     }();
     return m;
   }
 };
-
-/// Number of maximal consecutive runs in an ascending position list —
-/// the store ranges the fetch phase will Scan (each run is sequential
-/// page I/O; the gaps between runs are where seeks happen).
-uint64_t CountRuns(const std::vector<uint64_t>& positions) {
-  uint64_t runs = positions.empty() ? 0 : 1;
-  for (size_t i = 1; i < positions.size(); ++i) {
-    if (positions[i] != positions[i - 1] + 1) ++runs;
-  }
-  return runs;
-}
 
 }  // namespace
 
@@ -125,7 +116,7 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
     const CellStore& store = db->index_->cell_store();
     std::vector<RTreeEntry<2>> entries;
     entries.reserve(store.size());
-    FIELDDB_RETURN_IF_ERROR(store.Scan(
+    FIELDDB_RETURN_IF_ERROR(store.ScanWith(
         0, store.size(), [&](uint64_t pos, const CellRecord& cell) {
           RTreeEntry<2> e;
           e.box = BoxFromRect(cell.Bounds());
@@ -143,12 +134,15 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
 }
 
 Status FieldDatabase::EstimateCandidates(
-    const std::vector<uint64_t>& positions, const ValueInterval& query,
+    const std::vector<PosRange>& ranges, const ValueInterval& query,
     Region* region, QueryStats* stats, double* est_seconds) const {
   const CellStore& store = index_->cell_store();
   Status inner_status = Status::OK();
   // The pure estimation work, separated out so traced queries can time
-  // it per cell (fetch I/O happens in Scan, outside this lambda).
+  // it per cell (fetch I/O happens in the range scan, outside this
+  // lambda). The zone-map filter already proved the cell's interval
+  // intersects the query — the zone entry IS the record's interval — so
+  // in stats mode every visited cell is an answer.
   const auto estimate_cell = [&](const CellRecord& cell) {
     if (region != nullptr) {
       StatusOr<size_t> pieces = CellIsoband(cell, query, region);
@@ -160,39 +154,27 @@ Status FieldDatabase::EstimateCandidates(
         ++stats->answer_cells;
         stats->region_pieces += *pieces;
       }
-    } else if (cell.Interval().Intersects(query)) {
-      // Stats-only mode still performs the inverse-interpolation
-      // test the estimation step pays for.
+    } else {
       ++stats->answer_cells;
     }
     return true;
   };
-  // Coalesce candidate positions into contiguous runs so each store page
-  // is fetched once.
-  size_t i = 0;
-  while (i < positions.size()) {
-    size_t j = i + 1;
-    while (j < positions.size() && positions[j] == positions[j - 1] + 1) {
-      ++j;
-    }
-    const uint64_t begin = positions[i];
-    const uint64_t end = positions[j - 1] + 1;
-    FIELDDB_RETURN_IF_ERROR(store.Scan(
-        begin, end, [&](uint64_t pos, const CellRecord& cell) {
-          // Runs are dense, but a run may straddle positions not in the
-          // candidate list only if the list skipped them — it cannot,
-          // by construction (strictly consecutive). So every visited
-          // cell is a candidate.
-          (void)pos;
-          if (est_seconds == nullptr) return estimate_cell(cell);
-          const auto t = Clock::now();
-          const bool keep_going = estimate_cell(cell);
-          *est_seconds += SecondsSince(t);
-          return keep_going;
-        }));
-    FIELDDB_RETURN_IF_ERROR(inner_status);
-    i = j;
-  }
+  // Every page of every candidate run is still fetched (identical I/O
+  // to the pre-zone-map engine — the paper's page-access counts are the
+  // experiment); only matching slots are deserialized and estimated.
+  uint64_t skipped = 0;
+  FIELDDB_RETURN_IF_ERROR(store.ScanRangesFiltered(
+      ranges.data(), ranges.size(), query, &skipped,
+      [&](uint64_t pos, const CellRecord& cell) {
+        (void)pos;
+        if (est_seconds == nullptr) return estimate_cell(cell);
+        const auto t = Clock::now();
+        const bool keep_going = estimate_cell(cell);
+        *est_seconds += SecondsSince(t);
+        return keep_going;
+      }));
+  FIELDDB_RETURN_IF_ERROR(inner_status);
+  DbMetrics::Get().zonemap_cells_skipped->Increment(skipped);
   return Status::OK();
 }
 
@@ -202,11 +184,13 @@ Status FieldDatabase::FusedScanQuery(const ValueInterval& query,
   // The paper's 'LinearScan' is a single pass: each cell is tested and,
   // if it qualifies, interpolated immediately — there is no candidate
   // list to re-fetch. (Indexed methods genuinely pay the second touch:
-  // their filter step sees only intervals and store positions.)
+  // their filter step sees only intervals and store positions.) The
+  // zone-map sweep replaces the per-record interval test: every store
+  // page is still read — the scan's I/O pattern is its semantics — but
+  // non-matching slots are never deserialized.
   const CellStore& store = index_->cell_store();
   Status inner = Status::OK();
   const auto estimate_cell = [&](const CellRecord& cell) {
-    if (!cell.Interval().Intersects(query)) return true;
     ++stats->candidate_cells;
     if (region != nullptr) {
       StatusOr<size_t> pieces = CellIsoband(cell, query, region);
@@ -223,15 +207,19 @@ Status FieldDatabase::FusedScanQuery(const ValueInterval& query,
     }
     return true;
   };
-  FIELDDB_RETURN_IF_ERROR(store.Scan(
-      0, store.size(), [&](uint64_t, const CellRecord& cell) {
+  const PosRange whole{0, store.size()};
+  uint64_t skipped = 0;
+  FIELDDB_RETURN_IF_ERROR(store.ScanRangesFiltered(
+      &whole, 1, query, &skipped, [&](uint64_t, const CellRecord& cell) {
         if (est_seconds == nullptr) return estimate_cell(cell);
         const auto t = Clock::now();
         const bool keep_going = estimate_cell(cell);
         *est_seconds += SecondsSince(t);
         return keep_going;
       }));
-  return inner;
+  FIELDDB_RETURN_IF_ERROR(inner);
+  DbMetrics::Get().zonemap_cells_skipped->Increment(skipped);
+  return Status::OK();
 }
 
 Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
@@ -267,14 +255,16 @@ Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
     return fused_scan();
   }
 
-  std::vector<uint64_t>& positions = ctx->positions;
-  positions.clear();
+  std::vector<PosRange>& ranges = ctx->ranges;
+  ranges.clear();
   Status filter;
+  uint64_t candidates = 0;
   {
     ScopedSpan span(trace, "filter", &ctx->io);
-    filter = index_->FilterCandidates(query, &positions);
-    span.set_items(positions.size());
-    span.set_detail("runs=" + std::to_string(CountRuns(positions)));
+    filter = index_->FilterCandidateRanges(query, &ranges);
+    candidates = TotalRangeLength(ranges);
+    span.set_items(candidates);
+    span.set_detail("runs=" + std::to_string(ranges.size()));
   }
   if (filter.code() == StatusCode::kCorruption) {
     // The value index is damaged but the cell store holds every answer:
@@ -288,13 +278,13 @@ Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
     return fused_scan();
   }
   FIELDDB_RETURN_IF_ERROR(filter);
-  stats->candidate_cells = positions.size();
+  stats->candidate_cells = candidates;
 
   double est = 0.0;
   {
     ScopedSpan fetch(trace, "fetch", &ctx->io);
-    fetch.set_items(positions.size());
-    Status s = EstimateCandidates(positions, query, region, stats,
+    fetch.set_items(candidates);
+    Status s = EstimateCandidates(ranges, query, region, stats,
                                   trace != nullptr ? &est : nullptr);
     fetch.DeductWallSeconds(est);
     if (!s.ok()) return s;
@@ -451,7 +441,7 @@ Status FieldDatabase::NearestValueQuery(double w, size_t k,
     for (const auto& [dist, sf] : ordered) {
       if (best.size() == k && dist > best.front().distance) break;
       FIELDDB_RETURN_IF_ERROR(
-          store.Scan(sf->start, sf->end,
+          store.ScanWith(sf->start, sf->end,
                      [&](uint64_t, const CellRecord& cell) {
                        offer(cell);
                        return true;
@@ -459,7 +449,7 @@ Status FieldDatabase::NearestValueQuery(double w, size_t k,
     }
   } else {
     FIELDDB_RETURN_IF_ERROR(
-        store.Scan(0, store.size(), [&](uint64_t, const CellRecord& cell) {
+        store.ScanWith(0, store.size(), [&](uint64_t, const CellRecord& cell) {
           offer(cell);
           return true;
         }));
@@ -493,23 +483,29 @@ Status FieldDatabase::IsolineQuery(double level,
     return true;
   };
 
-  // Single pass over the whole store, as with FusedScanQuery. Also the
-  // degraded path when the value index turns out to be corrupt.
+  // Single pass over the whole store, as with FusedScanQuery: every page
+  // read, only level-containing slots deserialized (a degenerate query
+  // interval [level, level] makes the zone test exactly Contains). Also
+  // the degraded path when the value index turns out to be corrupt.
   const auto full_scan = [&]() -> Status {
-    FIELDDB_RETURN_IF_ERROR(store.Scan(
-        0, store.size(), [&](uint64_t pos, const CellRecord& cell) {
-          if (!cell.Interval().Contains(level)) return true;
+    const PosRange whole{0, store.size()};
+    uint64_t skipped = 0;
+    FIELDDB_RETURN_IF_ERROR(store.ScanRangesFiltered(
+        &whole, 1, query, &skipped,
+        [&](uint64_t pos, const CellRecord& cell) {
           ++out->stats.candidate_cells;
           return visit_cell(pos, cell);
         }));
-    return inner;
+    FIELDDB_RETURN_IF_ERROR(inner);
+    DbMetrics::Get().zonemap_cells_skipped->Increment(skipped);
+    return Status::OK();
   };
 
   if (index_->method() == IndexMethod::kLinearScan) {
     FIELDDB_RETURN_IF_ERROR(full_scan());
   } else {
-    std::vector<uint64_t>& positions = ctx.positions;
-    const Status filter = index_->FilterCandidates(query, &positions);
+    std::vector<PosRange>& ranges = ctx.ranges;
+    const Status filter = index_->FilterCandidateRanges(query, &ranges);
     if (filter.code() == StatusCode::kCorruption) {
       index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
       DbMetrics::Get().index_fallbacks->Increment();
@@ -517,19 +513,12 @@ Status FieldDatabase::IsolineQuery(double level,
       FIELDDB_RETURN_IF_ERROR(full_scan());
     } else {
       FIELDDB_RETURN_IF_ERROR(filter);
-      out->stats.candidate_cells = positions.size();
-      size_t i = 0;
-      while (i < positions.size()) {
-        size_t j = i + 1;
-        while (j < positions.size() &&
-               positions[j] == positions[j - 1] + 1) {
-          ++j;
-        }
-        FIELDDB_RETURN_IF_ERROR(
-            store.Scan(positions[i], positions[j - 1] + 1, visit_cell));
-        FIELDDB_RETURN_IF_ERROR(inner);
-        i = j;
-      }
+      out->stats.candidate_cells = TotalRangeLength(ranges);
+      uint64_t skipped = 0;
+      FIELDDB_RETURN_IF_ERROR(store.ScanRangesFiltered(
+          ranges.data(), ranges.size(), query, &skipped, visit_cell));
+      FIELDDB_RETURN_IF_ERROR(inner);
+      DbMetrics::Get().zonemap_cells_skipped->Increment(skipped);
     }
   }
   out->isoline = AssembleIsoline(segments);
@@ -572,7 +561,7 @@ StatusOr<double> FieldDatabase::PointQuery(Point2 p) const {
   // No spatial index: scan.
   StatusOr<double> result = Status::NotFound("point outside field domain");
   FIELDDB_RETURN_IF_ERROR(
-      store.Scan(0, store.size(), [&](uint64_t, const CellRecord& cell) {
+      store.ScanWith(0, store.size(), [&](uint64_t, const CellRecord& cell) {
         if (CellContains(cell, p)) {
           result = InterpolateCell(cell, p);
           return false;
@@ -699,7 +688,7 @@ Status FieldDatabase::ExplainValueQuery(const ValueInterval& query,
       esf.end = sf.end;
       esf.interval = sf.interval;
       esf.cells = sf.end - sf.start;
-      FIELDDB_RETURN_IF_ERROR(store.Scan(
+      FIELDDB_RETURN_IF_ERROR(store.ScanWith(
           sf.start, sf.end, [&](uint64_t, const CellRecord& cell) {
             if (cell.Interval().Intersects(query)) ++esf.matching_cells;
             return true;

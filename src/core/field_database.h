@@ -276,8 +276,11 @@ class FieldDatabase {
   /// When `est_seconds` is non-null, the pure estimation work (inverse
   /// interpolation / interval tests, no I/O) is timed per cell and
   /// accumulated there so the fetch and estimate phases can be reported
-  /// as separate spans.
-  Status EstimateCandidates(const std::vector<uint64_t>& positions,
+  /// as separate spans. Fetches every page of every candidate run (the
+  /// same I/O as before the zone map existed) but deserializes and
+  /// estimates only zone-map-matching slots; the rest are counted into
+  /// the db.zonemap_cells_skipped metric.
+  Status EstimateCandidates(const std::vector<PosRange>& ranges,
                             const ValueInterval& query, Region* region,
                             QueryStats* stats,
                             double* est_seconds = nullptr) const;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd/interval_filter.h"
 #include "storage/io_stats.h"
 
 namespace fielddb {
@@ -23,6 +24,9 @@ struct QueryContext {
   /// Candidate-position scratch for the filter step (capacity persists
   /// across queries).
   std::vector<uint64_t> positions;
+  /// Candidate-run scratch — the range form the query engine consumes
+  /// (see ValueIndex::FilterCandidateRanges).
+  std::vector<PosRange> ranges;
 };
 
 }  // namespace fielddb

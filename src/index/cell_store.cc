@@ -16,23 +16,26 @@ StatusOr<CellStore> CellStore::Build(BufferPool* pool, const Field& field,
     return Status::InvalidArgument("page too small for a cell record");
   }
 
-  std::vector<uint64_t> position_of(n, ~uint64_t{0});
-  PageId first_page = kInvalidPageId;
+  CellStore store(pool, kInvalidPageId, n, per_page,
+                  std::vector<uint64_t>(n, ~uint64_t{0}));
   PinnedPage pin;
   for (uint64_t pos = 0; pos < n; ++pos) {
     const uint32_t slot = static_cast<uint32_t>(pos % per_page);
     if (slot == 0) {
       StatusOr<PageId> id = pool->Allocate(&pin);
       if (!id.ok()) return id.status();
-      if (first_page == kInvalidPageId) first_page = *id;
+      if (store.first_page_ == kInvalidPageId) store.first_page_ = *id;
     }
     const CellId cell_id = order.empty() ? static_cast<CellId>(pos)
                                          : order[pos];
-    if (cell_id >= n || position_of[cell_id] != ~uint64_t{0}) {
+    if (cell_id >= n || store.position_of_[cell_id] != ~uint64_t{0}) {
       return Status::InvalidArgument("order is not a permutation");
     }
-    position_of[cell_id] = pos;
+    store.position_of_[cell_id] = pos;
     const CellRecord record = field.GetCell(cell_id);
+    const ValueInterval iv = record.Interval();
+    store.zone_min_[pos] = iv.min;
+    store.zone_max_[pos] = iv.max;
     pin.MutablePage().Write(slot * sizeof(CellRecord), &record,
                             sizeof(CellRecord));
   }
@@ -41,9 +44,9 @@ StatusOr<CellStore> CellStore::Build(BufferPool* pool, const Field& field,
     // Allocate one (empty) page so first_page_ is always valid.
     StatusOr<PageId> id = pool->Allocate(&pin);
     if (!id.ok()) return id.status();
-    first_page = *id;
+    store.first_page_ = *id;
   }
-  return CellStore(pool, first_page, n, per_page, std::move(position_of));
+  return store;
 }
 
 StatusOr<CellStore> CellStore::Attach(BufferPool* pool, PageId first_page,
@@ -55,9 +58,14 @@ StatusOr<CellStore> CellStore::Attach(BufferPool* pool, PageId first_page,
   }
   CellStore store(pool, first_page, num_cells, per_page,
                   std::vector<uint64_t>(num_cells, ~uint64_t{0}));
-  FIELDDB_RETURN_IF_ERROR(store.Scan(
+  // One pass rebuilds both derived structures: the cell-id -> position
+  // map and the zone map.
+  FIELDDB_RETURN_IF_ERROR(store.ScanWith(
       0, num_cells, [&](uint64_t pos, const CellRecord& cell) {
         if (cell.id < num_cells) store.position_of_[cell.id] = pos;
+        const ValueInterval iv = cell.Interval();
+        store.zone_min_[pos] = iv.min;
+        store.zone_max_[pos] = iv.max;
         return true;
       }));
   for (const uint64_t pos : store.position_of_) {
@@ -102,31 +110,45 @@ Status CellStore::Put(uint64_t pos, const CellRecord& record) {
   FIELDDB_RETURN_IF_ERROR(pool_->Fetch(page, &pin));
   pin.MutablePage().Write(slot * sizeof(CellRecord), &record,
                           sizeof(CellRecord));
+  const ValueInterval iv = record.Interval();
+  zone_min_[pos] = iv.min;
+  zone_max_[pos] = iv.max;
+  return Status::OK();
+}
+
+Status CellStore::UpdateValues(uint64_t pos,
+                               const std::vector<double>& values,
+                               ValueInterval* old_iv, ValueInterval* new_iv) {
+  if (pos >= num_cells_) {
+    return Status::OutOfRange("cell position out of range");
+  }
+  const PageId page = first_page_ + pos / cells_per_page_;
+  const uint32_t slot = static_cast<uint32_t>(pos % cells_per_page_);
+  PinnedPage pin;
+  FIELDDB_RETURN_IF_ERROR(pool_->Fetch(page, &pin));
+  CellRecord record;
+  pin.page().Read(slot * sizeof(CellRecord), &record, sizeof(CellRecord));
+  if (values.size() != record.num_vertices) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(record.num_vertices) + " values, got " +
+        std::to_string(values.size()));
+  }
+  *old_iv = record.Interval();
+  for (uint32_t i = 0; i < record.num_vertices; ++i) {
+    record.w[i] = values[i];
+  }
+  *new_iv = record.Interval();
+  pin.MutablePage().Write(slot * sizeof(CellRecord), &record,
+                          sizeof(CellRecord));
+  zone_min_[pos] = new_iv->min;
+  zone_max_[pos] = new_iv->max;
   return Status::OK();
 }
 
 Status CellStore::Scan(
     uint64_t begin, uint64_t end,
     const std::function<bool(uint64_t, const CellRecord&)>& visit) const {
-  if (begin > end || end > num_cells_) {
-    return Status::OutOfRange("scan range out of bounds");
-  }
-  CellRecord record;
-  uint64_t pos = begin;
-  while (pos < end) {
-    const PageId page = first_page_ + pos / cells_per_page_;
-    PinnedPage pin;
-    FIELDDB_RETURN_IF_ERROR(pool_->Fetch(page, &pin));
-    const uint64_t page_end =
-        std::min<uint64_t>(end, (pos / cells_per_page_ + 1) * cells_per_page_);
-    for (; pos < page_end; ++pos) {
-      const uint32_t slot = static_cast<uint32_t>(pos % cells_per_page_);
-      pin.page().Read(slot * sizeof(CellRecord), &record,
-                      sizeof(CellRecord));
-      if (!visit(pos, record)) return Status::OK();
-    }
-  }
-  return Status::OK();
+  return ScanWith(begin, end, visit);
 }
 
 }  // namespace fielddb

@@ -103,23 +103,43 @@ Status IHilbertIndex::UpdateCellValues(CellId id,
   return Status::OK();
 }
 
-Status IHilbertIndex::FilterCandidates(
-    const ValueInterval& query, std::vector<uint64_t>* positions) const {
-  // Collect qualifying subfield ranges, merge overlaps/adjacencies, then
-  // expand to positions — each store page is then visited once.
-  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+Status IHilbertIndex::FilterCandidateRanges(
+    const ValueInterval& query, std::vector<PosRange>* ranges) const {
+  // The filter step is naturally range-shaped here: each qualifying
+  // subfield IS a [start, end) run of store slots. Collect, sort, and
+  // merge overlaps/adjacencies — O(subfields touched), independent of
+  // how many cells the runs cover.
+  std::vector<PosRange> raw;
   FIELDDB_RETURN_IF_ERROR(
       tree_.Search(BoxFromInterval(query), [&](const RTreeEntry<1>& e) {
-        ranges.emplace_back(e.a, e.b);
+        raw.push_back(PosRange{e.a, e.b});
         return true;
       }));
-  std::sort(ranges.begin(), ranges.end());
-  uint64_t covered_to = 0;
-  for (const auto& [start, end] : ranges) {
-    for (uint64_t pos = std::max(start, covered_to); pos < end; ++pos) {
+  std::sort(raw.begin(), raw.end(), [](const PosRange& x, const PosRange& y) {
+    return x.begin < y.begin || (x.begin == y.begin && x.end < y.end);
+  });
+  for (const PosRange& r : raw) {
+    if (r.end <= r.begin) continue;
+    if (!ranges->empty() && r.begin <= ranges->back().end) {
+      ranges->back().end = std::max(ranges->back().end, r.end);
+    } else {
+      ranges->push_back(r);
+    }
+  }
+  return Status::OK();
+}
+
+Status IHilbertIndex::FilterCandidates(
+    const ValueInterval& query, std::vector<uint64_t>* positions) const {
+  // Legacy per-position form: expand the merged runs, reserving the
+  // exact output size instead of growing one push_back at a time.
+  std::vector<PosRange> ranges;
+  FIELDDB_RETURN_IF_ERROR(FilterCandidateRanges(query, &ranges));
+  positions->reserve(positions->size() + TotalRangeLength(ranges));
+  for (const PosRange& r : ranges) {
+    for (uint64_t pos = r.begin; pos < r.end; ++pos) {
       positions->push_back(pos);
     }
-    covered_to = std::max(covered_to, end);
   }
   return Status::OK();
 }

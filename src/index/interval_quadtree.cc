@@ -158,21 +158,39 @@ Status IntervalQuadtreeIndex::UpdateCellValues(
   return Status::OK();
 }
 
-Status IntervalQuadtreeIndex::FilterCandidates(
-    const ValueInterval& query, std::vector<uint64_t>* positions) const {
-  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+Status IntervalQuadtreeIndex::FilterCandidateRanges(
+    const ValueInterval& query, std::vector<PosRange>* ranges) const {
+  // Like I-Hilbert: qualifying subfields are [start, end) store runs;
+  // merge them instead of expanding per position.
+  std::vector<PosRange> raw;
   FIELDDB_RETURN_IF_ERROR(
       tree_.Search(BoxFromInterval(query), [&](const RTreeEntry<1>& e) {
-        ranges.emplace_back(e.a, e.b);
+        raw.push_back(PosRange{e.a, e.b});
         return true;
       }));
-  std::sort(ranges.begin(), ranges.end());
-  uint64_t covered_to = 0;
-  for (const auto& [start, end] : ranges) {
-    for (uint64_t pos = std::max(start, covered_to); pos < end; ++pos) {
+  std::sort(raw.begin(), raw.end(), [](const PosRange& x, const PosRange& y) {
+    return x.begin < y.begin || (x.begin == y.begin && x.end < y.end);
+  });
+  for (const PosRange& r : raw) {
+    if (r.end <= r.begin) continue;
+    if (!ranges->empty() && r.begin <= ranges->back().end) {
+      ranges->back().end = std::max(ranges->back().end, r.end);
+    } else {
+      ranges->push_back(r);
+    }
+  }
+  return Status::OK();
+}
+
+Status IntervalQuadtreeIndex::FilterCandidates(
+    const ValueInterval& query, std::vector<uint64_t>* positions) const {
+  std::vector<PosRange> ranges;
+  FIELDDB_RETURN_IF_ERROR(FilterCandidateRanges(query, &ranges));
+  positions->reserve(positions->size() + TotalRangeLength(ranges));
+  for (const PosRange& r : ranges) {
+    for (uint64_t pos = r.begin; pos < r.end; ++pos) {
       positions->push_back(pos);
     }
-    covered_to = std::max(covered_to, end);
   }
   return Status::OK();
 }

@@ -48,15 +48,28 @@ Status LinearScanIndex::UpdateCellValues(CellId id,
                           &new_iv);
 }
 
+Status LinearScanIndex::FilterCandidateRanges(
+    const ValueInterval& query, std::vector<PosRange>* ranges) const {
+  // The scan baseline's filter step is the zone-map sweep itself: one
+  // SIMD pass over the SoA interval arrays, no page I/O, no record
+  // deserialization. (Production LinearScan *queries* still read every
+  // store page — FieldDatabase fuses filter+estimate into a single page
+  // pass, as the paper's cost model requires; see FusedScanQuery.)
+  store_.FilterZoneMap(query, ranges);
+  return Status::OK();
+}
+
 Status LinearScanIndex::FilterCandidates(
     const ValueInterval& query, std::vector<uint64_t>* positions) const {
-  return store_.Scan(0, store_.size(),
-                     [&](uint64_t pos, const CellRecord& cell) {
-                       if (cell.Interval().Intersects(query)) {
-                         positions->push_back(pos);
-                       }
-                       return true;
-                     });
+  std::vector<PosRange> ranges;
+  FIELDDB_RETURN_IF_ERROR(FilterCandidateRanges(query, &ranges));
+  positions->reserve(positions->size() + TotalRangeLength(ranges));
+  for (const PosRange& r : ranges) {
+    for (uint64_t pos = r.begin; pos < r.end; ++pos) {
+      positions->push_back(pos);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace fielddb

@@ -12,23 +12,13 @@ namespace fielddb {
 /// Rewrites the sample values of the record at store position `pos`
 /// (geometry untouched) and reports the value interval before and after.
 /// Shared by every ValueIndex::UpdateCellValues implementation.
+/// CellStore::UpdateValues does the actual work in a single page fetch
+/// and keeps the store's zone map in sync with the rewritten record.
 inline Status ApplyValueUpdate(CellStore* store, uint64_t pos,
                                const std::vector<double>& values,
                                ValueInterval* old_iv,
                                ValueInterval* new_iv) {
-  CellRecord record;
-  FIELDDB_RETURN_IF_ERROR(store->Get(pos, &record));
-  if (values.size() != record.num_vertices) {
-    return Status::InvalidArgument(
-        "expected " + std::to_string(record.num_vertices) +
-        " values, got " + std::to_string(values.size()));
-  }
-  *old_iv = record.Interval();
-  for (uint32_t i = 0; i < record.num_vertices; ++i) {
-    record.w[i] = values[i];
-  }
-  *new_iv = record.Interval();
-  return store->Put(pos, record);
+  return store->UpdateValues(pos, values, old_iv, new_iv);
 }
 
 }  // namespace fielddb

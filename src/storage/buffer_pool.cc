@@ -74,6 +74,8 @@ BufferPool::BufferPool(PageFile* file, size_t capacity, size_t num_shards)
   m_read_retries_ = reg.GetCounter("storage.pool.read_retries");
   m_failed_reads_ = reg.GetCounter("storage.pool.failed_reads");
   m_failed_writes_ = reg.GetCounter("storage.pool.failed_writes");
+  m_prefetch_issued_ = reg.GetCounter("storage.pool.prefetch_issued");
+  m_prefetch_hit_ = reg.GetCounter("storage.pool.prefetch_hit");
   m_read_latency_us_ = reg.GetHistogram("storage.pool.read_latency_us");
   m_write_latency_us_ = reg.GetHistogram("storage.pool.write_latency_us");
 }
@@ -179,6 +181,67 @@ Status BufferPool::Fetch(PageId id, PinnedPage* out) {
     }
   }
   *out = std::move(pin);
+  return Status::OK();
+}
+
+Status BufferPool::PrefetchRange(PageId first, size_t count) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("buffer pool is closed");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const PageId id = first + i;
+    Shard& sh = ShardOf(id);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.frames.find(id) != sh.frames.end()) {
+      m_prefetch_hit_->Increment();
+      continue;
+    }
+    if (!EnsureCapacityLocked(sh).ok()) {
+      // Shard is wedged (all frames pinned, or the victim's write-back
+      // failed). Readahead is optional; leave the page to Fetch.
+      continue;
+    }
+    // A single unretried read: readahead is speculative, so a failure
+    // is NOT counted anywhere — the page stays absent and the
+    // subsequent Fetch performs the normal counted, retried read,
+    // keeping totals identical to the no-readahead path. On success the
+    // read counts as physical (+sequential when ids run consecutively)
+    // exactly like the Fetch miss it replaces, and never as logical.
+    Page page(file_->page_size());
+    const bool timing = MetricsRegistry::enabled();
+    const auto t0 = timing ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+    if (!file_->Read(id, &page).ok()) continue;
+    const bool sampled = CountPhysicalRead(id);
+    if (timing && sampled) m_read_latency_us_->Record(MicrosSince(t0));
+    m_prefetch_issued_->Increment();
+    auto [fit, inserted] = sh.frames.try_emplace(id);
+    assert(inserted);
+    (void)inserted;
+    BufferFrame& f = fit->second;
+    f.page = std::move(page);
+    // Unpinned and immediately evictable: enter at the MRU end.
+    sh.lru.push_back(id);
+    f.lru_pos = std::prev(sh.lru.end());
+    f.in_lru = true;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::PinMany(PageId first, size_t count,
+                           std::vector<PinnedPage>* out) {
+  const size_t original = out->size();
+  FIELDDB_RETURN_IF_ERROR(PrefetchRange(first, count));
+  out->reserve(original + count);
+  for (size_t i = 0; i < count; ++i) {
+    PinnedPage pin;
+    const Status s = Fetch(first + i, &pin);
+    if (!s.ok()) {
+      out->resize(original);
+      return s;
+    }
+    out->push_back(std::move(pin));
+  }
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -111,6 +112,25 @@ class BufferPool {
   /// from any number of threads concurrently.
   Status Fetch(PageId id, PinnedPage* out);
 
+  /// Batched readahead: loads pages [first, first + count) that are not
+  /// yet resident into unpinned frames, so subsequent Fetches of them
+  /// hit. Best effort — a page whose frame cannot be made (shard full of
+  /// pins) or whose read fails is skipped silently, leaving Fetch's
+  /// normal counted-and-retried read path authoritative for it.
+  ///
+  /// Accounting: a prefetch read counts as a physical (and, when the ids
+  /// run consecutively, sequential) read exactly like the Fetch it
+  /// replaces, and never as a logical read — so a scan's I/O totals are
+  /// identical with and without readahead. Already-resident pages count
+  /// only the `storage.pool.prefetch_hit` metric.
+  Status PrefetchRange(PageId first, size_t count);
+
+  /// Pins pages [first, first + count) in order, appending one pin per
+  /// page to `*out`. Issues one PrefetchRange over the span first, so
+  /// the misses are read back-to-back. On error, pins already taken are
+  /// released and `*out` is restored to its original size.
+  Status PinMany(PageId first, size_t count, std::vector<PinnedPage>* out);
+
   /// Allocates a fresh page in the file and pins it (dirty).
   StatusOr<PageId> Allocate(PinnedPage* out);
 
@@ -190,6 +210,8 @@ class BufferPool {
   Counter* m_read_retries_;
   Counter* m_failed_reads_;
   Counter* m_failed_writes_;
+  Counter* m_prefetch_issued_;
+  Counter* m_prefetch_hit_;
   Histogram* m_read_latency_us_;
   Histogram* m_write_latency_us_;
 };

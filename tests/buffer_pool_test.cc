@@ -212,6 +212,111 @@ TEST_F(BufferPoolTest, CloseFlushesAndFencesThePool) {
   EXPECT_TRUE(pool.Close().ok());
 }
 
+TEST_F(BufferPoolTest, PrefetchMakesSubsequentFetchesHits) {
+  BufferPool pool(&file_, 16);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(AllocViaPool(pool, i));
+  ASSERT_TRUE(pool.Clear().ok());
+  pool.ResetStats();
+
+  ASSERT_TRUE(pool.PrefetchRange(ids.front(), ids.size()).ok());
+  // Prefetch reads are physical (and sequential after the first) but
+  // never logical: readahead replaces Fetch's miss reads one-for-one.
+  EXPECT_EQ(pool.stats().logical_reads, 0u);
+  EXPECT_EQ(pool.stats().physical_reads, 8u);
+  EXPECT_EQ(pool.stats().sequential_reads, 7u);
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    PinnedPage pin;
+    ASSERT_TRUE(pool.Fetch(ids[i], &pin).ok());
+    EXPECT_EQ(pin.page().ReadAt<uint64_t>(0), i);
+  }
+  // Every Fetch hit; I/O totals match a plain sequential scan exactly.
+  EXPECT_EQ(pool.stats().logical_reads, 8u);
+  EXPECT_EQ(pool.stats().physical_reads, 8u);
+  EXPECT_EQ(pool.stats().sequential_reads, 7u);
+}
+
+TEST_F(BufferPoolTest, PrefetchOfResidentPagesReadsNothing) {
+  BufferPool pool(&file_, 16);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(AllocViaPool(pool, i));
+  pool.ResetStats();
+  ASSERT_TRUE(pool.PrefetchRange(ids.front(), ids.size()).ok());
+  EXPECT_EQ(pool.stats().logical_reads, 0u);
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+}
+
+TEST_F(BufferPoolTest, PrefetchedFramesAreEvictable) {
+  // Prefetched frames enter the LRU unpinned; they must not wedge a
+  // small pool.
+  BufferPool pool(&file_, 2);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(AllocViaPool(pool, i));
+  ASSERT_TRUE(pool.Clear().ok());
+  ASSERT_TRUE(pool.PrefetchRange(ids.front(), ids.size()).ok());
+  EXPECT_LE(pool.num_frames(), pool.capacity());
+  PinnedPage pin;
+  ASSERT_TRUE(pool.Fetch(ids[0], &pin).ok());
+  EXPECT_EQ(pin.page().ReadAt<uint64_t>(0), 0u);
+}
+
+TEST_F(BufferPoolTest, PrefetchReadFailureIsSilentAndUncounted) {
+  FaultInjectingPageFile faulty(&file_);
+  BufferPool pool(&faulty, 8);
+  PinnedPage pin;
+  StatusOr<PageId> id = pool.Allocate(&pin);
+  ASSERT_TRUE(id.ok());
+  pin.MutablePage().WriteAt<uint64_t>(0, 12);
+  pin.Release();
+  ASSERT_TRUE(pool.Clear().ok());
+  pool.ResetStats();
+
+  // The prefetch's single uncounted read fails; Fetch then succeeds
+  // through its own retried path with normal accounting.
+  faulty.FailNextReads(*id, 1);
+  ASSERT_TRUE(pool.PrefetchRange(*id, 1).ok());
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+  EXPECT_EQ(pool.stats().failed_reads, 0u);
+  ASSERT_TRUE(pool.Fetch(*id, &pin).ok());
+  EXPECT_EQ(pin.page().ReadAt<uint64_t>(0), 12u);
+  EXPECT_EQ(pool.stats().logical_reads, 1u);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST_F(BufferPoolTest, PinManyPinsTheWholeSpan) {
+  BufferPool pool(&file_, 16);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(AllocViaPool(pool, i));
+  ASSERT_TRUE(pool.Clear().ok());
+  pool.ResetStats();
+
+  std::vector<PinnedPage> pins;
+  ASSERT_TRUE(pool.PinMany(ids.front(), ids.size(), &pins).ok());
+  ASSERT_EQ(pins.size(), ids.size());
+  for (size_t i = 0; i < pins.size(); ++i) {
+    EXPECT_EQ(pins[i].id(), ids[i]);
+    EXPECT_EQ(pins[i].page().ReadAt<uint64_t>(0), i);
+  }
+  EXPECT_EQ(pool.stats().logical_reads, 5u);
+  EXPECT_EQ(pool.stats().physical_reads, 5u);
+}
+
+TEST_F(BufferPoolTest, PinManyRollsBackOnFailure) {
+  BufferPool pool(&file_, 16);
+  const PageId a = AllocViaPool(pool, 1);
+  AllocViaPool(pool, 2);
+  std::vector<PinnedPage> pins;
+  // Span runs past the end of the file: the pin batch must fail and
+  // leave `pins` exactly as it was.
+  PinnedPage keep;
+  ASSERT_TRUE(pool.Fetch(a, &keep).ok());
+  pins.push_back(std::move(keep));
+  EXPECT_FALSE(pool.PinMany(a, 100, &pins).ok());
+  ASSERT_EQ(pins.size(), 1u);
+  EXPECT_EQ(pins[0].id(), a);
+}
+
 TEST_F(BufferPoolTest, TransientReadFaultRetriedTransparently) {
   FaultInjectingPageFile faulty(&file_);
   BufferPool pool(&faulty, 4);

@@ -1,0 +1,230 @@
+#include "common/simd/interval_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fielddb {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The specified predicate, written as naively as possible: one branch per
+// slot, emitted through the shared run-merging rule. Every kernel must
+// reproduce this exactly.
+std::vector<PosRange> Reference(const std::vector<double>& mins,
+                                const std::vector<double>& maxs,
+                                uint64_t base, double qmin, double qmax) {
+  std::vector<PosRange> out;
+  for (size_t i = 0; i < mins.size(); ++i) {
+    if (mins[i] <= qmax && maxs[i] >= qmin) {
+      AppendPosition(&out, base + i);
+    }
+  }
+  return out;
+}
+
+std::vector<PosRange> RunScalar(const std::vector<double>& mins,
+                                const std::vector<double>& maxs,
+                                uint64_t base, double qmin, double qmax) {
+  std::vector<PosRange> out;
+  simd::FilterIntervalRangesScalar(mins.data(), maxs.data(), mins.size(),
+                                   base, qmin, qmax, &out);
+  return out;
+}
+
+std::vector<PosRange> RunDispatched(const std::vector<double>& mins,
+                                    const std::vector<double>& maxs,
+                                    uint64_t base, double qmin, double qmax) {
+  std::vector<PosRange> out;
+  simd::FilterIntervalRanges(mins.data(), maxs.data(), mins.size(), base,
+                             qmin, qmax, &out);
+  return out;
+}
+
+TEST(AppendPositionTest, MergesContiguousRuns) {
+  std::vector<PosRange> out;
+  AppendPosition(&out, 3);
+  AppendPosition(&out, 4);
+  AppendPosition(&out, 5);
+  AppendPosition(&out, 9);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (PosRange{3, 6}));
+  EXPECT_EQ(out[1], (PosRange{9, 10}));
+  EXPECT_EQ(TotalRangeLength(out), 4u);
+}
+
+TEST(SimdFilterTest, EmptyInputEmitsNothing) {
+  std::vector<PosRange> out;
+  simd::FilterIntervalRanges(nullptr, nullptr, 0, 0, 0.0, 1.0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SimdFilterTest, BoundaryTouchingMatches) {
+  // Closed intervals: w == min and w == max both qualify.
+  const std::vector<double> mins = {5.0, 1.0, 5.0, 0.0};
+  const std::vector<double> maxs = {9.0, 5.0, 5.0, 0.5};
+  // Query [5, 5]: slots 0 (min == qmax), 1 (max == qmin), 2 (degenerate
+  // interval equal to the query) match; slot 3 does not.
+  const auto expect = Reference(mins, maxs, 0, 5.0, 5.0);
+  ASSERT_EQ(expect.size(), 1u);
+  EXPECT_EQ(expect[0], (PosRange{0, 3}));
+  EXPECT_EQ(RunScalar(mins, maxs, 0, 5.0, 5.0), expect);
+  EXPECT_EQ(RunDispatched(mins, maxs, 0, 5.0, 5.0), expect);
+}
+
+TEST(SimdFilterTest, NanNeverMatches) {
+  const std::vector<double> mins = {kNaN, 0.0, 0.0, kNaN};
+  const std::vector<double> maxs = {1.0, kNaN, 1.0, kNaN};
+  const auto expect = Reference(mins, maxs, 0, 0.0, 1.0);
+  ASSERT_EQ(expect.size(), 1u);
+  EXPECT_EQ(expect[0], (PosRange{2, 3}));
+  EXPECT_EQ(RunScalar(mins, maxs, 0, 0.0, 1.0), expect);
+  EXPECT_EQ(RunDispatched(mins, maxs, 0, 0.0, 1.0), expect);
+  // NaN query bounds match nothing at all.
+  EXPECT_TRUE(RunScalar(mins, maxs, 0, kNaN, kNaN).empty());
+  EXPECT_TRUE(RunDispatched(mins, maxs, 0, kNaN, kNaN).empty());
+}
+
+TEST(SimdFilterTest, InfinitiesAreOrderedValues) {
+  const std::vector<double> mins = {-kInf, -kInf, 2.0, 5.0};
+  const std::vector<double> maxs = {kInf, -3.0, kInf, 6.0};
+  // Query (-inf, inf) matches every non-NaN slot.
+  auto all = RunDispatched(mins, maxs, 0, -kInf, kInf);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], (PosRange{0, 4}));
+  // Query [-inf, -10] only reaches the slots extending to -inf.
+  const auto expect = Reference(mins, maxs, 0, -kInf, -10.0);
+  EXPECT_EQ(RunScalar(mins, maxs, 0, -kInf, -10.0), expect);
+  EXPECT_EQ(RunDispatched(mins, maxs, 0, -kInf, -10.0), expect);
+}
+
+TEST(SimdFilterTest, AppendsAcrossCallsAndMergesAtTheSeam) {
+  // A caller feeding consecutive chunks must get the same run list as a
+  // single call — including a run that spans the chunk boundary.
+  const std::vector<double> mins(64, 0.0);
+  const std::vector<double> maxs(64, 1.0);
+  std::vector<PosRange> whole;
+  simd::FilterIntervalRanges(mins.data(), maxs.data(), 64, 100, 0.5, 0.7,
+                             &whole);
+  std::vector<PosRange> chunked;
+  simd::FilterIntervalRanges(mins.data(), maxs.data(), 37, 100, 0.5, 0.7,
+                             &chunked);
+  simd::FilterIntervalRanges(mins.data() + 37, maxs.data() + 37, 64 - 37,
+                             137, 0.5, 0.7, &chunked);
+  EXPECT_EQ(chunked, whole);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0], (PosRange{100, 164}));
+}
+
+// The heart of the satellite: 10k randomized interval sets (with NaN,
+// ±inf, boundary-touching values, and sizes exercising every SIMD tail
+// length) checked kernel-against-kernel and against the reference.
+TEST(SimdFilterTest, RandomizedDifferential10k) {
+  Rng rng(20020805);
+  const simd::IntervalFilterFn avx2 = simd::Avx2KernelOrNull();
+  size_t avx2_checked = 0;
+  for (int iter = 0; iter < 10000; ++iter) {
+    // Sizes 0..67 cover empty input, sub-vector-width inputs, and every
+    // possible 4-lane tail remainder.
+    const uint64_t n = rng.NextBounded(68);
+    const uint64_t base = rng.NextBounded(1 << 20);
+    std::vector<double> mins(n), maxs(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t kind = rng.NextBounded(16);
+      double lo = rng.NextDouble(-100.0, 100.0);
+      double hi = lo + rng.NextDouble(0.0, 10.0);
+      if (kind == 0) lo = kNaN;
+      if (kind == 1) hi = kNaN;
+      if (kind == 2) lo = -kInf;
+      if (kind == 3) hi = kInf;
+      if (kind == 4) lo = hi;  // degenerate interval
+      mins[i] = lo;
+      maxs[i] = hi;
+    }
+    double qmin = rng.NextDouble(-110.0, 110.0);
+    double qmax = qmin + rng.NextDouble(0.0, 30.0);
+    const uint64_t qkind = rng.NextBounded(12);
+    if (qkind == 0) qmin = qmax;  // point query
+    if (qkind == 1 && n > 0) {
+      // Force boundary contact: query max exactly equals some slot min.
+      const uint64_t j = rng.NextBounded(n);
+      if (!std::isnan(mins[j])) qmax = mins[j];
+    }
+    if (qkind == 2 && n > 0) {
+      const uint64_t j = rng.NextBounded(n);
+      if (!std::isnan(maxs[j])) qmin = maxs[j];
+    }
+
+    const auto expect = Reference(mins, maxs, base, qmin, qmax);
+    ASSERT_EQ(RunScalar(mins, maxs, base, qmin, qmax), expect)
+        << "scalar kernel diverged at iter " << iter;
+    ASSERT_EQ(RunDispatched(mins, maxs, base, qmin, qmax), expect)
+        << "dispatched kernel (" << simd::KernelLevelName(
+               simd::ActiveKernelLevel())
+        << ") diverged at iter " << iter;
+    if (avx2 != nullptr) {
+      std::vector<PosRange> got;
+      avx2(mins.data(), maxs.data(), n, base, qmin, qmax, &got);
+      ASSERT_EQ(got, expect) << "AVX2 kernel diverged at iter " << iter;
+      ++avx2_checked;
+    }
+  }
+  if (avx2 == nullptr) {
+    GTEST_SKIP() << "AVX2 kernel not compiled in or CPU lacks AVX2; "
+                    "scalar and dispatched kernels verified";
+  }
+  EXPECT_EQ(avx2_checked, 10000u);
+}
+
+TEST(SimdFilterTest, DispatchReportsConsistentLevel) {
+  const simd::KernelLevel level = simd::ActiveKernelLevel();
+  if (simd::Avx2KernelOrNull() != nullptr) {
+    EXPECT_EQ(level, simd::KernelLevel::kAvx2);
+    EXPECT_STREQ(simd::KernelLevelName(level), "avx2");
+  } else {
+    EXPECT_EQ(level, simd::KernelLevel::kScalar);
+    EXPECT_STREQ(simd::KernelLevelName(level), "scalar");
+  }
+}
+
+// Kernels are pure functions over const input arrays; N threads filtering
+// the same zone map concurrently (the shared-reader query engine does
+// exactly this) must not race. Run under TSan via the "concurrency" label.
+TEST(SimdFilterConcurrencyTest, ParallelKernelsOnSharedArrays) {
+  Rng rng(99);
+  const uint64_t n = 4096;
+  std::vector<double> mins(n), maxs(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    mins[i] = rng.NextDouble(-50.0, 50.0);
+    maxs[i] = mins[i] + rng.NextDouble(0.0, 5.0);
+  }
+  const auto expect = Reference(mins, maxs, 0, -10.0, 10.0);
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<PosRange>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 50; ++round) {
+        results[t].clear();
+        simd::FilterIntervalRanges(mins.data(), maxs.data(), n, 0, -10.0,
+                                   10.0, &results[t]);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], expect) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace fielddb

@@ -77,6 +77,12 @@ class Checker:
         if "hardware_threads" in report:
             self.check_scaling(report)
             return
+        # The filter-kernel microbench (bench_filter_kernels) compares
+        # filter implementations at fixed selectivities; its marker is
+        # the top-level simd_level field.
+        if "simd_level" in report:
+            self.check_filter_kernels(report)
+            return
         self.require(report, "bench_id", str, "report")
         self.require(report, "title", str, "report")
         self.number(report, "field_cells", "report", minimum=1)
@@ -159,6 +165,47 @@ class Checker:
                     self.error(pwhere,
                                f"speedup_vs_1 {speedup} is not positive")
                 self.number(point, "failed", pwhere, minimum=0)
+
+    def check_filter_kernels(self, report):
+        self.require(report, "bench_id", str, "report")
+        self.require(report, "title", str, "report")
+        self.number(report, "field_cells", "report", minimum=1)
+        self.number(report, "workload_seed", "report", minimum=0)
+        level = self.require(report, "simd_level", str, "report")
+        if level is not None and level not in ("scalar", "avx2"):
+            self.error("report", f"unknown simd_level '{level}'")
+
+        points = self.require(report, "points", list, "report")
+        if points is None:
+            return
+        if not points:
+            self.error("report", "'points' is empty")
+        for j, point in enumerate(points):
+            where = f"points[{j}]"
+            if not isinstance(point, dict):
+                self.error(where, "not an object")
+                continue
+            sel = self.number(point, "selectivity", where, minimum=0)
+            if sel is not None and sel > 1:
+                self.error(where, f"selectivity {sel} > 1")
+            self.number(point, "band_width", where, minimum=0)
+            self.number(point, "num_queries", where, minimum=1)
+            self.number(point, "matched_cells_avg", where, minimum=0)
+            for key in ("record_scan_ms", "zonemap_scalar_ms",
+                        "zonemap_simd_ms"):
+                value = self.number(point, key, where, minimum=0)
+                if isinstance(value, (int, float)) and value <= 0:
+                    self.error(where, f"{key} {value} is not positive")
+            for key in ("speedup_scalar", "speedup_simd"):
+                value = self.number(point, key, where)
+                if value is not None and value <= 0:
+                    self.error(where, f"{key} {value} is not positive")
+            if "results_identical" not in point:
+                self.error(where, "missing key 'results_identical'")
+            elif not isinstance(point["results_identical"], bool):
+                self.error(where, "'results_identical' is not a bool")
+            elif not point["results_identical"]:
+                self.error(where, "kernel outputs diverged")
 
     def check_series(self, ser, where):
         if not isinstance(ser, dict):
