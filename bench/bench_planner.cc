@@ -1,0 +1,215 @@
+// Planner sweep: on the Fig. 8a terrain (512x512 = 262,144 cells,
+// I-Hilbert), runs the same seeded value queries through the adaptive
+// planner and through both forced plans at query widths from 0.1% to
+// 90% of the value range, comparing average disk-model I/O time per
+// query (deterministic — cold cache, same logical reads every run).
+//
+// Acceptance (checked here, not just plotted): at every sweep point the
+// adaptive planner must land within 10% of the better fixed plan, and
+// at the sweep extremes — where the fixed plans diverge most — it must
+// be strictly faster than the worse one. Emits BENCH_planner.json
+// (marker: top-level "planner_sweep": true; schema enforced by
+// tools/check_bench_json.py).
+//
+// --quick shrinks the terrain to 128x128 and the workload for the CTest
+// smoke run; the crossover still exists at that size, so the acceptance
+// checks stay meaningful.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/field_database.h"
+#include "gen/fractal.h"
+#include "obs/json.h"
+
+namespace {
+
+using namespace fielddb;
+
+struct SweepPoint {
+  double width_frac = 0.0;       // query width / value-range length
+  uint32_t num_queries = 0;
+  double selectivity_avg = 0.0;  // filter candidates / cells (indexed run)
+  double auto_disk_ms = 0.0;
+  double scan_disk_ms = 0.0;
+  double index_disk_ms = 0.0;
+  double ratio_to_best = 0.0;    // auto / min(scan, index)
+  double index_plan_frac = 0.0;  // fraction of queries auto sent to the index
+  bool within_10pct = false;
+};
+
+bool RunMode(FieldDatabase* db, PlannerMode mode,
+             const std::vector<ValueInterval>& queries, WorkloadStats* out) {
+  db->set_planner_mode(mode);
+  StatusOr<WorkloadStats> ws = db->RunWorkload(queries);
+  if (!ws.ok()) {
+    std::fprintf(stderr, "%s\n", ws.status().ToString().c_str());
+    return false;
+  }
+  *out = *ws;
+  return true;
+}
+
+bool WriteJson(const std::string& path, uint64_t field_cells, uint64_t seed,
+               const DiskModel& disk, const std::vector<SweepPoint>& points) {
+  std::string j = "{\n  \"bench_id\": \"planner\",\n  \"title\": ";
+  JsonAppendString(&j,
+                   "Cost-based planner vs fixed plans, I-Hilbert terrain "
+                   "selectivity sweep");
+  j += ",\n  \"planner_sweep\": true";
+  j += ",\n  \"method\": ";
+  JsonAppendString(&j, IndexMethodName(IndexMethod::kIHilbert));
+  j += ",\n  \"field_cells\": " + std::to_string(field_cells);
+  j += ",\n  \"workload_seed\": " + std::to_string(seed);
+  j += ",\n  \"disk_model\": {\"seek_ms\": ";
+  JsonAppendDouble(&j, disk.seek_ms);
+  j += ", \"transfer_ms_per_page\": ";
+  JsonAppendDouble(&j, disk.transfer_ms_per_page);
+  j += "},\n  \"points\": [";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    j += i == 0 ? "\n" : ",\n";
+    j += "    {\"width_frac\": ";
+    JsonAppendDouble(&j, p.width_frac);
+    j += ", \"num_queries\": " + std::to_string(p.num_queries);
+    j += ", \"selectivity_avg\": ";
+    JsonAppendDouble(&j, p.selectivity_avg);
+    j += ",\n     \"auto_disk_ms\": ";
+    JsonAppendDouble(&j, p.auto_disk_ms);
+    j += ", \"scan_disk_ms\": ";
+    JsonAppendDouble(&j, p.scan_disk_ms);
+    j += ", \"index_disk_ms\": ";
+    JsonAppendDouble(&j, p.index_disk_ms);
+    j += ",\n     \"ratio_to_best\": ";
+    JsonAppendDouble(&j, p.ratio_to_best);
+    j += ", \"index_plan_frac\": ";
+    JsonAppendDouble(&j, p.index_plan_frac);
+    j += ", \"within_10pct\": ";
+    j += p.within_10pct ? "true" : "false";
+    j += "}";
+  }
+  j += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(j.data(), 1, j.size(), f) == j.size();
+  std::fclose(f);
+  if (ok) std::printf("telemetry: %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const uint64_t seed = 1988;
+
+  StatusOr<GridField> terrain = [&]() -> StatusOr<GridField> {
+    if (!quick) return MakeRoseburgLikeTerrain();
+    FractalOptions options;
+    options.size_exp = 7;  // 128x128: smallest quick size with a crossover
+    options.roughness_h = 0.7;
+    options.seed = 1972;
+    return MakeFractalField(options);
+  }();
+  if (!terrain.ok()) {
+    std::fprintf(stderr, "%s\n", terrain.status().ToString().c_str());
+    return 1;
+  }
+
+  FieldDatabaseOptions options;
+  options.method = IndexMethod::kIHilbert;
+  options.build_spatial_index = false;
+  StatusOr<std::unique_ptr<FieldDatabase>> db =
+      FieldDatabase::Build(*terrain, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<double> widths =
+      quick ? std::vector<double>{0.001, 0.05, 0.5}
+            : std::vector<double>{0.001, 0.005, 0.01, 0.05, 0.1,
+                                  0.3,   0.5,   0.7,  0.9};
+  const uint32_t num_queries = quick ? 5 : 20;
+  const ValueInterval range = (*db)->value_range();
+  const DiskModel disk = (*db)->planner().cost_model().disk();
+
+  std::printf("cells=%llu store_pages=%llu\n",
+              static_cast<unsigned long long>((*db)->build_info().num_cells),
+              static_cast<unsigned long long>((*db)->build_info().store_pages));
+
+  Rng rng(seed);
+  std::vector<SweepPoint> points;
+  bool accepted = true;
+  for (size_t wi = 0; wi < widths.size(); ++wi) {
+    SweepPoint p;
+    p.width_frac = widths[wi];
+    const double w = p.width_frac * range.Length();
+    std::vector<ValueInterval> queries(num_queries);
+    for (ValueInterval& q : queries) {
+      const double lo = rng.NextDouble(range.min, range.max - w);
+      q = ValueInterval{lo, lo + w};
+    }
+
+    WorkloadStats adaptive, scan, index;
+    if (!RunMode(db->get(), PlannerMode::kAuto, queries, &adaptive) ||
+        !RunMode(db->get(), PlannerMode::kForceScan, queries, &scan) ||
+        !RunMode(db->get(), PlannerMode::kForceIndex, queries, &index)) {
+      return 1;
+    }
+    (*db)->set_planner_mode(PlannerMode::kAuto);
+    uint32_t index_plans = 0;
+    for (const ValueInterval& q : queries) {
+      if ((*db)->PlanValueQuery(q).kind == PlanKind::kIndexedFilter) {
+        ++index_plans;
+      }
+    }
+
+    p.num_queries = num_queries;
+    p.selectivity_avg =
+        index.avg_candidates /
+        static_cast<double>((*db)->build_info().num_cells);
+    p.auto_disk_ms = adaptive.AvgDiskMs(disk);
+    p.scan_disk_ms = scan.AvgDiskMs(disk);
+    p.index_disk_ms = index.AvgDiskMs(disk);
+    p.index_plan_frac = static_cast<double>(index_plans) / num_queries;
+
+    const double best = std::min(p.scan_disk_ms, p.index_disk_ms);
+    const double worst = std::max(p.scan_disk_ms, p.index_disk_ms);
+    p.ratio_to_best = p.auto_disk_ms / best;
+    p.within_10pct = p.auto_disk_ms <= 1.10 * best;
+    const bool extreme = wi == 0 || wi == widths.size() - 1;
+    const bool beats_worst = !extreme || p.auto_disk_ms < worst;
+    accepted = accepted && p.within_10pct && beats_worst;
+
+    std::printf(
+        "width=%.3f sel=%.4f auto=%9.1fms scan=%9.1fms index=%9.1fms "
+        "ratio=%.3f index_plans=%.0f%%%s%s\n",
+        p.width_frac, p.selectivity_avg, p.auto_disk_ms, p.scan_disk_ms,
+        p.index_disk_ms, p.ratio_to_best, p.index_plan_frac * 100,
+        p.within_10pct ? "" : "  VIOLATION: >10% off best",
+        beats_worst ? "" : "  VIOLATION: not under worst at extreme");
+    points.push_back(p);
+  }
+
+  if (!WriteJson("BENCH_planner.json", (*db)->build_info().num_cells, seed,
+                 disk, points)) {
+    return 1;
+  }
+  if (!accepted) {
+    std::fprintf(stderr, "planner acceptance checks failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -54,11 +54,17 @@ int main() {
               *elevation);
 
   // 4. Q2 — field value query: regions with elevation in a band around
-  //    the middle of the range.
+  //    the middle of the range. The cost-based planner decides per
+  //    query whether to run the index's filter+fetch pipeline or a
+  //    single fused scan of the store — ask it first, then run.
   const ValueInterval range = terrain->ValueRange();
   const double mid = range.Center();
   const ValueInterval band{mid - 0.02 * range.Length(),
                            mid + 0.02 * range.Length()};
+  const PhysicalPlan plan = (*db)->PlanValueQuery(band);
+  std::printf("Q2 plan: %s, predicted %.2f ms (%s)\n",
+              PlanKindName(plan.kind), plan.predicted_cost_ms,
+              plan.reason.c_str());
   ValueQueryResult result;
   const Status s = (*db)->ValueQuery(band, &result);
   if (!s.ok()) {

@@ -9,6 +9,7 @@
 #include "field/isoband.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "plan/operators.h"
 #include "storage/io_sink.h"
 
 namespace fielddb {
@@ -31,6 +32,8 @@ struct DbMetrics {
   Counter* scrub_pages;
   Counter* scrub_corrupt_pages;
   Counter* zonemap_cells_skipped;
+  Counter* plans_scan;
+  Counter* plans_index;
   Histogram* query_wall_us;
 
   static const DbMetrics& Get() {
@@ -43,6 +46,8 @@ struct DbMetrics {
                        reg.GetCounter("db.scrub_pages"),
                        reg.GetCounter("db.scrub_corrupt_pages"),
                        reg.GetCounter("db.zonemap_cells_skipped"),
+                       reg.GetCounter("db.plans_scan"),
+                       reg.GetCounter("db.plans_index"),
                        reg.GetHistogram("db.query_wall_us")};
     }();
     return m;
@@ -129,174 +134,71 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
     if (!spatial.ok()) return spatial.status();
     db->spatial_.emplace(std::move(spatial).value());
   }
+  db->InitPlanner(options.planner_mode);
   db->pool_->ResetStats();
   return db;
 }
 
-Status FieldDatabase::EstimateCandidates(
-    const std::vector<PosRange>& ranges, const ValueInterval& query,
-    Region* region, QueryStats* stats, double* est_seconds) const {
-  const CellStore& store = index_->cell_store();
-  Status inner_status = Status::OK();
-  // The pure estimation work, separated out so traced queries can time
-  // it per cell (fetch I/O happens in the range scan, outside this
-  // lambda). The zone-map filter already proved the cell's interval
-  // intersects the query — the zone entry IS the record's interval — so
-  // in stats mode every visited cell is an answer.
-  const auto estimate_cell = [&](const CellRecord& cell) {
-    if (region != nullptr) {
-      StatusOr<size_t> pieces = CellIsoband(cell, query, region);
-      if (!pieces.ok()) {
-        inner_status = pieces.status();
-        return false;
-      }
-      if (*pieces > 0) {
-        ++stats->answer_cells;
-        stats->region_pieces += *pieces;
-      }
-    } else {
-      ++stats->answer_cells;
-    }
-    return true;
-  };
-  // Every page of every candidate run is still fetched (identical I/O
-  // to the pre-zone-map engine — the paper's page-access counts are the
-  // experiment); only matching slots are deserialized and estimated.
-  uint64_t skipped = 0;
-  FIELDDB_RETURN_IF_ERROR(store.ScanRangesFiltered(
-      ranges.data(), ranges.size(), query, &skipped,
-      [&](uint64_t pos, const CellRecord& cell) {
-        (void)pos;
-        if (est_seconds == nullptr) return estimate_cell(cell);
-        const auto t = Clock::now();
-        const bool keep_going = estimate_cell(cell);
-        *est_seconds += SecondsSince(t);
-        return keep_going;
-      }));
-  FIELDDB_RETURN_IF_ERROR(inner_status);
-  DbMetrics::Get().zonemap_cells_skipped->Increment(skipped);
-  return Status::OK();
-}
-
-Status FieldDatabase::FusedScanQuery(const ValueInterval& query,
-                                     Region* region, QueryStats* stats,
-                                     double* est_seconds) const {
-  // The paper's 'LinearScan' is a single pass: each cell is tested and,
-  // if it qualifies, interpolated immediately — there is no candidate
-  // list to re-fetch. (Indexed methods genuinely pay the second touch:
-  // their filter step sees only intervals and store positions.) The
-  // zone-map sweep replaces the per-record interval test: every store
-  // page is still read — the scan's I/O pattern is its semantics — but
-  // non-matching slots are never deserialized.
-  const CellStore& store = index_->cell_store();
-  Status inner = Status::OK();
-  const auto estimate_cell = [&](const CellRecord& cell) {
-    ++stats->candidate_cells;
-    if (region != nullptr) {
-      StatusOr<size_t> pieces = CellIsoband(cell, query, region);
-      if (!pieces.ok()) {
-        inner = pieces.status();
-        return false;
-      }
-      if (*pieces > 0) {
-        ++stats->answer_cells;
-        stats->region_pieces += *pieces;
-      }
-    } else {
-      ++stats->answer_cells;
-    }
-    return true;
-  };
-  const PosRange whole{0, store.size()};
-  uint64_t skipped = 0;
-  FIELDDB_RETURN_IF_ERROR(store.ScanRangesFiltered(
-      &whole, 1, query, &skipped, [&](uint64_t, const CellRecord& cell) {
-        if (est_seconds == nullptr) return estimate_cell(cell);
-        const auto t = Clock::now();
-        const bool keep_going = estimate_cell(cell);
-        *est_seconds += SecondsSince(t);
-        return keep_going;
-      }));
-  FIELDDB_RETURN_IF_ERROR(inner);
-  DbMetrics::Get().zonemap_cells_skipped->Increment(skipped);
-  return Status::OK();
+void FieldDatabase::InitPlanner(PlannerMode mode) {
+  planner_ = std::make_unique<QueryPlanner>(index_.get(), subfields());
+  planner_mode_.store(mode, std::memory_order_relaxed);
 }
 
 Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
                                        Region* region, QueryStats* stats,
                                        QueryContext* ctx,
                                        QueryTrace* trace) const {
-  // Fused scan used for LinearScan and the corruption fallback. Traced,
-  // it reports as a "fetch" span (the single pass is candidate retrieval
-  // with estimation inlined) plus a zero-I/O "estimate" span carrying the
-  // per-cell estimation time deducted from the fetch wall time.
-  const auto fused_scan = [&]() -> Status {
-    double est = 0.0;
-    Status s;
-    {
-      ScopedSpan fetch(trace, "fetch", &ctx->io);
-      s = FusedScanQuery(query, region, stats,
-                         trace != nullptr ? &est : nullptr);
-      fetch.set_items(stats->candidate_cells);
-      fetch.set_detail("full_scan");
-      fetch.DeductWallSeconds(est);
-    }
-    if (trace != nullptr) {
-      TraceSpan span;
-      span.name = "estimate";
-      span.wall_seconds = est;
-      span.items = stats->answer_cells;
-      trace->AddSpan(std::move(span));
-    }
-    return s;
-  };
+  const OperatorEnv env{index_.get(), ctx, trace};
 
-  if (index_->method() == IndexMethod::kLinearScan) {
-    return fused_scan();
+  // Cost-based access-path selection, reported as its own span (no page
+  // I/O: the probe reads only the subfield table or the in-memory
+  // zone-map sidecar).
+  PhysicalPlan plan;
+  {
+    ScopedSpan span(trace, "plan", &ctx->io);
+    plan = planner_->Plan(query,
+                          planner_mode_.load(std::memory_order_relaxed));
+    span.set_items(plan.predicted_candidates);
+    span.set_detail(plan.reason);
   }
 
+  if (plan.kind == PlanKind::kFusedScan) {
+    // Single pass over the whole store, estimation fused in. The zone
+    // test inside the scan is exact, so candidate_cells counts the cells
+    // that really intersect the query.
+    DbMetrics::Get().plans_scan->Increment();
+    EstimateOp estimate(query, region, stats, /*count_candidates=*/true);
+    FIELDDB_RETURN_IF_ERROR(RunFuseOp(env, query, stats, estimate));
+    return estimate.status();
+  }
+
+  DbMetrics::Get().plans_index->Increment();
   std::vector<PosRange>& ranges = ctx->ranges;
   ranges.clear();
-  Status filter;
   uint64_t candidates = 0;
-  {
-    ScopedSpan span(trace, "filter", &ctx->io);
-    filter = index_->FilterCandidateRanges(query, &ranges);
-    candidates = TotalRangeLength(ranges);
-    span.set_items(candidates);
-    span.set_detail("runs=" + std::to_string(ranges.size()));
-  }
+  const Status filter = RunFilterOp(env, query, &ranges, &candidates);
   if (filter.code() == StatusCode::kCorruption) {
     // The value index is damaged but the cell store holds every answer:
-    // degrade to the LinearScan path so the query still returns exact
+    // degrade to the fused scan so the query still returns exact
     // results, and record the fallback for observability.
     index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     DbMetrics::Get().index_fallbacks->Increment();
     stats->index_fallbacks = 1;
     stats->candidate_cells = 0;
     if (region != nullptr) region->pieces.clear();
-    return fused_scan();
+    EstimateOp estimate(query, region, stats, /*count_candidates=*/true);
+    FIELDDB_RETURN_IF_ERROR(RunFuseOp(env, query, stats, estimate));
+    return estimate.status();
   }
   FIELDDB_RETURN_IF_ERROR(filter);
   stats->candidate_cells = candidates;
 
-  double est = 0.0;
-  {
-    ScopedSpan fetch(trace, "fetch", &ctx->io);
-    fetch.set_items(candidates);
-    Status s = EstimateCandidates(ranges, query, region, stats,
-                                  trace != nullptr ? &est : nullptr);
-    fetch.DeductWallSeconds(est);
-    if (!s.ok()) return s;
-  }
-  if (trace != nullptr) {
-    TraceSpan span;
-    span.name = "estimate";
-    span.wall_seconds = est;
-    span.items = stats->answer_cells;
-    trace->AddSpan(std::move(span));
-  }
-  return Status::OK();
+  // Fetch only the candidate runs; estimate each zone-matching cell.
+  EstimateOp estimate(query, region, stats, /*count_candidates=*/false);
+  FIELDDB_RETURN_IF_ERROR(RunScanOp(env, query, ranges.data(), ranges.size(),
+                                    /*fetch_detail=*/nullptr, stats,
+                                    estimate));
+  return estimate.status();
 }
 
 Status FieldDatabase::ValueQuery(const ValueInterval& query,
@@ -471,7 +373,6 @@ Status FieldDatabase::IsolineQuery(double level,
 
   const ValueInterval query{level, level};
   std::vector<IsoSegment> segments;
-  const CellStore& store = index_->cell_store();
   Status inner = Status::OK();
   const auto visit_cell = [&](uint64_t, const CellRecord& cell) {
     StatusOr<size_t> added = CellIsolineSegments(cell, level, &segments);
@@ -482,43 +383,44 @@ Status FieldDatabase::IsolineQuery(double level,
     if (*added > 0) ++out->stats.answer_cells;
     return true;
   };
-
-  // Single pass over the whole store, as with FusedScanQuery: every page
-  // read, only level-containing slots deserialized (a degenerate query
-  // interval [level, level] makes the zone test exactly Contains). Also
-  // the degraded path when the value index turns out to be corrupt.
-  const auto full_scan = [&]() -> Status {
-    const PosRange whole{0, store.size()};
-    uint64_t skipped = 0;
-    FIELDDB_RETURN_IF_ERROR(store.ScanRangesFiltered(
-        &whole, 1, query, &skipped,
-        [&](uint64_t pos, const CellRecord& cell) {
-          ++out->stats.candidate_cells;
-          return visit_cell(pos, cell);
-        }));
-    FIELDDB_RETURN_IF_ERROR(inner);
-    DbMetrics::Get().zonemap_cells_skipped->Increment(skipped);
-    return Status::OK();
+  const auto counting_visit = [&](uint64_t pos, const CellRecord& cell) {
+    ++out->stats.candidate_cells;
+    return visit_cell(pos, cell);
   };
 
-  if (index_->method() == IndexMethod::kLinearScan) {
-    FIELDDB_RETURN_IF_ERROR(full_scan());
+  // The same cost-based plan selection as a value query, made with the
+  // degenerate interval [level, level] (the zone test then is exactly
+  // Contains). The fused scan reads every store page once; it is also
+  // the degraded path when the value index turns out to be corrupt.
+  const OperatorEnv env{index_.get(), &ctx, nullptr};
+  const PhysicalPlan plan =
+      planner_->Plan(query, planner_mode_.load(std::memory_order_relaxed));
+  if (plan.kind == PlanKind::kFusedScan) {
+    DbMetrics::Get().plans_scan->Increment();
+    FIELDDB_RETURN_IF_ERROR(
+        RunFuseOp(env, query, &out->stats, counting_visit));
+    FIELDDB_RETURN_IF_ERROR(inner);
   } else {
+    DbMetrics::Get().plans_index->Increment();
     std::vector<PosRange>& ranges = ctx.ranges;
-    const Status filter = index_->FilterCandidateRanges(query, &ranges);
+    ranges.clear();
+    uint64_t candidates = 0;
+    const Status filter = RunFilterOp(env, query, &ranges, &candidates);
     if (filter.code() == StatusCode::kCorruption) {
       index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
       DbMetrics::Get().index_fallbacks->Increment();
       out->stats.index_fallbacks = 1;
-      FIELDDB_RETURN_IF_ERROR(full_scan());
+      FIELDDB_RETURN_IF_ERROR(
+          RunFuseOp(env, query, &out->stats, counting_visit));
+      FIELDDB_RETURN_IF_ERROR(inner);
     } else {
       FIELDDB_RETURN_IF_ERROR(filter);
-      out->stats.candidate_cells = TotalRangeLength(ranges);
-      uint64_t skipped = 0;
-      FIELDDB_RETURN_IF_ERROR(store.ScanRangesFiltered(
-          ranges.data(), ranges.size(), query, &skipped, visit_cell));
+      out->stats.candidate_cells = candidates;
+      FIELDDB_RETURN_IF_ERROR(RunScanOp(env, query, ranges.data(),
+                                        ranges.size(),
+                                        /*fetch_detail=*/nullptr,
+                                        &out->stats, visit_cell));
       FIELDDB_RETURN_IF_ERROR(inner);
-      DbMetrics::Get().zonemap_cells_skipped->Increment(skipped);
     }
   }
   out->isoline = AssembleIsoline(segments);
@@ -637,13 +539,25 @@ Status FieldDatabase::Close() { return pool_->Close(); }
 
 Status FieldDatabase::ExplainValueQuery(const ValueInterval& query,
                                         ExplainResult* out) const {
-  if (query.IsEmpty()) {
-    return Status::InvalidArgument("empty query interval");
-  }
+  // Stamp the database's identity before validating anything: an early
+  // return must not leave a default-constructed result whose method
+  // (kLinearScan, the struct default) misreports the database.
   *out = ExplainResult{};
   out->method = index_->method();
   out->query = query;
   out->rtree_height = index_->build_info().tree_height;
+  if (query.IsEmpty()) {
+    return Status::InvalidArgument("empty query interval");
+  }
+
+  // The decision the traced run below will make, captured up front for
+  // the report (planning is deterministic, so this is the same plan).
+  const PhysicalPlan plan = PlanValueQuery(query);
+  out->chosen_plan = plan.kind;
+  out->predicted_cost_ms = plan.predicted_cost_ms;
+  out->predicted_scan_cost_ms = plan.scan_cost_ms;
+  out->predicted_index_cost_ms = plan.index_cost_ms;
+  out->planner_reason = plan.reason;
 
   // EXPLAIN forces metrics on so the R*-tree descent profile is
   // recorded even when the process runs with recording disabled.
@@ -674,10 +588,12 @@ Status FieldDatabase::ExplainValueQuery(const ValueInterval& query,
 
   // Annotate the touched subfields. This is a post-pass (the query's
   // stats are already captured, so these store reads don't pollute it),
-  // and it is skipped after a corruption fallback: the plan the filter
-  // chose was not the plan that ran.
+  // skipped when the executed plan never consulted the subfield table:
+  // after a corruption fallback, and when the planner chose the fused
+  // scan (the filter step didn't run).
   const std::vector<Subfield>* sfs = subfields();
-  if (sfs != nullptr && out->stats.index_fallbacks == 0) {
+  if (sfs != nullptr && out->stats.index_fallbacks == 0 &&
+      out->chosen_plan == PlanKind::kIndexedFilter) {
     const CellStore& store = index_->cell_store();
     for (uint32_t id = 0; id < sfs->size(); ++id) {
       const Subfield& sf = (*sfs)[id];
@@ -727,6 +643,14 @@ std::string FieldDatabase::ExplainResult::ToString() const {
                 rtree_height,
                 static_cast<unsigned long long>(rtree_nodes_visited));
   s += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  plan: %s predicted_ms=%.2f (scan=%.2f index=%.2f)\n",
+                PlanKindName(chosen_plan), predicted_cost_ms,
+                predicted_scan_cost_ms, predicted_index_cost_ms);
+  s += buf;
+  if (!planner_reason.empty()) {
+    s += "    " + planner_reason + "\n";
+  }
   if (stats.index_fallbacks > 0) {
     s += "  DEGRADED: corrupt index page; answered by full store scan\n";
   }
@@ -784,6 +708,17 @@ std::string FieldDatabase::ExplainResult::ToJson() const {
        ",\"random_reads\":" + std::to_string(stats.io.random_reads()) + "}";
   s += ",\"est_disk_ms\":";
   JsonAppendDouble(&s, est_disk_ms);
+  s += ",\"plan\":{\"chosen\":";
+  JsonAppendString(&s, PlanKindName(chosen_plan));
+  s += ",\"predicted_cost_ms\":";
+  JsonAppendDouble(&s, predicted_cost_ms);
+  s += ",\"scan_cost_ms\":";
+  JsonAppendDouble(&s, predicted_scan_cost_ms);
+  s += ",\"index_cost_ms\":";
+  JsonAppendDouble(&s, predicted_index_cost_ms);
+  s += ",\"reason\":";
+  JsonAppendString(&s, planner_reason);
+  s += "}";
   s += ",\"rtree\":{\"height\":" + std::to_string(rtree_height) +
        ",\"nodes_visited\":" + std::to_string(rtree_nodes_visited) + "}";
   s += ",\"subfields\":[";

@@ -20,6 +20,7 @@
 #include "index/row_ip_index.h"
 #include "index/value_index.h"
 #include "obs/trace.h"
+#include "plan/planner.h"
 #include "rtree/rstar_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
@@ -43,6 +44,11 @@ struct FieldDatabaseOptions {
   /// schedule faults against the live database.
   std::function<std::unique_ptr<PageFile>(uint32_t page_size)>
       page_file_factory;
+  /// Initial access-path policy for value queries (see QueryPlanner).
+  /// kAuto picks fused-scan vs indexed filter+fetch per query from the
+  /// disk-model cost; the forced modes pin one physical plan. Changeable
+  /// later with set_planner_mode.
+  PlannerMode planner_mode = PlannerMode::kAuto;
 
   IHilbertIndex::Options ihilbert;
   IAllIndex::Options iall;
@@ -127,11 +133,12 @@ class FieldDatabase {
                          QueryContext* ctx) const;
 
   /// ValueQueryStats with per-phase tracing: `out->trace` is populated
-  /// with the pipeline's spans ("filter", "fetch", "estimate" on indexed
-  /// paths; "fetch"/"estimate" for LinearScan and the corruption
-  /// fallback). Span I/O deltas sum exactly to `out->io`. Slower than
-  /// the untraced path (per-cell clock reads in the estimation step), so
-  /// benches keep using ValueQueryStats.
+  /// with the pipeline's spans ("plan", "filter", "fetch", "estimate" on
+  /// indexed plans; "plan"/"fetch"/"estimate" when the planner chose the
+  /// fused scan, and "fetch"/"estimate" alone on the corruption
+  /// fallback's rerun). Span I/O deltas sum exactly to `out->io`. Slower
+  /// than the untraced path (per-cell clock reads in the estimation
+  /// step), so benches keep using ValueQueryStats.
   Status TracedValueQueryStats(const ValueInterval& query,
                                QueryStats* out) const;
   Status TracedValueQueryStats(const ValueInterval& query, QueryStats* out,
@@ -153,6 +160,10 @@ class FieldDatabase {
   /// The full query plan + execution profile produced by
   /// ExplainValueQuery.
   struct ExplainResult {
+    /// The database's index method. Note the default is only a
+    /// placeholder: ExplainValueQuery stamps the actual method before
+    /// doing anything else (including argument validation), so even a
+    /// failed explain never reports a method the database doesn't use.
     IndexMethod method = IndexMethod::kLinearScan;
     ValueInterval query;
     /// Executed-query measurements; `stats.trace` holds the phase spans.
@@ -169,6 +180,15 @@ class FieldDatabase {
     /// What the simulated 2002 disk would charge for this query's
     /// physical read pattern (DiskModel on sequential/random reads).
     double est_disk_ms = 0.0;
+    /// The planner's decision for this query: which physical plan ran,
+    /// what it was predicted to cost, what the alternative would have
+    /// cost, and why. `predicted_cost_ms` is comparable to `est_disk_ms`
+    /// (same disk model; predicted vs observed read pattern).
+    PlanKind chosen_plan = PlanKind::kFusedScan;
+    double predicted_cost_ms = 0.0;
+    double predicted_scan_cost_ms = 0.0;
+    double predicted_index_cost_ms = 0.0;
+    std::string planner_reason;
 
     std::string ToString() const;
     std::string ToJson() const;
@@ -248,6 +268,24 @@ class FieldDatabase {
     return index_fallbacks_.load(std::memory_order_relaxed);
   }
 
+  /// The planner's decision for `query` under the current mode, without
+  /// executing anything. What ValueQuery would run; also the CLI's
+  /// `plan` subcommand.
+  PhysicalPlan PlanValueQuery(const ValueInterval& query) const {
+    return planner_->Plan(query, planner_mode_.load(std::memory_order_relaxed));
+  }
+
+  /// Access-path policy for subsequent value queries. Safe to flip
+  /// between queries from the owning thread; queries in flight read the
+  /// mode once at entry.
+  void set_planner_mode(PlannerMode mode) {
+    planner_mode_.store(mode, std::memory_order_relaxed);
+  }
+  PlannerMode planner_mode() const {
+    return planner_mode_.load(std::memory_order_relaxed);
+  }
+
+  const QueryPlanner& planner() const { return *planner_; }
   const ValueIndex& index() const { return *index_; }
   const IndexBuildInfo& build_info() const { return index_->build_info(); }
   IndexMethod method() const { return index_->method(); }
@@ -263,37 +301,32 @@ class FieldDatabase {
 
   Status SaveImpl(const std::string& prefix, bool crash_before_rename);
 
-  /// Shared Q2 dispatch: filter + estimate for indexed methods, fused
-  /// scan for LinearScan, and the degraded path — a corrupt index page
-  /// during filtering downgrades the query to a full store scan (the
-  /// store holds the truth; the index is only an accelerator). Uses
-  /// `ctx` for scratch and span I/O attribution; a non-null `trace`
-  /// records the pipeline phases as spans.
+  /// Shared Q2 dispatch, now a thin plan builder: asks the QueryPlanner
+  /// which physical plan to run (under a "plan" span), then executes it
+  /// with the composable operators from plan/operators.h — RunFuseOp for
+  /// kFusedScan, RunFilterOp + RunScanOp(EstimateOp) for kIndexedFilter.
+  /// A corrupt index page during filtering degrades the query to the
+  /// fused scan regardless of the plan (the store holds the truth; the
+  /// index is only an accelerator). Uses `ctx` for scratch and span I/O
+  /// attribution; a non-null `trace` records the phases as spans.
   Status AnswerValueQuery(const ValueInterval& query, Region* region,
                           QueryStats* stats, QueryContext* ctx,
                           QueryTrace* trace = nullptr) const;
 
-  /// When `est_seconds` is non-null, the pure estimation work (inverse
-  /// interpolation / interval tests, no I/O) is timed per cell and
-  /// accumulated there so the fetch and estimate phases can be reported
-  /// as separate spans. Fetches every page of every candidate run (the
-  /// same I/O as before the zone map existed) but deserializes and
-  /// estimates only zone-map-matching slots; the rest are counted into
-  /// the db.zonemap_cells_skipped metric.
-  Status EstimateCandidates(const std::vector<PosRange>& ranges,
-                            const ValueInterval& query, Region* region,
-                            QueryStats* stats,
-                            double* est_seconds = nullptr) const;
-
-  /// Single-pass scan-and-estimate used for the LinearScan method (the
-  /// paper's baseline touches every store page exactly once).
-  Status FusedScanQuery(const ValueInterval& query, Region* region,
-                        QueryStats* stats,
-                        double* est_seconds = nullptr) const;
+  /// Constructs planner_ over the finished index (and subfield table,
+  /// when the method has one). Called once at the end of Build and Open;
+  /// the planner borrows index_/subfields() so it must be re-created if
+  /// the index ever were (it isn't).
+  void InitPlanner(PlannerMode mode);
 
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<ValueIndex> index_;
+  std::unique_ptr<QueryPlanner> planner_;
+  /// Atomic so tests/benches can flip the policy between queries while
+  /// reader threads are quiescent without formal UB; queries load it
+  /// once at entry.
+  std::atomic<PlannerMode> planner_mode_{PlannerMode::kAuto};
   std::optional<RStarTree<2>> spatial_;
   ValueInterval value_range_;
   Rect2 domain_;

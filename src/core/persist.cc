@@ -380,6 +380,9 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
     db->spatial_.emplace(
         RStarTree<2>::Attach(db->pool_.get(), meta->spatial));
   }
+  // Planning is a pure function of the attached index state, so a
+  // reopened snapshot plans exactly like the database that saved it.
+  db->InitPlanner(PlannerMode::kAuto);
   db->pool_->ResetStats();
   return db;
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "plan/cost_model.h"  // DiskModel's home since the planner refactor
 #include "storage/io_stats.h"
 
 namespace fielddb {
@@ -39,22 +40,6 @@ struct QueryStats {
     region_pieces += q.region_pieces;
     index_fallbacks += q.index_fallbacks;
     io += q.io;  // IoStats::operator+= keeps every counter in the rollup
-  }
-};
-
-/// Parameters of the simulated spinning disk used to translate page
-/// counts into the I/O time a 2002 testbed would have paid (the paper's
-/// experiments ran against real disks; our pages live in RAM). Defaults:
-/// ~9 ms average seek + rotational delay for a random page, ~0.16 ms to
-/// transfer a 4 KB page at ~25 MB/s.
-struct DiskModel {
-  double seek_ms = 9.0;
-  double transfer_ms_per_page = 0.16;
-
-  /// Estimated I/O milliseconds for a read pattern.
-  double EstimateMs(uint64_t sequential_reads, uint64_t random_reads) const {
-    return random_reads * (seek_ms + transfer_ms_per_page) +
-           sequential_reads * transfer_ms_per_page;
   }
 };
 

@@ -151,4 +151,23 @@ Status CellStore::Scan(
   return ScanWith(begin, end, visit);
 }
 
+CellStore::ZoneProbe CellStore::ProbeZoneMap(const ValueInterval& query,
+                                             uint64_t stride) const {
+  ZoneProbe probe;
+  if (stride == 0) stride = 1;
+  bool prev_matched = false;
+  for (uint64_t pos = 0; pos < num_cells_; pos += stride) {
+    ++probe.sampled;
+    // Same predicate as the SIMD kernels: NaN zones never match.
+    const bool match =
+        zone_min_[pos] <= query.max && zone_max_[pos] >= query.min;
+    if (match) {
+      ++probe.matched;
+      if (!prev_matched) ++probe.run_starts;
+    }
+    prev_matched = match;
+  }
+  return probe;
+}
+
 }  // namespace fielddb

@@ -231,6 +231,17 @@ class CellStore {
                                0, query.min, query.max, out);
   }
 
+  /// Strided zone-map sample, the planner's sublinear selectivity probe
+  /// for stores too large for an exact FilterZoneMap sweep: tests every
+  /// `stride`-th slot (stride 0 behaves as 1) against `query`.
+  struct ZoneProbe {
+    uint64_t sampled = 0;     // slots tested
+    uint64_t matched = 0;     // tested slots intersecting the query
+    uint64_t run_starts = 0;  // matches whose previous sample missed —
+                              // an estimate of the candidate run count
+  };
+  ZoneProbe ProbeZoneMap(const ValueInterval& query, uint64_t stride) const;
+
   /// The SoA zone map: per-slot record-interval bounds in storage order.
   const std::vector<double>& zone_min() const { return zone_min_; }
   const std::vector<double>& zone_max() const { return zone_max_; }

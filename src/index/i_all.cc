@@ -73,17 +73,19 @@ Status IAllIndex::UpdateCellValues(CellId id,
   return Status::OK();
 }
 
-Status IAllIndex::FilterCandidates(const ValueInterval& query,
-                                   std::vector<uint64_t>* positions) const {
-  const size_t before = positions->size();
+Status IAllIndex::FilterCandidateRanges(
+    const ValueInterval& query, std::vector<PosRange>* ranges) const {
+  // One tree entry per cell, so the search yields individual positions;
+  // sort them ascending (sequential store fetches) and merge contiguous
+  // neighbors into runs.
+  std::vector<uint64_t> positions;
   FIELDDB_RETURN_IF_ERROR(
       tree_.Search(BoxFromInterval(query), [&](const RTreeEntry<1>& e) {
-        positions->push_back(e.a);
+        positions.push_back(e.a);
         return true;
       }));
-  // Ascending positions let the estimation step fetch store pages
-  // sequentially.
-  std::sort(positions->begin() + before, positions->end());
+  std::sort(positions.begin(), positions.end());
+  for (const uint64_t pos : positions) AppendPosition(ranges, pos);
   return Status::OK();
 }
 

@@ -39,8 +39,8 @@ class IAllIndex final : public ValueIndex {
   }
 
   IndexMethod method() const override { return IndexMethod::kIAll; }
-  Status FilterCandidates(const ValueInterval& query,
-                          std::vector<uint64_t>* positions) const override;
+  Status FilterCandidateRanges(const ValueInterval& query,
+                               std::vector<PosRange>* ranges) const override;
   const CellStore& cell_store() const override { return store_; }
   const IndexBuildInfo& build_info() const override { return info_; }
   Status UpdateCellValues(CellId id,

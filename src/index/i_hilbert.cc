@@ -129,21 +129,6 @@ Status IHilbertIndex::FilterCandidateRanges(
   return Status::OK();
 }
 
-Status IHilbertIndex::FilterCandidates(
-    const ValueInterval& query, std::vector<uint64_t>* positions) const {
-  // Legacy per-position form: expand the merged runs, reserving the
-  // exact output size instead of growing one push_back at a time.
-  std::vector<PosRange> ranges;
-  FIELDDB_RETURN_IF_ERROR(FilterCandidateRanges(query, &ranges));
-  positions->reserve(positions->size() + TotalRangeLength(ranges));
-  for (const PosRange& r : ranges) {
-    for (uint64_t pos = r.begin; pos < r.end; ++pos) {
-      positions->push_back(pos);
-    }
-  }
-  return Status::OK();
-}
-
 Status IHilbertIndex::FilterSubfields(
     const ValueInterval& query, std::vector<uint32_t>* subfield_ids) const {
   // Subfields are contiguous and ordered, so the id is recoverable from

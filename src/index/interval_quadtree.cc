@@ -182,17 +182,4 @@ Status IntervalQuadtreeIndex::FilterCandidateRanges(
   return Status::OK();
 }
 
-Status IntervalQuadtreeIndex::FilterCandidates(
-    const ValueInterval& query, std::vector<uint64_t>* positions) const {
-  std::vector<PosRange> ranges;
-  FIELDDB_RETURN_IF_ERROR(FilterCandidateRanges(query, &ranges));
-  positions->reserve(positions->size() + TotalRangeLength(ranges));
-  for (const PosRange& r : ranges) {
-    for (uint64_t pos = r.begin; pos < r.end; ++pos) {
-      positions->push_back(pos);
-    }
-  }
-  return Status::OK();
-}
-
 }  // namespace fielddb

@@ -54,8 +54,6 @@ class IntervalQuadtreeIndex final : public ValueIndex {
   IndexMethod method() const override {
     return IndexMethod::kIntervalQuadtree;
   }
-  Status FilterCandidates(const ValueInterval& query,
-                          std::vector<uint64_t>* positions) const override;
   Status FilterCandidateRanges(const ValueInterval& query,
                                std::vector<PosRange>* ranges) const override;
   const CellStore& cell_store() const override { return store_; }

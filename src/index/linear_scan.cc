@@ -54,21 +54,8 @@ Status LinearScanIndex::FilterCandidateRanges(
   // SIMD pass over the SoA interval arrays, no page I/O, no record
   // deserialization. (Production LinearScan *queries* still read every
   // store page — FieldDatabase fuses filter+estimate into a single page
-  // pass, as the paper's cost model requires; see FusedScanQuery.)
+  // pass, as the paper's cost model requires; see RunFuseOp.)
   store_.FilterZoneMap(query, ranges);
-  return Status::OK();
-}
-
-Status LinearScanIndex::FilterCandidates(
-    const ValueInterval& query, std::vector<uint64_t>* positions) const {
-  std::vector<PosRange> ranges;
-  FIELDDB_RETURN_IF_ERROR(FilterCandidateRanges(query, &ranges));
-  positions->reserve(positions->size() + TotalRangeLength(ranges));
-  for (const PosRange& r : ranges) {
-    for (uint64_t pos = r.begin; pos < r.end; ++pos) {
-      positions->push_back(pos);
-    }
-  }
   return Status::OK();
 }
 

@@ -27,8 +27,6 @@ class LinearScanIndex final : public ValueIndex {
   }
 
   IndexMethod method() const override { return IndexMethod::kLinearScan; }
-  Status FilterCandidates(const ValueInterval& query,
-                          std::vector<uint64_t>* positions) const override;
   Status FilterCandidateRanges(const ValueInterval& query,
                                std::vector<PosRange>* ranges) const override;
   const CellStore& cell_store() const override { return store_; }

@@ -78,9 +78,9 @@ StatusOr<std::unique_ptr<RowIpIndex>> RowIpIndex::Build(
                      std::move(dir_store).value(), std::move(rows), info));
 }
 
-Status RowIpIndex::FilterCandidates(const ValueInterval& query,
-                                    std::vector<uint64_t>* positions) const {
-  const size_t before = positions->size();
+Status RowIpIndex::FilterCandidateRanges(
+    const ValueInterval& query, std::vector<PosRange>* ranges) const {
+  std::vector<uint64_t> positions;
   for (const Row& row : rows_) {
     // Scan this row's directory in min order; stop once min > query.max.
     // (The real IP-index binary-searches to the first anchor; our paged
@@ -91,12 +91,15 @@ Status RowIpIndex::FilterCandidates(const ValueInterval& query,
         [&](uint64_t, const DirEntry& entry) {
           if (entry.min > query.max) return false;
           if (entry.max >= query.min) {
-            positions->push_back(entry.position);
+            positions.push_back(entry.position);
           }
           return true;
         }));
   }
-  std::sort(positions->begin() + before, positions->end());
+  // Ascending merged runs; within a row candidates are often contiguous,
+  // so the run list stays near the access-region count of the paper.
+  std::sort(positions.begin(), positions.end());
+  for (const uint64_t pos : positions) AppendPosition(ranges, pos);
   return Status::OK();
 }
 

@@ -47,24 +47,31 @@ class ValueIndex {
   virtual IndexMethod method() const = 0;
   std::string name() const { return IndexMethodName(method()); }
 
-  /// Appends candidate store positions to `*positions` in ascending order
-  /// of position (so the estimation step touches store pages
-  /// sequentially).
-  virtual Status FilterCandidates(const ValueInterval& query,
-                                  std::vector<uint64_t>* positions) const = 0;
-
-  /// Range form of FilterCandidates: appends the same candidate set as
-  /// maximal ascending disjoint runs of store positions. This is what
-  /// the query engine consumes (CellStore::ScanRangesFiltered walks runs
-  /// directly); a 1%-selectivity query then costs a handful of run
-  /// structs instead of one uint64_t per candidate. The default adapts
-  /// FilterCandidates; indexes whose filter step natively produces
-  /// ranges (subfield methods, the zone-map scan) override it.
+  /// Appends the candidate set as maximal ascending disjoint runs of
+  /// store positions — the primary filter interface since the planner
+  /// refactor. This is what the query engine's FilterOp consumes
+  /// (CellStore::ScanRangesFiltered walks runs directly); a
+  /// 1%-selectivity query then costs a handful of run structs instead of
+  /// one uint64_t per candidate.
   virtual Status FilterCandidateRanges(const ValueInterval& query,
-                                       std::vector<PosRange>* ranges) const {
-    std::vector<uint64_t> positions;
-    FIELDDB_RETURN_IF_ERROR(FilterCandidates(query, &positions));
-    for (const uint64_t pos : positions) AppendPosition(ranges, pos);
+                                       std::vector<PosRange>* ranges) const = 0;
+
+  /// Legacy position-expanding form: appends the same candidate set as
+  /// one position per candidate, ascending. Deprecated for external use
+  /// — it materializes O(selectivity * N) positions the run form
+  /// represents in O(runs); consume FilterCandidateRanges instead.
+  [[deprecated("use FilterCandidateRanges; the per-position expansion is "
+               "O(candidates) where runs are O(1) per contiguous block")]]
+  Status FilterCandidates(const ValueInterval& query,
+                          std::vector<uint64_t>* positions) const {
+    std::vector<PosRange> ranges;
+    FIELDDB_RETURN_IF_ERROR(FilterCandidateRanges(query, &ranges));
+    positions->reserve(positions->size() + TotalRangeLength(ranges));
+    for (const PosRange& r : ranges) {
+      for (uint64_t pos = r.begin; pos < r.end; ++pos) {
+        positions->push_back(pos);
+      }
+    }
     return Status::OK();
   }
 

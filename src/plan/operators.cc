@@ -1,0 +1,29 @@
+#include "plan/operators.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fielddb {
+
+namespace plan_internal {
+
+void AddZoneSkips(uint64_t skipped) {
+  static Counter* const counter =
+      MetricsRegistry::Default().GetCounter("db.zonemap_cells_skipped");
+  counter->Increment(skipped);
+}
+
+}  // namespace plan_internal
+
+Status RunFilterOp(const OperatorEnv& env, const ValueInterval& query,
+                   std::vector<PosRange>* ranges, uint64_t* candidates) {
+  ScopedSpan span(env.trace, "filter", &env.ctx->io);
+  const Status s = env.index->FilterCandidateRanges(query, ranges);
+  *candidates = TotalRangeLength(*ranges);
+  span.set_items(*candidates);
+  span.set_detail("runs=" + std::to_string(ranges->size()));
+  return s;
+}
+
+}  // namespace fielddb

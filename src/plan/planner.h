@@ -1,0 +1,119 @@
+#ifndef FIELDDB_PLAN_PLANNER_H_
+#define FIELDDB_PLAN_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/simd/interval_filter.h"
+#include "index/subfield.h"
+#include "index/value_index.h"
+#include "plan/cost_model.h"
+
+namespace fielddb {
+
+/// The two physical shapes a field value query can execute as:
+///  - kFusedScan: one pass over every store page, testing and estimating
+///    each cell in place (the paper's LinearScan execution, available to
+///    every method);
+///  - kIndexedFilter: FilterOp (index search for candidate runs) then
+///    ScanOp over just those runs (the paper's filter -> fetch ->
+///    estimate pipeline).
+enum class PlanKind {
+  kFusedScan,
+  kIndexedFilter,
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// How the planner picks between the plan kinds. kAuto is the cost-based
+/// default; the forced modes exist for differential tests, benches, and
+/// the CLI (`fielddb_cli plan --mode ...`). Forcing the index on a
+/// LinearScan database still yields a fused scan — there is no index to
+/// force.
+enum class PlannerMode {
+  kAuto,
+  kForceScan,
+  kForceIndex,
+};
+
+const char* PlannerModeName(PlannerMode mode);
+
+/// The planner's decision for one query: the chosen kind, the predicted
+/// page patterns and disk-model costs of both alternatives, and a
+/// human-readable reason. Flows into trace spans, ExplainResult, and the
+/// `fielddb_cli plan` subcommand.
+struct PhysicalPlan {
+  PlanKind kind = PlanKind::kFusedScan;
+  /// Candidate cells the filter step is predicted to produce (exact for
+  /// subfield tables and in-memory zone maps; scaled for the strided
+  /// probe on very large stores). 0 when no probe ran (LinearScan,
+  /// forced scan).
+  uint64_t predicted_candidates = 0;
+  /// Predicted candidate runs (seek count of the fetch).
+  uint64_t predicted_runs = 0;
+  /// predicted_candidates / num_cells.
+  double selectivity = 0.0;
+  PagePattern scan_pattern;
+  PagePattern index_pattern;  // filter descent + candidate fetch
+  double scan_cost_ms = 0.0;
+  double index_cost_ms = 0.0;
+  /// Disk-model cost of the *chosen* kind.
+  double predicted_cost_ms = 0.0;
+  std::string reason;
+};
+
+/// The cost-based access-path selector. Pure function of the immutable
+/// post-build index state: selectivity comes from the subfield table
+/// (I-Hilbert, I-Quadtree) or the in-memory zone-map sidecar (the other
+/// methods) — cheap, no page I/O — and both alternatives are priced with
+/// the paper's disk model. Deterministic and independent of buffer-pool
+/// state, so warm and cold runs of the same query read the same logical
+/// pages, concurrent threads decide identically, and a reopened snapshot
+/// plans exactly like the original.
+class QueryPlanner {
+ public:
+  /// `subfields` may be null (methods without a partition). Both
+  /// pointers must outlive the planner.
+  QueryPlanner(const ValueIndex* index, const std::vector<Subfield>* subfields,
+               PlanCostModel cost = PlanCostModel{});
+
+  PhysicalPlan Plan(const ValueInterval& query,
+                    PlannerMode mode = PlannerMode::kAuto) const;
+
+  /// The selectivity probe alone: predicted candidate runs + count for
+  /// `query`. Exposed for tests and the CLI.
+  uint64_t PredictCandidates(const ValueInterval& query,
+                             std::vector<PosRange>* runs) const;
+
+  StoreShape shape() const;
+  const PlanCostModel& cost_model() const { return cost_; }
+
+  /// Stores at or below this many cells are probed with the exact
+  /// zone-map filter; larger ones use the strided sample (see
+  /// CellStore::ProbeZoneMap) so planning stays sublinear.
+  static constexpr uint64_t kExactProbeCells = uint64_t{1} << 20;
+
+ private:
+  struct Selectivity {
+    uint64_t candidates = 0;
+    uint64_t runs = 0;
+    /// Fraction of the index's entries (subfields or cells) the filter
+    /// is predicted to touch — drives the tree-descent cost estimate.
+    double entry_fraction = 0.0;
+    bool sampled = false;
+  };
+
+  Selectivity Probe(const ValueInterval& query,
+                    std::vector<PosRange>* runs) const;
+  PagePattern FilterPattern(const Selectivity& sel) const;
+
+  const ValueIndex* index_;
+  const std::vector<Subfield>* subfields_;
+  PlanCostModel cost_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_PLAN_PLANNER_H_

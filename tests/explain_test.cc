@@ -49,17 +49,25 @@ TEST(TraceTest, ScopedSpanIsNoOpWithoutTrace) {
 TEST(TraceTest, SpanIoDeltasSumToQueryIo) {
   auto db = MakeDb(IndexMethod::kIHilbert);
   ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // Pin the indexed pipeline: this test asserts its exact span list.
+  (*db)->set_planner_mode(PlannerMode::kForceIndex);
   const ValueInterval band = MidBand(**db, 0.30, 0.45);
 
   QueryStats qs;
   ASSERT_TRUE((*db)->TracedValueQueryStats(band, &qs).ok());
   ASSERT_NE(qs.trace, nullptr);
 
-  // The indexed pipeline records its three phases, in order.
-  ASSERT_EQ(qs.trace->spans().size(), 3u);
-  EXPECT_EQ(qs.trace->spans()[0].name, "filter");
-  EXPECT_EQ(qs.trace->spans()[1].name, "fetch");
-  EXPECT_EQ(qs.trace->spans()[2].name, "estimate");
+  // The indexed pipeline records planning plus its three phases, in
+  // order.
+  ASSERT_EQ(qs.trace->spans().size(), 4u);
+  EXPECT_EQ(qs.trace->spans()[0].name, "plan");
+  EXPECT_EQ(qs.trace->spans()[1].name, "filter");
+  EXPECT_EQ(qs.trace->spans()[2].name, "fetch");
+  EXPECT_EQ(qs.trace->spans()[3].name, "estimate");
+
+  // Planning never touches pages: its cost inputs are the subfield
+  // table / zone-map sidecar, both in memory.
+  EXPECT_EQ(qs.trace->spans()[0].io.logical_reads, 0u);
 
   // Phase I/O deltas account for the query's I/O exactly: the spans are
   // contiguous and nothing else touches the pool in between.
@@ -97,8 +105,10 @@ TEST(TraceTest, LinearScanTracesFusedPipeline) {
   ASSERT_TRUE(
       (*db)->TracedValueQueryStats(MidBand(**db, 0.3, 0.5), &qs).ok());
   ASSERT_NE(qs.trace, nullptr);
-  // No index: no filter phase, just the fused scan + estimation split.
+  // No index: no filter phase, just plan + the fused scan + estimation
+  // split.
   EXPECT_EQ(qs.trace->Find("filter"), nullptr);
+  ASSERT_NE(qs.trace->Find("plan"), nullptr);
   ASSERT_NE(qs.trace->Find("fetch"), nullptr);
   ASSERT_NE(qs.trace->Find("estimate"), nullptr);
   EXPECT_EQ(qs.trace->TotalIo().logical_reads, qs.io.logical_reads);
@@ -107,11 +117,19 @@ TEST(TraceTest, LinearScanTracesFusedPipeline) {
 TEST(ExplainTest, SubfieldListMatchesActualCandidates) {
   auto db = MakeDb(IndexMethod::kIHilbert);
   ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // The subfield annotations describe the indexed filter's output, so
+  // pin that plan (auto may prefer the fused scan for this band).
+  (*db)->set_planner_mode(PlannerMode::kForceIndex);
   const ValueInterval band = MidBand(**db, 0.40, 0.55);
 
   FieldDatabase::ExplainResult explain;
   ASSERT_TRUE((*db)->ExplainValueQuery(band, &explain).ok());
   EXPECT_EQ(explain.method, IndexMethod::kIHilbert);
+  EXPECT_EQ(explain.chosen_plan, PlanKind::kIndexedFilter);
+  EXPECT_FALSE(explain.planner_reason.empty());
+  EXPECT_GT(explain.predicted_cost_ms, 0.0);
+  EXPECT_DOUBLE_EQ(explain.predicted_cost_ms,
+                   explain.predicted_index_cost_ms);
   ASSERT_NE(explain.stats.trace, nullptr);
   ASSERT_FALSE(explain.subfields.empty());
 
@@ -146,11 +164,14 @@ TEST(ExplainTest, SubfieldListMatchesActualCandidates) {
   EXPECT_NE(text.find("EXPLAIN"), std::string::npos);
   EXPECT_NE(text.find("subfields touched"), std::string::npos);
   EXPECT_NE(text.find("filter"), std::string::npos);
+  EXPECT_NE(text.find("plan: indexed_filter"), std::string::npos);
   const std::string json = explain.ToJson();
   EXPECT_NE(json.find("\"method\":\"I-Hilbert\""), std::string::npos)
       << json.substr(0, 200);
   EXPECT_NE(json.find("\"subfields\":["), std::string::npos);
   EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(json.find("\"plan\":{\"chosen\":\"indexed_filter\""),
+            std::string::npos);
 }
 
 TEST(ExplainTest, LinearScanHasNoSubfields) {
@@ -172,6 +193,55 @@ TEST(ExplainTest, EmptyIntervalRejected) {
   const Status s =
       (*db)->ExplainValueQuery(ValueInterval{1.0, 0.0}, &explain);
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // Regression: the result's method must reflect the database even on a
+  // failed explain — the struct default (kLinearScan) used to leak
+  // through because validation ran before the result was stamped.
+  EXPECT_EQ(explain.method, IndexMethod::kIHilbert);
+}
+
+TEST(ExplainTest, ReportsAdaptivePlanChoice) {
+  auto db = MakeDb(IndexMethod::kIHilbert);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  // A band covering nearly the whole value range: candidates ~ the
+  // entire store, so the fused scan must win on the disk model (the
+  // indexed plan pays the same pages plus tree seeks).
+  FieldDatabase::ExplainResult wide;
+  ASSERT_TRUE((*db)->ExplainValueQuery(MidBand(**db, 0.01, 0.99), &wide).ok());
+  EXPECT_EQ(wide.chosen_plan, PlanKind::kFusedScan);
+  EXPECT_DOUBLE_EQ(wide.predicted_cost_ms, wide.predicted_scan_cost_ms);
+  // The fused scan never consulted the subfield table, so EXPLAIN must
+  // not annotate subfields the executed plan didn't touch.
+  EXPECT_TRUE(wide.subfields.empty());
+  ASSERT_NE(wide.stats.trace, nullptr);
+  EXPECT_NE(wide.stats.trace->Find("plan"), nullptr);
+  EXPECT_EQ(wide.stats.trace->Find("filter"), nullptr);
+
+  // A sliver at the bottom of the range: few candidates, the indexed
+  // filter+fetch must undercut reading every page. This needs a store
+  // big enough for a crossover to exist at all — on the 4096-cell DEM
+  // above, the whole scan costs less than three disk seeks, so the
+  // planner (correctly) never picks the index there.
+  FractalOptions fo;
+  fo.size_exp = 8;  // 256x256 = 65536 cells
+  fo.roughness_h = 0.7;
+  fo.seed = 20020613;
+  auto big_dem = MakeFractalField(fo);
+  ASSERT_TRUE(big_dem.ok());
+  FieldDatabaseOptions options;
+  options.method = IndexMethod::kIHilbert;
+  options.build_spatial_index = false;
+  auto big = FieldDatabase::Build(*big_dem, options);
+  ASSERT_TRUE(big.ok());
+
+  FieldDatabase::ExplainResult narrow;
+  ASSERT_TRUE(
+      (*big)->ExplainValueQuery(MidBand(**big, 0.0, 0.02), &narrow).ok());
+  EXPECT_EQ(narrow.chosen_plan, PlanKind::kIndexedFilter);
+  EXPECT_DOUBLE_EQ(narrow.predicted_cost_ms, narrow.predicted_index_cost_ms);
+  EXPECT_LT(narrow.predicted_index_cost_ms, narrow.predicted_scan_cost_ms);
+  ASSERT_NE(narrow.stats.trace, nullptr);
+  EXPECT_NE(narrow.stats.trace->Find("filter"), nullptr);
 }
 
 }  // namespace

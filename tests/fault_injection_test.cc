@@ -384,6 +384,10 @@ TEST_F(DatabaseFaultTest, CorruptIndexFallsBackToScanWithIdenticalResults) {
 
   auto db = BuildFaulty(IndexMethod::kIHilbert);
   ASSERT_TRUE(db.ok());
+  // Pin the indexed plan: this test exercises the corrupt-filter
+  // fallback, and on a field this small the auto planner would choose
+  // the fused scan and never touch the index at all.
+  (*db)->set_planner_mode(PlannerMode::kForceIndex);
   // Corrupt the I-Hilbert tree root: the filtering step becomes
   // unusable, but the clustered cell store is untouched.
   const auto* idx = static_cast<const IHilbertIndex*>(&(*db)->index());

@@ -73,11 +73,24 @@ std::set<CellId> GroundTruth(const Field& field, const ValueInterval& q) {
   return hits;
 }
 
+// Candidate runs expanded to individual positions.
+std::vector<uint64_t> FilterPositions(const ValueIndex& index,
+                                      const ValueInterval& q) {
+  std::vector<PosRange> ranges;
+  EXPECT_TRUE(index.FilterCandidateRanges(q, &ranges).ok());
+  std::vector<uint64_t> positions;
+  for (const PosRange& r : ranges) {
+    for (uint64_t pos = r.begin; pos < r.end; ++pos) {
+      positions.push_back(pos);
+    }
+  }
+  return positions;
+}
+
 // Candidate positions translated back to field cell ids.
 std::set<CellId> CandidateCellIds(const ValueIndex& index,
                                   const ValueInterval& q) {
-  std::vector<uint64_t> positions;
-  EXPECT_TRUE(index.FilterCandidates(q, &positions).ok());
+  const std::vector<uint64_t> positions = FilterPositions(index, q);
   std::set<CellId> ids;
   CellRecord rec;
   for (const uint64_t pos : positions) {
@@ -136,13 +149,9 @@ TEST_P(IndexEquivalenceTest, CandidatesAscendingPositions) {
   auto field = MakeFractalField(fo);
   ASSERT_TRUE(field.ok());
   IndexFixture fx = BuildIndex(GetParam(), *field);
-  std::vector<uint64_t> positions;
-  ASSERT_TRUE(fx.index
-                  ->FilterCandidates(
-                      ValueInterval{field->ValueRange().min,
-                                    field->ValueRange().max},
-                      &positions)
-                  .ok());
+  const std::vector<uint64_t> positions = FilterPositions(
+      *fx.index,
+      ValueInterval{field->ValueRange().min, field->ValueRange().max});
   EXPECT_EQ(positions.size(), field->NumCells());  // full-range query
   for (size_t i = 1; i < positions.size(); ++i) {
     EXPECT_LT(positions[i - 1], positions[i]);
@@ -157,9 +166,7 @@ TEST_P(IndexEquivalenceTest, DisjointQueryYieldsNothingExact) {
   IndexFixture fx = BuildIndex(GetParam(), *field);
   const ValueInterval range = field->ValueRange();
   const ValueInterval far_above{range.max + 10, range.max + 11};
-  std::vector<uint64_t> positions;
-  ASSERT_TRUE(fx.index->FilterCandidates(far_above, &positions).ok());
-  EXPECT_TRUE(positions.empty());
+  EXPECT_TRUE(FilterPositions(*fx.index, far_above).empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -223,10 +230,7 @@ TEST(IAllTest, InsertAndBulkAgree) {
   const auto queries = GenerateValueQueries(field->ValueRange(),
                                             WorkloadOptions{0.04, 25, 2});
   for (const ValueInterval& q : queries) {
-    std::vector<uint64_t> a, b;
-    ASSERT_TRUE((*bulk)->FilterCandidates(q, &a).ok());
-    ASSERT_TRUE((*inserted)->FilterCandidates(q, &b).ok());
-    EXPECT_EQ(a, b);
+    EXPECT_EQ(FilterPositions(**bulk, q), FilterPositions(**inserted, q));
   }
 }
 

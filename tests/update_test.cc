@@ -62,6 +62,20 @@ IndexFixture BuildIndex(IndexMethod method, const Field& field) {
   return fx;
 }
 
+// Candidate runs expanded to individual positions for set comparisons.
+std::vector<uint64_t> FilterPositions(const ValueIndex& index,
+                                      const ValueInterval& q) {
+  std::vector<PosRange> ranges;
+  EXPECT_TRUE(index.FilterCandidateRanges(q, &ranges).ok());
+  std::vector<uint64_t> positions;
+  for (const PosRange& r : ranges) {
+    for (uint64_t pos = r.begin; pos < r.end; ++pos) {
+      positions.push_back(pos);
+    }
+  }
+  return positions;
+}
+
 // Ground truth recomputed from the (mutated) store itself.
 std::set<uint64_t> StoreGroundTruth(const ValueIndex& index,
                                     const ValueInterval& q) {
@@ -122,8 +136,7 @@ TEST_P(UpdateTest, QueriesSeeNewValuesNoFalseNegatives) {
   }
 
   const ValueInterval band{49.5, 52.5};
-  std::vector<uint64_t> positions;
-  ASSERT_TRUE(fx.index->FilterCandidates(band, &positions).ok());
+  std::vector<uint64_t> positions = FilterPositions(*fx.index, band);
   std::set<uint64_t> candidates(positions.begin(), positions.end());
   for (const CellId id : moved) {
     EXPECT_TRUE(candidates.count(fx.index->cell_store().PositionOf(id)))
@@ -133,8 +146,7 @@ TEST_P(UpdateTest, QueriesSeeNewValuesNoFalseNegatives) {
   // ordinary bands.
   const ValueInterval mid{field->ValueRange().min,
                           field->ValueRange().Center()};
-  positions.clear();
-  ASSERT_TRUE(fx.index->FilterCandidates(mid, &positions).ok());
+  positions = FilterPositions(*fx.index, mid);
   candidates = std::set<uint64_t>(positions.begin(), positions.end());
   for (const uint64_t pos : StoreGroundTruth(*fx.index, mid)) {
     EXPECT_TRUE(candidates.count(pos));
@@ -163,8 +175,7 @@ TEST_P(UpdateTest, RandomizedUpdateStorm) {
       // Full equivalence check against the mutated store.
       const ValueInterval q =
           ValueInterval::Of(rng.NextDouble(-3, 4), rng.NextDouble(-3, 4));
-      std::vector<uint64_t> positions;
-      ASSERT_TRUE(fx.index->FilterCandidates(q, &positions).ok());
+      const std::vector<uint64_t> positions = FilterPositions(*fx.index, q);
       const std::set<uint64_t> candidates(positions.begin(),
                                           positions.end());
       for (const uint64_t pos : StoreGroundTruth(*fx.index, q)) {

@@ -83,6 +83,12 @@ class Checker:
         if "simd_level" in report:
             self.check_filter_kernels(report)
             return
+        # The planner sweep (bench_planner) compares the adaptive planner
+        # against both forced plans; its marker is the top-level
+        # planner_sweep field.
+        if "planner_sweep" in report:
+            self.check_planner(report)
+            return
         self.require(report, "bench_id", str, "report")
         self.require(report, "title", str, "report")
         self.number(report, "field_cells", "report", minimum=1)
@@ -206,6 +212,56 @@ class Checker:
                 self.error(where, "'results_identical' is not a bool")
             elif not point["results_identical"]:
                 self.error(where, "kernel outputs diverged")
+
+    def check_planner(self, report):
+        self.require(report, "bench_id", str, "report")
+        self.require(report, "title", str, "report")
+        if report.get("planner_sweep") is not True:
+            self.error("report", "'planner_sweep' is not true")
+        method = self.require(report, "method", str, "report")
+        if method == "":
+            self.error("report", "'method' is empty")
+        self.number(report, "field_cells", "report", minimum=1)
+        self.number(report, "workload_seed", "report", minimum=0)
+        disk = self.require(report, "disk_model", dict, "report")
+        if disk is not None:
+            self.number(disk, "seek_ms", "disk_model", minimum=0)
+            self.number(disk, "transfer_ms_per_page", "disk_model",
+                        minimum=0)
+
+        points = self.require(report, "points", list, "report")
+        if points is None:
+            return
+        if not points:
+            self.error("report", "'points' is empty")
+        for j, point in enumerate(points):
+            where = f"points[{j}]"
+            if not isinstance(point, dict):
+                self.error(where, "not an object")
+                continue
+            width = self.number(point, "width_frac", where, minimum=0)
+            if width is not None and not 0 < width <= 1:
+                self.error(where, f"width_frac {width} not in (0, 1]")
+            self.number(point, "num_queries", where, minimum=1)
+            sel = self.number(point, "selectivity_avg", where, minimum=0)
+            if sel is not None and sel > 1:
+                self.error(where, f"selectivity_avg {sel} > 1")
+            for key in ("auto_disk_ms", "scan_disk_ms", "index_disk_ms"):
+                value = self.number(point, key, where, minimum=0)
+                if isinstance(value, (int, float)) and value <= 0:
+                    self.error(where, f"{key} {value} is not positive")
+            ratio = self.number(point, "ratio_to_best", where)
+            if ratio is not None and ratio <= 0:
+                self.error(where, f"ratio_to_best {ratio} is not positive")
+            frac = self.number(point, "index_plan_frac", where, minimum=0)
+            if frac is not None and frac > 1:
+                self.error(where, f"index_plan_frac {frac} > 1")
+            if "within_10pct" not in point:
+                self.error(where, "missing key 'within_10pct'")
+            elif not isinstance(point["within_10pct"], bool):
+                self.error(where, "'within_10pct' is not a bool")
+            elif not point["within_10pct"]:
+                self.error(where, "adaptive planner >10% off the best plan")
 
     def check_series(self, ser, where):
         if not isinstance(ser, dict):
