@@ -1,0 +1,290 @@
+// Recovery benchmark (DESIGN.md §14): quantifies what the WAL costs and
+// what recovery delivers, on an I-Hilbert fractal terrain.
+//
+//  1. Write overhead: the same seeded update stream through wal_mode
+//     off / async / fsync_on_commit — updates/s per mode and the
+//     slowdown relative to off. "off" is the pre-WAL contract, so its
+//     number doubles as the no-regression baseline.
+//  2. Replay: for WAL lengths L in a sweep, a checkpointed database
+//     takes L committed updates, suffers a power cut, and is reopened —
+//     reopen latency vs L, the scan/replay/verify split from the
+//     recovery trace, and replay throughput in frames/s.
+//
+// Acceptance (checked here, not just plotted): every reopen must
+// replay exactly L frames — a mismatch is lost or phantom data and
+// fails the run. Emits BENCH_recovery.json (marker: top-level
+// "recovery_bench": true; schema enforced by tools/check_bench_json.py).
+//
+// --quick shrinks the terrain and the sweep for the CTest smoke run.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/field_database.h"
+#include "gen/fractal.h"
+#include "obs/json.h"
+#include "storage/wal.h"
+
+namespace {
+
+using namespace fielddb;
+
+constexpr char kPrefix[] = "bench_recovery_db";
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void RemoveArtifacts() {
+  for (const char* suffix :
+       {".pages", ".meta", ".pages.tmp", ".meta.tmp", ".wal"}) {
+    std::remove((std::string(kPrefix) + suffix).c_str());
+  }
+}
+
+struct OverheadPoint {
+  WalMode mode = WalMode::kOff;
+  uint32_t updates = 0;
+  double wall_ms = 0.0;
+  double updates_per_sec = 0.0;
+  double overhead_vs_off = 1.0;  // this mode's wall / off's wall
+};
+
+struct ReplayPoint {
+  uint64_t wal_frames = 0;
+  uint64_t wal_bytes = 0;
+  double reopen_ms = 0.0;
+  double scan_ms = 0.0;
+  double replay_ms = 0.0;
+  double verify_ms = 0.0;
+  double frames_per_sec = 0.0;
+  bool frames_replayed_ok = false;
+};
+
+/// Applies `n` seeded updates to `db`; returns false on error.
+bool ApplyUpdates(FieldDatabase* db, uint32_t n, uint64_t num_cells,
+                  Rng* rng) {
+  for (uint32_t i = 0; i < n; ++i) {
+    const CellId cell = static_cast<CellId>(rng->NextBounded(num_cells));
+    const double v = rng->NextDouble(0.0, 1.0);
+    const Status s = db->UpdateCellValues(cell, {v, v, v, v});
+    if (!s.ok()) {
+      std::fprintf(stderr, "update failed: %s\n", s.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+double SpanMs(const QueryTrace& trace, const char* name) {
+  const TraceSpan* span = trace.Find(name);
+  return span == nullptr ? 0.0 : span->wall_seconds * 1000.0;
+}
+
+bool WriteJson(const std::string& path, uint64_t field_cells, uint64_t seed,
+               const std::vector<OverheadPoint>& overhead,
+               const std::vector<ReplayPoint>& replay) {
+  std::string j = "{\n  \"bench_id\": \"recovery\",\n  \"title\": ";
+  JsonAppendString(&j,
+                   "WAL write overhead and crash-recovery replay, "
+                   "I-Hilbert fractal terrain");
+  j += ",\n  \"recovery_bench\": true";
+  j += ",\n  \"method\": ";
+  JsonAppendString(&j, IndexMethodName(IndexMethod::kIHilbert));
+  j += ",\n  \"field_cells\": " + std::to_string(field_cells);
+  j += ",\n  \"workload_seed\": " + std::to_string(seed);
+  j += ",\n  \"write_overhead\": [";
+  for (size_t i = 0; i < overhead.size(); ++i) {
+    const OverheadPoint& p = overhead[i];
+    j += i == 0 ? "\n" : ",\n";
+    j += "    {\"wal_mode\": ";
+    JsonAppendString(&j, WalModeName(p.mode));
+    j += ", \"updates\": " + std::to_string(p.updates);
+    j += ", \"wall_ms\": ";
+    JsonAppendDouble(&j, p.wall_ms);
+    j += ", \"updates_per_sec\": ";
+    JsonAppendDouble(&j, p.updates_per_sec);
+    j += ", \"overhead_vs_off\": ";
+    JsonAppendDouble(&j, p.overhead_vs_off);
+    j += "}";
+  }
+  j += "\n  ],\n  \"replay\": [";
+  for (size_t i = 0; i < replay.size(); ++i) {
+    const ReplayPoint& p = replay[i];
+    j += i == 0 ? "\n" : ",\n";
+    j += "    {\"wal_frames\": " + std::to_string(p.wal_frames);
+    j += ", \"wal_bytes\": " + std::to_string(p.wal_bytes);
+    j += ", \"reopen_ms\": ";
+    JsonAppendDouble(&j, p.reopen_ms);
+    j += ",\n     \"scan_ms\": ";
+    JsonAppendDouble(&j, p.scan_ms);
+    j += ", \"replay_ms\": ";
+    JsonAppendDouble(&j, p.replay_ms);
+    j += ", \"verify_ms\": ";
+    JsonAppendDouble(&j, p.verify_ms);
+    j += ", \"frames_per_sec\": ";
+    JsonAppendDouble(&j, p.frames_per_sec);
+    j += ", \"frames_replayed_ok\": ";
+    j += p.frames_replayed_ok ? "true" : "false";
+    j += "}";
+  }
+  j += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(j.data(), 1, j.size(), f) == j.size();
+  std::fclose(f);
+  if (ok) std::printf("telemetry: %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const uint64_t seed = 1492;
+
+  FractalOptions fo;
+  fo.size_exp = quick ? 5 : 7;  // 32x32 quick, 128x128 full
+  fo.roughness_h = 0.7;
+  fo.seed = 1972;
+  StatusOr<GridField> terrain = MakeFractalField(fo);
+  if (!terrain.ok()) {
+    std::fprintf(stderr, "%s\n", terrain.status().ToString().c_str());
+    return 1;
+  }
+
+  FieldDatabaseOptions options;
+  options.method = IndexMethod::kIHilbert;
+  options.build_spatial_index = false;
+  StatusOr<std::unique_ptr<FieldDatabase>> built =
+      FieldDatabase::Build(*terrain, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t num_cells = (*built)->build_info().num_cells;
+
+  RemoveArtifacts();
+  if (const Status s = (*built)->Save(kPrefix); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  built->reset();  // everything below runs against the checkpoint
+
+  // --- 1. Write overhead per durability mode -------------------------
+  const uint32_t updates = quick ? 300 : 2000;
+  std::vector<OverheadPoint> overhead;
+  for (const WalMode mode :
+       {WalMode::kOff, WalMode::kAsync, WalMode::kFsyncOnCommit}) {
+    FieldDatabase::OpenOptions oo;
+    oo.wal_mode = mode;
+    auto db = FieldDatabase::Open(kPrefix, oo);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    Rng rng(seed);  // identical stream in every mode
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!ApplyUpdates(db->get(), updates, num_cells, &rng)) return 1;
+    OverheadPoint p;
+    p.mode = mode;
+    p.updates = updates;
+    p.wall_ms = MsSince(t0);
+    p.updates_per_sec = updates / (p.wall_ms / 1000.0);
+    p.overhead_vs_off =
+        overhead.empty() ? 1.0 : p.wall_ms / overhead.front().wall_ms;
+    std::printf("mode=%-5s updates=%u wall=%8.2fms  %9.0f upd/s  x%.2f\n",
+                WalModeName(mode), updates, p.wall_ms, p.updates_per_sec,
+                p.overhead_vs_off);
+    overhead.push_back(p);
+    db->reset();  // discard (off: pool only; wal modes: log closed)
+    std::remove((std::string(kPrefix) + ".wal").c_str());
+  }
+
+  // --- 2. Reopen latency & replay throughput vs WAL length -----------
+  const std::vector<uint64_t> lengths =
+      quick ? std::vector<uint64_t>{0, 50, 200}
+            : std::vector<uint64_t>{0, 100, 1000, 5000};
+  std::vector<ReplayPoint> replay;
+  bool accepted = true;
+  for (const uint64_t length : lengths) {
+    {
+      FieldDatabase::OpenOptions oo;
+      oo.wal_mode = WalMode::kFsyncOnCommit;
+      auto db = FieldDatabase::Open(kPrefix, oo);
+      if (!db.ok()) {
+        std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+        return 1;
+      }
+      Rng rng(seed + length);
+      if (!ApplyUpdates(db->get(), static_cast<uint32_t>(length), num_cells,
+                        &rng)) {
+        return 1;
+      }
+      if (const Status s = (*db)->SimulateCrashForTest(); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+
+    FieldDatabase::RecoveryReport report;
+    FieldDatabase::OpenOptions oo;
+    oo.wal_mode = WalMode::kFsyncOnCommit;
+    oo.recovery_report = &report;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto reopened = FieldDatabase::Open(kPrefix, oo);
+    const double reopen_ms = MsSince(t0);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "%s\n", reopened.status().ToString().c_str());
+      return 1;
+    }
+    reopened->reset();
+    std::remove((std::string(kPrefix) + ".wal").c_str());
+
+    ReplayPoint p;
+    p.wal_frames = length;
+    p.wal_bytes = report.valid_bytes;
+    p.reopen_ms = reopen_ms;
+    p.scan_ms = SpanMs(report.trace, "wal.scan");
+    p.replay_ms = SpanMs(report.trace, "wal.replay");
+    p.verify_ms = SpanMs(report.trace, "verify");
+    p.frames_per_sec =
+        p.replay_ms > 0.0 ? length / (p.replay_ms / 1000.0) : 0.0;
+    p.frames_replayed_ok = report.frames_replayed == length;
+    accepted = accepted && p.frames_replayed_ok;
+    std::printf(
+        "frames=%-5llu bytes=%-7llu reopen=%8.2fms scan=%6.2fms "
+        "replay=%6.2fms verify=%6.2fms %9.0f frames/s%s\n",
+        static_cast<unsigned long long>(p.wal_frames),
+        static_cast<unsigned long long>(p.wal_bytes), p.reopen_ms, p.scan_ms,
+        p.replay_ms, p.verify_ms, p.frames_per_sec,
+        p.frames_replayed_ok
+            ? ""
+            : "  VIOLATION: replayed != logged frame count");
+    replay.push_back(p);
+  }
+
+  const bool wrote =
+      WriteJson("BENCH_recovery.json", num_cells, seed, overhead, replay);
+  RemoveArtifacts();
+  if (!wrote) return 1;
+  if (!accepted) {
+    std::fprintf(stderr, "recovery acceptance checks failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -57,6 +57,16 @@ struct DbMetrics {
 }  // namespace
 
 FieldDatabase::~FieldDatabase() {
+  if (wal_ != nullptr) {
+    // Best-effort durability for a database dropped without Close():
+    // sync the log (the dirty frames it covers are about to be
+    // discarded by the no-steal pool destructor).
+    const Status s = wal_->Close();
+    if (!s.ok()) {
+      std::fprintf(stderr, "FieldDatabase: wal close failed at destruction: %s\n",
+                   s.ToString().c_str());
+    }
+  }
   if (pool_ != nullptr && !pool_->closed()) {
     const Status s = pool_->Close();
     if (!s.ok()) {
@@ -135,6 +145,18 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
     db->spatial_.emplace(std::move(spatial).value());
   }
   db->InitPlanner(options.planner_mode);
+  if (options.wal_mode != WalMode::kOff) {
+    if (options.wal_path.empty()) {
+      return Status::InvalidArgument(
+          "wal_mode requires wal_path (use \"<prefix>.wal\")");
+    }
+    StatusOr<std::unique_ptr<WriteAheadLog>> wal =
+        WriteAheadLog::Open(options.wal_path, options.wal_mode,
+                            /*epoch=*/db->epoch_);
+    if (!wal.ok()) return wal.status();
+    db->wal_ = std::move(wal).value();
+    db->pool_->set_no_steal(true);
+  }
   db->pool_->ResetStats();
   return db;
 }
@@ -430,12 +452,57 @@ Status FieldDatabase::IsolineQuery(double level,
   return Status::OK();
 }
 
+Status FieldDatabase::ValidateUpdate(CellId id,
+                                     const std::vector<double>& values) const {
+  const CellStore& store = index_->cell_store();
+  if (id >= store.size()) {
+    return Status::OutOfRange("no such cell");
+  }
+  CellRecord cell;
+  FIELDDB_RETURN_IF_ERROR(store.Get(store.PositionOf(id), &cell));
+  if (values.size() != cell.num_vertices) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(cell.num_vertices) + " values, got " +
+        std::to_string(values.size()));
+  }
+  return Status::OK();
+}
+
 Status FieldDatabase::UpdateCellValues(CellId id,
                                        const std::vector<double>& values) {
+  if (wal_ != nullptr) {
+    // Write-ahead: validate (so only appliable updates are logged),
+    // log, make durable per the mode, then apply. A crash after Commit
+    // re-applies the frame at the next Open; a crash before loses an
+    // update that was never acknowledged.
+    FIELDDB_RETURN_IF_ERROR(ValidateUpdate(id, values));
+    FIELDDB_RETURN_IF_ERROR(wal_->AppendUpdate(id, values));
+    FIELDDB_RETURN_IF_ERROR(wal_->Commit());
+  }
   FIELDDB_RETURN_IF_ERROR(index_->UpdateCellValues(id, values));
   // Conservatively widen the cached value range (exact shrinking would
   // need a full rescan; queries only use the range for normalization).
   for (const double w : values) value_range_.Extend(w);
+  return Status::OK();
+}
+
+Status FieldDatabase::UpdateCellValuesBatch(
+    const std::vector<CellUpdate>& updates) {
+  for (const CellUpdate& u : updates) {
+    FIELDDB_RETURN_IF_ERROR(ValidateUpdate(u.id, u.values));
+  }
+  if (wal_ != nullptr) {
+    // Group commit: every frame is appended, then one Commit makes the
+    // whole batch durable (a single fsync in kFsyncOnCommit).
+    for (const CellUpdate& u : updates) {
+      FIELDDB_RETURN_IF_ERROR(wal_->AppendUpdate(u.id, u.values));
+    }
+    FIELDDB_RETURN_IF_ERROR(wal_->Commit());
+  }
+  for (const CellUpdate& u : updates) {
+    FIELDDB_RETURN_IF_ERROR(index_->UpdateCellValues(u.id, u.values));
+    for (const double w : u.values) value_range_.Extend(w);
+  }
   return Status::OK();
 }
 
@@ -535,7 +602,22 @@ Status FieldDatabase::Scrub(ScrubReport* out) {
   return Status::OK();
 }
 
-Status FieldDatabase::Close() { return pool_->Close(); }
+Status FieldDatabase::Close() {
+  if (wal_ != nullptr) {
+    // Sync the log first: it is the only copy of the mutations the
+    // no-steal pool is about to discard.
+    FIELDDB_RETURN_IF_ERROR(wal_->Close());
+    return pool_->Abandon();
+  }
+  return pool_->Close();
+}
+
+Status FieldDatabase::SimulateCrashForTest() {
+  if (wal_ != nullptr) {
+    FIELDDB_RETURN_IF_ERROR(wal_->SimulateCrashForTest());
+  }
+  return pool_->Abandon();
+}
 
 Status FieldDatabase::ExplainValueQuery(const ValueInterval& query,
                                         ExplainResult* out) const {

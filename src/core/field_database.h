@@ -24,6 +24,7 @@
 #include "rtree/rstar_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
+#include "storage/wal.h"
 
 namespace fielddb {
 
@@ -49,6 +50,16 @@ struct FieldDatabaseOptions {
   /// disk-model cost; the forced modes pin one physical plan. Changeable
   /// later with set_planner_mode.
   PlannerMode planner_mode = PlannerMode::kAuto;
+
+  /// Durability for mutations (DESIGN.md §14). With a WAL, every
+  /// UpdateCellValues is logged before it is applied, dirty pages are
+  /// pinned in memory until the next Save (no-steal), and Open replays
+  /// the log. Requires `wal_path`; use `<prefix>.wal` for the prefix the
+  /// database will be saved under, so Open finds the log. Durability
+  /// begins at the first Save: a crash before any checkpoint loses the
+  /// freshly built (never-persisted) database, WAL or not.
+  WalMode wal_mode = WalMode::kOff;
+  std::string wal_path;
 
   IHilbertIndex::Options ihilbert;
   IAllIndex::Options iall;
@@ -102,15 +113,84 @@ class FieldDatabase {
   /// header and the catalog, so a mix is detected as corruption).
   Status Save(const std::string& prefix);
 
+  /// Deterministic interruption points inside Save, in pipeline order.
+  /// Each stops the save ("crashes") right before the named step, with
+  /// everything earlier durable — the crash-matrix tests prove every
+  /// prefix of the pipeline leaves a loadable database behind.
+  enum class SaveCrashPoint {
+    kNone = 0,
+    /// Mid-copy into `.pages.tmp`: the temp file is torn, neither
+    /// snapshot file touched.
+    kMidPagesTmp,
+    /// Both temp files durable, neither rename done (the historical
+    /// SaveCrashBeforeRenameForTest point).
+    kBeforeRename,
+    /// `.pages` renamed, `.meta` not: the half-committed state Open
+    /// self-heals by completing the second rename.
+    kBetweenRenames,
+    /// Fully committed but the superseded WAL not yet truncated: its
+    /// frames carry the old epoch and replay as stale no-ops.
+    kBeforeWalTruncate,
+  };
+
+  /// Save that stops at `crash_point` (kNone = a normal Save).
+  Status SaveWithCrashPointForTest(const std::string& prefix,
+                                   SaveCrashPoint crash_point) {
+    return SaveImpl(prefix, crash_point);
+  }
+
   /// Save that stops ("crashes") after the temp files are durable but
   /// before either rename. Exists so tests can prove the previous
   /// snapshot survives an interrupted save.
   Status SaveCrashBeforeRenameForTest(const std::string& prefix);
 
+  /// What recovery did during Open (all zero for a clean open with no
+  /// log). `trace` holds a "recovery" span with wal.scan / wal.replay /
+  /// verify children when a replay actually ran.
+  struct RecoveryReport {
+    /// Frames re-applied to the attached index (current epoch).
+    uint64_t frames_replayed = 0;
+    /// Intact frames skipped because a completed checkpoint already
+    /// captured them (older epoch).
+    uint64_t stale_frames = 0;
+    /// Bytes cut off the log's tail (torn by a crash mid-append).
+    uint64_t torn_bytes = 0;
+    /// Length of the intact log prefix.
+    uint64_t valid_bytes = 0;
+    /// Post-replay verification (runs only when frames were replayed).
+    uint64_t pages_verified = 0;
+    std::vector<PageId> corrupt_pages;
+    /// True when wal_mode=off folded a non-empty log into a fresh
+    /// checkpoint and deleted it.
+    bool folded = false;
+    QueryTrace trace;
+  };
+
+  /// Reopen options. `wal_mode` both arms logging for the reopened
+  /// database and controls what happens to an existing log: any mode
+  /// replays committed frames; kOff then folds them into a fresh
+  /// checkpoint and deletes the log, the others keep appending to it.
+  struct OpenOptions {
+    size_t pool_pages = 1024;
+    WalMode wal_mode = WalMode::kOff;
+    /// Optional out-param describing the replay (may be null).
+    RecoveryReport* recovery_report = nullptr;
+  };
+
   /// Reopens a database persisted by Save. Queries run against the
   /// on-disk page file through a buffer pool of `pool_pages` frames.
+  /// If `<prefix>.wal` exists, its committed frames are replayed first
+  /// (see OpenOptions::wal_mode).
   static StatusOr<std::unique_ptr<FieldDatabase>> Open(
       const std::string& prefix, size_t pool_pages = 1024);
+  static StatusOr<std::unique_ptr<FieldDatabase>> Open(
+      const std::string& prefix, const OpenOptions& options);
+
+  /// Snapshot epoch of the catalog at `prefix`, without opening the
+  /// database (read-only). Diagnostics use it to split a log's frames
+  /// into replayable (current epoch) and superseded (older) without
+  /// triggering a replay.
+  static StatusOr<uint32_t> PeekEpoch(const std::string& prefix);
 
   FieldDatabase(const FieldDatabase&) = delete;
   FieldDatabase& operator=(const FieldDatabase&) = delete;
@@ -236,6 +316,18 @@ class FieldDatabase {
   /// partition.
   Status UpdateCellValues(CellId id, const std::vector<double>& values);
 
+  /// One element of a batched update.
+  struct CellUpdate {
+    CellId id = kInvalidCellId;
+    std::vector<double> values;
+  };
+
+  /// Applies a batch of updates with group commit: all frames are
+  /// appended to the WAL and made durable by a single Commit (one fsync
+  /// in kFsyncOnCommit) before any is applied. All-or-nothing at the
+  /// log level — validation failures reject the whole batch up front.
+  Status UpdateCellValuesBatch(const std::vector<CellUpdate>& updates);
+
   /// Runs a workload of queries and averages their stats. The buffer pool
   /// is cleared before each query so every query starts cold, matching
   /// the paper's independent random queries.
@@ -259,8 +351,22 @@ class FieldDatabase {
 
   /// Flushes and closes the underlying buffer pool, surfacing write-back
   /// errors the destructor could only log. The database is unusable
-  /// after a successful Close.
+  /// after a successful Close. In WAL mode the log is synced and closed
+  /// and the dirty frames are *dropped* (no-steal: the disk keeps the
+  /// last checkpoint, the log keeps everything since — the next Open
+  /// replays it).
   Status Close();
+
+  /// Simulated power cut (tests): everything not fsynced is gone. The
+  /// WAL is truncated to its durable watermark and the buffer pool is
+  /// abandoned without write-back. The database is unusable afterwards;
+  /// destroy it and Open the prefix again to exercise recovery.
+  Status SimulateCrashForTest();
+
+  /// The write-ahead log, when the database runs in a WAL mode (null
+  /// otherwise). Exposed for the CLI's `wal` subcommand and the crash
+  /// tests' deterministic fault hooks.
+  WriteAheadLog* wal() const { return wal_.get(); }
 
   /// Cumulative count of queries that fell back from a corrupt value
   /// index to a full store scan (see QueryStats::index_fallbacks).
@@ -299,7 +405,12 @@ class FieldDatabase {
  private:
   FieldDatabase() = default;
 
-  Status SaveImpl(const std::string& prefix, bool crash_before_rename);
+  Status SaveImpl(const std::string& prefix, SaveCrashPoint crash_point);
+
+  /// Pre-apply validation for the WAL path: a frame is logged (and
+  /// fsynced) only for an update that will succeed, so replay never
+  /// meets an invalid frame. Mirrors the checks ApplyValueUpdate runs.
+  Status ValidateUpdate(CellId id, const std::vector<double>& values) const;
 
   /// Shared Q2 dispatch, now a thin plan builder: asks the QueryPlanner
   /// which physical plan to run (under a "plan" span), then executes it
@@ -321,6 +432,7 @@ class FieldDatabase {
 
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<ValueIndex> index_;
   std::unique_ptr<QueryPlanner> planner_;
   /// Atomic so tests/benches can flip the policy between queries while

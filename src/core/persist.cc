@@ -11,9 +11,11 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "core/field_database.h"
+#include "obs/metrics.h"
 
 namespace fielddb {
 
@@ -199,6 +201,23 @@ Status RenameFile(const std::string& from, const std::string& to) {
   return Status::OK();
 }
 
+/// Epoch a page file was stamped with, read from the raw slot-0 header
+/// (bytes [4, 8): DiskPageFile::WriteSlot stores the epoch unmasked
+/// there). Used by the rename self-heal to decide whether `.pages`
+/// already holds the next snapshot; 0 on any failure, which no real
+/// snapshot uses (Save stamps epoch_ + 1 >= 1).
+uint32_t PeekPagesEpoch(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  uint8_t buf[8] = {};
+  const size_t got = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  if (got != sizeof(buf)) return 0;
+  uint32_t epoch = 0;
+  std::memcpy(&epoch, buf + 4, sizeof(epoch));
+  return epoch;
+}
+
 // Best-effort directory fsync so the renames themselves are durable.
 void SyncParentDir(const std::string& path) {
   const size_t slash = path.find_last_of('/');
@@ -214,17 +233,28 @@ void SyncParentDir(const std::string& path) {
 
 }  // namespace
 
+StatusOr<uint32_t> FieldDatabase::PeekEpoch(const std::string& prefix) {
+  StatusOr<MetaData> meta = ReadMeta(prefix + ".meta");
+  if (!meta.ok()) return meta.status();
+  return meta->epoch;
+}
+
 Status FieldDatabase::Save(const std::string& prefix) {
-  return SaveImpl(prefix, /*crash_before_rename=*/false);
+  return SaveImpl(prefix, SaveCrashPoint::kNone);
 }
 
 Status FieldDatabase::SaveCrashBeforeRenameForTest(const std::string& prefix) {
-  return SaveImpl(prefix, /*crash_before_rename=*/true);
+  return SaveImpl(prefix, SaveCrashPoint::kBeforeRename);
 }
 
 Status FieldDatabase::SaveImpl(const std::string& prefix,
-                               bool crash_before_rename) {
-  FIELDDB_RETURN_IF_ERROR(pool_->Flush());
+                               SaveCrashPoint crash_point) {
+  // No-steal (WAL mode): dirty frames must not be written back in
+  // place — the checkpoint captures them straight out of the pool into
+  // the fresh snapshot below, so the live `.pages` file stays exactly
+  // the previous checkpoint until the rename commits.
+  const bool no_steal = pool_->no_steal();
+  if (!no_steal) FIELDDB_RETURN_IF_ERROR(pool_->Flush());
 
   const uint32_t epoch = epoch_ + 1;
   const std::string pages_tmp = prefix + ".pages.tmp";
@@ -234,9 +264,15 @@ Status FieldDatabase::SaveImpl(const std::string& prefix,
     StatusOr<std::unique_ptr<DiskPageFile>> out =
         DiskPageFile::Create(pages_tmp, file_->page_size(), epoch);
     if (!out.ok()) return out.status();
+    const uint64_t num_pages = file_->NumPages();
     Page page(file_->page_size());
-    for (PageId id = 0; id < file_->NumPages(); ++id) {
-      FIELDDB_RETURN_IF_ERROR(file_->Read(id, &page));
+    for (PageId id = 0; id < num_pages; ++id) {
+      if (crash_point == SaveCrashPoint::kMidPagesTmp && id == num_pages / 2) {
+        return Status::OK();  // "crash": torn temp file, snapshot untouched
+      }
+      if (!no_steal || !pool_->TryGetResident(id, &page)) {
+        FIELDDB_RETURN_IF_ERROR(file_->Read(id, &page));
+      }
       StatusOr<PageId> copied = (*out)->Allocate();
       if (!copied.ok()) return copied.status();
       FIELDDB_RETURN_IF_ERROR((*out)->Write(*copied, page));
@@ -286,23 +322,76 @@ Status FieldDatabase::SaveImpl(const std::string& prefix,
   }
   FIELDDB_RETURN_IF_ERROR(WriteMeta(meta_tmp, meta));
 
-  if (crash_before_rename) return Status::OK();
+  if (crash_point == SaveCrashPoint::kBeforeRename) return Status::OK();
 
   // Commit. Pages first: a crash between the renames leaves new pages
   // under the old catalog, which the epoch check in every page header
-  // turns into a detected corruption instead of a silent mix. (The old
-  // snapshot is gone only after BOTH renames; before the first one it
-  // is fully intact.)
+  // turns into a detected corruption instead of a silent mix — and Open
+  // self-heals it by completing the `.meta.tmp` rename (it can verify
+  // `.pages` carries exactly the epoch `.meta.tmp` declares). Before
+  // the first rename the old snapshot is fully intact.
   FIELDDB_RETURN_IF_ERROR(RenameFile(pages_tmp, prefix + ".pages"));
+  if (crash_point == SaveCrashPoint::kBetweenRenames) return Status::OK();
   FIELDDB_RETURN_IF_ERROR(RenameFile(meta_tmp, prefix + ".meta"));
   SyncParentDir(prefix + ".meta");
+
+  if (no_steal) {
+    // The snapshot is committed; the checkpoint epilogue reconciles the
+    // live (still-open) page file with the pool. The open DiskPageFile
+    // handle now points at the *unlinked* previous `.pages` inode, so
+    // write the dirty frames down into it — for clean pages the two
+    // inodes are byte-identical already, and for dirty ones this makes
+    // the handle serve post-checkpoint state on any future cache miss.
+    // Nothing here affects what a reopen reads (that is the renamed
+    // snapshot); it only keeps this open database self-consistent.
+    pool_->set_no_steal(false);
+    const Status flush = pool_->Flush();
+    pool_->set_no_steal(true);
+    FIELDDB_RETURN_IF_ERROR(flush);
+  }
+  if (wal_ != nullptr) {
+    if (crash_point == SaveCrashPoint::kBeforeWalTruncate) {
+      epoch_ = epoch;
+      return Status::OK();  // frames left behind now carry a stale epoch
+    }
+    // Every logged frame is captured by the snapshot: drop them and
+    // stamp future frames with the snapshot's epoch.
+    FIELDDB_RETURN_IF_ERROR(wal_->Truncate(epoch));
+  }
   epoch_ = epoch;
   return Status::OK();
 }
 
 StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
     const std::string& prefix, size_t pool_pages) {
-  StatusOr<MetaData> meta = ReadMeta(prefix + ".meta");
+  OpenOptions options;
+  options.pool_pages = pool_pages;
+  return Open(prefix, options);
+}
+
+StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
+    const std::string& prefix, const OpenOptions& options) {
+  const std::string meta_path = prefix + ".meta";
+  StatusOr<MetaData> meta = ReadMeta(meta_path);
+
+  // Self-heal a save that crashed between its two renames: `.pages`
+  // already holds the next snapshot but `.meta` still describes the
+  // previous one. The signature is unforgeable — `.meta.tmp` parses,
+  // its epoch is exactly one past the current catalog's (or there is no
+  // catalog at all: a first save), and the page file is stamped with
+  // precisely that epoch (a leftover `.meta.tmp` from a crash *before*
+  // the renames fails this check because `.pages` kept the old stamp).
+  // Completing the second rename commits the interrupted save.
+  {
+    StatusOr<MetaData> tmp = ReadMeta(prefix + ".meta.tmp");
+    if (tmp.ok() && tmp->epoch != 0 &&
+        PeekPagesEpoch(prefix + ".pages") == tmp->epoch &&
+        (!meta.ok() || meta->epoch + 1 == tmp->epoch)) {
+      FIELDDB_RETURN_IF_ERROR(RenameFile(prefix + ".meta.tmp", meta_path));
+      SyncParentDir(meta_path);
+      meta = std::move(tmp);
+    }
+  }
   if (!meta.ok()) return meta.status();
 
   StatusOr<std::unique_ptr<DiskPageFile>> file =
@@ -327,7 +416,16 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
 
   auto db = std::unique_ptr<FieldDatabase>(new FieldDatabase());
   db->file_ = std::move(file).value();
-  db->pool_ = std::make_unique<BufferPool>(db->file_.get(), pool_pages);
+  db->pool_ =
+      std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
+  // An attached database never overwrites checkpoint pages in place:
+  // Save is the checkpoint's only mutator (atomic temp-file renames).
+  // No-steal enforces that — dirty frames stay pooled until the next
+  // Save captures them; under wal_mode off they are simply dropped at
+  // Close (updates there are volatile by contract, DESIGN.md §14).
+  // Writing them back here would let `.pages` drift ahead of the
+  // subfield intervals and tree meta still recorded in `.meta`.
+  db->pool_->set_no_steal(true);
   db->value_range_ = meta->value_range;
   db->domain_ = meta->domain;
   db->epoch_ = meta->epoch;
@@ -383,7 +481,100 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
   // Planning is a pure function of the attached index state, so a
   // reopened snapshot plans exactly like the database that saved it.
   db->InitPlanner(PlannerMode::kAuto);
+
+  // --- Recovery: replay the write-ahead log over the snapshot. ---
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  const std::string wal_path = prefix + ".wal";
+  RecoveryReport report;
+  uint64_t replayed = 0;
+  uint64_t stale = 0;
+  {
+    ScopedSpan recovery(&report.trace, "recovery", nullptr);
+    WalScanResult scan;
+    {
+      ScopedSpan scan_span(&report.trace, "wal.scan", nullptr);
+      StatusOr<WalScanResult> scanned = WriteAheadLog::Scan(wal_path);
+      if (!scanned.ok()) return scanned.status();
+      scan = std::move(scanned).value();
+      scan_span.set_items(scan.frames.size());
+      if (!scan.torn_reason.empty()) scan_span.set_detail(scan.torn_reason);
+    }
+    report.torn_bytes = scan.torn_bytes();
+    report.valid_bytes = scan.valid_bytes;
+
+    if (!scan.frames.empty()) {
+      // Replayed pages become dirty pool frames that no-steal keeps off
+      // the checkpoint they redo (a crash mid-replay must stay
+      // re-playable). Logical redo through the same UpdateCellValues
+      // path the original mutations took, so the zone map, subfield
+      // intervals and interval-tree entries are all maintained, not
+      // just pages.
+      ScopedSpan replay_span(&report.trace, "wal.replay", nullptr);
+      for (const WalFrame& frame : scan.frames) {
+        if (frame.epoch != meta->epoch) {
+          // A completed checkpoint already captured this frame; only
+          // the not-yet-truncated log survived the crash.
+          ++stale;
+          continue;
+        }
+        const Status applied =
+            db->index_->UpdateCellValues(frame.cell_id, frame.values);
+        if (!applied.ok()) {
+          return Status::Corruption(
+              "wal replay failed at lsn " + std::to_string(frame.lsn) +
+              ": " + applied.ToString());
+        }
+        for (const double w : frame.values) db->value_range_.Extend(w);
+        ++replayed;
+      }
+      replay_span.set_items(replayed);
+      if (stale > 0) {
+        replay_span.set_detail(std::to_string(stale) + " stale frames");
+      }
+    }
+    report.frames_replayed = replayed;
+    report.stale_frames = stale;
+    reg.GetCounter("storage.wal.replayed_frames")->Increment(replayed);
+    reg.GetCounter("storage.wal.stale_frames")->Increment(stale);
+
+    if (replayed > 0) {
+      // Post-replay verification with the Scrub machinery: under
+      // no-steal the flush inside is a no-op, so this proves the
+      // checkpoint base the redo was applied over is bit-intact.
+      ScopedSpan verify_span(&report.trace, "verify", nullptr);
+      ScrubReport scrub;
+      FIELDDB_RETURN_IF_ERROR(db->Scrub(&scrub));
+      report.pages_verified = scrub.pages_checked;
+      report.corrupt_pages = scrub.corrupt_pages;
+      verify_span.set_items(scrub.pages_checked);
+    }
+    recovery.set_items(replayed);
+  }
+
+  if (options.wal_mode != WalMode::kOff) {
+    // Keep logging: reopen the log for appends (physically truncating
+    // any torn tail); dirty frames stay pinned until the next
+    // checkpoint.
+    StatusOr<std::unique_ptr<WriteAheadLog>> wal =
+        WriteAheadLog::Open(wal_path, options.wal_mode, meta->epoch);
+    if (!wal.ok()) return wal.status();
+    db->wal_ = std::move(wal).value();
+  } else {
+    if (replayed > 0) {
+      // The caller wants a log-less database but the log held committed
+      // mutations: fold them into a fresh checkpoint, then drop the
+      // log. (A crash in between is safe — the checkpoint bumped the
+      // epoch, so the leftover log replays as stale no-ops.)
+      FIELDDB_RETURN_IF_ERROR(db->SaveImpl(prefix, SaveCrashPoint::kNone));
+      report.folded = true;
+    }
+    std::remove(wal_path.c_str());  // absent file is fine
+  }
+
   db->pool_->ResetStats();
+  if (options.recovery_report != nullptr) {
+    *options.recovery_report = std::move(report);
+  }
   return db;
 }
 

@@ -79,7 +79,7 @@ ScopedSpan::ScopedSpan(QueryTrace* trace, const char* name,
     : trace_(trace), live_io_(live_io) {
   if (trace_ == nullptr) return;
   span_.name = name;
-  io_start_ = *live_io_;
+  if (live_io_ != nullptr) io_start_ = *live_io_;
   t0_ = std::chrono::steady_clock::now();
 }
 
@@ -90,7 +90,7 @@ void ScopedSpan::Finish() {
           .count() -
       deduct_;
   if (span_.wall_seconds < 0) span_.wall_seconds = 0;
-  span_.io = *live_io_ - io_start_;
+  if (live_io_ != nullptr) span_.io = *live_io_ - io_start_;
   trace_->AddSpan(std::move(span_));
   trace_ = nullptr;
 }

@@ -82,6 +82,10 @@ BufferPool::BufferPool(PageFile* file, size_t capacity, size_t num_shards)
 
 BufferPool::~BufferPool() {
   if (closed_.load(std::memory_order_acquire)) return;
+  // Under no-steal the dirty frames must NOT reach the file outside a
+  // checkpoint; the WAL holds their mutations, so dropping them is the
+  // crash-consistent default.
+  if (no_steal_.load(std::memory_order_acquire)) return;
   const Status s = Flush();
   if (!s.ok()) {
     // A destructor cannot surface the error; callers that care must use
@@ -311,6 +315,25 @@ Status BufferPool::EnsureCapacityLocked(Shard& sh) {
     return Status::FailedPrecondition(
         "buffer pool exhausted: all frames pinned");
   }
+  if (no_steal_.load(std::memory_order_acquire)) {
+    // Dirty frames are pinned to memory until the next checkpoint:
+    // evict the least-recently-used *clean* frame instead.
+    for (auto lit = sh.lru.begin(); lit != sh.lru.end(); ++lit) {
+      auto it = sh.frames.find(*lit);
+      assert(it != sh.frames.end());
+      BufferFrame& f = it->second;
+      if (f.dirty.load(std::memory_order_relaxed)) continue;
+      f.in_lru = false;
+      sh.lru.erase(lit);
+      sh.frames.erase(it);
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+      if (IoStats* sink = CurrentIoSink()) ++sink->evictions;
+      m_evictions_->Increment();
+      return Status::OK();
+    }
+    return Status::FailedPrecondition(
+        "buffer pool full of dirty frames: checkpoint required");
+  }
   const PageId victim = sh.lru.front();
   sh.lru.pop_front();
   auto it = sh.frames.find(victim);
@@ -335,6 +358,11 @@ Status BufferPool::EnsureCapacityLocked(Shard& sh) {
 }
 
 Status BufferPool::Flush() {
+  if (no_steal_.load(std::memory_order_acquire)) {
+    // No-steal forbids in-place write-back; the checkpoint captures
+    // dirty frames via TryGetResident into a fresh snapshot instead.
+    return Status::OK();
+  }
   for (size_t i = 0; i < num_shards_; ++i) {
     Shard& sh = shards_[i];
     std::lock_guard<std::mutex> lock(sh.mu);
@@ -354,15 +382,20 @@ Status BufferPool::Close() {
 }
 
 Status BufferPool::Clear() {
+  const bool no_steal = no_steal_.load(std::memory_order_acquire);
   for (size_t i = 0; i < num_shards_; ++i) {
     Shard& sh = shards_[i];
     std::lock_guard<std::mutex> lock(sh.mu);
-    while (!sh.lru.empty()) {
-      const PageId victim = sh.lru.front();
-      sh.lru.pop_front();
+    // Snapshot the eviction candidates first: under no-steal a dirty
+    // frame is skipped (left resident *and* back in the LRU), so a
+    // simple pop-from-front loop would spin on it forever.
+    std::vector<PageId> victims(sh.lru.begin(), sh.lru.end());
+    for (const PageId victim : victims) {
       auto it = sh.frames.find(victim);
       assert(it != sh.frames.end());
       BufferFrame& f = it->second;
+      if (no_steal && f.dirty.load(std::memory_order_relaxed)) continue;
+      sh.lru.erase(f.lru_pos);
       f.in_lru = false;
       const Status s = WriteBackLocked(victim, f);
       if (!s.ok()) {
@@ -375,6 +408,49 @@ Status BufferPool::Clear() {
     }
   }
   return Status::OK();
+}
+
+Status BufferPool::Abandon() {
+  if (closed_.load(std::memory_order_acquire)) return Status::OK();
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& sh = shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (auto& [id, frame] : sh.frames) {
+      if (frame.pin_count.load(std::memory_order_relaxed) != 0) {
+        return Status::FailedPrecondition(
+            "cannot abandon buffer pool: a frame is still pinned");
+      }
+      (void)id;
+    }
+  }
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& sh = shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.lru.clear();
+    sh.frames.clear();
+  }
+  closed_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+bool BufferPool::TryGetResident(PageId id, Page* out) {
+  Shard& sh = ShardOf(id);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.frames.find(id);
+  if (it == sh.frames.end()) return false;
+  *out = it->second.page;
+  return true;
+}
+
+void BufferPool::MarkAllCleanForCheckpoint() {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& sh = shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (auto& [id, frame] : sh.frames) {
+      frame.dirty.store(false, std::memory_order_relaxed);
+      (void)id;
+    }
+  }
 }
 
 size_t BufferPool::num_frames() const {

@@ -147,8 +147,38 @@ class BufferPool {
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   /// Drops every unpinned frame (after flushing it). Used by benchmarks
-  /// to cold-start the cache between runs.
+  /// to cold-start the cache between runs. Under no-steal, dirty frames
+  /// are skipped (they stay resident) instead of flushed.
   Status Clear();
+
+  /// No-steal policy (WAL mode, DESIGN.md §14): when set, a dirty frame
+  /// is never written back by eviction, Flush, Clear, or the
+  /// destructor — the on-disk pages always hold exactly the last
+  /// checkpoint, so recovery is a pure logical redo of the log and a
+  /// torn in-place page write is architecturally impossible. Eviction
+  /// picks the least-recently-used *clean* frame; if every frame is
+  /// dirty the pool reports FailedPrecondition ("checkpoint required").
+  /// The checkpoint path clears dirty bits via MarkAllCleanForCheckpoint
+  /// after the snapshot it wrote has been renamed into place.
+  void set_no_steal(bool v) { no_steal_.store(v, std::memory_order_release); }
+  bool no_steal() const { return no_steal_.load(std::memory_order_acquire); }
+
+  /// Drops every frame without writing anything back, then shuts the
+  /// pool down. The crash-consistent counterpart to Close(): in WAL
+  /// mode all uncheckpointed mutations live in the log, so the dirty
+  /// frames are deliberately discarded. Fails if any frame is pinned.
+  Status Abandon();
+
+  /// Copies page `id` out of the pool if it is resident (dirty or
+  /// clean), without promoting it in the LRU or touching the file.
+  /// The checkpoint uses this to capture in-memory state page by page
+  /// with zero pool pressure. Returns false on a miss.
+  bool TryGetResident(PageId id, Page* out);
+
+  /// Checkpoint epilogue under no-steal: every frame's content is now
+  /// captured by the renamed snapshot, so clear all dirty bits without
+  /// writing (the write already happened, into the snapshot file).
+  void MarkAllCleanForCheckpoint();
 
   /// Snapshot of the pool-wide I/O counters. Each counter is exact;
   /// a snapshot taken while traffic is in flight may be skewed between
@@ -191,6 +221,7 @@ class BufferPool {
   size_t capacity_;
   size_t num_shards_;
   std::atomic<bool> closed_{false};
+  std::atomic<bool> no_steal_{false};
   std::unique_ptr<Shard[]> shards_;
   AtomicIoStats stats_;
   // Previous physical read's page id, for sequential-read accounting.

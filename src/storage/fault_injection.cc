@@ -14,8 +14,21 @@ bool FaultInjectingPageFile::ConsumeFault(
   return true;
 }
 
+bool FaultInjectingPageFile::TickKillLocked() const {
+  if (kill_countdown_ < 0) return false;
+  if (kill_countdown_ == 0) {
+    ++counters_.killed_ops;
+    return true;
+  }
+  --kill_countdown_;
+  return false;
+}
+
 Status FaultInjectingPageFile::Read(PageId id, Page* out) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (TickKillLocked()) {
+    return Status::IOError("injected kill point: device gone (read)");
+  }
   if (ConsumeFault(&read_faults_, id)) {
     ++counters_.read_errors;
     return Status::IOError("injected read fault on page " +
@@ -45,6 +58,9 @@ Status FaultInjectingPageFile::Read(PageId id, Page* out) const {
 
 Status FaultInjectingPageFile::Write(PageId id, const Page& page) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (TickKillLocked()) {
+    return Status::IOError("injected kill point: device gone (write)");
+  }
   if (ConsumeFault(&write_faults_, id)) {
     ++counters_.write_errors;
     return Status::IOError("injected write fault on page " +
@@ -81,6 +97,27 @@ Status FaultInjectingPageFile::VerifyPage(PageId id) const {
   return base_->VerifyPage(id);
 }
 
+StatusOr<PageId> FaultInjectingPageFile::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (TickKillLocked()) {
+    return Status::IOError("injected kill point: device gone (allocate)");
+  }
+  return base_->Allocate();
+}
+
+Status FaultInjectingPageFile::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (TickKillLocked()) {
+    return Status::IOError("injected kill point: device gone (sync)");
+  }
+  if (sync_faults_ != 0) {
+    if (sync_faults_ != kPermanent) --sync_faults_;
+    ++counters_.sync_errors;
+    return Status::IOError("injected sync fault");
+  }
+  return base_->Sync();
+}
+
 void FaultInjectingPageFile::TearNextWrite(PageId id, uint32_t keep_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   torn_writes_[id] = keep_bytes < page_size_ ? keep_bytes : page_size_;
@@ -92,6 +129,8 @@ void FaultInjectingPageFile::ClearFaults() {
   write_faults_.clear();
   torn_writes_.clear();
   corrupt_.clear();
+  sync_faults_ = 0;
+  kill_countdown_ = -1;
 }
 
 }  // namespace fielddb

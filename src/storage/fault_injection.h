@@ -53,11 +53,11 @@ class FaultInjectingPageFile final : public PageFile {
   }
 
   uint64_t NumPages() const override { return base_->NumPages(); }
-  StatusOr<PageId> Allocate() override { return base_->Allocate(); }
+  StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Page* out) const override;
   Status Write(PageId id, const Page& page) override;
   Status VerifyPage(PageId id) const override;
-  Status Sync() override { return base_->Sync(); }
+  Status Sync() override;
 
   /// --- Deterministic schedules (override the probabilistic draws) ---
 
@@ -104,6 +104,34 @@ class FaultInjectingPageFile final : public PageFile {
     corrupt_[id] = Corruption{true, xor_mask};
   }
 
+  /// The next `count` Sync calls fail with an IOError — the fsync
+  /// failure mode ("fsyncgate"): the kernel reports the error once and
+  /// the durability of previously written pages is unknown.
+  void FailNextSyncs(int count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sync_faults_ = count;
+  }
+  /// Every Sync fails until ClearFaults().
+  void FailAllSyncs() {
+    std::lock_guard<std::mutex> lock(mu_);
+    sync_faults_ = kPermanent;
+  }
+
+  /// Deterministic kill point: the next `ops` operations (Read, Write,
+  /// Allocate, Sync) succeed, then every subsequent operation fails
+  /// with an IOError — the device vanished mid-pipeline. Counting down
+  /// operations lets a crash harness bisect a pipeline into every
+  /// possible interruption point without knowing its internals.
+  void KillAfterOps(int ops) {
+    std::lock_guard<std::mutex> lock(mu_);
+    kill_countdown_ = ops;
+  }
+  /// Remaining operations before the kill point fires (-1 = disarmed).
+  int kill_countdown() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return kill_countdown_;
+  }
+
   /// Drops every scheduled fault and corruption mark.
   void ClearFaults();
 
@@ -114,6 +142,8 @@ class FaultInjectingPageFile final : public PageFile {
     uint64_t torn_writes = 0;
     uint64_t corrupt_reads = 0;  // reads answered with kCorruption
     uint64_t silent_flips = 0;   // reads answered with flipped bits
+    uint64_t sync_errors = 0;    // Syncs answered with kIOError
+    uint64_t killed_ops = 0;     // operations refused past the kill point
   };
   Counters counters() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -134,6 +164,10 @@ class FaultInjectingPageFile final : public PageFile {
   static bool ConsumeFault(std::unordered_map<PageId, int>* faults,
                            PageId id);
 
+  /// Advances the kill-point countdown; returns true once it has
+  /// expired (the operation must fail). Caller holds mu_.
+  bool TickKillLocked() const;
+
   PageFile* base_;
   std::unique_ptr<PageFile> owned_;
   FaultInjectionOptions options_;
@@ -145,6 +179,8 @@ class FaultInjectingPageFile final : public PageFile {
   std::unordered_map<PageId, int> write_faults_;
   std::unordered_map<PageId, uint32_t> torn_writes_;
   std::unordered_map<PageId, Corruption> corrupt_;
+  int sync_faults_ = 0;           // remaining Sync failures (kPermanent = all)
+  mutable int kill_countdown_ = -1;  // -1 = disarmed; 0 = dead
 };
 
 }  // namespace fielddb

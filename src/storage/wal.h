@@ -1,0 +1,167 @@
+#ifndef FIELDDB_STORAGE_WAL_H_
+#define FIELDDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "field/cell.h"
+
+namespace fielddb {
+
+/// Durability policy for the write-ahead log (DESIGN.md §14).
+enum class WalMode {
+  /// No log. Mutations live only in the buffer pool until the next
+  /// Save; a crash loses them (the pre-PR-6 contract).
+  kOff = 0,
+  /// Frames are flushed to the OS on commit but not fsynced: a process
+  /// crash loses nothing, a power cut may lose the un-fsynced tail.
+  kAsync = 1,
+  /// Commit fsyncs the log before the mutation is acknowledged. Group
+  /// commit: a batch appends all its frames and pays one fsync.
+  kFsyncOnCommit = 2,
+};
+
+const char* WalModeName(WalMode mode);
+/// Parses "off" / "async" / "fsync" (also "fsync_on_commit").
+bool ParseWalMode(const std::string& text, WalMode* out);
+
+/// One decoded log record. `offset` is the frame's byte offset in the
+/// file (diagnostics: the CLI's `wal` dump prints it).
+struct WalFrame {
+  uint64_t lsn = 0;
+  uint32_t epoch = 0;
+  uint32_t type = 0;
+  uint64_t offset = 0;
+  CellId cell_id = kInvalidCellId;
+  std::vector<double> values;
+};
+
+/// Result of scanning a log file front to back. `frames` holds every
+/// intact frame in order (any epoch — the caller filters stale epochs);
+/// `valid_bytes` is the length of the intact prefix. Anything after it
+/// is a torn tail: a frame cut by a crash mid-append, or garbage that
+/// fails the CRC. `torn_reason` says which check cut the scan short.
+struct WalScanResult {
+  std::vector<WalFrame> frames;
+  uint64_t file_bytes = 0;
+  uint64_t valid_bytes = 0;
+  std::string torn_reason;
+
+  uint64_t torn_bytes() const { return file_bytes - valid_bytes; }
+};
+
+/// Append-only mutation log with CRC32C-framed, epoch-stamped records:
+///   [masked CRC32C (4) | epoch (4) | lsn (8) | type (4) | len (4)] + payload
+/// The CRC covers everything after itself, so a torn append, bit rot or
+/// a frame from a different file are all detected by the scan, which
+/// truncates the log at the first invalid byte. Frames are stamped with
+/// the snapshot epoch they extend; after a checkpoint renames a new
+/// snapshot into place, any frames still carrying the old epoch are
+/// recognized as superseded and skipped by recovery.
+///
+/// Thread safety: none. The engine's mutation contract (DESIGN.md §11)
+/// already gives writers the database to themselves, and the log is
+/// only touched by mutation and checkpoint paths.
+class WriteAheadLog {
+ public:
+  static constexpr uint32_t kFrameHeaderSize = 24;
+  /// Frame types.
+  static constexpr uint32_t kUpdateValuesFrame = 1;
+  /// Upper bound on a frame payload; anything larger fails the scan
+  /// (and Append refuses to write it).
+  static constexpr uint32_t kMaxPayload = 1u << 20;
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Decodes `path` front to back without modifying it. A missing file
+  /// yields an empty result (a log that was never written is a valid
+  /// empty log).
+  static StatusOr<WalScanResult> Scan(const std::string& path);
+
+  /// Opens (creating if absent) the log for appending: scans it,
+  /// physically truncates any torn tail, and positions the next append
+  /// after the last intact frame. New frames are stamped with `epoch`.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, WalMode mode, uint32_t epoch);
+
+  /// Appends (buffered — not yet durable) one update frame.
+  Status AppendUpdate(CellId id, const std::vector<double>& values);
+
+  /// Makes every appended frame durable per the mode: kFsyncOnCommit
+  /// fsyncs, kAsync flushes to the OS. The caller acknowledges the
+  /// mutation only after Commit returns OK.
+  Status Commit();
+
+  /// Unconditional fflush + fsync (Close and checkpoints use it).
+  Status Sync();
+
+  /// Checkpoint epilogue: every logged frame is now captured by the
+  /// snapshot, so drop them all and adopt the snapshot's new epoch.
+  Status Truncate(uint32_t new_epoch);
+
+  /// Syncs and closes the file; the log is unusable afterwards.
+  Status Close();
+
+  const std::string& path() const { return path_; }
+  WalMode mode() const { return mode_; }
+  uint32_t epoch() const { return epoch_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Logical size: bytes of intact frames appended (buffered or not).
+  uint64_t size_bytes() const { return size_; }
+  /// Bytes known durable (advanced only by a real fsync).
+  uint64_t synced_bytes() const { return synced_size_; }
+
+  /// --- Deterministic crash hooks (tests only) ---
+
+  /// The append `countdown` appends from now (0 = the next one) fails
+  /// with IOError before writing anything, and the log refuses all
+  /// subsequent appends (the "process" died mid-pipeline).
+  void ArmAppendErrorForTest(int countdown);
+
+  /// The append `countdown` appends from now writes only the first
+  /// `keep_bytes` bytes of its frame, makes them durable, then fails —
+  /// a power cut mid-append that tore the frame on the platter.
+  void ArmShortAppendForTest(int countdown, uint32_t keep_bytes);
+
+  /// The next `count` syncs (Commit in fsync mode, Sync, Truncate)
+  /// fail with IOError without advancing the durable watermark.
+  void ArmSyncErrorForTest(int count);
+
+  /// Power cut: everything not fsynced is gone. Truncates the file to
+  /// the durable watermark and closes the log (idempotent). Reopening
+  /// the database afterwards replays exactly what a machine reset
+  /// would have left.
+  Status SimulateCrashForTest();
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file, WalMode mode,
+                uint32_t epoch, uint64_t next_lsn, uint64_t size);
+
+  Status DoSync();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  WalMode mode_ = WalMode::kOff;
+  uint32_t epoch_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint64_t size_ = 0;
+  uint64_t synced_size_ = 0;
+  bool broken_ = false;  // a simulated crash poisoned the log
+
+  // Crash-hook state. -1 = disarmed; 0 = fire on the next call.
+  int append_error_countdown_ = -1;
+  int short_append_countdown_ = -1;
+  uint32_t short_append_keep_ = 0;
+  int sync_error_count_ = 0;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_STORAGE_WAL_H_

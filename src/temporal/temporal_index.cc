@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "field/isoband.h"
+#include "index/subfield_maintenance.h"
 
 namespace fielddb {
 
@@ -43,7 +44,9 @@ TemporalFieldDatabase::Build(const TemporalGridField& field,
       std::unique_ptr<TemporalFieldDatabase>(new TemporalFieldDatabase());
   db->num_slabs_ = field.NumSlabs();
   db->t_max_ = static_cast<double>(field.NumSnapshots() - 1);
-  db->file_ = std::make_unique<MemPageFile>(options.page_size);
+  db->file_ = options.page_file_factory
+                  ? options.page_file_factory(options.page_size)
+                  : std::make_unique<MemPageFile>(options.page_size);
   db->pool_ =
       std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
 
@@ -53,6 +56,10 @@ TemporalFieldDatabase::Build(const TemporalGridField& field,
   const std::unique_ptr<SpaceFillingCurve> curve =
       MakeCurve(options.curve, options.curve_order);
   const std::vector<CellId> order = LinearizeCells(*first, *curve);
+  db->pos_of_.assign(order.size(), 0);
+  for (uint64_t pos = 0; pos < order.size(); ++pos) {
+    db->pos_of_[order[pos]] = pos;
+  }
 
   const ValueInterval range = field.ValueRange();
   std::vector<RTreeEntry<2>> entries;
@@ -110,6 +117,69 @@ TemporalFieldDatabase::Build(const TemporalGridField& field,
   db->tree_ = std::make_unique<RStarTree<2>>(std::move(tree).value());
   db->pool_->ResetStats();
   return db;
+}
+
+Status TemporalFieldDatabase::UpdateSlabSide(
+    uint32_t k, uint64_t pos, bool u_side,
+    const std::vector<double>& values) {
+  Slab& slab = slabs_[k];
+  VectorCellRecord rec;
+  FIELDDB_RETURN_IF_ERROR(slab.store->Get(pos, &rec));
+  if (values.size() != rec.num_vertices) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(rec.num_vertices) + " values, got " +
+        std::to_string(values.size()));
+  }
+  for (uint32_t i = 0; i < rec.num_vertices; ++i) {
+    (u_side ? rec.u : rec.v)[i] = values[i];
+  }
+  FIELDDB_RETURN_IF_ERROR(slab.store->Put(pos, rec));
+
+  // Refresh the containing subfield's value hull; the time extent
+  // [k, k+1] of the tree entry never changes.
+  const size_t si = SubfieldContaining(slab.subfields, pos);
+  Subfield& sf = slab.subfields[si];
+  ValueInterval hull = ValueInterval::Empty();
+  double sum_sizes = 0.0;
+  FIELDDB_RETURN_IF_ERROR(slab.store->Scan(
+      sf.start, sf.end, [&](uint64_t, const VectorCellRecord& member) {
+        const ValueInterval iv = SlabInterval(member);
+        hull.Extend(iv);
+        sum_sizes += iv.PaperSize();
+        return true;
+      }));
+  if (hull != sf.interval) {
+    Box<2> old_box, new_box;
+    old_box.lo = {sf.interval.min, static_cast<double>(k)};
+    old_box.hi = {sf.interval.max, static_cast<double>(k + 1)};
+    new_box.lo = {hull.min, static_cast<double>(k)};
+    new_box.hi = {hull.max, static_cast<double>(k + 1)};
+    FIELDDB_RETURN_IF_ERROR(tree_->Delete(old_box, k, si));
+    FIELDDB_RETURN_IF_ERROR(tree_->Insert(new_box, k, si));
+    sf.interval = hull;
+  }
+  sf.sum_interval_sizes = sum_sizes;
+  return Status::OK();
+}
+
+Status TemporalFieldDatabase::UpdateSnapshotCellValues(
+    uint32_t snapshot, CellId id, const std::vector<double>& values) {
+  if (snapshot > num_slabs_) {
+    return Status::OutOfRange("no such snapshot");
+  }
+  if (id >= pos_of_.size()) return Status::OutOfRange("no such cell");
+  const uint64_t pos = pos_of_[id];
+  // Snapshot k is the late endpoint (v) of slab k-1 and the early
+  // endpoint (u) of slab k; both records must agree on the new samples.
+  if (snapshot > 0) {
+    FIELDDB_RETURN_IF_ERROR(
+        UpdateSlabSide(snapshot - 1, pos, /*u_side=*/false, values));
+  }
+  if (snapshot < num_slabs_) {
+    FIELDDB_RETURN_IF_ERROR(
+        UpdateSlabSide(snapshot, pos, /*u_side=*/true, values));
+  }
+  return Status::OK();
 }
 
 Status TemporalFieldDatabase::SnapshotValueQuery(double t,

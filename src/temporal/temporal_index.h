@@ -1,6 +1,7 @@
 #ifndef FIELDDB_TEMPORAL_TEMPORAL_INDEX_H_
 #define FIELDDB_TEMPORAL_TEMPORAL_INDEX_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,6 +33,10 @@ class TemporalFieldDatabase {
     uint32_t page_size = kDefaultPageSize;
     size_t pool_pages = 2048;
     RStarOptions rstar;
+    /// Backing page file (defaults to MemPageFile). Fault-injection
+    /// tests wrap the file to schedule faults against the live database.
+    std::function<std::unique_ptr<PageFile>(uint32_t page_size)>
+        page_file_factory;
   };
 
   static StatusOr<std::unique_ptr<TemporalFieldDatabase>> Build(
@@ -49,6 +54,14 @@ class TemporalFieldDatabase {
   Status TimeRangeCandidates(const ValueInterval& band, double t0,
                              double t1, std::vector<CellId>* out);
 
+  /// Replaces the vertex samples of cell `id` at snapshot `snapshot`
+  /// (`values.size()` must match the cell's vertex count). A snapshot
+  /// borders up to two slabs — [snapshot-1, snapshot] and
+  /// [snapshot, snapshot+1] — and both slab records (and their subfield
+  /// R*-tree entries) are refreshed.
+  Status UpdateSnapshotCellValues(uint32_t snapshot, CellId id,
+                                  const std::vector<double>& values);
+
   uint32_t num_slabs() const { return num_slabs_; }
   uint64_t num_subfields() const { return total_subfields_; }
   BufferPool& pool() { return *pool_; }
@@ -61,13 +74,22 @@ class TemporalFieldDatabase {
     std::vector<Subfield> subfields;
   };
 
+  /// Rewrites one endpoint (`u_side` = earlier snapshot) of slab `k`'s
+  /// record at store position `pos` and refreshes the containing
+  /// subfield's tree entry.
+  Status UpdateSlabSide(uint32_t k, uint64_t pos, bool u_side,
+                        const std::vector<double>& values);
+
   uint32_t num_slabs_ = 0;
   double t_max_ = 0.0;
   uint64_t total_subfields_ = 0;
-  std::unique_ptr<MemPageFile> file_;
+  std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::vector<Slab> slabs_;
   std::unique_ptr<RStarTree<2>> tree_;
+  /// Store position of each cell id (inverse of the shared Hilbert
+  /// order; identical across slabs).
+  std::vector<uint64_t> pos_of_;
 };
 
 }  // namespace fielddb

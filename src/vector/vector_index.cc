@@ -87,7 +87,9 @@ StatusOr<std::unique_ptr<VectorFieldDatabase>> VectorFieldDatabase::Build(
     const VectorGridField& field, const Options& options) {
   auto db = std::unique_ptr<VectorFieldDatabase>(new VectorFieldDatabase());
   db->method_ = options.method;
-  db->file_ = std::make_unique<MemPageFile>(options.page_size);
+  db->file_ = options.page_file_factory
+                  ? options.page_file_factory(options.page_size)
+                  : std::make_unique<MemPageFile>(options.page_size);
   db->pool_ =
       std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
 
@@ -108,9 +110,11 @@ StatusOr<std::unique_ptr<VectorFieldDatabase>> VectorFieldDatabase::Build(
 
   std::vector<VectorCellRecord> records(n);
   std::vector<Box<2>> boxes(n);
+  db->pos_of_.assign(n, 0);
   for (CellId pos = 0; pos < n; ++pos) {
     records[pos] = VectorCellRecord::FromField(field, keyed[pos].second);
     boxes[pos] = records[pos].ValueBox();
+    db->pos_of_[keyed[pos].second] = pos;
   }
   StatusOr<RecordStore<VectorCellRecord>> store =
       RecordStore<VectorCellRecord>::Build(db->pool_.get(), records);
@@ -134,6 +138,57 @@ StatusOr<std::unique_ptr<VectorFieldDatabase>> VectorFieldDatabase::Build(
   }
   db->pool_->ResetStats();
   return db;
+}
+
+Status VectorFieldDatabase::UpdateCellValues(CellId id,
+                                             const std::vector<double>& u,
+                                             const std::vector<double>& v) {
+  if (id >= pos_of_.size()) return Status::OutOfRange("no such cell");
+  const uint64_t pos = pos_of_[id];
+  VectorCellRecord cell;
+  FIELDDB_RETURN_IF_ERROR(store_->Get(pos, &cell));
+  if (u.size() != cell.num_vertices || v.size() != cell.num_vertices) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(cell.num_vertices) +
+        " values per component, got " + std::to_string(u.size()) + "/" +
+        std::to_string(v.size()));
+  }
+  for (uint32_t i = 0; i < cell.num_vertices; ++i) {
+    cell.u[i] = u[i];
+    cell.v[i] = v[i];
+  }
+  FIELDDB_RETURN_IF_ERROR(store_->Put(pos, cell));
+  if (tree_ == nullptr) return Status::OK();
+
+  // Refresh the containing subfield's value-box hull (the no-false-
+  // negative invariant: every member cell's box stays covered).
+  const auto it = std::upper_bound(
+      subfields_.begin(), subfields_.end(), pos,
+      [](uint64_t p, const VectorSubfield& sf) { return p < sf.end; });
+  if (it == subfields_.end() || pos < it->start) {
+    return Status::Internal("no subfield covers updated cell position");
+  }
+  VectorSubfield& sf = *it;
+  Box<2> hull = Box<2>::Empty();
+  double sum_sizes = 0.0;
+  FIELDDB_RETURN_IF_ERROR(store_->Scan(
+      sf.start, sf.end, [&](uint64_t, const VectorCellRecord& member) {
+        const Box<2> b = member.ValueBox();
+        hull.Extend(b);
+        sum_sizes += (b.hi[0] - b.lo[0] + 1.0) * (b.hi[1] - b.lo[1] + 1.0);
+        return true;
+      }));
+  const bool hull_changed = hull.lo[0] != sf.box.lo[0] ||
+                            hull.hi[0] != sf.box.hi[0] ||
+                            hull.lo[1] != sf.box.lo[1] ||
+                            hull.hi[1] != sf.box.hi[1];
+  if (hull_changed) {
+    FIELDDB_RETURN_IF_ERROR(tree_->Delete(sf.box, sf.start, sf.end));
+    FIELDDB_RETURN_IF_ERROR(tree_->Insert(hull, sf.start, sf.end));
+    sf.box = hull;
+  }
+  sf.sum_box_sizes = sum_sizes;
+  return Status::OK();
 }
 
 Status VectorFieldDatabase::BandQuery(const VectorBandQuery& query,

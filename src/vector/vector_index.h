@@ -1,6 +1,7 @@
 #ifndef FIELDDB_VECTOR_VECTOR_INDEX_H_
 #define FIELDDB_VECTOR_VECTOR_INDEX_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -87,6 +88,10 @@ class VectorFieldDatabase {
     uint32_t page_size = kDefaultPageSize;
     size_t pool_pages = 1024;
     RStarOptions rstar;
+    /// Backing page file (defaults to MemPageFile). Fault-injection
+    /// tests wrap the file to schedule faults against the live database.
+    std::function<std::unique_ptr<PageFile>(uint32_t page_size)>
+        page_file_factory;
   };
 
   static StatusOr<std::unique_ptr<VectorFieldDatabase>> Build(
@@ -94,6 +99,13 @@ class VectorFieldDatabase {
 
   /// Conjunctive band query over both components: exact answer regions.
   Status BandQuery(const VectorBandQuery& query, VectorQueryResult* out);
+
+  /// Replaces the (u, v) samples of field cell `id` (geometry is
+  /// immutable); `u.size()` and `v.size()` must match the cell's vertex
+  /// count. I-Hilbert refreshes the containing subfield's value box (and
+  /// its R*-tree entry) so queries keep their no-false-negative filter.
+  Status UpdateCellValues(CellId id, const std::vector<double>& u,
+                          const std::vector<double>& v);
 
   const std::vector<VectorSubfield>& subfields() const {
     return subfields_;
@@ -105,11 +117,13 @@ class VectorFieldDatabase {
   VectorFieldDatabase() = default;
 
   VectorIndexMethod method_ = VectorIndexMethod::kIHilbert;
-  std::unique_ptr<MemPageFile> file_;
+  std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<RecordStore<VectorCellRecord>> store_;
   std::unique_ptr<RStarTree<2>> tree_;  // null for LinearScan
   std::vector<VectorSubfield> subfields_;
+  /// Store position of each field cell id (inverse of the build order).
+  std::vector<uint64_t> pos_of_;
 };
 
 }  // namespace fielddb

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "curve/hilbert.h"
+#include "index/subfield_maintenance.h"
 #include "volume/tet_band.h"
 
 namespace fielddb {
@@ -22,7 +23,9 @@ StatusOr<std::unique_ptr<VolumeFieldDatabase>> VolumeFieldDatabase::Build(
     const VolumeGridField& field, const Options& options) {
   auto db = std::unique_ptr<VolumeFieldDatabase>(new VolumeFieldDatabase());
   db->method_ = options.method;
-  db->file_ = std::make_unique<MemPageFile>(options.page_size);
+  db->file_ = options.page_file_factory
+                  ? options.page_file_factory(options.page_size)
+                  : std::make_unique<MemPageFile>(options.page_size);
   db->pool_ =
       std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
   db->value_range_ = field.ValueRange();
@@ -44,9 +47,11 @@ StatusOr<std::unique_ptr<VolumeFieldDatabase>> VolumeFieldDatabase::Build(
 
   std::vector<VoxelRecord> records(n);
   std::vector<ValueInterval> intervals(n);
+  db->pos_of_.assign(n, 0);
   for (VoxelId pos = 0; pos < n; ++pos) {
     records[pos] = field.GetCell(keyed[pos].second);
     intervals[pos] = records[pos].Interval();
+    db->pos_of_[keyed[pos].second] = pos;
   }
   StatusOr<RecordStore<VoxelRecord>> store =
       RecordStore<VoxelRecord>::Build(db->pool_.get(), records);
@@ -70,6 +75,45 @@ StatusOr<std::unique_ptr<VolumeFieldDatabase>> VolumeFieldDatabase::Build(
   }
   db->pool_->ResetStats();
   return db;
+}
+
+Status VolumeFieldDatabase::UpdateVoxelValues(VoxelId id,
+                                              const std::vector<double>& w) {
+  if (id >= pos_of_.size()) return Status::OutOfRange("no such voxel");
+  if (w.size() != 8) {
+    return Status::InvalidArgument("expected 8 corner values, got " +
+                                   std::to_string(w.size()));
+  }
+  const uint64_t pos = pos_of_[id];
+  VoxelRecord voxel;
+  FIELDDB_RETURN_IF_ERROR(store_->Get(pos, &voxel));
+  for (int i = 0; i < 8; ++i) voxel.w[i] = w[i];
+  FIELDDB_RETURN_IF_ERROR(store_->Put(pos, voxel));
+  value_range_.Extend(voxel.Interval());
+  if (tree_ == nullptr) return Status::OK();
+
+  // Refresh the containing subfield's interval hull, same maintenance
+  // rule as the 2-D scalar index (RefreshSubfieldAfterUpdate).
+  const size_t si = SubfieldContaining(subfields_, pos);
+  Subfield& sf = subfields_[si];
+  ValueInterval hull = ValueInterval::Empty();
+  double sum_sizes = 0.0;
+  FIELDDB_RETURN_IF_ERROR(store_->Scan(
+      sf.start, sf.end, [&](uint64_t, const VoxelRecord& member) {
+        const ValueInterval iv = member.Interval();
+        hull.Extend(iv);
+        sum_sizes += iv.PaperSize();
+        return true;
+      }));
+  if (hull != sf.interval) {
+    FIELDDB_RETURN_IF_ERROR(
+        tree_->Delete(BoxFromInterval(sf.interval), sf.start, sf.end));
+    FIELDDB_RETURN_IF_ERROR(
+        tree_->Insert(BoxFromInterval(hull), sf.start, sf.end));
+    sf.interval = hull;
+  }
+  sf.sum_interval_sizes = sum_sizes;
+  return Status::OK();
 }
 
 Status VolumeFieldDatabase::BandQuery(const ValueInterval& band,

@@ -1,6 +1,7 @@
 #ifndef FIELDDB_VOLUME_VOLUME_INDEX_H_
 #define FIELDDB_VOLUME_VOLUME_INDEX_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -42,6 +43,10 @@ class VolumeFieldDatabase {
     uint32_t page_size = kDefaultPageSize;
     size_t pool_pages = 1024;
     RStarOptions rstar;
+    /// Backing page file (defaults to MemPageFile). Fault-injection
+    /// tests wrap the file to schedule faults against the live database.
+    std::function<std::unique_ptr<PageFile>(uint32_t page_size)>
+        page_file_factory;
   };
 
   static StatusOr<std::unique_ptr<VolumeFieldDatabase>> Build(
@@ -50,6 +55,10 @@ class VolumeFieldDatabase {
   /// Band query: total volume where band.min <= w <= band.max (under the
   /// piecewise-linear Kuhn-tetrahedra reading), with per-query stats.
   Status BandQuery(const ValueInterval& band, VolumeQueryResult* out);
+
+  /// Replaces the 8 corner samples of voxel `id`. I-Hilbert refreshes
+  /// the containing subfield's interval hull (and its R*-tree entry).
+  Status UpdateVoxelValues(VoxelId id, const std::vector<double>& w);
 
   const std::vector<Subfield>& subfields() const { return subfields_; }
   uint64_t num_cells() const { return store_->size(); }
@@ -64,13 +73,15 @@ class VolumeFieldDatabase {
   VolumeFieldDatabase() = default;
 
   VolumeIndexMethod method_ = VolumeIndexMethod::kIHilbert;
-  std::unique_ptr<MemPageFile> file_;
+  std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<RecordStore<VoxelRecord>> store_;
   std::unique_ptr<RStarTree<1>> tree_;  // null for LinearScan
   std::vector<Subfield> subfields_;
   ValueInterval value_range_;
   double voxel_volume_ = 0.0;
+  /// Store position of each voxel id (inverse of the Hilbert sort).
+  std::vector<uint64_t> pos_of_;
 };
 
 }  // namespace fielddb

@@ -357,23 +357,41 @@ TEST_F(CrashSafetyTest, LeftoverTempFilesDoNotInterfereWithOpen) {
   EXPECT_EQ(UpdatedCellsOnDisk(), 1u);
 }
 
-TEST_F(CrashSafetyTest, CrashBetweenRenamesIsDetectedAsEpochMismatch) {
+TEST_F(CrashSafetyTest, CrashBetweenRenamesSelfHealsOnOpen) {
   // Simulate a crash after the pages rename but before the meta rename:
-  // new pages (epoch A+1) under the old catalog (epoch A).
+  // new pages (epoch A+1) under the old catalog (epoch A). Open proves
+  // `.meta.tmp` describes exactly the pages now in place (epoch match)
+  // and completes the interrupted commit itself.
   ASSERT_TRUE(db_->SaveCrashBeforeRenameForTest(prefix_).ok());
   ASSERT_EQ(std::rename((prefix_ + ".pages.tmp").c_str(),
                         (prefix_ + ".pages").c_str()),
             0);
-  auto db = FieldDatabase::Open(prefix_);
-  ASSERT_FALSE(db.ok());
-  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
-  EXPECT_NE(db.status().message().find("epoch"), std::string::npos)
-      << db.status().ToString();
-  // Completing the interrupted commit (the meta rename) recovers.
-  ASSERT_EQ(std::rename((prefix_ + ".meta.tmp").c_str(),
-                        (prefix_ + ".meta").c_str()),
-            0);
+  EXPECT_EQ(UpdatedCellsOnDisk(), 1u);  // snapshot B, healed
+  // The heal consumed the temp catalog (renamed into place).
+  EXPECT_FALSE(FileExists(prefix_ + ".meta.tmp"));
+  // And the healed state is stable: a second open sees the same thing.
   EXPECT_EQ(UpdatedCellsOnDisk(), 1u);
+}
+
+TEST_F(CrashSafetyTest, SaveWithCrashPointMatrix) {
+  // Every interruption point of the Save pipeline leaves a loadable
+  // database: the old snapshot for points before the pages rename, the
+  // new one from there on.
+  using CP = FieldDatabase::SaveCrashPoint;
+  const struct {
+    CP point;
+    uint64_t expect_updated;
+  } kCases[] = {
+      {CP::kMidPagesTmp, 0},     // torn temp file, snapshot A intact
+      {CP::kBeforeRename, 0},    // both temps durable, nothing committed
+      {CP::kBetweenRenames, 1},  // half-committed; Open self-heals to B
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(static_cast<int>(c.point));
+    SetUp();  // fresh snapshot A + one in-memory update
+    ASSERT_TRUE(db_->SaveWithCrashPointForTest(prefix_, c.point).ok());
+    EXPECT_EQ(UpdatedCellsOnDisk(), c.expect_updated);
+  }
 }
 
 }  // namespace

@@ -89,6 +89,12 @@ class Checker:
         if "planner_sweep" in report:
             self.check_planner(report)
             return
+        # The recovery bench (bench_recovery) measures WAL write overhead
+        # and crash-replay throughput; its marker is the top-level
+        # recovery_bench field.
+        if "recovery_bench" in report:
+            self.check_recovery(report)
+            return
         self.require(report, "bench_id", str, "report")
         self.require(report, "title", str, "report")
         self.number(report, "field_cells", "report", minimum=1)
@@ -262,6 +268,70 @@ class Checker:
                 self.error(where, "'within_10pct' is not a bool")
             elif not point["within_10pct"]:
                 self.error(where, "adaptive planner >10% off the best plan")
+
+    def check_recovery(self, report):
+        self.require(report, "bench_id", str, "report")
+        self.require(report, "title", str, "report")
+        if report.get("recovery_bench") is not True:
+            self.error("report", "'recovery_bench' is not true")
+        method = self.require(report, "method", str, "report")
+        if method == "":
+            self.error("report", "'method' is empty")
+        self.number(report, "field_cells", "report", minimum=1)
+        self.number(report, "workload_seed", "report", minimum=0)
+
+        overhead = self.require(report, "write_overhead", list, "report")
+        if overhead is not None:
+            if not overhead:
+                self.error("report", "'write_overhead' is empty")
+            modes = []
+            for j, point in enumerate(overhead):
+                where = f"write_overhead[{j}]"
+                if not isinstance(point, dict):
+                    self.error(where, "not an object")
+                    continue
+                mode = self.require(point, "wal_mode", str, where)
+                if mode is not None:
+                    if mode not in ("off", "async", "fsync"):
+                        self.error(where, f"unknown wal_mode '{mode}'")
+                    elif mode in modes:
+                        self.error(where, f"duplicate wal_mode '{mode}'")
+                    modes.append(mode)
+                self.number(point, "updates", where, minimum=1)
+                for key in ("wall_ms", "updates_per_sec",
+                            "overhead_vs_off"):
+                    value = self.number(point, key, where, minimum=0)
+                    if isinstance(value, (int, float)) and value <= 0:
+                        self.error(where, f"{key} {value} is not positive")
+            if "off" not in modes:
+                self.error("write_overhead",
+                           "missing the wal_mode=off baseline")
+
+        replay = self.require(report, "replay", list, "report")
+        if replay is None:
+            return
+        if not replay:
+            self.error("report", "'replay' is empty")
+        for j, point in enumerate(replay):
+            where = f"replay[{j}]"
+            if not isinstance(point, dict):
+                self.error(where, "not an object")
+                continue
+            frames = self.number(point, "wal_frames", where, minimum=0)
+            self.number(point, "wal_bytes", where, minimum=0)
+            for key in ("reopen_ms", "scan_ms", "replay_ms", "verify_ms"):
+                self.number(point, key, where, minimum=0)
+            fps = self.number(point, "frames_per_sec", where, minimum=0)
+            if (isinstance(frames, (int, float)) and frames > 0
+                    and isinstance(fps, (int, float)) and fps <= 0):
+                self.error(where,
+                           f"frames_per_sec {fps} with {frames} frames")
+            if "frames_replayed_ok" not in point:
+                self.error(where, "missing key 'frames_replayed_ok'")
+            elif not isinstance(point["frames_replayed_ok"], bool):
+                self.error(where, "'frames_replayed_ok' is not a bool")
+            elif not point["frames_replayed_ok"]:
+                self.error(where, "recovery replayed a wrong frame count")
 
     def check_series(self, ser, where):
         if not isinstance(ser, dict):

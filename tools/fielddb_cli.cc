@@ -22,6 +22,17 @@
 //   fielddb_cli stats   --db PREFIX [--qinterval F] [--queries N]
 //                       [--format prom|json]
 //   fielddb_cli scrub   --db PREFIX
+//   fielddb_cli wal     --db PREFIX [--limit N]
+//                       (decodes PREFIX.wal read-only: stats, torn-tail
+//                       report, and up to N frames — lsn, epoch, type,
+//                       cell, value count, byte offset)
+//   fielddb_cli recover --db PREFIX [--dry-run]
+//                       [--mode off|async|fsync]
+//                       (--dry-run scans the log without touching any
+//                       file and reports what a replay would do;
+//                       otherwise opens the database, replaying the log
+//                       per --mode — "off" folds it into a fresh
+//                       checkpoint — and prints the recovery report)
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,18 +48,27 @@
 #include "gen/workload.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "storage/wal.h"
 
 namespace {
 
 using namespace fielddb;
 
-// Minimal --key value argument parsing.
+// Minimal --key value argument parsing. A "--key" followed by another
+// option (or by nothing) is a boolean flag: Has("key") is true, the
+// value empty.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) continue;
-      values_[argv[i] + 2] = argv[i + 1];
+      const char* key = argv[i] + 2;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[i + 1];
+        ++i;
+      } else {
+        values_[key] = "";
+      }
     }
   }
 
@@ -383,10 +403,140 @@ int CmdScrub(const Args& args) {
   return report.clean() ? 0 : 1;
 }
 
+int CmdWal(const Args& args) {
+  const std::string db = args.Get("db", "");
+  if (db.empty()) {
+    std::fprintf(stderr, "wal requires --db PREFIX\n");
+    return 2;
+  }
+  const std::string path = db + ".wal";
+  StatusOr<WalScanResult> scan = WriteAheadLog::Scan(path);
+  if (!scan.ok()) return Fail(scan.status());
+
+  std::printf("log:            %s\n", path.c_str());
+  std::printf("file bytes:     %llu\n",
+              static_cast<unsigned long long>(scan->file_bytes));
+  std::printf("valid bytes:    %llu\n",
+              static_cast<unsigned long long>(scan->valid_bytes));
+  std::printf("frames:         %zu\n", scan->frames.size());
+  if (scan->torn_bytes() > 0) {
+    std::printf("torn tail:      %llu bytes (%s)\n",
+                static_cast<unsigned long long>(scan->torn_bytes()),
+                scan->torn_reason.c_str());
+  } else {
+    std::printf("torn tail:      none\n");
+  }
+
+  // Split frames by epoch against the snapshot, when one is readable
+  // (the log may outlive its database, so a missing catalog is not an
+  // error for a dump tool).
+  StatusOr<uint32_t> epoch = FieldDatabase::PeekEpoch(db);
+  uint64_t replayable = 0, stale = 0;
+  if (epoch.ok()) {
+    for (const WalFrame& f : scan->frames) {
+      (f.epoch == *epoch ? replayable : stale) += 1;
+    }
+    std::printf("snapshot epoch: %u (%llu replayable, %llu stale)\n",
+                *epoch, static_cast<unsigned long long>(replayable),
+                static_cast<unsigned long long>(stale));
+  } else {
+    std::printf("snapshot epoch: unreadable (%s)\n",
+                epoch.status().ToString().c_str());
+  }
+
+  const long limit = args.GetLong("limit", -1);
+  long printed = 0;
+  for (const WalFrame& f : scan->frames) {
+    if (limit >= 0 && printed++ >= limit) {
+      std::printf("... %zu more frames (raise --limit)\n",
+                  scan->frames.size() - static_cast<size_t>(limit));
+      break;
+    }
+    std::printf(
+        "frame lsn=%llu epoch=%u type=%s cell=%llu values=%zu "
+        "offset=%llu%s\n",
+        static_cast<unsigned long long>(f.lsn), f.epoch,
+        f.type == WriteAheadLog::kUpdateValuesFrame ? "update" : "?",
+        static_cast<unsigned long long>(f.cell_id), f.values.size(),
+        static_cast<unsigned long long>(f.offset),
+        epoch.ok() && f.epoch != *epoch ? " [stale]" : "");
+  }
+  return 0;
+}
+
+int CmdRecover(const Args& args) {
+  const std::string db = args.Get("db", "");
+  if (db.empty()) {
+    std::fprintf(stderr, "recover requires --db PREFIX\n");
+    return 2;
+  }
+  WalMode mode = WalMode::kFsyncOnCommit;
+  if (!ParseWalMode(args.Get("mode", "fsync"), &mode)) {
+    std::fprintf(stderr, "unknown --mode %s (off|async|fsync)\n",
+                 args.Get("mode", "").c_str());
+    return 2;
+  }
+
+  if (args.Has("dry-run")) {
+    // Read-only: scan the log and the catalog epoch; report what a
+    // real recovery would replay, skip, and truncate.
+    StatusOr<WalScanResult> scan = WriteAheadLog::Scan(db + ".wal");
+    if (!scan.ok()) return Fail(scan.status());
+    StatusOr<uint32_t> epoch = FieldDatabase::PeekEpoch(db);
+    if (!epoch.ok()) return Fail(epoch.status());
+    uint64_t replayable = 0, stale = 0;
+    for (const WalFrame& f : scan->frames) {
+      (f.epoch == *epoch ? replayable : stale) += 1;
+    }
+    std::printf("dry run: no files modified\n");
+    std::printf("would replay:   %llu frames\n",
+                static_cast<unsigned long long>(replayable));
+    std::printf("would skip:     %llu stale frames\n",
+                static_cast<unsigned long long>(stale));
+    std::printf("would truncate: %llu torn bytes%s%s\n",
+                static_cast<unsigned long long>(scan->torn_bytes()),
+                scan->torn_reason.empty() ? "" : " — ",
+                scan->torn_reason.c_str());
+    if (mode == WalMode::kOff && (replayable > 0 || stale > 0)) {
+      std::printf(
+          "would fold the log into a fresh checkpoint (--mode off)\n");
+    }
+    return 0;
+  }
+
+  FieldDatabase::RecoveryReport report;
+  FieldDatabase::OpenOptions options;
+  options.wal_mode = mode;
+  options.recovery_report = &report;
+  auto opened = FieldDatabase::Open(db, options);
+  if (!opened.ok()) return Fail(opened.status());
+  std::printf("replayed:       %llu frames\n",
+              static_cast<unsigned long long>(report.frames_replayed));
+  std::printf("stale skipped:  %llu frames\n",
+              static_cast<unsigned long long>(report.stale_frames));
+  std::printf("torn truncated: %llu bytes\n",
+              static_cast<unsigned long long>(report.torn_bytes));
+  std::printf("valid prefix:   %llu bytes\n",
+              static_cast<unsigned long long>(report.valid_bytes));
+  std::printf("pages verified: %llu, %zu corrupt\n",
+              static_cast<unsigned long long>(report.pages_verified),
+              report.corrupt_pages.size());
+  for (const PageId id : report.corrupt_pages) {
+    std::printf("corrupt page %llu\n", static_cast<unsigned long long>(id));
+  }
+  if (report.folded) {
+    std::printf("log folded into a fresh checkpoint and removed\n");
+  }
+  if (!report.trace.spans().empty()) {
+    std::printf("%s", report.trace.ToString().c_str());
+  }
+  return report.corrupt_pages.empty() ? 0 : 1;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage: fielddb_cli <gen|info|query|explain|plan|isoline"
-               "|point|bench|stats|scrub> [--key value ...]\n");
+               "|point|bench|stats|scrub|wal|recover> [--key value ...]\n");
 }
 
 }  // namespace
@@ -408,6 +558,8 @@ int main(int argc, char** argv) {
   if (cmd == "bench") return CmdBench(args);
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "scrub") return CmdScrub(args);
+  if (cmd == "wal") return CmdWal(args);
+  if (cmd == "recover") return CmdRecover(args);
   Usage();
   return 2;
 }
