@@ -157,8 +157,67 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
     db->wal_ = std::move(wal).value();
     db->pool_->set_no_steal(true);
   }
+  if (!options.event_log_path.empty()) {
+    FIELDDB_RETURN_IF_ERROR(db->AttachEventLog(
+        options.event_log_path, options.slow_query_threshold_ms));
+    if (options.wal_mode != WalMode::kOff) {
+      db->LogEvent(EventLog::Event("wal_mode_transition")
+                       .Add("from", WalModeName(WalMode::kOff))
+                       .Add("to", WalModeName(options.wal_mode))
+                       .Add("at", "build"));
+    }
+  }
   db->pool_->ResetStats();
   return db;
+}
+
+Status FieldDatabase::AttachEventLog(const std::string& path,
+                                     double slow_query_threshold_ms) {
+  StatusOr<std::unique_ptr<EventLog>> log = EventLog::Open(path);
+  if (!log.ok()) return log.status();
+  event_log_ = std::move(log).value();
+  slow_query_threshold_ms_ = slow_query_threshold_ms;
+  return Status::OK();
+}
+
+void FieldDatabase::LogEvent(const EventLog::Event& event) const {
+  if (event_log_ == nullptr) return;
+  // Append errors are counted by the log itself
+  // (obs.event_log_append_errors); a query must never fail because its
+  // telemetry could not be written.
+  (void)event_log_->Append(event);
+}
+
+void FieldDatabase::MaybeLogSlowQuery(const ValueInterval& query,
+                                      const QueryStats& stats) const {
+  if (event_log_ == nullptr) return;
+  const double wall_ms = stats.wall_seconds * 1000.0;
+  if (wall_ms < slow_query_threshold_ms_) return;
+  // Re-plan to report the decision next to what actually happened: the
+  // probe is zero-I/O and deterministic, so this is the plan the query
+  // ran (modulo a concurrent set_planner_mode, which callers exclude).
+  const PhysicalPlan plan =
+      planner_->Plan(query, planner_mode_.load(std::memory_order_relaxed));
+  const double observed_disk_ms = DiskModel{}.EstimateMs(
+      stats.io.sequential_reads, stats.io.random_reads());
+  LogEvent(EventLog::Event("slow_query")
+               .Add("wall_ms", wall_ms)
+               .Add("threshold_ms", slow_query_threshold_ms_)
+               .Add("query_min", query.min)
+               .Add("query_max", query.max)
+               .Add("plan", plan.kind == PlanKind::kFusedScan
+                                ? "fused_scan"
+                                : "indexed_filter")
+               .Add("predicted_cost_ms", plan.predicted_cost_ms)
+               .Add("observed_disk_ms", observed_disk_ms)
+               .Add("candidate_cells", stats.candidate_cells)
+               .Add("answer_cells", stats.answer_cells)
+               .Add("index_fallbacks", stats.index_fallbacks)
+               .Add("logical_reads", stats.io.logical_reads)
+               .Add("physical_reads", stats.io.physical_reads)
+               .Add("sequential_reads", stats.io.sequential_reads)
+               .Add("random_reads", stats.io.random_reads())
+               .Add("evictions", stats.io.evictions));
 }
 
 void FieldDatabase::InitPlanner(PlannerMode mode) {
@@ -205,6 +264,10 @@ Status FieldDatabase::AnswerValueQuery(const ValueInterval& query,
     // results, and record the fallback for observability.
     index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     DbMetrics::Get().index_fallbacks->Increment();
+    LogEvent(EventLog::Event("corruption_fallback")
+                 .Add("query_min", query.min)
+                 .Add("query_max", query.max)
+                 .Add("error", filter.ToString()));
     stats->index_fallbacks = 1;
     stats->candidate_cells = 0;
     if (region != nullptr) region->pieces.clear();
@@ -248,6 +311,7 @@ Status FieldDatabase::ValueQuery(const ValueInterval& query,
   out->stats.wall_seconds = SecondsSince(t0);
   out->stats.io = ctx->io;
   DbMetrics::Get().query_wall_us->Record(out->stats.wall_seconds * 1e6);
+  MaybeLogSlowQuery(query, out->stats);
   return Status::OK();
 }
 
@@ -274,6 +338,7 @@ Status FieldDatabase::ValueQueryStats(const ValueInterval& query,
   out->wall_seconds = SecondsSince(t0);
   out->io = ctx->io;
   DbMetrics::Get().query_wall_us->Record(out->wall_seconds * 1e6);
+  MaybeLogSlowQuery(query, *out);
   return Status::OK();
 }
 
@@ -302,6 +367,7 @@ Status FieldDatabase::TracedValueQueryStats(const ValueInterval& query,
   out->wall_seconds = SecondsSince(t0);
   out->io = ctx->io;
   DbMetrics::Get().query_wall_us->Record(out->wall_seconds * 1e6);
+  MaybeLogSlowQuery(query, *out);
   return Status::OK();
 }
 

@@ -19,6 +19,7 @@
 #include "index/linear_scan.h"
 #include "index/row_ip_index.h"
 #include "index/value_index.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 #include "plan/planner.h"
 #include "rtree/rstar_tree.h"
@@ -60,6 +61,17 @@ struct FieldDatabaseOptions {
   /// freshly built (never-persisted) database, WAL or not.
   WalMode wal_mode = WalMode::kOff;
   std::string wal_path;
+
+  /// Structured operational event log (obs/event_log.h): JSONL records
+  /// for slow queries, recovery outcomes, corruption fallbacks and WAL
+  /// mode transitions. Empty disables it. The log writes through its
+  /// own file descriptor, never the page file, so its I/O cannot show
+  /// up in query IoStats or in fault-injection schedules.
+  std::string event_log_path;
+  /// A query whose wall time reaches this many milliseconds is logged
+  /// as a "slow_query" event (with the chosen plan and predicted vs
+  /// observed cost). Only meaningful with event_log_path set.
+  double slow_query_threshold_ms = 25.0;
 
   IHilbertIndex::Options ihilbert;
   IAllIndex::Options iall;
@@ -175,6 +187,10 @@ class FieldDatabase {
     WalMode wal_mode = WalMode::kOff;
     /// Optional out-param describing the replay (may be null).
     RecoveryReport* recovery_report = nullptr;
+    /// See FieldDatabaseOptions::event_log_path. When set, Open also
+    /// appends a "recovery" event describing the replay.
+    std::string event_log_path;
+    double slow_query_threshold_ms = 25.0;
   };
 
   /// Reopens a database persisted by Save. Queries run against the
@@ -368,6 +384,21 @@ class FieldDatabase {
   /// tests' deterministic fault hooks.
   WriteAheadLog* wal() const { return wal_.get(); }
 
+  /// Attaches a structured event log after the fact (Build/Open attach
+  /// one automatically when their options name a path). Replaces any
+  /// previously attached log.
+  Status AttachEventLog(const std::string& path,
+                        double slow_query_threshold_ms);
+  /// The attached event log, or null. Never used for page I/O.
+  EventLog* event_log() const { return event_log_.get(); }
+  /// Adjusts the slow-query threshold without re-opening the log
+  /// (bench_obs_overhead toggles it between measurement passes). Not
+  /// thread-safe against concurrent queries.
+  void set_slow_query_threshold_ms(double ms) {
+    slow_query_threshold_ms_ = ms;
+  }
+  double slow_query_threshold_ms() const { return slow_query_threshold_ms_; }
+
   /// Cumulative count of queries that fell back from a corrupt value
   /// index to a full store scan (see QueryStats::index_fallbacks).
   uint64_t index_fallbacks() const {
@@ -430,9 +461,25 @@ class FieldDatabase {
   /// the index ever were (it isn't).
   void InitPlanner(PlannerMode mode);
 
+  /// Appends a "slow_query" event when an event log is attached and the
+  /// query's wall time reached the threshold. Re-plans the query (zero
+  /// I/O, deterministic) to report the chosen plan and predicted cost
+  /// next to the observed disk-model cost. Called from const query
+  /// paths on any thread; EventLog synchronizes internally.
+  void MaybeLogSlowQuery(const ValueInterval& query,
+                         const QueryStats& stats) const;
+  /// Appends `event` if an event log is attached (no-op otherwise),
+  /// swallowing append errors after counting them — observability must
+  /// never fail a query.
+  void LogEvent(const EventLog::Event& event) const;
+
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<WriteAheadLog> wal_;
+  /// Mutable: const query paths append slow-query events. The log is
+  /// internally synchronized and writes only to its own fd.
+  mutable std::unique_ptr<EventLog> event_log_;
+  double slow_query_threshold_ms_ = 25.0;
   std::unique_ptr<ValueIndex> index_;
   std::unique_ptr<QueryPlanner> planner_;
   /// Atomic so tests/benches can flip the policy between queries while

@@ -571,6 +571,29 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
     std::remove(wal_path.c_str());  // absent file is fine
   }
 
+  if (!options.event_log_path.empty()) {
+    FIELDDB_RETURN_IF_ERROR(db->AttachEventLog(
+        options.event_log_path, options.slow_query_threshold_ms));
+    // One structured record per open: what recovery found and did. The
+    // event log writes through its own fd, never the page file, so this
+    // cannot disturb recovery state or I/O attribution.
+    db->LogEvent(EventLog::Event("recovery")
+                     .Add("frames_replayed", report.frames_replayed)
+                     .Add("stale_frames", report.stale_frames)
+                     .Add("torn_bytes", report.torn_bytes)
+                     .Add("pages_verified", report.pages_verified)
+                     .Add("corrupt_pages",
+                          static_cast<uint64_t>(report.corrupt_pages.size()))
+                     .Add("folded", report.folded)
+                     .Add("wal_mode", WalModeName(options.wal_mode)));
+    if (options.wal_mode == WalMode::kOff && report.folded) {
+      db->LogEvent(EventLog::Event("wal_mode_transition")
+                       .Add("from", "unknown")
+                       .Add("to", WalModeName(WalMode::kOff))
+                       .Add("at", "open_fold"));
+    }
+  }
+
   db->pool_->ResetStats();
   if (options.recovery_report != nullptr) {
     *options.recovery_report = std::move(report);

@@ -4,11 +4,18 @@
 #include <chrono>
 
 #include "core/query_context.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace_buffer.h"
 
 namespace fielddb {
 
 QueryExecutor::QueryExecutor(const FieldDatabase* db, const Options& options)
-    : db_(db), queue_capacity_(std::max<size_t>(1, options.queue_capacity)) {
+    : db_(db),
+      queue_capacity_(std::max<size_t>(1, options.queue_capacity)),
+      slo_(options.slo),
+      queue_wait_us_(
+          MetricsRegistry::Default().GetHistogram("exec.queue_wait_us")) {
   const size_t n = std::max<size_t>(1, options.threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -30,7 +37,8 @@ void QueryExecutor::Submit(const ValueInterval& query, Callback done) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [this] { return queue_.size() < queue_capacity_; });
-    queue_.push_back(Task{query, std::move(done)});
+    queue_.push_back(
+        Task{query, std::move(done), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
   not_empty_.notify_one();
@@ -56,8 +64,29 @@ void QueryExecutor::WorkerLoop() {
     }
     not_full_.notify_one();
 
+    // Queue wait: the stretch between Submit's enqueue and this
+    // dequeue. Recorded even for queries that go on to fail — the wait
+    // happened either way.
+    const auto dequeued = std::chrono::steady_clock::now();
+    const double wait_s =
+        std::chrono::duration<double>(dequeued - task.enqueued).count();
+    queue_wait_us_->Record(wait_s * 1e6);
+    if (TraceBuffer::enabled()) {
+      TraceBuffer& tb = TraceBuffer::Global();
+      tb.Record("queue.wait", "queue-wait", tb.TimestampNs(task.enqueued),
+                static_cast<uint64_t>(wait_s * 1e9));
+    }
+
     QueryStats stats;
     const Status s = db_->ValueQueryStats(task.query, &stats, &ctx);
+    if (slo_ != nullptr) {
+      const ValueInterval& range = db_->value_range();
+      const double span = range.max - range.min;
+      const double width = task.query.max - task.query.min;
+      const double frac = span > 0 ? width / span : 1.0;
+      slo_->Record(slo_->ClassForWidthFraction(frac),
+                   stats.wall_seconds * 1000.0);
+    }
     if (task.done) task.done(s, stats);
 
     bool now_idle = false;

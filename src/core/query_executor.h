@@ -1,6 +1,7 @@
 #ifndef FIELDDB_CORE_QUERY_EXECUTOR_H_
 #define FIELDDB_CORE_QUERY_EXECUTOR_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -15,6 +16,9 @@
 #include "field/region.h"
 
 namespace fielddb {
+
+class Histogram;
+class SloTracker;
 
 /// Fixed-size thread pool running value queries against one open
 /// FieldDatabase. Each worker owns a QueryContext (so scratch and I/O
@@ -34,6 +38,12 @@ class QueryExecutor {
     /// Pending (submitted, not yet started) queries before Submit
     /// blocks; clamped to >= 1.
     size_t queue_capacity = 1024;
+    /// Optional per-query-class SLO tracking (obs/slo.h): every
+    /// completed query is classified by its value-interval width
+    /// relative to the database's value range and recorded against
+    /// that class's latency objective. Not owned; must outlive the
+    /// executor. Null disables tracking.
+    SloTracker* slo = nullptr;
   };
 
   /// Invoked on the worker thread that ran the query.
@@ -87,12 +97,19 @@ class QueryExecutor {
   struct Task {
     ValueInterval query;
     Callback done;
+    /// Submit time; the worker records dequeue-minus-enqueue as the
+    /// query's queue-wait (trace span "queue.wait" + histogram
+    /// exec.queue_wait_us) — the saturation signal admission control
+    /// will key on.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void WorkerLoop();
 
   const FieldDatabase* db_;
   const size_t queue_capacity_;
+  SloTracker* const slo_;
+  Histogram* const queue_wait_us_;  // exec.queue_wait_us
 
   std::mutex mu_;
   std::condition_variable not_empty_;  // queue gained work or stopping

@@ -1,0 +1,122 @@
+#ifndef FIELDDB_OBS_EVENT_LOG_H_
+#define FIELDDB_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fielddb {
+
+/// Structured operational event log: append-only JSONL, one
+/// self-describing JSON object per line. Where metrics answer "how
+/// much" and traces answer "where did the time go", the event log
+/// answers "what happened" — slow queries (with the chosen plan and
+/// predicted-vs-observed cost), recovery outcomes, corruption
+/// fallbacks, and WAL mode transitions — in a form log pipelines can
+/// ingest directly.
+///
+/// Every line carries:
+///   {"v": <schema version>, "seq": <per-log sequence>,
+///    "ts_ms": <unix wall-clock ms>, "type": "<event type>", ...fields}
+/// Bump kSchemaVersion when a field changes meaning or type; adding
+/// fields is backward-compatible and does not bump it.
+///
+/// Durability: the file is opened O_APPEND|O_CREAT and each Append is
+/// a single write(2) of one complete line, so concurrent appenders
+/// (and a crash mid-run) can truncate at most the final line, never
+/// interleave or corrupt earlier ones. On rotation the outgoing file
+/// is fsync'd before it is renamed to "<path>.1", so rotated history
+/// is durable even if the process dies immediately after.
+///
+/// Isolation: the log writes through its own file descriptor, never
+/// through PageFile/BufferPool — obs I/O cannot recurse into the
+/// fault-injection decorator and never counts into query IoStats
+/// (tests/event_log_test.cc pins this invariant).
+///
+/// Thread safety: Append is internally synchronized; one EventLog may
+/// be shared by every query thread of a FieldDatabase.
+class EventLog {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  struct Options {
+    /// Rotate (fsync + rename to "<path>.1" + reopen) once the live
+    /// file exceeds this many bytes. 0 disables rotation.
+    uint64_t rotate_bytes = 64ull << 20;
+  };
+
+  /// One event under construction. Field order is preserved in the
+  /// output line. Values are rendered as native JSON types.
+  class Event {
+   public:
+    explicit Event(std::string_view type) : type_(type) {}
+    Event& Add(std::string_view key, std::string_view value);
+    Event& Add(std::string_view key, const char* value) {
+      return Add(key, std::string_view(value));
+    }
+    Event& Add(std::string_view key, double value);
+    Event& Add(std::string_view key, uint64_t value);
+    Event& Add(std::string_view key, int64_t value);
+    Event& Add(std::string_view key, int value) {
+      return Add(key, static_cast<int64_t>(value));
+    }
+    Event& Add(std::string_view key, bool value);
+    /// Adds a pre-rendered JSON value verbatim (object/array/number).
+    Event& AddRawJson(std::string_view key, std::string_view json);
+
+    const std::string& type() const { return type_; }
+
+   private:
+    friend class EventLog;
+    std::string type_;
+    // key -> already-JSON-rendered value, in insertion order.
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens (creating if absent) the JSONL file at `path` for appending.
+  static StatusOr<std::unique_ptr<EventLog>> Open(std::string path,
+                                                  Options options);
+  static StatusOr<std::unique_ptr<EventLog>> Open(std::string path);
+
+  /// Serializes and appends one event as a single line. Thread-safe.
+  Status Append(const Event& event);
+
+  /// Flushes and fsyncs the live file (rotation fsyncs automatically).
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+  uint64_t events_appended() const;
+  uint64_t rotations() const;
+  uint64_t bytes_written() const;
+
+ private:
+  EventLog(std::string path, Options options)
+      : path_(std::move(path)), options_(options) {}
+  Status OpenFileLocked();
+  Status RotateLocked();
+
+  const std::string path_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t live_bytes_ = 0;  // size of the live (unrotated) file
+  uint64_t seq_ = 0;
+  uint64_t events_appended_ = 0;
+  uint64_t rotations_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_OBS_EVENT_LOG_H_

@@ -220,6 +220,72 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+std::vector<MetricsRegistry::ScalarSample> MetricsRegistry::SnapshotScalars()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ScalarSample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, InstrumentKind::kCounter,
+                   static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, InstrumentKind::kGauge, g->value()});
+  }
+  return out;
+}
+
+namespace {
+
+/// Subsystem heading for a dotted instrument name: everything up to
+/// the final component ("storage.pool.evictions" -> "storage.pool",
+/// "db.value_queries" -> "db", undotted names -> "(root)").
+std::string SubsystemOf(const std::string& name) {
+  const size_t dot = name.rfind('.');
+  return dot == std::string::npos ? "(root)" : name.substr(0, dot);
+}
+
+std::string LeafOf(const std::string& name) {
+  const size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToGroupedText() const {
+  // subsystem -> rendered "  leaf ... value" lines, ordered by kind
+  // then name within a group (maps keep both sorted).
+  std::map<std::string, std::string> groups;
+  char buf[192];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      std::snprintf(buf, sizeof(buf), "  %-28s %20llu\n",
+                    LeafOf(name).c_str(),
+                    static_cast<unsigned long long>(c->value()));
+      groups[SubsystemOf(name)] += buf;
+    }
+    for (const auto& [name, g] : gauges_) {
+      std::snprintf(buf, sizeof(buf), "  %-28s %20.6g\n",
+                    LeafOf(name).c_str(), g->value());
+      groups[SubsystemOf(name)] += buf;
+    }
+    for (const auto& [name, h] : histograms_) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-28s count=%llu p50=%.6g p99=%.6g max=%.6g\n",
+                    LeafOf(name).c_str(),
+                    static_cast<unsigned long long>(h->count()),
+                    h->Percentile(50), h->Percentile(99), h->max());
+      groups[SubsystemOf(name)] += buf;
+    }
+  }
+  std::string out;
+  for (const auto& [subsystem, lines] : groups) {
+    out += "[" + subsystem + "]\n" + lines;
+  }
+  return out;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();

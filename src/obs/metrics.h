@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace fielddb {
 
@@ -61,16 +62,23 @@ class Gauge {
 };
 
 /// HDR-style latency/size histogram: geometric major buckets (powers of
-/// two) split into 16 linear sub-buckets each, so any recorded value
-/// lands in a bucket within ~6% of its magnitude — accurate enough for
-/// p50/p90/p99 while using a fixed 592 * 8 bytes of storage and a
+/// two) split into 32 linear sub-buckets each, so any recorded value
+/// lands in a bucket within ~3% of its magnitude — accurate enough for
+/// p50/p90/p99 while using a fixed 1152 * 8 bytes of storage and a
 /// handful of relaxed atomic RMWs per Record (safe under concurrent
 /// recorders). Values are clamped to
 /// [1, 2^40); sub-unit values all count as 1 (record latencies in a
 /// unit fine enough that 1 is "instant", e.g. microseconds).
+///
+/// Resolution contract (pinned by tests/metrics_test.cc): values below
+/// 2^kSubBits get exact single-value buckets, and above that the
+/// relative bucket width is 2^-kSubBits ≈ 3.1% — so the sub-100µs
+/// latencies of zone-map-only plans (recorded in microseconds by
+/// db.query_wall_us) spread across dozens of distinct buckets instead
+/// of collapsing into the first few.
 class Histogram {
  public:
-  static constexpr int kSubBits = 4;  // 16 sub-buckets per octave
+  static constexpr int kSubBits = 5;  // 32 sub-buckets per octave
   static constexpr int kMaxOctave = 40;
   static constexpr int kNumBuckets = ((kMaxOctave - kSubBits + 1) << kSubBits);
 
@@ -83,7 +91,7 @@ class Histogram {
   double mean() const;
 
   /// Value at percentile `p` in [0, 100] (bucket midpoint; 0 when
-  /// empty). Accurate to the sub-bucket width, i.e. ~6% relative.
+  /// empty). Accurate to the sub-bucket width, i.e. ~3% relative.
   double Percentile(double p) const;
 
   void Reset();
@@ -115,6 +123,19 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  /// One scalar instrument's value at a point in time — the unit the
+  /// time-series sampler (obs/sampler.h) snapshots each tick.
+  enum class InstrumentKind { kCounter, kGauge };
+  struct ScalarSample {
+    std::string name;
+    InstrumentKind kind;
+    double value;
+  };
+  /// Every counter and gauge, name-sorted (counters first). Histograms
+  /// are excluded: their per-tick derivative is not meaningful as one
+  /// scalar; sample their _count via the paired counter instead.
+  std::vector<ScalarSample> SnapshotScalars() const;
+
   /// Prometheus-style exposition text: counters and gauges as single
   /// samples, histograms as summaries with p50/p90/p99 quantiles plus
   /// _sum/_count/_max. Dotted names are sanitized ('.' -> '_') and
@@ -125,6 +146,12 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
   /// mean,p50,p90,p99,max}}}.
   std::string ToJson() const;
+
+  /// Human-oriented snapshot grouped by subsystem: instruments sharing
+  /// a dotted prefix ("storage.pool.*", "storage.wal.*", "db.*") are
+  /// rendered under one heading, histograms as p50/p99/max one-liners.
+  /// This is what `fielddb_cli stats` (and stats --watch) prints.
+  std::string ToGroupedText() const;
 
   /// Zeroes every instrument (pointers stay valid). For tests and
   /// benchmark calibration.

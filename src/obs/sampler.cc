@@ -1,0 +1,211 @@
+#include "obs/sampler.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace fielddb {
+
+namespace {
+
+const char* KindName(MetricsRegistry::InstrumentKind kind) {
+  return kind == MetricsRegistry::InstrumentKind::kCounter ? "counter"
+                                                           : "gauge";
+}
+
+}  // namespace
+
+MetricsSampler::MetricsSampler(MetricsRegistry* registry, Options options)
+    : registry_(registry),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+MetricsSampler::MetricsSampler(MetricsRegistry* registry)
+    : MetricsSampler(registry, Options()) {}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+double MetricsSampler::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void MetricsSampler::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stop_ = false;
+  thread_ = std::thread([this] { ThreadLoop(); });
+  running_ = true;
+}
+
+void MetricsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  running_ = false;
+}
+
+bool MetricsSampler::running() const {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  return running_;
+}
+
+void MetricsSampler::ThreadLoop() {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_) {
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+    stop_cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(options_.period_ms),
+        [this] { return stop_; });
+  }
+}
+
+void MetricsSampler::SampleOnce(double now_ms_override) {
+  const std::vector<MetricsRegistry::ScalarSample> scalars =
+      registry_->SnapshotScalars();
+  const double now_ms = now_ms_override >= 0 ? now_ms_override : NowMs();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& scalar : scalars) {
+    SeriesState& state = series_[scalar.name];
+    state.kind = scalar.kind;
+    Sample s;
+    s.t_ms = now_ms;
+    s.value = scalar.value;
+    if (state.has_prev && now_ms > state.prev_t_ms) {
+      s.rate_per_sec = (scalar.value - state.prev_value) /
+                       ((now_ms - state.prev_t_ms) / 1000.0);
+    }
+    if (state.ring.size() < options_.ring_capacity) {
+      state.ring.push_back(s);
+    } else {
+      // Fixed-size ring: overwrite the oldest sample in place.
+      state.ring[state.start] = s;
+      state.start = (state.start + 1) % state.ring.size();
+    }
+    state.has_prev = true;
+    state.prev_t_ms = now_ms;
+    state.prev_value = scalar.value;
+  }
+  ++ticks_;
+}
+
+uint64_t MetricsSampler::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+std::map<std::string, MetricsSampler::Series> MetricsSampler::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Series> out;
+  for (const auto& [name, state] : series_) {
+    Series series;
+    series.kind = state.kind;
+    series.samples.reserve(state.ring.size());
+    for (size_t i = 0; i < state.ring.size(); ++i) {
+      series.samples.push_back(
+          state.ring[(state.start + i) % state.ring.size()]);
+    }
+    out.emplace(name, std::move(series));
+  }
+  return out;
+}
+
+std::vector<MetricsSampler::LatestRate> MetricsSampler::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LatestRate> out;
+  out.reserve(series_.size());
+  for (const auto& [name, state] : series_) {
+    if (state.ring.empty()) continue;
+    const size_t newest =
+        state.ring.size() < options_.ring_capacity
+            ? state.ring.size() - 1
+            : (state.start + state.ring.size() - 1) % state.ring.size();
+    out.push_back({name, state.kind, state.ring[newest].value,
+                   state.ring[newest].rate_per_sec});
+  }
+  return out;
+}
+
+std::string MetricsSampler::ToJson() const {
+  const std::map<std::string, Series> snapshot = Snapshot();
+  std::string out =
+      "{\"schema\": \"fielddb-sampler-v1\", \"period_ms\": ";
+  JsonAppendDouble(&out, options_.period_ms);
+  out += ", \"ticks\": " + std::to_string(ticks());
+  out += ", \"series\": {";
+  bool first_series = true;
+  for (const auto& [name, series] : snapshot) {
+    out += first_series ? "\n" : ",\n";
+    first_series = false;
+    out += "  ";
+    JsonAppendString(&out, name);
+    out += ": {\"kind\": \"";
+    out += KindName(series.kind);
+    out += "\", \"samples\": [";
+    bool first_sample = true;
+    for (const Sample& s : series.samples) {
+      out += first_sample ? "" : ", ";
+      first_sample = false;
+      out += "{\"t_ms\": ";
+      JsonAppendDouble(&out, s.t_ms);
+      out += ", \"value\": ";
+      JsonAppendDouble(&out, s.value);
+      out += ", \"rate_per_sec\": ";
+      JsonAppendDouble(&out, s.rate_per_sec);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n}}\n";
+  return out;
+}
+
+Status MetricsSampler::WriteJson(const std::string& path) const {
+  const std::string json = ToJson();
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("sampler open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < json.size()) {
+    const ssize_t n = ::write(fd, json.data() + off, json.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError("sampler write " + tmp + ": " +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  // fsync-before-rename: the destination either keeps its old contents
+  // or atomically becomes the complete new dump, never a torn file.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    return Status::IOError("sampler fsync " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("sampler rename " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace fielddb

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/json.h"
+#include "obs/trace_buffer.h"
 
 namespace fielddb {
 
@@ -74,25 +75,56 @@ std::string QueryTrace::ToJson() const {
   return out;
 }
 
+namespace {
+
+/// Span-family category for the Chrome trace export, derived from the
+/// span's dotted name ("wal.scan" -> "wal", "recovery"/"verify" ->
+/// "recovery", "plan*" -> "plan", everything else is a query phase).
+const char* CategoryForSpanName(const char* name) {
+  const std::string_view n(name);
+  if (n.substr(0, 3) == "wal") return "wal";
+  if (n == "recovery" || n == "verify") return "recovery";
+  if (n.substr(0, 4) == "plan") return "plan";
+  return "query";
+}
+
+}  // namespace
+
 ScopedSpan::ScopedSpan(QueryTrace* trace, const char* name,
                        const IoStats* live_io)
-    : trace_(trace), live_io_(live_io) {
-  if (trace_ == nullptr) return;
-  span_.name = name;
-  if (live_io_ != nullptr) io_start_ = *live_io_;
+    : trace_(trace),
+      live_io_(live_io),
+      name_(name),
+      buffer_active_(TraceBuffer::enabled()) {
+  if (trace_ == nullptr && !buffer_active_) return;
+  started_ = true;
+  if (trace_ != nullptr) {
+    span_.name = name;
+    if (live_io_ != nullptr) io_start_ = *live_io_;
+  }
   t0_ = std::chrono::steady_clock::now();
 }
 
 void ScopedSpan::Finish() {
-  if (trace_ == nullptr) return;
-  span_.wall_seconds =
+  if (!started_ || done_) return;
+  done_ = true;
+  double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
           .count() -
       deduct_;
-  if (span_.wall_seconds < 0) span_.wall_seconds = 0;
-  if (live_io_ != nullptr) span_.io = *live_io_ - io_start_;
-  trace_->AddSpan(std::move(span_));
-  trace_ = nullptr;
+  if (wall < 0) wall = 0;
+  if (buffer_active_) {
+    TraceBuffer& tb = TraceBuffer::Global();
+    const uint64_t dur_ns = static_cast<uint64_t>(wall * 1e9);
+    tb.Record(name_, CategoryForSpanName(name_), tb.TimestampNs(t0_),
+              dur_ns, span_.items);
+  }
+  if (trace_ != nullptr) {
+    span_.wall_seconds = wall;
+    if (live_io_ != nullptr) span_.io = *live_io_ - io_start_;
+    trace_->AddSpan(std::move(span_));
+    trace_ = nullptr;
+  }
 }
 
 }  // namespace fielddb

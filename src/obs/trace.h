@@ -50,11 +50,17 @@ class QueryTrace {
   std::vector<TraceSpan> spans_;
 };
 
-/// RAII span recorder. Snapshots the wall clock and `*live_io` (a
-/// stable pointer into the live IoStats being mutated underneath, e.g.
-/// BufferPool::stats()) at construction; Finish()/destruction appends
-/// the deltas to the trace. A null `trace` makes every operation a
-/// no-op, so untraced query paths pay one branch per phase.
+/// RAII span recorder with two sinks. Snapshots the wall clock and
+/// `*live_io` (a stable pointer into the live IoStats being mutated
+/// underneath, e.g. BufferPool::stats()) at construction;
+/// Finish()/destruction appends the deltas to the trace. A null
+/// `trace` skips the per-query span list, so untraced query paths pay
+/// one branch per phase — but when the global TraceBuffer
+/// (obs/trace_buffer.h) is enabled, every span is *also* recorded
+/// there regardless of `trace`, which is how the always-on trace-v2
+/// layer sees plan/filter/fetch/estimate and recovery phases without
+/// the caller opting in. `name` must be a string literal (the
+/// TraceBuffer stores the pointer).
 class ScopedSpan {
  public:
   ScopedSpan(QueryTrace* trace, const char* name, const IoStats* live_io);
@@ -77,10 +83,14 @@ class ScopedSpan {
  private:
   QueryTrace* trace_ = nullptr;
   const IoStats* live_io_ = nullptr;
+  const char* name_ = nullptr;
   TraceSpan span_;
   IoStats io_start_;
   double deduct_ = 0.0;
   std::chrono::steady_clock::time_point t0_;
+  bool started_ = false;
+  bool buffer_active_ = false;  // TraceBuffer was enabled at start
+  bool done_ = false;
 };
 
 }  // namespace fielddb

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/trace_buffer.h"
+
 namespace fielddb {
 
 const char* PlanKindName(PlanKind kind) {
@@ -150,7 +152,15 @@ PhysicalPlan QueryPlanner::Plan(const ValueInterval& query,
   }
 
   std::vector<PosRange> runs;
-  const Selectivity sel = Probe(query, &runs);
+  Selectivity sel;
+  {
+    // The probe is the only part of planning whose cost scales with the
+    // index (zone-map walk / subfield-table scan); give it its own span
+    // so planner time is attributable when the trace buffer is on.
+    TraceScope probe_span("plan.probe", "plan");
+    sel = Probe(query, &runs);
+    probe_span.set_items(sel.candidates);
+  }
   plan.predicted_candidates = sel.candidates;
   plan.predicted_runs = sel.runs;
   plan.selectivity =

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/trace_buffer.h"
 #include "storage/io_sink.h"
 
 namespace fielddb {
@@ -192,6 +193,8 @@ Status BufferPool::PrefetchRange(PageId first, size_t count) {
   if (closed_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("buffer pool is closed");
   }
+  TraceScope span("pool.prefetch", "pool");
+  span.set_items(count);
   for (size_t i = 0; i < count; ++i) {
     const PageId id = first + i;
     Shard& sh = ShardOf(id);
@@ -315,6 +318,9 @@ Status BufferPool::EnsureCapacityLocked(Shard& sh) {
     return Status::FailedPrecondition(
         "buffer pool exhausted: all frames pinned");
   }
+  // Reached only when a frame must actually be evicted, so the span
+  // traces eviction pressure (and its write-back cost), not every pin.
+  TraceScope span("pool.evict", "pool");
   if (no_steal_.load(std::memory_order_acquire)) {
     // Dirty frames are pinned to memory until the next checkpoint:
     // evict the least-recently-used *clean* frame instead.

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/trace_buffer.h"
 #include "storage/crc32c.h"
 
 namespace fielddb {
@@ -164,6 +165,9 @@ Status DiskPageFile::Write(PageId id, const Page& page) {
 }
 
 Status DiskPageFile::Sync() {
+  // fsync is the single most expensive storage call; always worth a
+  // span so checkpoint/commit stalls are visible in the trace.
+  TraceScope span("file.sync", "pool");
   std::lock_guard<std::mutex> lock(mu_);
   if (std::fflush(file_) != 0) {
     return Status::IOError("fflush failed");

@@ -1,0 +1,191 @@
+// MetricsSampler tests. The rate math and ring semantics are pinned
+// deterministically through SampleOnce(now_ms_override); the background
+// thread gets one liveness test.
+
+#include "obs/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fielddb {
+namespace {
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::set_enabled(true); }
+};
+
+MetricsSampler::Options SmallRing(size_t capacity) {
+  MetricsSampler::Options o;
+  o.period_ms = 10.0;
+  o.ring_capacity = capacity;
+  return o;
+}
+
+TEST_F(SamplerTest, CounterRateMath) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("t.count");
+  MetricsSampler sampler(&reg, SmallRing(16));
+
+  c->Increment(5);
+  sampler.SampleOnce(0.0);  // first sample: value 5, no previous → rate 0
+  c->Increment(100);
+  sampler.SampleOnce(1000.0);  // +100 over 1s → 100/s
+  c->Increment(50);
+  sampler.SampleOnce(1500.0);  // +50 over 0.5s → 100/s
+
+  const auto series = sampler.Snapshot();
+  ASSERT_EQ(series.count("t.count"), 1u);
+  const MetricsSampler::Series& s = series.at("t.count");
+  EXPECT_EQ(s.kind, MetricsRegistry::InstrumentKind::kCounter);
+  ASSERT_EQ(s.samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.samples[0].t_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.samples[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(s.samples[0].rate_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(s.samples[1].value, 105.0);
+  EXPECT_DOUBLE_EQ(s.samples[1].rate_per_sec, 100.0);
+  EXPECT_DOUBLE_EQ(s.samples[2].value, 155.0);
+  EXPECT_DOUBLE_EQ(s.samples[2].rate_per_sec, 100.0);
+  EXPECT_EQ(sampler.ticks(), 3u);
+}
+
+TEST_F(SamplerTest, GaugeDerivative) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("t.level");
+  MetricsSampler sampler(&reg, SmallRing(16));
+
+  g->Set(10.0);
+  sampler.SampleOnce(0.0);
+  g->Set(25.0);
+  sampler.SampleOnce(500.0);  // +15 over 0.5s → 30/s
+  g->Set(25.0);
+  sampler.SampleOnce(1000.0);  // flat → 0/s
+
+  const auto series = sampler.Snapshot();
+  const MetricsSampler::Series& s = series.at("t.level");
+  EXPECT_EQ(s.kind, MetricsRegistry::InstrumentKind::kGauge);
+  ASSERT_EQ(s.samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.samples[1].value, 25.0);  // level preserved
+  EXPECT_DOUBLE_EQ(s.samples[1].rate_per_sec, 30.0);
+  EXPECT_DOUBLE_EQ(s.samples[2].rate_per_sec, 0.0);
+}
+
+TEST_F(SamplerTest, RingDropsOldestBeyondCapacity) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("t.wrap");
+  MetricsSampler sampler(&reg, SmallRing(4));
+
+  for (int i = 0; i < 10; ++i) {
+    c->Increment();
+    sampler.SampleOnce(i * 100.0);
+  }
+
+  const auto series = sampler.Snapshot();
+  const MetricsSampler::Series& s = series.at("t.wrap");
+  ASSERT_EQ(s.samples.size(), 4u);  // bounded by ring_capacity
+  // Oldest-first, and only the newest 4 ticks (t = 600..900) survive.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(s.samples[i].t_ms, (6 + i) * 100.0);
+    EXPECT_DOUBLE_EQ(s.samples[i].value, 7.0 + i);
+    // Rates stay correct across the wrap: +1 per 0.1s.
+    EXPECT_DOUBLE_EQ(s.samples[i].rate_per_sec, 10.0);
+  }
+}
+
+TEST_F(SamplerTest, LatestReflectsNewestSample) {
+  MetricsRegistry reg;
+  reg.GetCounter("t.a")->Increment(3);
+  reg.GetGauge("t.b")->Set(7.5);
+  MetricsSampler sampler(&reg, SmallRing(8));
+  sampler.SampleOnce(0.0);
+  reg.GetCounter("t.a")->Increment(2);
+  sampler.SampleOnce(1000.0);
+
+  bool saw_a = false, saw_b = false;
+  for (const MetricsSampler::LatestRate& r : sampler.Latest()) {
+    if (r.name == "t.a") {
+      saw_a = true;
+      EXPECT_EQ(r.kind, MetricsRegistry::InstrumentKind::kCounter);
+      EXPECT_DOUBLE_EQ(r.value, 5.0);
+      EXPECT_DOUBLE_EQ(r.rate_per_sec, 2.0);
+    } else if (r.name == "t.b") {
+      saw_b = true;
+      EXPECT_EQ(r.kind, MetricsRegistry::InstrumentKind::kGauge);
+      EXPECT_DOUBLE_EQ(r.value, 7.5);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST_F(SamplerTest, InstrumentsRegisteredLaterArePickedUp) {
+  MetricsRegistry reg;
+  reg.GetCounter("t.early")->Increment();
+  MetricsSampler sampler(&reg, SmallRing(8));
+  sampler.SampleOnce(0.0);
+  EXPECT_EQ(sampler.Snapshot().count("t.late"), 0u);
+
+  reg.GetCounter("t.late")->Increment(4);
+  sampler.SampleOnce(100.0);
+  const auto series = sampler.Snapshot();
+  ASSERT_EQ(series.count("t.late"), 1u);
+  const MetricsSampler::Series& s = series.at("t.late");
+  ASSERT_EQ(s.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.samples[0].value, 4.0);
+  EXPECT_DOUBLE_EQ(s.samples[0].rate_per_sec, 0.0);  // no previous sample
+}
+
+TEST_F(SamplerTest, BackgroundThreadTicks) {
+  MetricsRegistry reg;
+  reg.GetCounter("t.bg")->Increment();
+  MetricsSampler sampler(&reg, SmallRing(64));
+  EXPECT_FALSE(sampler.running());
+  sampler.Start();
+  sampler.Start();  // idempotent
+  EXPECT_TRUE(sampler.running());
+  // 10ms period: a few ticks should land well within the deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sampler.ticks() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(sampler.ticks(), 3u);
+  sampler.Stop();
+  sampler.Stop();  // idempotent
+  EXPECT_FALSE(sampler.running());
+  const uint64_t after_stop = sampler.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(sampler.ticks(), after_stop);
+}
+
+TEST_F(SamplerTest, JsonExportAndCrashSafeWrite) {
+  MetricsRegistry reg;
+  reg.GetCounter("t.json")->Increment(9);
+  MetricsSampler sampler(&reg, SmallRing(8));
+  sampler.SampleOnce(0.0);
+
+  const std::string json = sampler.ToJson();
+  EXPECT_NE(json.find("\"schema\": \"fielddb-sampler-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"t.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"rate_per_sec\""), std::string::npos);
+
+  const std::string path = "sampler_test_out.json";
+  ASSERT_TRUE(sampler.WriteJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  // The tmp staging file must be gone after the atomic rename.
+  EXPECT_EQ(std::fopen((path + ".tmp").c_str(), "rb"), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fielddb

@@ -95,6 +95,12 @@ class Checker:
         if "recovery_bench" in report:
             self.check_recovery(report)
             return
+        # The observability bench (bench_obs_overhead) measures the cost
+        # of the always-on obs layer; its marker is the top-level
+        # obs_overhead field.
+        if "obs_overhead" in report:
+            self.check_obs_overhead(report)
+            return
         self.require(report, "bench_id", str, "report")
         self.require(report, "title", str, "report")
         self.number(report, "field_cells", "report", minimum=1)
@@ -332,6 +338,47 @@ class Checker:
                 self.error(where, "'frames_replayed_ok' is not a bool")
             elif not point["frames_replayed_ok"]:
                 self.error(where, "recovery replayed a wrong frame count")
+
+    def check_obs_overhead(self, report):
+        self.require(report, "bench_id", str, "report")
+        self.require(report, "title", str, "report")
+        if report.get("obs_overhead") is not True:
+            self.error("report", "'obs_overhead' is not true")
+        method = self.require(report, "method", str, "report")
+        if method == "":
+            self.error("report", "'method' is empty")
+        self.number(report, "field_cells", "report", minimum=1)
+        self.number(report, "num_queries", "report", minimum=1)
+        self.number(report, "workload_seed", "report", minimum=0)
+        self.number(report, "reps", "report", minimum=1)
+        for key in ("off_cpu_ms", "on_cpu_ms"):
+            value = self.number(report, key, "report", minimum=0)
+            if isinstance(value, (int, float)) and value <= 0:
+                self.error("report", f"{key} {value} is not positive")
+        # overhead_pct may legitimately be slightly negative (timing
+        # noise around 0); only finiteness is constrained.
+        self.number(report, "overhead_pct", "report")
+        limit = self.number(report, "overhead_limit_pct", "report",
+                            minimum=0)
+        self.number(report, "sampler_period_ms", "report", minimum=0)
+        self.number(report, "slow_query_threshold_ms", "report", minimum=0)
+        self.number(report, "trace_events", "report", minimum=1)
+        self.number(report, "trace_dropped", "report", minimum=0)
+        self.number(report, "event_log_appended", "report", minimum=1)
+        if "within_limit" not in report:
+            self.error("report", "missing key 'within_limit'")
+        elif not isinstance(report["within_limit"], bool):
+            self.error("report", "'within_limit' is not a bool")
+        elif not report["within_limit"]:
+            self.error("report",
+                       f"obs overhead exceeded the {limit}% budget")
+        families = self.require(report, "trace_families", dict, "report")
+        if families is not None:
+            for family in ("plan", "wal", "recovery", "queue-wait"):
+                count = families.get(family)
+                if not isinstance(count, int) or count < 1:
+                    self.error("trace_families",
+                               f"missing or empty family '{family}'")
 
     def check_series(self, ser, where):
         if not isinstance(ser, dict):

@@ -20,7 +20,27 @@
 //                       QueryExecutor thread pool, warm cache, and
 //                       reports throughput instead of per-figure stats)
 //   fielddb_cli stats   --db PREFIX [--qinterval F] [--queries N]
-//                       [--format prom|json]
+//                       [--format group|prom|json] [--watch SEC]
+//                       [--count N]
+//                       (default output groups instruments by subsystem
+//                       — storage.wal.*, storage.pool.*, db.* — one
+//                       block each; --watch re-runs the workload and
+//                       reprints every SEC seconds, --count bounds the
+//                       refreshes)
+//   fielddb_cli trace   --db PREFIX [--out FILE] [--qinterval F]
+//                       [--queries N] [--threads N]
+//                       (records the trace-v2 ring buffers across open +
+//                       recovery + a QueryExecutor workload and writes
+//                       Chrome trace-event JSON for ui.perfetto.dev)
+//   fielddb_cli top     --db PREFIX [--rounds N] [--queries N]
+//                       [--top N]
+//                       (drives the metrics sampler over a workload and
+//                       prints the hottest instruments by rate)
+//   fielddb_cli events  --db PREFIX [--log FILE] [--threshold MS]
+//                       [--limit N]
+//                       (opens the database with the structured event
+//                       log attached, runs a workload, and dumps the
+//                       JSONL records — threshold 0 logs every query)
 //   fielddb_cli scrub   --db PREFIX
 //   fielddb_cli wal     --db PREFIX [--limit N]
 //                       (decodes PREFIX.wal read-only: stats, torn-tail
@@ -34,11 +54,15 @@
 //                       per --mode — "off" folds it into a fresh
 //                       checkpoint — and prints the recovery report)
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/field_database.h"
 #include "core/query_executor.h"
@@ -46,8 +70,11 @@
 #include "gen/monotonic.h"
 #include "gen/noise_tin.h"
 #include "gen/workload.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
+#include "obs/trace_buffer.h"
 #include "storage/wal.h"
 
 namespace {
@@ -377,14 +404,169 @@ int CmdStats(const Args& args) {
   wo.qinterval_fraction = args.GetDouble("qinterval", 0.02);
   wo.num_queries = static_cast<uint32_t>(args.GetLong("queries", 50));
   wo.seed = static_cast<uint64_t>(args.GetLong("seed", 2002));
+  const std::vector<ValueInterval> queries =
+      GenerateValueQueries((*db)->value_range(), wo);
+  const std::string format = args.Get("format", "group");
+  const double watch_sec = args.GetDouble("watch", 0.0);
+  const long count = args.GetLong("count", watch_sec > 0 ? -1 : 1);
+
+  for (long i = 0; count < 0 || i < count; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(watch_sec));
+    }
+    auto ws = (*db)->RunWorkload(queries);
+    if (!ws.ok()) return Fail(ws.status());
+    if (format == "json") {
+      std::printf("%s\n", MetricsRegistry::Default().ToJson().c_str());
+    } else if (format == "prom") {
+      std::printf("%s",
+                  MetricsRegistry::Default().ToPrometheusText().c_str());
+    } else {
+      std::printf("%s",
+                  MetricsRegistry::Default().ToGroupedText().c_str());
+    }
+    if (watch_sec > 0) {
+      std::printf("--- refresh %ld (every %.3gs, ctrl-c to stop) ---\n",
+                  i + 1, watch_sec);
+      std::fflush(stdout);
+    } else if (count == 1) {
+      break;  // plain one-shot stats
+    }
+  }
+  return 0;
+}
+
+int CmdTrace(const Args& args) {
+  // Recording has to be live before Open so the recovery and wal.scan
+  // spans of the attach itself land in the trace.
+  MetricsRegistry::set_enabled(true);
+  TraceBuffer::set_enabled(true);
+  auto db = FieldDatabase::Open(args.Get("db", ""));
+  if (!db.ok()) return Fail(db.status());
+
+  WorkloadOptions wo;
+  wo.qinterval_fraction = args.GetDouble("qinterval", 0.02);
+  wo.num_queries = static_cast<uint32_t>(args.GetLong("queries", 100));
+  wo.seed = static_cast<uint64_t>(args.GetLong("seed", 2002));
+  const std::vector<ValueInterval> queries =
+      GenerateValueQueries((*db)->value_range(), wo);
+
+  // Through the executor, not RunWorkload: the queue-wait spans only
+  // exist where a queue does.
+  QueryExecutor::Options eo;
+  eo.threads = static_cast<size_t>(args.GetLong("threads", 4));
+  QueryExecutor executor(db->get(), eo);
+  QueryExecutor::BatchResult batch;
+  const Status s = executor.RunBatch(queries, &batch);
+  if (!s.ok()) return Fail(s);
+
+  TraceBuffer& tb = TraceBuffer::Global();
+  const std::string out = args.Get("out", "TRACE_cli.json");
+  const Status w = tb.WriteChromeTrace(out);
+  if (!w.ok()) return Fail(w);
+
+  std::map<std::string, uint64_t> by_category;
+  for (const TraceEvent& e : tb.Snapshot()) ++by_category[e.category];
+  std::printf("trace: %s (%llu events, %llu dropped)\n", out.c_str(),
+              static_cast<unsigned long long>(tb.total_recorded()),
+              static_cast<unsigned long long>(tb.total_dropped()));
+  for (const auto& [category, n] : by_category) {
+    std::printf("  %-12s %llu\n", category.c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  std::printf("load it at ui.perfetto.dev or chrome://tracing\n");
+  return 0;
+}
+
+int CmdTop(const Args& args) {
+  auto db = FieldDatabase::Open(args.Get("db", ""));
+  if (!db.ok()) return Fail(db.status());
+  MetricsRegistry::set_enabled(true);
+  WorkloadOptions wo;
+  wo.qinterval_fraction = args.GetDouble("qinterval", 0.02);
+  wo.num_queries = static_cast<uint32_t>(args.GetLong("queries", 50));
+  wo.seed = static_cast<uint64_t>(args.GetLong("seed", 2002));
+  const std::vector<ValueInterval> queries =
+      GenerateValueQueries((*db)->value_range(), wo);
+
+  // The CLI drives the cadence itself (one tick per workload round)
+  // instead of racing a background thread against a finite workload.
+  MetricsSampler sampler(&MetricsRegistry::Default());
+  sampler.SampleOnce();  // baseline so round rates are true deltas
+  const long rounds = std::max(1L, args.GetLong("rounds", 3));
+  for (long i = 0; i < rounds; ++i) {
+    auto ws = (*db)->RunWorkload(queries);
+    if (!ws.ok()) return Fail(ws.status());
+    sampler.SampleOnce();
+  }
+
+  std::vector<MetricsSampler::LatestRate> latest = sampler.Latest();
+  std::sort(latest.begin(), latest.end(),
+            [](const MetricsSampler::LatestRate& a,
+               const MetricsSampler::LatestRate& b) {
+              return std::fabs(a.rate_per_sec) > std::fabs(b.rate_per_sec);
+            });
+  const size_t top = static_cast<size_t>(args.GetLong("top", 15));
+  std::printf("%-36s %-8s %16s %16s\n", "instrument", "kind", "value",
+              "rate/s");
+  for (size_t i = 0; i < latest.size() && i < top; ++i) {
+    const MetricsSampler::LatestRate& r = latest[i];
+    std::printf("%-36s %-8s %16.6g %16.6g\n", r.name.c_str(),
+                r.kind == MetricsRegistry::InstrumentKind::kCounter
+                    ? "counter"
+                    : "gauge",
+                r.value, r.rate_per_sec);
+  }
+  if (args.Has("json")) {
+    const std::string path = args.Get("json", "SAMPLER_cli.json");
+    const Status w = sampler.WriteJson(path);
+    if (!w.ok()) return Fail(w);
+    std::printf("sampler series: %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int CmdEvents(const Args& args) {
+  const std::string prefix = args.Get("db", "");
+  if (prefix.empty()) {
+    std::fprintf(stderr, "events requires --db PREFIX\n");
+    return 2;
+  }
+  const std::string log_path = args.Get("log", prefix + ".events.jsonl");
+  FieldDatabase::OpenOptions options;
+  options.event_log_path = log_path;
+  options.slow_query_threshold_ms = args.GetDouble("threshold", 0.0);
+  auto db = FieldDatabase::Open(prefix, options);
+  if (!db.ok()) return Fail(db.status());
+
+  WorkloadOptions wo;
+  wo.qinterval_fraction = args.GetDouble("qinterval", 0.02);
+  wo.num_queries = static_cast<uint32_t>(args.GetLong("queries", 20));
+  wo.seed = static_cast<uint64_t>(args.GetLong("seed", 2002));
   auto ws = (*db)->RunWorkload(
       GenerateValueQueries((*db)->value_range(), wo));
   if (!ws.ok()) return Fail(ws.status());
-  if (args.Get("format", "prom") == "json") {
-    std::printf("%s\n", MetricsRegistry::Default().ToJson().c_str());
-  } else {
-    std::printf("%s", MetricsRegistry::Default().ToPrometheusText().c_str());
+  if ((*db)->event_log() != nullptr) {
+    const Status sync = (*db)->event_log()->Sync();
+    if (!sync.ok()) return Fail(sync);
   }
+
+  std::FILE* f = std::fopen(log_path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", log_path.c_str());
+    return 1;
+  }
+  const long limit = args.GetLong("limit", -1);
+  long printed = 0;
+  char line[4096];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (limit >= 0 && printed >= limit) break;
+    std::fputs(line, stdout);
+    ++printed;
+  }
+  std::fclose(f);
+  std::fprintf(stderr, "%ld events from %s\n", printed, log_path.c_str());
   return 0;
 }
 
@@ -536,7 +718,8 @@ int CmdRecover(const Args& args) {
 void Usage() {
   std::fprintf(stderr,
                "usage: fielddb_cli <gen|info|query|explain|plan|isoline"
-               "|point|bench|stats|scrub|wal|recover> [--key value ...]\n");
+               "|point|bench|stats|trace|top|events|scrub|wal|recover> "
+               "[--key value ...]\n");
 }
 
 }  // namespace
@@ -557,6 +740,9 @@ int main(int argc, char** argv) {
   if (cmd == "point") return CmdPoint(args);
   if (cmd == "bench") return CmdBench(args);
   if (cmd == "stats") return CmdStats(args);
+  if (cmd == "trace") return CmdTrace(args);
+  if (cmd == "top") return CmdTop(args);
+  if (cmd == "events") return CmdEvents(args);
   if (cmd == "scrub") return CmdScrub(args);
   if (cmd == "wal") return CmdWal(args);
   if (cmd == "recover") return CmdRecover(args);

@@ -1,0 +1,27 @@
+# CTest driver for the cli_trace_pipeline test: gen -> trace -> validate.
+# Run as: cmake -DCLI=... -DPYTHON=... -DCHECKER=... -DWORK_DIR=... -P this.
+
+set(prefix "${WORK_DIR}/cli_trace_db")
+set(trace "${WORK_DIR}/TRACE_cli_pipeline.json")
+
+execute_process(
+  COMMAND "${CLI}" gen --out "${prefix}" --size-exp 5
+  WORKING_DIRECTORY "${WORK_DIR}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fielddb_cli gen failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" trace --db "${prefix}" --out "${trace}"
+          --queries 40 --threads 2
+  WORKING_DIRECTORY "${WORK_DIR}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fielddb_cli trace failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${trace}"
+  WORKING_DIRECTORY "${WORK_DIR}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_trace_json.py rejected ${trace} (${rc})")
+endif()
