@@ -356,7 +356,16 @@ Status FieldDatabase::SaveImpl(const std::string& prefix,
     }
     // Every logged frame is captured by the snapshot: drop them and
     // stamp future frames with the snapshot's epoch.
-    FIELDDB_RETURN_IF_ERROR(wal_->Truncate(epoch));
+    const Status truncated = wal_->Truncate(epoch);
+    if (!truncated.ok()) {
+      // The renames above already committed: the on-disk catalog is at
+      // the new epoch while the log still stamps frames with the old
+      // one, which the next recovery would skip as stale. Truncate has
+      // poisoned the log, so no further update can be acknowledged;
+      // adopt the committed epoch and surface the failure.
+      epoch_ = epoch;
+      return truncated;
+    }
   }
   epoch_ = epoch;
   return Status::OK();

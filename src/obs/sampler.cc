@@ -45,15 +45,19 @@ void MetricsSampler::Start() {
 }
 
 void MetricsSampler::Stop() {
+  std::thread to_join;
   {
     std::lock_guard<std::mutex> lock(thread_mu_);
     if (!running_) return;
     stop_ = true;
+    running_ = false;
+    // Claim the thread while still holding the lock: a concurrent
+    // Stop() must never observe running_ and join the same std::thread
+    // twice (the second join is UB).
+    to_join = std::move(thread_);
   }
   stop_cv_.notify_all();
-  thread_.join();
-  std::lock_guard<std::mutex> lock(thread_mu_);
-  running_ = false;
+  to_join.join();
 }
 
 bool MetricsSampler::running() const {

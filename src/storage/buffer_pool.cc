@@ -448,17 +448,6 @@ bool BufferPool::TryGetResident(PageId id, Page* out) {
   return true;
 }
 
-void BufferPool::MarkAllCleanForCheckpoint() {
-  for (size_t i = 0; i < num_shards_; ++i) {
-    Shard& sh = shards_[i];
-    std::lock_guard<std::mutex> lock(sh.mu);
-    for (auto& [id, frame] : sh.frames) {
-      frame.dirty.store(false, std::memory_order_relaxed);
-      (void)id;
-    }
-  }
-}
-
 size_t BufferPool::num_frames() const {
   size_t total = 0;
   for (size_t i = 0; i < num_shards_; ++i) {

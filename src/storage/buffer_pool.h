@@ -158,8 +158,10 @@ class BufferPool {
   /// torn in-place page write is architecturally impossible. Eviction
   /// picks the least-recently-used *clean* frame; if every frame is
   /// dirty the pool reports FailedPrecondition ("checkpoint required").
-  /// The checkpoint path clears dirty bits via MarkAllCleanForCheckpoint
-  /// after the snapshot it wrote has been renamed into place.
+  /// After its snapshot renames commit, the checkpoint epilogue briefly
+  /// clears no-steal and Flushes the dirty frames into the still-open
+  /// (now unlinked) pre-checkpoint inode, which both clears the dirty
+  /// bits and keeps the live handle serving post-checkpoint state.
   void set_no_steal(bool v) { no_steal_.store(v, std::memory_order_release); }
   bool no_steal() const { return no_steal_.load(std::memory_order_acquire); }
 
@@ -174,11 +176,6 @@ class BufferPool {
   /// The checkpoint uses this to capture in-memory state page by page
   /// with zero pool pressure. Returns false on a miss.
   bool TryGetResident(PageId id, Page* out);
-
-  /// Checkpoint epilogue under no-steal: every frame's content is now
-  /// captured by the renamed snapshot, so clear all dirty bits without
-  /// writing (the write already happened, into the snapshot file).
-  void MarkAllCleanForCheckpoint();
 
   /// Snapshot of the pool-wide I/O counters. Each counter is exact;
   /// a snapshot taken while traffic is in flight may be skewed between

@@ -164,7 +164,10 @@ StatusOr<WalScanResult> WriteAheadLog::Scan(const std::string& path) {
       }
       frame.cell_id = static_cast<CellId>(cell_id);
       const uint32_t count = GetU32(buf.data() + kFrameHeaderSize + 8);
-      if (payload_len != 12 + count * 8) {
+      // 64-bit on purpose: in uint32 arithmetic a count near 2^29 wraps
+      // 12 + count * 8 back onto a small payload_len, and the resize
+      // below would become a multi-GB allocation from a hostile file.
+      if (uint64_t{payload_len} != 12 + uint64_t{count} * 8) {
         result.torn_reason = "update payload size mismatch";
         break;
       }
@@ -260,6 +263,12 @@ Status WriteAheadLog::AppendUpdate(CellId id,
   }
 
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    // A partial fwrite leaves torn bytes mid-file with the stream
+    // position past them. Further appends would land after the tear and
+    // the next recovery scan would silently truncate them even after
+    // their Commit was acknowledged — so refuse everything until the
+    // database reopens the log and re-scans it.
+    broken_ = true;
     return Status::IOError("wal append failed");
   }
   size_ += frame.size();
@@ -272,12 +281,19 @@ Status WriteAheadLog::AppendUpdate(CellId id,
 Status WriteAheadLog::DoSync() {
   if (sync_error_count_ > 0) {
     --sync_error_count_;
+    broken_ = true;
     return Status::IOError("injected fsync failure on " + path_);
   }
   if (std::fflush(file_) != 0) {
+    broken_ = true;
     return Status::IOError("wal fflush failed");
   }
   if (::fsync(::fileno(file_)) != 0) {
+    // fsyncgate: a failed fsync may drop the dirty pages, after which a
+    // later "successful" fsync would advance the durable watermark over
+    // bytes that never reached the platter. The only safe reaction is
+    // to poison the log and force a reopen + re-scan.
+    broken_ = true;
     return Status::IOError("wal fsync failed");
   }
   synced_size_ = size_;
@@ -297,6 +313,7 @@ Status WriteAheadLog::Commit() {
   // Async: hand the frames to the OS so a process crash keeps them; a
   // power cut may not.
   if (std::fflush(file_) != 0) {
+    broken_ = true;  // some buffered bytes may have been torn mid-file
     return Status::IOError("wal fflush failed");
   }
   return Status::OK();
@@ -313,10 +330,20 @@ Status WriteAheadLog::Truncate(uint32_t new_epoch) {
   if (file_ == nullptr || broken_) {
     return Status::FailedPrecondition("wal is closed");
   }
+  if (sync_error_count_ > 0) {
+    --sync_error_count_;
+    broken_ = true;
+    return Status::IOError("injected fsync failure on " + path_);
+  }
   if (std::fflush(file_) != 0 ||
       ::ftruncate(::fileno(file_), 0) != 0 ||
       std::fseek(file_, 0, SEEK_SET) != 0 ||
       ::fsync(::fileno(file_)) != 0) {
+    // A half-truncated log in an unknown epoch state must not accept
+    // more frames: the checkpoint that requested the truncation has
+    // already committed, so anything appended under the old epoch stamp
+    // would be skipped as stale by the next recovery.
+    broken_ = true;
     return Status::IOError("wal truncate failed");
   }
   epoch_ = new_epoch;

@@ -63,6 +63,14 @@ struct WalScanResult {
 /// snapshot into place, any frames still carrying the old epoch are
 /// recognized as superseded and skipped by recovery.
 ///
+/// Failure poisoning: any real append/flush/fsync failure marks the log
+/// broken — every later operation returns FailedPrecondition until the
+/// database reopens the file (which re-scans and cuts any torn tail).
+/// Retrying in place is never safe: a partial fwrite leaves torn bytes
+/// the stream position has already skipped past, and a failed fsync may
+/// have dropped the dirty pages entirely (fsyncgate), so a later
+/// "successful" sync would lie about durability.
+///
 /// Thread safety: none. The engine's mutation contract (DESIGN.md §11)
 /// already gives writers the database to themselves, and the log is
 /// only touched by mutation and checkpoint paths.
@@ -131,7 +139,8 @@ class WriteAheadLog {
   void ArmShortAppendForTest(int countdown, uint32_t keep_bytes);
 
   /// The next `count` syncs (Commit in fsync mode, Sync, Truncate)
-  /// fail with IOError without advancing the durable watermark.
+  /// fail with IOError without advancing the durable watermark and, like
+  /// any real fsync failure, poison the log.
   void ArmSyncErrorForTest(int count);
 
   /// Power cut: everything not fsynced is gone. Truncates the file to
@@ -153,7 +162,7 @@ class WriteAheadLog {
   uint64_t next_lsn_ = 1;
   uint64_t size_ = 0;
   uint64_t synced_size_ = 0;
-  bool broken_ = false;  // a simulated crash poisoned the log
+  bool broken_ = false;  // an I/O failure or simulated crash poisoned the log
 
   // Crash-hook state. -1 = disarmed; 0 = fire on the next call.
   int append_error_countdown_ = -1;

@@ -260,6 +260,28 @@ TEST_P(RecoveryTest, CleanCheckpointTruncatesTheLog) {
   ExpectState(recovered.get(), true, false);
 }
 
+TEST_P(RecoveryTest, CheckpointTruncateFailureRefusesFurtherUpdates) {
+  // The WAL truncate runs after the snapshot renames commit. If it
+  // fails, the on-disk catalog is at the new epoch while the log would
+  // keep stamping frames with the old one — frames the next recovery
+  // skips as stale. Acknowledging any further update would therefore be
+  // silent data loss; the poisoned log must refuse them instead.
+  auto db = OpenWal();
+  ASSERT_NE(db, nullptr);
+  ASSERT_TRUE(db->UpdateCellValues(kCellA, kValuesA).ok());
+  db->wal()->ArmSyncErrorForTest(1);  // fires inside Save's Truncate
+  EXPECT_EQ(db->Save(prefix_).code(), StatusCode::kIOError);
+  EXPECT_FALSE(db->UpdateCellValues(kCellB, kValuesB).ok());
+  ASSERT_TRUE(db->SimulateCrashForTest().ok());
+  db.reset();
+
+  // The committed snapshot carries A; the never-acknowledged B is gone.
+  FieldDatabase::RecoveryReport report;
+  auto recovered = OpenWal(WalMode::kFsyncOnCommit, &report);
+  EXPECT_EQ(report.frames_replayed, 0u);
+  ExpectState(recovered.get(), true, false);
+}
+
 // --- Repeated and compound failures ----------------------------------
 
 TEST_P(RecoveryTest, DoubleCrashReplayIsIdempotent) {

@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "storage/crc32c.h"
 
 namespace fielddb {
 namespace {
@@ -294,16 +297,51 @@ TEST_F(WalTest, ArmedShortAppendLeavesDetectableTornFrame) {
   EXPECT_EQ(scan->torn_bytes(), 10u);
 }
 
-TEST_F(WalTest, ArmedSyncErrorFailsCommitWithoutAdvancingWatermark) {
+TEST_F(WalTest, ArmedSyncErrorFailsCommitAndPoisonsTheLog) {
   auto wal = OpenLog(WalMode::kFsyncOnCommit);
   ASSERT_NE(wal, nullptr);
   ASSERT_TRUE(wal->AppendUpdate(1, {1.0}).ok());
   wal->ArmSyncErrorForTest(1);
   EXPECT_EQ(wal->Commit().code(), StatusCode::kIOError);
   EXPECT_EQ(wal->synced_bytes(), 0u);
-  // The fault was transient: the retry succeeds and the frame is intact.
-  ASSERT_TRUE(wal->Commit().ok());
-  EXPECT_EQ(wal->synced_bytes(), wal->size_bytes());
+  // fsyncgate: a failed fsync may have dropped the dirty pages, so a
+  // retried "successful" sync could not be trusted. The log refuses
+  // everything until it is reopened (which re-scans the file).
+  EXPECT_EQ(wal->Commit().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(wal->AppendUpdate(2, {2.0}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(wal->synced_bytes(), 0u);
+}
+
+TEST_F(WalTest, ScanRejectsCountThatWrapsInUint32Arithmetic) {
+  // A CRC-valid frame whose stored value count is 2^29: in 32-bit
+  // arithmetic 12 + count * 8 wraps back to 12 and matches the actual
+  // payload_len, after which the decoder would attempt a 4 GB values
+  // allocation. The size check must run in 64 bits and cut the scan.
+  std::vector<uint8_t> frame(WriteAheadLog::kFrameHeaderSize + 12, 0);
+  const uint32_t epoch = 1, type = WriteAheadLog::kUpdateValuesFrame;
+  const uint64_t lsn = 1, cell_id = 0;
+  const uint32_t payload_len = 12;
+  const uint32_t count = 1u << 29;
+  std::memcpy(frame.data() + 4, &epoch, 4);
+  std::memcpy(frame.data() + 8, &lsn, 8);
+  std::memcpy(frame.data() + 16, &type, 4);
+  std::memcpy(frame.data() + 20, &payload_len, 4);
+  std::memcpy(frame.data() + 24, &cell_id, 8);
+  std::memcpy(frame.data() + 32, &count, 4);
+  const uint32_t crc =
+      MaskCrc(Crc32c(frame.data() + 4, frame.size() - 4));
+  std::memcpy(frame.data(), &crc, 4);
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(frame.data(), 1, frame.size(), f), frame.size());
+  std::fclose(f);
+
+  auto scan = WriteAheadLog::Scan(path_);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->frames.empty());
+  EXPECT_EQ(scan->valid_bytes, 0u);
+  EXPECT_EQ(scan->torn_reason, "update payload size mismatch");
 }
 
 TEST_F(WalTest, StaleEpochFramesAreKeptByScan) {
