@@ -1,0 +1,329 @@
+// External bulk-load benchmark (DESIGN.md §16): throughput of the
+// bounded-memory Hilbert bulk-load across every extension field type
+// (3-D volume, 2-D vector, temporal slabs) under a sweep of build
+// memory budgets, from unlimited (one in-RAM sort) down to budgets a
+// few entries wide (dozens of spilled runs).
+//
+// Acceptance (checked here, not just plotted): a budgeted build must
+// stay under its budget (peak buffered bytes) and must answer a fixed
+// band query identically to the unlimited build — the external sort's
+// stable (key, insertion-seq) tie-break makes the store layouts
+// byte-identical, so any drift is a determinism bug. Emits
+// BENCH_ext_build.json (marker: top-level "ext_build_bench": true;
+// schema enforced by tools/check_bench_json.py).
+//
+// --quick shrinks the fields for the CTest smoke run.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "temporal/temporal_index.h"
+#include "vector/vector_index.h"
+#include "volume/volume_index.h"
+
+namespace {
+
+using namespace fielddb;
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct BuildPoint {
+  size_t budget_bytes = 0;
+  double build_ms = 0.0;
+  double cells_per_sec = 0.0;
+  uint64_t spill_runs = 0;
+  uint64_t peak_buffered_bytes = 0;
+  bool within_budget = false;
+  bool matches_unlimited = false;
+};
+
+struct Series {
+  std::string field_type;
+  uint64_t num_cells = 0;
+  std::vector<BuildPoint> points;
+};
+
+// One budgeted build of one field type: `build` constructs the database
+// under the given budget and returns (spill_runs, peak_bytes, answer
+// cells of the fixed probe query) — the caller compares the probe
+// against the unlimited baseline.
+struct BuildOutcome {
+  uint64_t spill_runs = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t answer_cells = 0;
+  bool ok = false;
+};
+
+template <typename BuildFn>
+bool RunSweep(const char* field_type, uint64_t num_cells,
+              const std::vector<size_t>& budgets, BuildFn build,
+              Series* out) {
+  out->field_type = field_type;
+  out->num_cells = num_cells;
+  uint64_t baseline_cells = 0;
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    const size_t budget = budgets[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    const BuildOutcome outcome = build(budget);
+    const double ms = MsSince(t0);
+    if (!outcome.ok) return false;
+    if (i == 0) baseline_cells = outcome.answer_cells;
+
+    BuildPoint p;
+    p.budget_bytes = budget;
+    p.build_ms = ms;
+    p.cells_per_sec = ms > 0 ? num_cells / (ms / 1000.0) : 0.0;
+    p.spill_runs = outcome.spill_runs;
+    p.peak_buffered_bytes = outcome.peak_bytes;
+    p.within_budget = budget == 0 || outcome.peak_bytes <= budget;
+    p.matches_unlimited = outcome.answer_cells == baseline_cells;
+    out->points.push_back(p);
+
+    std::printf("%-9s %10zu B %10.2f ms %12.0f cells/s %6llu runs "
+                "%8llu B peak%s%s\n",
+                field_type, budget, ms, p.cells_per_sec,
+                static_cast<unsigned long long>(p.spill_runs),
+                static_cast<unsigned long long>(p.peak_buffered_bytes),
+                p.within_budget ? "" : "  OVER BUDGET",
+                p.matches_unlimited ? "" : "  ANSWER MISMATCH");
+  }
+  return true;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<Series>& series) {
+  std::string j = "{\n  \"bench_id\": \"ext_build\",\n";
+  j += "  \"title\": \"Bounded-memory external Hilbert bulk-load\",\n";
+  j += "  \"ext_build_bench\": true,\n";
+  j += "  \"series\": [";
+  for (size_t s = 0; s < series.size(); ++s) {
+    const Series& ser = series[s];
+    j += s == 0 ? "\n" : ",\n";
+    j += "    {\"field_type\": \"" + ser.field_type + "\",";
+    j += " \"num_cells\": " + std::to_string(ser.num_cells) + ",";
+    j += " \"points\": [";
+    for (size_t i = 0; i < ser.points.size(); ++i) {
+      const BuildPoint& p = ser.points[i];
+      j += i == 0 ? "\n" : ",\n";
+      j += "      {\"budget_bytes\": " + std::to_string(p.budget_bytes);
+      j += ", \"build_ms\": ";
+      JsonAppendDouble(&j, p.build_ms);
+      j += ", \"cells_per_sec\": ";
+      JsonAppendDouble(&j, p.cells_per_sec);
+      j += ",\n       \"spill_runs\": " + std::to_string(p.spill_runs);
+      j += ", \"peak_buffered_bytes\": " +
+           std::to_string(p.peak_buffered_bytes);
+      j += ", \"within_budget\": ";
+      j += p.within_budget ? "true" : "false";
+      j += ", \"matches_unlimited\": ";
+      j += p.matches_unlimited ? "true" : "false";
+      j += "}";
+    }
+    j += "\n    ]}";
+  }
+  j += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(j.data(), 1, j.size(), f) == j.size();
+  std::fclose(f);
+  if (ok) std::printf("telemetry: %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  // Budget 0 (unlimited) must come first: it is the answer baseline the
+  // budgeted builds are differenced against.
+  const std::vector<size_t> budgets =
+      quick ? std::vector<size_t>{0, 16384, 1024}
+            : std::vector<size_t>{0, 1 << 20, 65536, 4096};
+
+  std::printf("=== External bulk-load: budget sweep per field type "
+              "===\n");
+  std::vector<Series> series;
+  bool accepted = true;
+
+  {
+    VolumeFractalOptions vo;
+    vo.nx = vo.ny = vo.nz = quick ? 8 : 32;
+    vo.roughness_h = 0.7;
+    vo.seed = 909;
+    auto volume = MakeFractalVolume(vo);
+    if (!volume.ok()) {
+      std::fprintf(stderr, "%s\n", volume.status().ToString().c_str());
+      return 1;
+    }
+    const ValueInterval range = volume->ValueRange();
+    const ValueInterval band{range.min + 0.25 * (range.max - range.min),
+                             range.max - 0.25 * (range.max - range.min)};
+    Series ser;
+    const bool ok = RunSweep(
+        "volume", volume->NumCells(), budgets,
+        [&](size_t budget) {
+          BuildOutcome outcome;
+          VolumeFieldDatabase::Options options;
+          options.build_memory_budget_bytes = budget;
+          auto db = VolumeFieldDatabase::Build(*volume, options);
+          if (!db.ok()) {
+            std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+            return outcome;
+          }
+          VolumeQueryResult result;
+          if (const Status s = (*db)->BandQuery(band, &result); !s.ok()) {
+            std::fprintf(stderr, "%s\n", s.ToString().c_str());
+            return outcome;
+          }
+          outcome.spill_runs = (*db)->ext_spill_runs();
+          outcome.peak_bytes = (*db)->ext_peak_buffered_bytes();
+          outcome.answer_cells = result.stats.answer_cells;
+          outcome.ok = true;
+          return outcome;
+        },
+        &ser);
+    if (!ok) return 1;
+    series.push_back(std::move(ser));
+  }
+
+  {
+    const uint32_t n = quick ? 24 : 96;
+    const uint32_t verts = n + 1;
+    std::vector<double> su(verts * verts), sv(verts * verts);
+    for (uint32_t jv = 0; jv < verts; ++jv) {
+      for (uint32_t iv = 0; iv < verts; ++iv) {
+        su[jv * verts + iv] = static_cast<double>(iv) + jv;
+        sv[jv * verts + iv] = static_cast<double>(iv) - jv;
+      }
+    }
+    auto field = VectorGridField::Create(
+        n, n, Rect2{{0.0, 0.0}, {1.0, 1.0}}, su, sv);
+    if (!field.ok()) {
+      std::fprintf(stderr, "%s\n", field.status().ToString().c_str());
+      return 1;
+    }
+    VectorBandQuery query;
+    query.u = ValueInterval{0.5 * n, 1.5 * n};
+    query.v = ValueInterval{-0.5 * n, 0.5 * n};
+    Series ser;
+    const bool ok = RunSweep(
+        "vector", field->NumCells(), budgets,
+        [&](size_t budget) {
+          BuildOutcome outcome;
+          VectorFieldDatabase::Options options;
+          options.build_memory_budget_bytes = budget;
+          auto db = VectorFieldDatabase::Build(*field, options);
+          if (!db.ok()) {
+            std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+            return outcome;
+          }
+          VectorQueryResult result;
+          if (const Status s = (*db)->BandQuery(query, &result);
+              !s.ok()) {
+            std::fprintf(stderr, "%s\n", s.ToString().c_str());
+            return outcome;
+          }
+          outcome.spill_runs = (*db)->ext_spill_runs();
+          outcome.peak_bytes = (*db)->ext_peak_buffered_bytes();
+          outcome.answer_cells = result.stats.answer_cells;
+          outcome.ok = true;
+          return outcome;
+        },
+        &ser);
+    if (!ok) return 1;
+    series.push_back(std::move(ser));
+  }
+
+  {
+    const uint32_t n = quick ? 16 : 48;
+    const uint32_t num_snapshots = quick ? 4 : 8;
+    const uint32_t verts = n + 1;
+    std::vector<std::vector<double>> snapshots(num_snapshots);
+    for (uint32_t k = 0; k < num_snapshots; ++k) {
+      snapshots[k].resize(verts * verts);
+      for (uint32_t jv = 0; jv < verts; ++jv) {
+        for (uint32_t iv = 0; iv < verts; ++iv) {
+          snapshots[k][jv * verts + iv] =
+              static_cast<double>(iv) + jv + 10.0 * k;
+        }
+      }
+    }
+    auto field = TemporalGridField::Create(
+        n, n, Rect2{{0.0, 0.0}, {1.0, 1.0}}, std::move(snapshots));
+    if (!field.ok()) {
+      std::fprintf(stderr, "%s\n", field.status().ToString().c_str());
+      return 1;
+    }
+    const ValueInterval range = field->ValueRange();
+    const ValueInterval band{range.min + 0.25 * (range.max - range.min),
+                             range.max - 0.25 * (range.max - range.min)};
+    Series ser;
+    const bool ok = RunSweep(
+        "temporal", field->NumCells(), budgets,
+        [&](size_t budget) {
+          BuildOutcome outcome;
+          TemporalFieldDatabase::Options options;
+          options.build_memory_budget_bytes = budget;
+          auto db = TemporalFieldDatabase::Build(*field, options);
+          if (!db.ok()) {
+            std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+            return outcome;
+          }
+          ValueQueryResult result;
+          if (const Status s =
+                  (*db)->SnapshotValueQuery(1.0, band, &result);
+              !s.ok()) {
+            std::fprintf(stderr, "%s\n", s.ToString().c_str());
+            return outcome;
+          }
+          outcome.spill_runs = (*db)->ext_spill_runs();
+          outcome.peak_bytes = (*db)->ext_peak_buffered_bytes();
+          outcome.answer_cells = result.stats.answer_cells;
+          outcome.ok = true;
+          return outcome;
+        },
+        &ser);
+    if (!ok) return 1;
+    series.push_back(std::move(ser));
+  }
+
+  bool wrote = WriteJson("BENCH_ext_build.json", series);
+  size_t tightest = 0;
+  for (const size_t b : budgets) {
+    if (b > 0 && (tightest == 0 || b < tightest)) tightest = b;
+  }
+  for (const Series& ser : series) {
+    for (const BuildPoint& p : ser.points) {
+      if (!p.within_budget || !p.matches_unlimited) accepted = false;
+      // The tightest budget must actually exercise the spill path, or
+      // the sweep proves nothing about the external sort.
+      if (p.budget_bytes > 0 && p.budget_bytes == tightest &&
+          p.spill_runs == 0) {
+        std::fprintf(stderr, "%s: tightest budget never spilled\n",
+                     ser.field_type.c_str());
+        accepted = false;
+      }
+    }
+  }
+  if (!accepted) {
+    std::fprintf(stderr, "ext build acceptance checks failed\n");
+    return 1;
+  }
+  return wrote ? 0 : 1;
+}

@@ -1,0 +1,208 @@
+#ifndef FIELDDB_CORE_EXT_SORT_H_
+#define FIELDDB_CORE_EXT_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fielddb {
+
+/// Bounded-memory external merge sort of (hilbert_key, record) pairs —
+/// the build-side engine that lets every field type bulk-load within a
+/// fixed budget instead of materializing the whole keyed field in RAM
+/// (DESIGN.md §16). Records are Added in arbitrary order with their
+/// space-filling-curve key; Merge() emits them in ascending key order.
+///
+/// When the buffered entries exceed `memory_budget_bytes`, the buffer is
+/// sorted and spilled as one run to an anonymous temp file
+/// (std::tmpfile: unlinked on creation, reclaimed by the OS even on a
+/// crash). Merge() then k-way merges the runs with the final in-RAM
+/// leftover, holding one entry per run — k stays small (runs are
+/// budget-sized), so a linear min-scan beats a heap on both simplicity
+/// and branch predictability.
+///
+/// Determinism: ties on the key are broken by insertion sequence, so a
+/// budgeted build emits records in exactly the order an unlimited
+/// `std::sort` over (key, insertion order) would — external and in-RAM
+/// builds produce byte-identical stores (proved by ext_sort_test and
+/// the build differentials in the extension tests).
+///
+/// A budget of 0 means unlimited: everything stays in RAM and Merge is
+/// one sort, the fast path for fields that fit.
+template <typename Record>
+class ExternalKeyRecordSorter {
+ public:
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "records are raw run-file bytes");
+
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t seq = 0;  // insertion order: the stable tie-break
+    Record record;
+  };
+
+  explicit ExternalKeyRecordSorter(size_t memory_budget_bytes)
+      : budget_(memory_budget_bytes) {}
+
+  ExternalKeyRecordSorter(const ExternalKeyRecordSorter&) = delete;
+  ExternalKeyRecordSorter& operator=(const ExternalKeyRecordSorter&) =
+      delete;
+
+  /// Buffers one keyed record, spilling a sorted run first when the
+  /// buffer is at the budget.
+  Status Add(uint64_t key, const Record& record) {
+    if (budget_ > 0 && !buffer_.empty() &&
+        (buffer_.size() + 1) * sizeof(Entry) > budget_) {
+      FIELDDB_RETURN_IF_ERROR(SpillRun());
+    }
+    Entry e;
+    e.key = key;
+    e.seq = next_seq_++;
+    e.record = record;
+    buffer_.push_back(e);
+    peak_buffered_bytes_ =
+        std::max(peak_buffered_bytes_, buffer_.size() * sizeof(Entry));
+    return Status::OK();
+  }
+
+  /// Emits every added record in ascending (key, insertion order). The
+  /// sorter is consumed: records stream out of the run files and the
+  /// leftover buffer without ever being whole in RAM again. `emit`
+  /// returns a Status so downstream appenders can fail the build.
+  template <typename Emit>  // Status(uint64_t key, const Record&)
+  Status Merge(Emit emit) {
+    SortBuffer();
+    if (runs_.empty()) {
+      // Fast path: nothing ever spilled.
+      for (const Entry& e : buffer_) {
+        FIELDDB_RETURN_IF_ERROR(emit(e.key, e.record));
+      }
+      buffer_.clear();
+      return Status::OK();
+    }
+
+    // One cursor per spilled run plus one over the in-RAM leftover.
+    struct Cursor {
+      std::FILE* file = nullptr;  // nullptr: the in-RAM leftover
+      uint64_t remaining = 0;
+      uint64_t buffer_pos = 0;
+      Entry head;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(runs_.size() + 1);
+    for (Run& run : runs_) {
+      Cursor c;
+      c.file = run.file.get();
+      c.remaining = run.num_entries;
+      std::rewind(c.file);
+      FIELDDB_RETURN_IF_ERROR(Advance(&c));
+      cursors.push_back(c);
+    }
+    if (!buffer_.empty()) {
+      Cursor c;
+      c.remaining = buffer_.size();
+      FIELDDB_RETURN_IF_ERROR(Advance(&c));
+      cursors.push_back(c);
+    }
+
+    while (!cursors.empty()) {
+      size_t min = 0;
+      for (size_t i = 1; i < cursors.size(); ++i) {
+        const Entry& a = cursors[i].head;
+        const Entry& b = cursors[min].head;
+        if (a.key < b.key || (a.key == b.key && a.seq < b.seq)) min = i;
+      }
+      Cursor& c = cursors[min];
+      FIELDDB_RETURN_IF_ERROR(emit(c.head.key, c.head.record));
+      if (c.remaining > 0) {
+        FIELDDB_RETURN_IF_ERROR(Advance(&c));
+      } else {
+        cursors.erase(cursors.begin() + min);
+      }
+    }
+    buffer_.clear();
+    runs_.clear();
+    return Status::OK();
+  }
+
+  /// --- Build telemetry (bench_ext_build reports these) ---
+
+  uint64_t spill_runs() const { return spill_runs_; }
+  uint64_t spilled_records() const { return spilled_records_; }
+  /// High-water mark of the in-RAM buffer; never exceeds the budget (+1
+  /// entry of slack) when one is set.
+  size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
+  size_t memory_budget_bytes() const { return budget_; }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  struct Run {
+    std::unique_ptr<std::FILE, FileCloser> file;
+    uint64_t num_entries = 0;
+  };
+
+  void SortBuffer() {
+    std::sort(buffer_.begin(), buffer_.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.key < b.key || (a.key == b.key && a.seq < b.seq);
+              });
+  }
+
+  Status SpillRun() {
+    SortBuffer();
+    Run run;
+    run.file.reset(std::tmpfile());
+    if (run.file == nullptr) {
+      return Status::IOError("cannot create external-sort run file");
+    }
+    const size_t written = std::fwrite(buffer_.data(), sizeof(Entry),
+                                       buffer_.size(), run.file.get());
+    if (written != buffer_.size()) {
+      return Status::IOError("short write spilling external-sort run");
+    }
+    run.num_entries = buffer_.size();
+    ++spill_runs_;
+    spilled_records_ += buffer_.size();
+    runs_.push_back(std::move(run));
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  /// Loads the cursor's next entry (run file or leftover buffer) into
+  /// `head`. Precondition: remaining > 0. Templated because Cursor is
+  /// local to Merge.
+  template <typename Cursor>
+  Status Advance(Cursor* c) {
+    if (c->file != nullptr) {
+      if (std::fread(&c->head, sizeof(Entry), 1, c->file) != 1) {
+        return Status::IOError("short read from external-sort run");
+      }
+    } else {
+      c->head = buffer_[c->buffer_pos++];
+    }
+    --c->remaining;
+    return Status::OK();
+  }
+
+  size_t budget_;
+  std::vector<Entry> buffer_;
+  std::vector<Run> runs_;
+  uint64_t next_seq_ = 0;
+  uint64_t spill_runs_ = 0;
+  uint64_t spilled_records_ = 0;
+  size_t peak_buffered_bytes_ = 0;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_CORE_EXT_SORT_H_

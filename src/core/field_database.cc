@@ -56,69 +56,57 @@ struct DbMetrics {
 
 }  // namespace
 
-FieldDatabase::~FieldDatabase() {
-  if (wal_ != nullptr) {
-    // Best-effort durability for a database dropped without Close():
-    // sync the log (the dirty frames it covers are about to be
-    // discarded by the no-steal pool destructor).
-    const Status s = wal_->Close();
-    if (!s.ok()) {
-      std::fprintf(stderr, "FieldDatabase: wal close failed at destruction: %s\n",
-                   s.ToString().c_str());
-    }
-  }
-  if (pool_ != nullptr && !pool_->closed()) {
-    const Status s = pool_->Close();
-    if (!s.ok()) {
-      std::fprintf(stderr, "FieldDatabase: close failed at destruction: %s\n",
-                   s.ToString().c_str());
-    }
-  }
-}
+// Best-effort close of the WAL and pool lives in ~FieldEngine.
+FieldDatabase::~FieldDatabase() = default;
 
 StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
     const Field& field, const FieldDatabaseOptions& options) {
   auto db = std::unique_ptr<FieldDatabase>(new FieldDatabase());
-  db->file_ = options.page_file_factory
-                  ? options.page_file_factory(options.page_size)
-                  : std::make_unique<MemPageFile>(options.page_size);
-  db->pool_ =
-      std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
+  FieldEngine::BuildConfig build_config;
+  build_config.page_size = options.page_size;
+  build_config.pool_pages = options.pool_pages;
+  build_config.page_file_factory = options.page_file_factory;
+  FIELDDB_RETURN_IF_ERROR(db->engine_.InitForBuild(build_config));
+  BufferPool* const pool = db->engine_.pool();
   db->value_range_ = field.ValueRange();
   db->domain_ = field.Domain();
 
   switch (options.method) {
     case IndexMethod::kLinearScan: {
       StatusOr<std::unique_ptr<LinearScanIndex>> idx =
-          LinearScanIndex::Build(db->pool_.get(), field);
+          LinearScanIndex::Build(pool, field);
       if (!idx.ok()) return idx.status();
       db->index_ = std::move(idx).value();
       break;
     }
     case IndexMethod::kIAll: {
       StatusOr<std::unique_ptr<IAllIndex>> idx =
-          IAllIndex::Build(db->pool_.get(), field, options.iall);
+          IAllIndex::Build(pool, field, options.iall);
       if (!idx.ok()) return idx.status();
       db->index_ = std::move(idx).value();
       break;
     }
     case IndexMethod::kIHilbert: {
+      IHilbertIndex::Options ihopts = options.ihilbert;
+      if (options.build_memory_budget_bytes > 0) {
+        ihopts.build_memory_budget_bytes = options.build_memory_budget_bytes;
+      }
       StatusOr<std::unique_ptr<IHilbertIndex>> idx =
-          IHilbertIndex::Build(db->pool_.get(), field, options.ihilbert);
+          IHilbertIndex::Build(pool, field, ihopts);
       if (!idx.ok()) return idx.status();
       db->index_ = std::move(idx).value();
       break;
     }
     case IndexMethod::kIntervalQuadtree: {
       StatusOr<std::unique_ptr<IntervalQuadtreeIndex>> idx =
-          IntervalQuadtreeIndex::Build(db->pool_.get(), field, options.iqt);
+          IntervalQuadtreeIndex::Build(pool, field, options.iqt);
       if (!idx.ok()) return idx.status();
       db->index_ = std::move(idx).value();
       break;
     }
     case IndexMethod::kRowIp: {
       StatusOr<std::unique_ptr<RowIpIndex>> idx =
-          RowIpIndex::Build(db->pool_.get(), field);
+          RowIpIndex::Build(pool, field);
       if (!idx.ok()) return idx.status();
       db->index_ = std::move(idx).value();
       break;
@@ -140,22 +128,14 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
           return true;
         }));
     StatusOr<RStarTree<2>> spatial =
-        RStarTree<2>::BulkLoad(db->pool_.get(), entries);
+        RStarTree<2>::BulkLoad(pool, entries);
     if (!spatial.ok()) return spatial.status();
     db->spatial_.emplace(std::move(spatial).value());
   }
   db->InitPlanner(options.planner_mode);
   if (options.wal_mode != WalMode::kOff) {
-    if (options.wal_path.empty()) {
-      return Status::InvalidArgument(
-          "wal_mode requires wal_path (use \"<prefix>.wal\")");
-    }
-    StatusOr<std::unique_ptr<WriteAheadLog>> wal =
-        WriteAheadLog::Open(options.wal_path, options.wal_mode,
-                            /*epoch=*/db->epoch_);
-    if (!wal.ok()) return wal.status();
-    db->wal_ = std::move(wal).value();
-    db->pool_->set_no_steal(true);
+    FIELDDB_RETURN_IF_ERROR(
+        db->engine_.ArmWal(options.wal_path, options.wal_mode));
   }
   if (!options.event_log_path.empty()) {
     FIELDDB_RETURN_IF_ERROR(db->AttachEventLog(
@@ -167,32 +147,27 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
                        .Add("at", "build"));
     }
   }
-  db->pool_->ResetStats();
+  pool->ResetStats();
   return db;
 }
 
 Status FieldDatabase::AttachEventLog(const std::string& path,
                                      double slow_query_threshold_ms) {
-  StatusOr<std::unique_ptr<EventLog>> log = EventLog::Open(path);
-  if (!log.ok()) return log.status();
-  event_log_ = std::move(log).value();
-  slow_query_threshold_ms_ = slow_query_threshold_ms;
-  return Status::OK();
+  return engine_.AttachEventLog(path, slow_query_threshold_ms);
 }
 
 void FieldDatabase::LogEvent(const EventLog::Event& event) const {
-  if (event_log_ == nullptr) return;
   // Append errors are counted by the log itself
   // (obs.event_log_append_errors); a query must never fail because its
   // telemetry could not be written.
-  (void)event_log_->Append(event);
+  engine_.LogEvent(event);
 }
 
 void FieldDatabase::MaybeLogSlowQuery(const ValueInterval& query,
                                       const QueryStats& stats) const {
-  if (event_log_ == nullptr) return;
+  if (engine_.event_log() == nullptr) return;
   const double wall_ms = stats.wall_seconds * 1000.0;
-  if (wall_ms < slow_query_threshold_ms_) return;
+  if (wall_ms < engine_.slow_query_threshold_ms()) return;
   // Re-plan to report the decision next to what actually happened: the
   // probe is zero-I/O and deterministic, so this is the plan the query
   // ran (modulo a concurrent set_planner_mode, which callers exclude).
@@ -202,7 +177,7 @@ void FieldDatabase::MaybeLogSlowQuery(const ValueInterval& query,
       stats.io.sequential_reads, stats.io.random_reads());
   LogEvent(EventLog::Event("slow_query")
                .Add("wall_ms", wall_ms)
-               .Add("threshold_ms", slow_query_threshold_ms_)
+               .Add("threshold_ms", engine_.slow_query_threshold_ms())
                .Add("query_min", query.min)
                .Add("query_max", query.max)
                .Add("plan", plan.kind == PlanKind::kFusedScan
@@ -536,14 +511,13 @@ Status FieldDatabase::ValidateUpdate(CellId id,
 
 Status FieldDatabase::UpdateCellValues(CellId id,
                                        const std::vector<double>& values) {
-  if (wal_ != nullptr) {
+  if (engine_.wal() != nullptr) {
     // Write-ahead: validate (so only appliable updates are logged),
     // log, make durable per the mode, then apply. A crash after Commit
     // re-applies the frame at the next Open; a crash before loses an
     // update that was never acknowledged.
     FIELDDB_RETURN_IF_ERROR(ValidateUpdate(id, values));
-    FIELDDB_RETURN_IF_ERROR(wal_->AppendUpdate(id, values));
-    FIELDDB_RETURN_IF_ERROR(wal_->Commit());
+    FIELDDB_RETURN_IF_ERROR(engine_.LogUpdate(id, values));
   }
   FIELDDB_RETURN_IF_ERROR(index_->UpdateCellValues(id, values));
   // Conservatively widen the cached value range (exact shrinking would
@@ -557,13 +531,13 @@ Status FieldDatabase::UpdateCellValuesBatch(
   for (const CellUpdate& u : updates) {
     FIELDDB_RETURN_IF_ERROR(ValidateUpdate(u.id, u.values));
   }
-  if (wal_ != nullptr) {
+  if (engine_.wal() != nullptr) {
     // Group commit: every frame is appended, then one Commit makes the
     // whole batch durable (a single fsync in kFsyncOnCommit).
     for (const CellUpdate& u : updates) {
-      FIELDDB_RETURN_IF_ERROR(wal_->AppendUpdate(u.id, u.values));
+      FIELDDB_RETURN_IF_ERROR(engine_.wal()->AppendUpdate(u.id, u.values));
     }
-    FIELDDB_RETURN_IF_ERROR(wal_->Commit());
+    FIELDDB_RETURN_IF_ERROR(engine_.wal()->Commit());
   }
   for (const CellUpdate& u : updates) {
     FIELDDB_RETURN_IF_ERROR(index_->UpdateCellValues(u.id, u.values));
@@ -617,72 +591,26 @@ StatusOr<WorkloadStats> FieldDatabase::RunWorkload(
   QueryContext ctx;  // one context reused: this loop is single-threaded
   for (const ValueInterval& q : queries) {
     if (cold_cache) {
-      FIELDDB_RETURN_IF_ERROR(pool_->Clear());
+      FIELDDB_RETURN_IF_ERROR(engine_.pool()->Clear());
     }
     QueryStats qs;
     FIELDDB_RETURN_IF_ERROR(ValueQueryStats(q, &qs, &ctx));
     total.Accumulate(qs);
     wall_ms.push_back(qs.wall_seconds * 1000.0);
   }
-  const double n = queries.size();
-  ws.avg_wall_ms = total.wall_seconds * 1000.0 / n;
-  std::sort(wall_ms.begin(), wall_ms.end());
-  ws.p50_wall_ms = PercentileOfSorted(wall_ms, 50);
-  ws.p90_wall_ms = PercentileOfSorted(wall_ms, 90);
-  ws.p99_wall_ms = PercentileOfSorted(wall_ms, 99);
-  ws.max_wall_ms = wall_ms.back();
-  ws.avg_candidates = static_cast<double>(total.candidate_cells) / n;
-  ws.avg_answer_cells = static_cast<double>(total.answer_cells) / n;
-  ws.avg_logical_reads = static_cast<double>(total.io.logical_reads) / n;
-  ws.avg_physical_reads = static_cast<double>(total.io.physical_reads) / n;
-  ws.avg_sequential_reads =
-      static_cast<double>(total.io.sequential_reads) / n;
-  ws.avg_random_reads = static_cast<double>(total.io.random_reads()) / n;
-  ws.avg_index_fallbacks = static_cast<double>(total.index_fallbacks) / n;
-  ws.avg_read_retries = static_cast<double>(total.io.read_retries) / n;
-  ws.avg_failed_reads = static_cast<double>(total.io.failed_reads) / n;
+  FinalizeWorkloadStats(total, &wall_ms, &ws);
   return ws;
 }
 
 Status FieldDatabase::Scrub(ScrubReport* out) {
   *out = ScrubReport{};
-  // Dirty frames shadow the file contents; push them down first so the
-  // walk verifies what a reopen would actually read.
-  FIELDDB_RETURN_IF_ERROR(pool_->Flush());
-  for (PageId id = 0; id < file_->NumPages(); ++id) {
-    Status s = file_->VerifyPage(id);
-    for (int attempt = 0; !s.ok() && s.code() == StatusCode::kIOError &&
-                          attempt < BufferPool::kMaxReadRetries;
-         ++attempt) {
-      s = file_->VerifyPage(id);
-    }
-    ++out->pages_checked;
-    DbMetrics::Get().scrub_pages->Increment();
-    if (s.code() == StatusCode::kCorruption) {
-      out->corrupt_pages.push_back(id);
-      DbMetrics::Get().scrub_corrupt_pages->Increment();
-    } else if (!s.ok()) {
-      return s;  // persistent I/O error: the medium, not the data
-    }
-  }
-  return Status::OK();
+  return engine_.ScrubPages(&out->pages_checked, &out->corrupt_pages);
 }
 
-Status FieldDatabase::Close() {
-  if (wal_ != nullptr) {
-    // Sync the log first: it is the only copy of the mutations the
-    // no-steal pool is about to discard.
-    FIELDDB_RETURN_IF_ERROR(wal_->Close());
-    return pool_->Abandon();
-  }
-  return pool_->Close();
-}
+Status FieldDatabase::Close() { return engine_.Close(); }
 
 Status FieldDatabase::SimulateCrashForTest() {
-  if (wal_ != nullptr) {
-    FIELDDB_RETURN_IF_ERROR(wal_->SimulateCrashForTest());
-  }
-  return pool_->Abandon();
+  return engine_.SimulateCrashForTest();
 }
 
 Status FieldDatabase::ExplainValueQuery(const ValueInterval& query,
@@ -718,7 +646,7 @@ Status FieldDatabase::ExplainValueQuery(const ValueInterval& query,
   const Status run = [&]() -> Status {
     // Cold start, so the physical-read pattern (and its disk-model cost)
     // reflects the query itself rather than the pool's history.
-    FIELDDB_RETURN_IF_ERROR(pool_->Clear());
+    FIELDDB_RETURN_IF_ERROR(engine_.pool()->Clear());
     return TracedValueQueryStats(query, &out->stats);
   }();
   out->rtree_nodes_visited = node_visits->value() - visits_before;

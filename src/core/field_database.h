@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/field_engine.h"
 #include "core/query_context.h"
 #include "core/stats.h"
 #include "field/field.h"
@@ -73,6 +74,14 @@ struct FieldDatabaseOptions {
   /// observed cost). Only meaningful with event_log_path set.
   double slow_query_threshold_ms = 25.0;
 
+  /// Bounded-memory build (DESIGN.md §16): when nonzero, the I-Hilbert
+  /// linearization sorts (hilbert key, cell) pairs with the external
+  /// merge sorter under this in-RAM budget instead of materializing the
+  /// whole keyed field, spilling sorted runs to temp files. The
+  /// resulting store and index are byte-identical to an unlimited
+  /// build. 0 = unlimited (everything in RAM).
+  size_t build_memory_budget_bytes = 0;
+
   IHilbertIndex::Options ihilbert;
   IAllIndex::Options iall;
   IntervalQuadtreeIndex::Options iqt;
@@ -82,6 +91,10 @@ struct FieldDatabaseOptions {
 struct ValueQueryResult {
   Region region;       // exact answer regions (estimation step output)
   QueryStats stats;
+  /// The planner's decision this query executed. Stamped by the
+  /// extension engines (temporal snapshot queries); the grid facade
+  /// reports its richer decision through QueryProfile instead.
+  PhysicalPlan plan;
 };
 
 /// Result of an isoline query (the exact-value specialization of Q2,
@@ -125,25 +138,10 @@ class FieldDatabase {
   /// header and the catalog, so a mix is detected as corruption).
   Status Save(const std::string& prefix);
 
-  /// Deterministic interruption points inside Save, in pipeline order.
-  /// Each stops the save ("crashes") right before the named step, with
-  /// everything earlier durable — the crash-matrix tests prove every
-  /// prefix of the pipeline leaves a loadable database behind.
-  enum class SaveCrashPoint {
-    kNone = 0,
-    /// Mid-copy into `.pages.tmp`: the temp file is torn, neither
-    /// snapshot file touched.
-    kMidPagesTmp,
-    /// Both temp files durable, neither rename done (the historical
-    /// SaveCrashBeforeRenameForTest point).
-    kBeforeRename,
-    /// `.pages` renamed, `.meta` not: the half-committed state Open
-    /// self-heals by completing the second rename.
-    kBetweenRenames,
-    /// Fully committed but the superseded WAL not yet truncated: its
-    /// frames carry the old epoch and replay as stale no-ops.
-    kBeforeWalTruncate,
-  };
+  /// Deterministic interruption points inside Save, in pipeline order —
+  /// the engine-wide SnapshotCrashPoint (core/field_engine.h), aliased
+  /// for the existing crash-matrix tests.
+  using SaveCrashPoint = SnapshotCrashPoint;
 
   /// Save that stops at `crash_point` (kNone = a normal Save).
   Status SaveWithCrashPointForTest(const std::string& prefix,
@@ -156,27 +154,10 @@ class FieldDatabase {
   /// snapshot survives an interrupted save.
   Status SaveCrashBeforeRenameForTest(const std::string& prefix);
 
-  /// What recovery did during Open (all zero for a clean open with no
-  /// log). `trace` holds a "recovery" span with wal.scan / wal.replay /
-  /// verify children when a replay actually ran.
-  struct RecoveryReport {
-    /// Frames re-applied to the attached index (current epoch).
-    uint64_t frames_replayed = 0;
-    /// Intact frames skipped because a completed checkpoint already
-    /// captured them (older epoch).
-    uint64_t stale_frames = 0;
-    /// Bytes cut off the log's tail (torn by a crash mid-append).
-    uint64_t torn_bytes = 0;
-    /// Length of the intact log prefix.
-    uint64_t valid_bytes = 0;
-    /// Post-replay verification (runs only when frames were replayed).
-    uint64_t pages_verified = 0;
-    std::vector<PageId> corrupt_pages;
-    /// True when wal_mode=off folded a non-empty log into a fresh
-    /// checkpoint and deleted it.
-    bool folded = false;
-    QueryTrace trace;
-  };
+  /// What recovery did during Open — the engine-wide
+  /// EngineRecoveryReport (core/field_engine.h), aliased for existing
+  /// callers.
+  using RecoveryReport = EngineRecoveryReport;
 
   /// Reopen options. `wal_mode` both arms logging for the reopened
   /// database and controls what happens to an existing log: any mode
@@ -382,7 +363,7 @@ class FieldDatabase {
   /// The write-ahead log, when the database runs in a WAL mode (null
   /// otherwise). Exposed for the CLI's `wal` subcommand and the crash
   /// tests' deterministic fault hooks.
-  WriteAheadLog* wal() const { return wal_.get(); }
+  WriteAheadLog* wal() const { return engine_.wal(); }
 
   /// Attaches a structured event log after the fact (Build/Open attach
   /// one automatically when their options name a path). Replaces any
@@ -390,14 +371,16 @@ class FieldDatabase {
   Status AttachEventLog(const std::string& path,
                         double slow_query_threshold_ms);
   /// The attached event log, or null. Never used for page I/O.
-  EventLog* event_log() const { return event_log_.get(); }
+  EventLog* event_log() const { return engine_.event_log(); }
   /// Adjusts the slow-query threshold without re-opening the log
   /// (bench_obs_overhead toggles it between measurement passes). Not
   /// thread-safe against concurrent queries.
   void set_slow_query_threshold_ms(double ms) {
-    slow_query_threshold_ms_ = ms;
+    engine_.set_slow_query_threshold_ms(ms);
   }
-  double slow_query_threshold_ms() const { return slow_query_threshold_ms_; }
+  double slow_query_threshold_ms() const {
+    return engine_.slow_query_threshold_ms();
+  }
 
   /// Cumulative count of queries that fell back from a corrupt value
   /// index to a full store scan (see QueryStats::index_fallbacks).
@@ -428,7 +411,7 @@ class FieldDatabase {
   IndexMethod method() const { return index_->method(); }
   const ValueInterval& value_range() const { return value_range_; }
   const Rect2& domain() const { return domain_; }
-  BufferPool& pool() const { return *pool_; }
+  BufferPool& pool() const { return *engine_.pool(); }
 
   /// The subfield partition, when the method has one.
   const std::vector<Subfield>* subfields() const;
@@ -473,13 +456,10 @@ class FieldDatabase {
   /// never fail a query.
   void LogEvent(const EventLog::Event& event) const;
 
-  std::unique_ptr<PageFile> file_;
-  std::unique_ptr<BufferPool> pool_;
-  std::unique_ptr<WriteAheadLog> wal_;
-  /// Mutable: const query paths append slow-query events. The log is
-  /// internally synchronized and writes only to its own fd.
-  mutable std::unique_ptr<EventLog> event_log_;
-  double slow_query_threshold_ms_ = 25.0;
+  /// The shared lifecycle core: page file, buffer pool, WAL, event log
+  /// and snapshot epoch (core/field_engine.h). Declared first so the
+  /// storage outlives the index and planner at destruction.
+  FieldEngine engine_;
   std::unique_ptr<ValueIndex> index_;
   std::unique_ptr<QueryPlanner> planner_;
   /// Atomic so tests/benches can flip the policy between queries while
@@ -489,9 +469,6 @@ class FieldDatabase {
   std::optional<RStarTree<2>> spatial_;
   ValueInterval value_range_;
   Rect2 domain_;
-  /// Snapshot generation: 0 for a freshly built database, the catalog's
-  /// epoch after Open. Save stamps epoch_ + 1.
-  uint32_t epoch_ = 0;
   /// Mutable + atomic: the corruption fallback bumps it from const query
   /// paths, possibly on several threads at once.
   mutable std::atomic<uint64_t> index_fallbacks_{0};

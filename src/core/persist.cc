@@ -5,9 +5,6 @@
 // every component (cell store, value index, spatial tree) against the
 // on-disk pages.
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -15,7 +12,7 @@
 #include <string>
 
 #include "core/field_database.h"
-#include "obs/metrics.h"
+#include "core/field_engine.h"
 
 namespace fielddb {
 
@@ -50,8 +47,7 @@ void WriteRStarMeta(std::FILE* f, const char* key, const RStarMeta& m) {
 }
 
 Status WriteMeta(const std::string& path, const MetaData& meta) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IOError("cannot write " + path);
+  return WriteCatalogFile(path, [&](std::FILE* f) {
   std::fprintf(f, "%s\n", kMagic);
   std::fprintf(f, "page_size %u\n", meta.page_size);
   std::fprintf(f, "epoch %u\n", meta.epoch);
@@ -72,11 +68,8 @@ Status WriteMeta(const std::string& path, const MetaData& meta) {
                  sf.start, sf.end, sf.interval.min, sf.interval.max,
                  sf.sum_interval_sizes);
   }
-  // Make the catalog durable before it can become a rename target.
-  const bool ok =
-      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
-  std::fclose(f);
-  return ok ? Status::OK() : Status::IOError("flush failed for " + path);
+    return true;
+  });
 }
 
 /// Numeric-range validation after parsing. The parser only proves the
@@ -194,43 +187,6 @@ StatusOr<MetaData> ReadMeta(const std::string& path) {
   return meta;
 }
 
-Status RenameFile(const std::string& from, const std::string& to) {
-  if (std::rename(from.c_str(), to.c_str()) != 0) {
-    return Status::IOError("rename " + from + " -> " + to + " failed");
-  }
-  return Status::OK();
-}
-
-/// Epoch a page file was stamped with, read from the raw slot-0 header
-/// (bytes [4, 8): DiskPageFile::WriteSlot stores the epoch unmasked
-/// there). Used by the rename self-heal to decide whether `.pages`
-/// already holds the next snapshot; 0 on any failure, which no real
-/// snapshot uses (Save stamps epoch_ + 1 >= 1).
-uint32_t PeekPagesEpoch(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return 0;
-  uint8_t buf[8] = {};
-  const size_t got = std::fread(buf, 1, sizeof(buf), f);
-  std::fclose(f);
-  if (got != sizeof(buf)) return 0;
-  uint32_t epoch = 0;
-  std::memcpy(&epoch, buf + 4, sizeof(epoch));
-  return epoch;
-}
-
-// Best-effort directory fsync so the renames themselves are durable.
-void SyncParentDir(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-}
-
 }  // namespace
 
 StatusOr<uint32_t> FieldDatabase::PeekEpoch(const std::string& prefix) {
@@ -249,126 +205,59 @@ Status FieldDatabase::SaveCrashBeforeRenameForTest(const std::string& prefix) {
 
 Status FieldDatabase::SaveImpl(const std::string& prefix,
                                SaveCrashPoint crash_point) {
-  // No-steal (WAL mode): dirty frames must not be written back in
-  // place — the checkpoint captures them straight out of the pool into
-  // the fresh snapshot below, so the live `.pages` file stays exactly
-  // the previous checkpoint until the rename commits.
-  const bool no_steal = pool_->no_steal();
-  if (!no_steal) FIELDDB_RETURN_IF_ERROR(pool_->Flush());
-
-  const uint32_t epoch = epoch_ + 1;
-  const std::string pages_tmp = prefix + ".pages.tmp";
-  const std::string meta_tmp = prefix + ".meta.tmp";
-
-  {
-    StatusOr<std::unique_ptr<DiskPageFile>> out =
-        DiskPageFile::Create(pages_tmp, file_->page_size(), epoch);
-    if (!out.ok()) return out.status();
-    const uint64_t num_pages = file_->NumPages();
-    Page page(file_->page_size());
-    for (PageId id = 0; id < num_pages; ++id) {
-      if (crash_point == SaveCrashPoint::kMidPagesTmp && id == num_pages / 2) {
-        return Status::OK();  // "crash": torn temp file, snapshot untouched
-      }
-      if (!no_steal || !pool_->TryGetResident(id, &page)) {
-        FIELDDB_RETURN_IF_ERROR(file_->Read(id, &page));
-      }
-      StatusOr<PageId> copied = (*out)->Allocate();
-      if (!copied.ok()) return copied.status();
-      FIELDDB_RETURN_IF_ERROR((*out)->Write(*copied, page));
-    }
-    FIELDDB_RETURN_IF_ERROR((*out)->Sync());
-    // Scope end closes the temp file before it is renamed into place.
+  if (index_->method() == IndexMethod::kRowIp) {
+    // Refuse before any page is copied, not from inside the pipeline.
+    return Status::Unimplemented(
+        "Row-IP is a comparison baseline without persistence support");
   }
-
-  MetaData meta;
-  meta.page_size = file_->page_size();
-  meta.epoch = epoch;
-  meta.method = static_cast<int>(index_->method());
-  meta.num_cells = index_->cell_store().size();
-  meta.store_first_page = index_->cell_store().first_page();
-  meta.value_range = value_range_;
-  meta.domain = domain_;
-  meta.info = index_->build_info();
-  switch (index_->method()) {
-    case IndexMethod::kLinearScan:
-      break;
-    case IndexMethod::kIAll:
-      meta.has_tree = true;
-      meta.tree = static_cast<const IAllIndex*>(index_.get())->tree().meta();
-      break;
-    case IndexMethod::kIHilbert: {
-      const auto* idx = static_cast<const IHilbertIndex*>(index_.get());
-      meta.has_tree = true;
-      meta.tree = idx->tree().meta();
-      meta.subfields = idx->subfields();
-      break;
-    }
-    case IndexMethod::kIntervalQuadtree: {
-      const auto* idx =
-          static_cast<const IntervalQuadtreeIndex*>(index_.get());
-      meta.has_tree = true;
-      meta.tree = idx->tree().meta();
-      meta.subfields = idx->subfields();
-      break;
-    }
-    case IndexMethod::kRowIp:
-      return Status::Unimplemented(
-          "Row-IP is a comparison baseline without persistence support");
-  }
-  if (spatial_.has_value()) {
-    meta.has_spatial = true;
-    meta.spatial = spatial_->meta();
-  }
-  FIELDDB_RETURN_IF_ERROR(WriteMeta(meta_tmp, meta));
-
-  if (crash_point == SaveCrashPoint::kBeforeRename) return Status::OK();
-
-  // Commit. Pages first: a crash between the renames leaves new pages
-  // under the old catalog, which the epoch check in every page header
-  // turns into a detected corruption instead of a silent mix — and Open
-  // self-heals it by completing the `.meta.tmp` rename (it can verify
-  // `.pages` carries exactly the epoch `.meta.tmp` declares). Before
-  // the first rename the old snapshot is fully intact.
-  FIELDDB_RETURN_IF_ERROR(RenameFile(pages_tmp, prefix + ".pages"));
-  if (crash_point == SaveCrashPoint::kBetweenRenames) return Status::OK();
-  FIELDDB_RETURN_IF_ERROR(RenameFile(meta_tmp, prefix + ".meta"));
-  SyncParentDir(prefix + ".meta");
-
-  if (no_steal) {
-    // The snapshot is committed; the checkpoint epilogue reconciles the
-    // live (still-open) page file with the pool. The open DiskPageFile
-    // handle now points at the *unlinked* previous `.pages` inode, so
-    // write the dirty frames down into it — for clean pages the two
-    // inodes are byte-identical already, and for dirty ones this makes
-    // the handle serve post-checkpoint state on any future cache miss.
-    // Nothing here affects what a reopen reads (that is the renamed
-    // snapshot); it only keeps this open database self-consistent.
-    pool_->set_no_steal(false);
-    const Status flush = pool_->Flush();
-    pool_->set_no_steal(true);
-    FIELDDB_RETURN_IF_ERROR(flush);
-  }
-  if (wal_ != nullptr) {
-    if (crash_point == SaveCrashPoint::kBeforeWalTruncate) {
-      epoch_ = epoch;
-      return Status::OK();  // frames left behind now carry a stale epoch
-    }
-    // Every logged frame is captured by the snapshot: drop them and
-    // stamp future frames with the snapshot's epoch.
-    const Status truncated = wal_->Truncate(epoch);
-    if (!truncated.ok()) {
-      // The renames above already committed: the on-disk catalog is at
-      // the new epoch while the log still stamps frames with the old
-      // one, which the next recovery would skip as stale. Truncate has
-      // poisoned the log, so no further update can be acknowledged;
-      // adopt the committed epoch and surface the failure.
-      epoch_ = epoch;
-      return truncated;
-    }
-  }
-  epoch_ = epoch;
-  return Status::OK();
+  // The page-copy / rename / WAL-truncate pipeline is the engine's
+  // (field-type-agnostic); only the catalog body is ours.
+  return engine_.SaveSnapshot(
+      prefix, crash_point,
+      [&](const std::string& meta_tmp_path, uint32_t new_epoch) -> Status {
+        MetaData meta;
+        meta.page_size = engine_.file()->page_size();
+        meta.epoch = new_epoch;
+        meta.method = static_cast<int>(index_->method());
+        meta.num_cells = index_->cell_store().size();
+        meta.store_first_page = index_->cell_store().first_page();
+        meta.value_range = value_range_;
+        meta.domain = domain_;
+        meta.info = index_->build_info();
+        switch (index_->method()) {
+          case IndexMethod::kLinearScan:
+            break;
+          case IndexMethod::kIAll:
+            meta.has_tree = true;
+            meta.tree =
+                static_cast<const IAllIndex*>(index_.get())->tree().meta();
+            break;
+          case IndexMethod::kIHilbert: {
+            const auto* idx = static_cast<const IHilbertIndex*>(index_.get());
+            meta.has_tree = true;
+            meta.tree = idx->tree().meta();
+            meta.subfields = idx->subfields();
+            break;
+          }
+          case IndexMethod::kIntervalQuadtree: {
+            const auto* idx =
+                static_cast<const IntervalQuadtreeIndex*>(index_.get());
+            meta.has_tree = true;
+            meta.tree = idx->tree().meta();
+            meta.subfields = idx->subfields();
+            break;
+          }
+          case IndexMethod::kRowIp:
+            return Status::Unimplemented(
+                "Row-IP is a comparison baseline without persistence "
+                "support");
+        }
+        if (spatial_.has_value()) {
+          meta.has_spatial = true;
+          meta.spatial = spatial_->meta();
+        }
+        return WriteMeta(meta_tmp_path, meta);
+      });
 }
 
 StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
@@ -381,35 +270,27 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
 StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
     const std::string& prefix, const OpenOptions& options) {
   const std::string meta_path = prefix + ".meta";
-  StatusOr<MetaData> meta = ReadMeta(meta_path);
 
-  // Self-heal a save that crashed between its two renames: `.pages`
-  // already holds the next snapshot but `.meta` still describes the
-  // previous one. The signature is unforgeable — `.meta.tmp` parses,
-  // its epoch is exactly one past the current catalog's (or there is no
-  // catalog at all: a first save), and the page file is stamped with
-  // precisely that epoch (a leftover `.meta.tmp` from a crash *before*
-  // the renames fails this check because `.pages` kept the old stamp).
-  // Completing the second rename commits the interrupted save.
-  {
-    StatusOr<MetaData> tmp = ReadMeta(prefix + ".meta.tmp");
-    if (tmp.ok() && tmp->epoch != 0 &&
-        PeekPagesEpoch(prefix + ".pages") == tmp->epoch &&
-        (!meta.ok() || meta->epoch + 1 == tmp->epoch)) {
-      FIELDDB_RETURN_IF_ERROR(RenameFile(prefix + ".meta.tmp", meta_path));
-      SyncParentDir(meta_path);
-      meta = std::move(tmp);
-    }
-  }
+  // Self-heal a save that crashed between its two renames (see
+  // TryCompleteInterruptedSave): `.pages` already holds the next
+  // snapshot but `.meta` still describes the previous one.
+  TryCompleteInterruptedSave(
+      prefix, [](const std::string& path) -> StatusOr<uint32_t> {
+        StatusOr<MetaData> m = ReadMeta(path);
+        if (!m.ok()) return m.status();
+        return m->epoch;
+      });
+
+  StatusOr<MetaData> meta = ReadMeta(meta_path);
   if (!meta.ok()) return meta.status();
 
-  StatusOr<std::unique_ptr<DiskPageFile>> file =
-      DiskPageFile::Open(prefix + ".pages", meta->page_size, meta->epoch);
-  if (!file.ok()) return file.status();
+  auto db = std::unique_ptr<FieldDatabase>(new FieldDatabase());
+  FIELDDB_RETURN_IF_ERROR(db->engine_.InitForOpen(
+      prefix, meta->page_size, meta->epoch, options.pool_pages));
 
   // Page-range validation against the actual file: a truncated or
   // mismatched page file must not turn into out-of-range reads later.
-  const uint64_t num_pages = (*file)->NumPages();
+  const uint64_t num_pages = db->engine_.file()->NumPages();
   if (meta->num_cells > 0 && meta->store_first_page >= num_pages) {
     return Status::Corruption("catalog " + prefix +
                               ".meta: invalid value for 'store_first_page'");
@@ -423,24 +304,12 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
                               ".meta: invalid value for 'spatial'");
   }
 
-  auto db = std::unique_ptr<FieldDatabase>(new FieldDatabase());
-  db->file_ = std::move(file).value();
-  db->pool_ =
-      std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
-  // An attached database never overwrites checkpoint pages in place:
-  // Save is the checkpoint's only mutator (atomic temp-file renames).
-  // No-steal enforces that — dirty frames stay pooled until the next
-  // Save captures them; under wal_mode off they are simply dropped at
-  // Close (updates there are volatile by contract, DESIGN.md §14).
-  // Writing them back here would let `.pages` drift ahead of the
-  // subfield intervals and tree meta still recorded in `.meta`.
-  db->pool_->set_no_steal(true);
+  BufferPool* const pool = db->engine_.pool();
   db->value_range_ = meta->value_range;
   db->domain_ = meta->domain;
-  db->epoch_ = meta->epoch;
 
-  StatusOr<CellStore> store = CellStore::Attach(
-      db->pool_.get(), meta->store_first_page, meta->num_cells);
+  StatusOr<CellStore> store =
+      CellStore::Attach(pool, meta->store_first_page, meta->num_cells);
   if (!store.ok()) return store.status();
 
   IndexBuildInfo info;
@@ -461,14 +330,14 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
       if (!meta->has_tree) return Status::Corruption("missing tree meta");
       db->index_ = IAllIndex::Attach(
           std::move(store).value(),
-          RStarTree<1>::Attach(db->pool_.get(), meta->tree), info);
+          RStarTree<1>::Attach(pool, meta->tree), info);
       break;
     }
     case IndexMethod::kIHilbert: {
       if (!meta->has_tree) return Status::Corruption("missing tree meta");
       db->index_ = IHilbertIndex::Attach(
           std::move(store).value(),
-          RStarTree<1>::Attach(db->pool_.get(), meta->tree),
+          RStarTree<1>::Attach(pool, meta->tree),
           std::move(meta->subfields), info);
       break;
     }
@@ -476,7 +345,7 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
       if (!meta->has_tree) return Status::Corruption("missing tree meta");
       db->index_ = IntervalQuadtreeIndex::Attach(
           std::move(store).value(),
-          RStarTree<1>::Attach(db->pool_.get(), meta->tree),
+          RStarTree<1>::Attach(pool, meta->tree),
           std::move(meta->subfields), info);
       break;
     }
@@ -484,101 +353,29 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
       return Status::Corruption("unknown index method in catalog");
   }
   if (meta->has_spatial) {
-    db->spatial_.emplace(
-        RStarTree<2>::Attach(db->pool_.get(), meta->spatial));
+    db->spatial_.emplace(RStarTree<2>::Attach(pool, meta->spatial));
   }
   // Planning is a pure function of the attached index state, so a
   // reopened snapshot plans exactly like the database that saved it.
   db->InitPlanner(PlannerMode::kAuto);
 
-  // --- Recovery: replay the write-ahead log over the snapshot. ---
-  MetricsRegistry& reg = MetricsRegistry::Default();
-  const std::string wal_path = prefix + ".wal";
+  // Recovery: replay the write-ahead log over the snapshot (logical
+  // redo through the same UpdateCellValues path the original mutations
+  // took, so the zone map, subfield intervals and interval-tree entries
+  // are all maintained, not just pages), then either keep logging or
+  // fold into a fresh checkpoint. The scan/replay/verify pipeline,
+  // stale-epoch filtering and metrics are the engine's.
   RecoveryReport report;
-  uint64_t replayed = 0;
-  uint64_t stale = 0;
-  {
-    ScopedSpan recovery(&report.trace, "recovery", nullptr);
-    WalScanResult scan;
-    {
-      ScopedSpan scan_span(&report.trace, "wal.scan", nullptr);
-      StatusOr<WalScanResult> scanned = WriteAheadLog::Scan(wal_path);
-      if (!scanned.ok()) return scanned.status();
-      scan = std::move(scanned).value();
-      scan_span.set_items(scan.frames.size());
-      if (!scan.torn_reason.empty()) scan_span.set_detail(scan.torn_reason);
-    }
-    report.torn_bytes = scan.torn_bytes();
-    report.valid_bytes = scan.valid_bytes;
-
-    if (!scan.frames.empty()) {
-      // Replayed pages become dirty pool frames that no-steal keeps off
-      // the checkpoint they redo (a crash mid-replay must stay
-      // re-playable). Logical redo through the same UpdateCellValues
-      // path the original mutations took, so the zone map, subfield
-      // intervals and interval-tree entries are all maintained, not
-      // just pages.
-      ScopedSpan replay_span(&report.trace, "wal.replay", nullptr);
-      for (const WalFrame& frame : scan.frames) {
-        if (frame.epoch != meta->epoch) {
-          // A completed checkpoint already captured this frame; only
-          // the not-yet-truncated log survived the crash.
-          ++stale;
-          continue;
-        }
-        const Status applied =
-            db->index_->UpdateCellValues(frame.cell_id, frame.values);
-        if (!applied.ok()) {
-          return Status::Corruption(
-              "wal replay failed at lsn " + std::to_string(frame.lsn) +
-              ": " + applied.ToString());
-        }
+  FIELDDB_RETURN_IF_ERROR(db->engine_.RecoverFromWal(
+      prefix, options.wal_mode,
+      [&](const WalFrame& frame) -> Status {
+        FIELDDB_RETURN_IF_ERROR(
+            db->index_->UpdateCellValues(frame.cell_id, frame.values));
         for (const double w : frame.values) db->value_range_.Extend(w);
-        ++replayed;
-      }
-      replay_span.set_items(replayed);
-      if (stale > 0) {
-        replay_span.set_detail(std::to_string(stale) + " stale frames");
-      }
-    }
-    report.frames_replayed = replayed;
-    report.stale_frames = stale;
-    reg.GetCounter("storage.wal.replayed_frames")->Increment(replayed);
-    reg.GetCounter("storage.wal.stale_frames")->Increment(stale);
-
-    if (replayed > 0) {
-      // Post-replay verification with the Scrub machinery: under
-      // no-steal the flush inside is a no-op, so this proves the
-      // checkpoint base the redo was applied over is bit-intact.
-      ScopedSpan verify_span(&report.trace, "verify", nullptr);
-      ScrubReport scrub;
-      FIELDDB_RETURN_IF_ERROR(db->Scrub(&scrub));
-      report.pages_verified = scrub.pages_checked;
-      report.corrupt_pages = scrub.corrupt_pages;
-      verify_span.set_items(scrub.pages_checked);
-    }
-    recovery.set_items(replayed);
-  }
-
-  if (options.wal_mode != WalMode::kOff) {
-    // Keep logging: reopen the log for appends (physically truncating
-    // any torn tail); dirty frames stay pinned until the next
-    // checkpoint.
-    StatusOr<std::unique_ptr<WriteAheadLog>> wal =
-        WriteAheadLog::Open(wal_path, options.wal_mode, meta->epoch);
-    if (!wal.ok()) return wal.status();
-    db->wal_ = std::move(wal).value();
-  } else {
-    if (replayed > 0) {
-      // The caller wants a log-less database but the log held committed
-      // mutations: fold them into a fresh checkpoint, then drop the
-      // log. (A crash in between is safe — the checkpoint bumped the
-      // epoch, so the leftover log replays as stale no-ops.)
-      FIELDDB_RETURN_IF_ERROR(db->SaveImpl(prefix, SaveCrashPoint::kNone));
-      report.folded = true;
-    }
-    std::remove(wal_path.c_str());  // absent file is fine
-  }
+        return Status::OK();
+      },
+      [&]() { return db->SaveImpl(prefix, SaveCrashPoint::kNone); },
+      &report));
 
   if (!options.event_log_path.empty()) {
     FIELDDB_RETURN_IF_ERROR(db->AttachEventLog(
@@ -586,15 +383,7 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
     // One structured record per open: what recovery found and did. The
     // event log writes through its own fd, never the page file, so this
     // cannot disturb recovery state or I/O attribution.
-    db->LogEvent(EventLog::Event("recovery")
-                     .Add("frames_replayed", report.frames_replayed)
-                     .Add("stale_frames", report.stale_frames)
-                     .Add("torn_bytes", report.torn_bytes)
-                     .Add("pages_verified", report.pages_verified)
-                     .Add("corrupt_pages",
-                          static_cast<uint64_t>(report.corrupt_pages.size()))
-                     .Add("folded", report.folded)
-                     .Add("wal_mode", WalModeName(options.wal_mode)));
+    db->engine_.LogRecoveryEvent(report, options.wal_mode);
     if (options.wal_mode == WalMode::kOff && report.folded) {
       db->LogEvent(EventLog::Event("wal_mode_transition")
                        .Add("from", "unknown")
@@ -603,7 +392,7 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
     }
   }
 
-  db->pool_->ResetStats();
+  pool->ResetStats();
   if (options.recovery_report != nullptr) {
     *options.recovery_report = std::move(report);
   }

@@ -14,6 +14,32 @@ double PercentileOfSorted(const std::vector<double>& sorted, double p) {
   return sorted[rank == 0 ? 0 : rank - 1];
 }
 
+void FinalizeWorkloadStats(const QueryStats& total,
+                           std::vector<double>* wall_ms,
+                           WorkloadStats* out) {
+  out->num_queries = static_cast<uint32_t>(wall_ms->size());
+  if (wall_ms->empty()) return;
+  const double n = static_cast<double>(wall_ms->size());
+  out->avg_wall_ms = total.wall_seconds * 1000.0 / n;
+  std::sort(wall_ms->begin(), wall_ms->end());
+  out->p50_wall_ms = PercentileOfSorted(*wall_ms, 50);
+  out->p90_wall_ms = PercentileOfSorted(*wall_ms, 90);
+  out->p99_wall_ms = PercentileOfSorted(*wall_ms, 99);
+  out->max_wall_ms = wall_ms->back();
+  out->avg_candidates = static_cast<double>(total.candidate_cells) / n;
+  out->avg_answer_cells = static_cast<double>(total.answer_cells) / n;
+  out->avg_logical_reads = static_cast<double>(total.io.logical_reads) / n;
+  out->avg_physical_reads =
+      static_cast<double>(total.io.physical_reads) / n;
+  out->avg_sequential_reads =
+      static_cast<double>(total.io.sequential_reads) / n;
+  out->avg_random_reads = static_cast<double>(total.io.random_reads()) / n;
+  out->avg_index_fallbacks =
+      static_cast<double>(total.index_fallbacks) / n;
+  out->avg_read_retries = static_cast<double>(total.io.read_retries) / n;
+  out->avg_failed_reads = static_cast<double>(total.io.failed_reads) / n;
+}
+
 std::string WorkloadStats::ToString() const {
   char buf[512];
   std::snprintf(

@@ -85,6 +85,16 @@ struct WorkloadStats {
   std::string ToString() const;
 };
 
+/// Fills every aggregate field of `out` — the averages and the
+/// wall-time percentiles — from accumulated per-query totals and the
+/// raw wall-time samples (milliseconds; sorted in place). Sets
+/// num_queries from the sample count; a no-op on an empty workload.
+/// The one place the workload-aggregation arithmetic lives: every
+/// RunWorkload (grid, temporal, vector, volume) finishes through it.
+void FinalizeWorkloadStats(const QueryStats& total,
+                           std::vector<double>* wall_ms,
+                           WorkloadStats* out);
+
 }  // namespace fielddb
 
 #endif  // FIELDDB_CORE_STATS_H_

@@ -4,49 +4,74 @@
 
 namespace fielddb {
 
+CellStore::Appender::Appender(BufferPool* pool, uint64_t num_cells)
+    : store_(pool, kInvalidPageId, num_cells,
+             pool->file()->page_size() /
+                 static_cast<uint32_t>(sizeof(CellRecord)),
+             std::vector<uint64_t>(num_cells, ~uint64_t{0})) {}
+
+Status CellStore::Appender::Append(const CellRecord& record) {
+  if (store_.cells_per_page_ == 0) {
+    return Status::InvalidArgument("page too small for a cell record");
+  }
+  if (pos_ >= store_.num_cells_) {
+    return Status::OutOfRange("appended past the declared cell count");
+  }
+  const uint32_t slot =
+      static_cast<uint32_t>(pos_ % store_.cells_per_page_);
+  if (slot == 0) {
+    StatusOr<PageId> id = store_.pool_->Allocate(&pin_);
+    if (!id.ok()) return id.status();
+    if (store_.first_page_ == kInvalidPageId) store_.first_page_ = *id;
+  }
+  if (record.id >= store_.num_cells_ ||
+      store_.position_of_[record.id] != ~uint64_t{0}) {
+    return Status::InvalidArgument("order is not a permutation");
+  }
+  store_.position_of_[record.id] = pos_;
+  const ValueInterval iv = record.Interval();
+  store_.zone_min_[pos_] = iv.min;
+  store_.zone_max_[pos_] = iv.max;
+  pin_.MutablePage().Write(slot * sizeof(CellRecord), &record,
+                           sizeof(CellRecord));
+  ++pos_;
+  return Status::OK();
+}
+
+StatusOr<CellStore> CellStore::Appender::Finish() {
+  if (store_.cells_per_page_ == 0) {
+    return Status::InvalidArgument("page too small for a cell record");
+  }
+  if (pos_ != store_.num_cells_) {
+    return Status::InvalidArgument("appended fewer cells than declared");
+  }
+  pin_.Release();
+  if (store_.num_cells_ == 0) {
+    // Allocate one (empty) page so first_page_ is always valid.
+    StatusOr<PageId> id = store_.pool_->Allocate(&pin_);
+    if (!id.ok()) return id.status();
+    store_.first_page_ = *id;
+    pin_.Release();
+  }
+  return std::move(store_);
+}
+
 StatusOr<CellStore> CellStore::Build(BufferPool* pool, const Field& field,
                                      const std::vector<CellId>& order) {
   const uint64_t n = field.NumCells();
   if (!order.empty() && order.size() != n) {
     return Status::InvalidArgument("order size does not match cell count");
   }
-  const uint32_t per_page =
-      pool->file()->page_size() / static_cast<uint32_t>(sizeof(CellRecord));
-  if (per_page == 0) {
-    return Status::InvalidArgument("page too small for a cell record");
-  }
-
-  CellStore store(pool, kInvalidPageId, n, per_page,
-                  std::vector<uint64_t>(n, ~uint64_t{0}));
-  PinnedPage pin;
+  Appender appender(pool, n);
   for (uint64_t pos = 0; pos < n; ++pos) {
-    const uint32_t slot = static_cast<uint32_t>(pos % per_page);
-    if (slot == 0) {
-      StatusOr<PageId> id = pool->Allocate(&pin);
-      if (!id.ok()) return id.status();
-      if (store.first_page_ == kInvalidPageId) store.first_page_ = *id;
-    }
     const CellId cell_id = order.empty() ? static_cast<CellId>(pos)
                                          : order[pos];
-    if (cell_id >= n || store.position_of_[cell_id] != ~uint64_t{0}) {
+    if (cell_id >= n) {
       return Status::InvalidArgument("order is not a permutation");
     }
-    store.position_of_[cell_id] = pos;
-    const CellRecord record = field.GetCell(cell_id);
-    const ValueInterval iv = record.Interval();
-    store.zone_min_[pos] = iv.min;
-    store.zone_max_[pos] = iv.max;
-    pin.MutablePage().Write(slot * sizeof(CellRecord), &record,
-                            sizeof(CellRecord));
+    FIELDDB_RETURN_IF_ERROR(appender.Append(field.GetCell(cell_id)));
   }
-  pin.Release();
-  if (n == 0) {
-    // Allocate one (empty) page so first_page_ is always valid.
-    StatusOr<PageId> id = pool->Allocate(&pin);
-    if (!id.ok()) return id.status();
-    store.first_page_ = *id;
-  }
-  return store;
+  return appender.Finish();
 }
 
 StatusOr<CellStore> CellStore::Attach(BufferPool* pool, PageId first_page,

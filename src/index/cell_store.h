@@ -44,6 +44,14 @@ class CellStore {
   static StatusOr<CellStore> Build(BufferPool* pool, const Field& field,
                                    const std::vector<CellId>& order);
 
+  /// Streaming counterpart of Build for callers that produce records one
+  /// slot at a time instead of holding a full order vector — the
+  /// external-sort build feeds each merged record straight in. Append()
+  /// exactly `num_cells` records in storage order, then Finish(). The
+  /// page layout is byte-identical to Build's: Build itself is a loop
+  /// over this class. Defined after the class (it holds a CellStore).
+  class Appender;
+
   /// Re-attaches to a store persisted in `pool`'s file (pages
   /// [first_page, first_page + ceil(num_cells / per_page))). Scans the
   /// records once to rebuild the cell-id -> position map and the zone
@@ -272,6 +280,23 @@ class CellStore {
   std::vector<uint64_t> position_of_;
   std::vector<double> zone_min_;
   std::vector<double> zone_max_;
+};
+
+class CellStore::Appender {
+ public:
+  Appender(BufferPool* pool, uint64_t num_cells);
+  /// Writes `record` at the next slot; allocates a page per
+  /// cells_per_page() records. Validates the same permutation invariant
+  /// Build does (each cell id stored exactly once).
+  Status Append(const CellRecord& record);
+  /// Slots appended so far.
+  uint64_t size() const { return pos_; }
+  StatusOr<CellStore> Finish();
+
+ private:
+  CellStore store_;
+  PinnedPage pin_;
+  uint64_t pos_ = 0;
 };
 
 }  // namespace fielddb

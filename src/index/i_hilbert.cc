@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/ext_sort.h"
 #include "index/subfield_maintenance.h"
 #include "index/update_util.h"
 
@@ -37,18 +38,57 @@ StatusOr<std::unique_ptr<IHilbertIndex>> IHilbertIndex::Build(
     return Status::InvalidArgument("unknown curve type");
   }
 
-  const std::vector<CellId> order = LinearizeCells(field, *curve);
-  StatusOr<CellStore> store = CellStore::Build(pool, field, order);
-  if (!store.ok()) return store.status();
-
-  // Intervals in storage order feed the greedy grouping.
-  std::vector<ValueInterval> intervals(order.size());
-  for (uint64_t pos = 0; pos < order.size(); ++pos) {
-    intervals[pos] = field.GetCell(order[pos]).Interval();
-  }
   const ValueInterval range = field.ValueRange();
-  std::vector<Subfield> subfields =
-      BuildSubfields(intervals, range, options.cost);
+  StatusOr<CellStore> store = Status::Internal("store not built");
+  std::vector<Subfield> subfields;
+  uint64_t ext_spill_runs = 0;
+  uint64_t ext_peak_buffered_bytes = 0;
+
+  if (options.build_memory_budget_bytes > 0) {
+    // Bounded-memory build: the linearization sort spills runs of
+    // (hilbert_key, cell_id) to temp files and the k-way merge streams
+    // straight into the store appender and the greedy subfield costing
+    // — the keyed working set never exceeds the budget. The merge's
+    // (key, insertion-seq) tie-break equals the in-RAM sort's (key, id)
+    // tie-break because ids are added in order, so the index built here
+    // is byte-identical to the std::sort path's.
+    const CellId n = field.NumCells();
+    const Rect2 domain = field.Domain();
+    const double w = std::max(domain.Width(), kGeomEpsilon);
+    const double h = std::max(domain.Height(), kGeomEpsilon);
+    ExternalKeyRecordSorter<CellId> sorter(options.build_memory_budget_bytes);
+    for (CellId id = 0; id < n; ++id) {
+      const Point2 c = field.GetCell(id).Centroid();
+      const double ux = (c.x - domain.lo.x) / w;
+      const double uy = (c.y - domain.lo.y) / h;
+      FIELDDB_RETURN_IF_ERROR(sorter.Add(curve->EncodeUnit(ux, uy), id));
+    }
+    CellStore::Appender appender(pool, n);
+    SubfieldStreamBuilder costing(range, options.cost);
+    FIELDDB_RETURN_IF_ERROR(
+        sorter.Merge([&](uint64_t, const CellId& id) -> Status {
+          const CellRecord record = field.GetCell(id);
+          FIELDDB_RETURN_IF_ERROR(appender.Append(record));
+          costing.Add(record.Interval());
+          return Status::OK();
+        }));
+    store = appender.Finish();
+    if (!store.ok()) return store.status();
+    subfields = costing.Finish();
+    ext_spill_runs = sorter.spill_runs();
+    ext_peak_buffered_bytes = sorter.peak_buffered_bytes();
+  } else {
+    const std::vector<CellId> order = LinearizeCells(field, *curve);
+    store = CellStore::Build(pool, field, order);
+    if (!store.ok()) return store.status();
+
+    // Intervals in storage order feed the greedy grouping.
+    std::vector<ValueInterval> intervals(order.size());
+    for (uint64_t pos = 0; pos < order.size(); ++pos) {
+      intervals[pos] = field.GetCell(order[pos]).Interval();
+    }
+    subfields = BuildSubfields(intervals, range, options.cost);
+  }
 
   StatusOr<RStarTree<1>> tree = [&]() -> StatusOr<RStarTree<1>> {
     if (options.bulk_load) {
@@ -79,6 +119,8 @@ StatusOr<std::unique_ptr<IHilbertIndex>> IHilbertIndex::Build(
   info.tree_height = tree->height();
   info.tree_nodes = tree->num_nodes();
   info.store_pages = store->num_pages();
+  info.ext_spill_runs = ext_spill_runs;
+  info.ext_peak_buffered_bytes = ext_peak_buffered_bytes;
   info.build_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -36,48 +36,57 @@ bool SubfieldCostModel::ShouldAppend(const Subfield& current,
   return cost_before > cost_after;
 }
 
-std::vector<Subfield> BuildSubfields(
-    const std::vector<ValueInterval>& cell_intervals,
-    const ValueInterval& value_range, const SubfieldCostConfig& config) {
-  std::vector<Subfield> subfields;
-  if (cell_intervals.empty()) return subfields;
+SubfieldStreamBuilder::SubfieldStreamBuilder(
+    const ValueInterval& value_range, const SubfieldCostConfig& config)
+    : model_(value_range, config) {}
 
-  const SubfieldCostModel model(value_range, config);
-  Subfield current;
-  current.start = 0;
-  current.end = 1;
-  current.interval = cell_intervals[0];
-  current.sum_interval_sizes = cell_intervals[0].PaperSize();
-
-  for (uint64_t pos = 1; pos < cell_intervals.size(); ++pos) {
-    const ValueInterval& cell = cell_intervals[pos];
-    if (model.ShouldAppend(current, cell)) {
-      current.end = pos + 1;
-      current.interval.Extend(cell);
-      current.sum_interval_sizes += cell.PaperSize();
-    } else {
-      subfields.push_back(current);
-      current.start = pos;
-      current.end = pos + 1;
-      current.interval = cell;
-      current.sum_interval_sizes = cell.PaperSize();
-    }
+void SubfieldStreamBuilder::Add(const ValueInterval& cell) {
+  const uint64_t pos = num_cells_++;
+  if (pos == 0) {
+    current_.start = 0;
+    current_.end = 1;
+    current_.interval = cell;
+    current_.sum_interval_sizes = cell.PaperSize();
+    return;
   }
-  subfields.push_back(current);
+  if (model_.ShouldAppend(current_, cell)) {
+    current_.end = pos + 1;
+    current_.interval.Extend(cell);
+    current_.sum_interval_sizes += cell.PaperSize();
+  } else {
+    subfields_.push_back(current_);
+    current_.start = pos;
+    current_.end = pos + 1;
+    current_.interval = cell;
+    current_.sum_interval_sizes = cell.PaperSize();
+  }
+}
+
+std::vector<Subfield> SubfieldStreamBuilder::Finish() {
+  if (num_cells_ == 0) return std::move(subfields_);
+  subfields_.push_back(current_);
 
   // Partition-shape telemetry: the subfield count and size distribution
   // are what the paper's cost model trades off (few large subfields =>
   // cheap tree, many false positives), so expose them per build.
   MetricsRegistry& reg = MetricsRegistry::Default();
   reg.GetCounter("subfield.builds")->Increment();
-  reg.GetCounter("subfield.subfields_built")->Increment(subfields.size());
+  reg.GetCounter("subfield.subfields_built")->Increment(subfields_.size());
   reg.GetGauge("subfield.last_partition_size")
-      ->Set(static_cast<double>(subfields.size()));
+      ->Set(static_cast<double>(subfields_.size()));
   Histogram* sizes = reg.GetHistogram("subfield.cells_per_subfield");
-  for (const Subfield& sf : subfields) {
+  for (const Subfield& sf : subfields_) {
     sizes->Record(static_cast<double>(sf.NumCells()));
   }
-  return subfields;
+  return std::move(subfields_);
+}
+
+std::vector<Subfield> BuildSubfields(
+    const std::vector<ValueInterval>& cell_intervals,
+    const ValueInterval& value_range, const SubfieldCostConfig& config) {
+  SubfieldStreamBuilder builder(value_range, config);
+  for (const ValueInterval& cell : cell_intervals) builder.Add(cell);
+  return builder.Finish();
 }
 
 }  // namespace fielddb

@@ -60,6 +60,33 @@ class SubfieldCostModel {
   double range_size_;  // PaperSize of the value range (>= 1)
 };
 
+/// Streaming subfield partitioner: cells arrive one at a time in
+/// linearized order (the external-sort merge feeds it without ever
+/// materializing all intervals) and Finish() seals the last subfield and
+/// records the partition-shape telemetry. BuildSubfields is a thin
+/// wrapper over this, so streamed and vector builds produce identical
+/// partitions by construction.
+class SubfieldStreamBuilder {
+ public:
+  SubfieldStreamBuilder(const ValueInterval& value_range,
+                        const SubfieldCostConfig& config);
+
+  /// Appends the next cell's value interval (slot = number of cells
+  /// added so far), growing the open subfield or sealing it per the
+  /// paper's insertion rule.
+  void Add(const ValueInterval& cell);
+
+  /// Seals the open subfield, records telemetry, and returns the
+  /// partition. The builder is consumed.
+  std::vector<Subfield> Finish();
+
+ private:
+  SubfieldCostModel model_;
+  std::vector<Subfield> subfields_;
+  Subfield current_;
+  uint64_t num_cells_ = 0;
+};
+
 /// Builds the full subfield partition of a linearized cell sequence:
 /// `cell_intervals[pos]` is the value interval of the cell at slot `pos`.
 /// Every cell lands in exactly one subfield and subfields are contiguous

@@ -32,6 +32,11 @@ struct IndexBuildInfo {
   uint64_t tree_nodes = 0;
   uint64_t store_pages = 0;
   double build_seconds = 0.0;
+  /// External-sort build telemetry (0 when the build ran fully in RAM):
+  /// spill runs written to temp files, and the high-water mark of the
+  /// sorter's in-memory buffer — the number the memory budget bounds.
+  uint64_t ext_spill_runs = 0;
+  uint64_t ext_peak_buffered_bytes = 0;
 };
 
 /// The filtering step of a field value query (paper Section 3.2, Step 1):
@@ -55,25 +60,6 @@ class ValueIndex {
   /// one uint64_t per candidate.
   virtual Status FilterCandidateRanges(const ValueInterval& query,
                                        std::vector<PosRange>* ranges) const = 0;
-
-  /// Legacy position-expanding form: appends the same candidate set as
-  /// one position per candidate, ascending. Deprecated for external use
-  /// — it materializes O(selectivity * N) positions the run form
-  /// represents in O(runs); consume FilterCandidateRanges instead.
-  [[deprecated("use FilterCandidateRanges; the per-position expansion is "
-               "O(candidates) where runs are O(1) per contiguous block")]]
-  Status FilterCandidates(const ValueInterval& query,
-                          std::vector<uint64_t>* positions) const {
-    std::vector<PosRange> ranges;
-    FIELDDB_RETURN_IF_ERROR(FilterCandidateRanges(query, &ranges));
-    positions->reserve(positions->size() + TotalRangeLength(ranges));
-    for (const PosRange& r : ranges) {
-      for (uint64_t pos = r.begin; pos < r.end; ++pos) {
-        positions->push_back(pos);
-      }
-    }
-    return Status::OK();
-  }
 
   /// The clustered store holding this index's cells.
   virtual const CellStore& cell_store() const = 0;

@@ -1,0 +1,37 @@
+#include "index/zone_sidecar.h"
+
+#include <algorithm>
+
+namespace fielddb {
+
+void IntersectRanges(const std::vector<PosRange>& a,
+                     const std::vector<PosRange>& b,
+                     std::vector<PosRange>* out) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const uint64_t begin = std::max(a[i].begin, b[j].begin);
+    const uint64_t end = std::min(a[i].end, b[j].end);
+    if (begin < end) out->push_back(PosRange{begin, end});
+    // Advance whichever run ends first; the other may still overlap the
+    // next run on this side.
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+}
+
+void BoxZoneMap::FilterRanges(const ValueInterval& u, const ValueInterval& v,
+                              std::vector<PosRange>* out) const {
+  std::vector<PosRange> u_runs;
+  std::vector<PosRange> v_runs;
+  simd::FilterIntervalRanges(u_min_.data(), u_max_.data(), size(),
+                             /*base=*/0, u.min, u.max, &u_runs);
+  simd::FilterIntervalRanges(v_min_.data(), v_max_.data(), size(),
+                             /*base=*/0, v.min, v.max, &v_runs);
+  IntersectRanges(u_runs, v_runs, out);
+}
+
+}  // namespace fielddb

@@ -1,0 +1,106 @@
+#ifndef FIELDDB_INDEX_ZONE_SIDECAR_H_
+#define FIELDDB_INDEX_ZONE_SIDECAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/simd/interval_filter.h"
+
+namespace fielddb {
+
+/// SoA zone-map sidecars for the extension field stores — the same
+/// structure the grid's value index keeps per cell, factored out so the
+/// temporal, vector and volume databases get range-native
+/// FilterCandidateRanges parity (DESIGN.md §16). One slot per store
+/// position, min/max planes stored as separate contiguous arrays so the
+/// SIMD interval kernels stream them directly.
+///
+/// The sidecars are in-RAM (rebuilt on Open by scanning the store) and
+/// maintained on update, so a planner probe over them is zero-I/O.
+
+/// Scalar values: one closed interval per slot (temporal/volume).
+class ScalarZoneMap {
+ public:
+  void Reserve(uint64_t n) {
+    mins_.reserve(n);
+    maxs_.reserve(n);
+  }
+  void Append(const ValueInterval& iv) {
+    mins_.push_back(iv.min);
+    maxs_.push_back(iv.max);
+  }
+  void Set(uint64_t pos, const ValueInterval& iv) {
+    mins_[pos] = iv.min;
+    maxs_[pos] = iv.max;
+  }
+  ValueInterval At(uint64_t pos) const {
+    return ValueInterval{mins_[pos], maxs_[pos]};
+  }
+  uint64_t size() const { return mins_.size(); }
+
+  /// Appends the maximal runs of slots intersecting `query` (SIMD
+  /// kernel; bit-identical across instruction sets).
+  void FilterRanges(const ValueInterval& query,
+                    std::vector<PosRange>* out) const {
+    simd::FilterIntervalRanges(mins_.data(), maxs_.data(), size(),
+                               /*base=*/0, query.min, query.max, out);
+  }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+/// 2-D boxes: one (u, v) interval pair per slot (vector fields, where a
+/// band query constrains both components). Filtering intersects the
+/// per-component run lists, so each component still streams through the
+/// scalar SIMD kernel.
+class BoxZoneMap {
+ public:
+  void Reserve(uint64_t n) {
+    u_min_.reserve(n);
+    u_max_.reserve(n);
+    v_min_.reserve(n);
+    v_max_.reserve(n);
+  }
+  void Append(const ValueInterval& u, const ValueInterval& v) {
+    u_min_.push_back(u.min);
+    u_max_.push_back(u.max);
+    v_min_.push_back(v.min);
+    v_max_.push_back(v.max);
+  }
+  void Set(uint64_t pos, const ValueInterval& u, const ValueInterval& v) {
+    u_min_[pos] = u.min;
+    u_max_[pos] = u.max;
+    v_min_[pos] = v.min;
+    v_max_[pos] = v.max;
+  }
+  ValueInterval UAt(uint64_t pos) const {
+    return ValueInterval{u_min_[pos], u_max_[pos]};
+  }
+  ValueInterval VAt(uint64_t pos) const {
+    return ValueInterval{v_min_[pos], v_max_[pos]};
+  }
+  uint64_t size() const { return u_min_.size(); }
+
+  /// Appends the maximal runs of slots whose box intersects `u` × `v`.
+  void FilterRanges(const ValueInterval& u, const ValueInterval& v,
+                    std::vector<PosRange>* out) const;
+
+ private:
+  std::vector<double> u_min_;
+  std::vector<double> u_max_;
+  std::vector<double> v_min_;
+  std::vector<double> v_max_;
+};
+
+/// Intersects two sorted, disjoint run lists (the standard two-pointer
+/// merge). Exposed for tests.
+void IntersectRanges(const std::vector<PosRange>& a,
+                     const std::vector<PosRange>& b,
+                     std::vector<PosRange>* out);
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_INDEX_ZONE_SIDECAR_H_

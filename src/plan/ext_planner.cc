@@ -1,0 +1,64 @@
+#include "plan/ext_planner.h"
+
+#include <cstdio>
+
+namespace fielddb {
+
+PhysicalPlan ExtStorePlanner::Choose(const std::vector<PosRange>& runs,
+                                     PlannerMode mode,
+                                     bool has_index) const {
+  PhysicalPlan plan;
+  plan.scan_pattern = cost_.ScanPattern(shape_);
+  plan.scan_cost_ms = cost_.CostMs(plan.scan_pattern);
+
+  if (!has_index) {
+    plan.kind = PlanKind::kFusedScan;
+    plan.predicted_cost_ms = plan.scan_cost_ms;
+    plan.reason = "LinearScan: no value index, fused scan is the only plan";
+    return plan;
+  }
+  if (mode == PlannerMode::kForceScan) {
+    plan.kind = PlanKind::kFusedScan;
+    plan.predicted_cost_ms = plan.scan_cost_ms;
+    plan.reason = "forced: fused scan";
+    return plan;
+  }
+
+  plan.predicted_candidates = TotalRangeLength(runs);
+  plan.predicted_runs = runs.size();
+  plan.selectivity =
+      shape_.num_cells > 0
+          ? static_cast<double>(plan.predicted_candidates) / shape_.num_cells
+          : 0.0;
+  // Index descent (tree nodes are scattered: every read seeks) plus the
+  // candidate fetch.
+  plan.index_pattern.pages = descent_pages_;
+  plan.index_pattern.random_reads = descent_pages_;
+  plan.index_pattern += cost_.FetchPattern(shape_, runs);
+  plan.index_cost_ms = cost_.CostMs(plan.index_pattern);
+
+  if (mode == PlannerMode::kForceIndex) {
+    plan.kind = PlanKind::kIndexedFilter;
+    plan.predicted_cost_ms = plan.index_cost_ms;
+    plan.reason = "forced: indexed filter+fetch";
+    return plan;
+  }
+
+  const bool index_wins = plan.index_cost_ms < plan.scan_cost_ms;
+  plan.kind = index_wins ? PlanKind::kIndexedFilter : PlanKind::kFusedScan;
+  plan.predicted_cost_ms =
+      index_wins ? plan.index_cost_ms : plan.scan_cost_ms;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "auto: %s (index %.2f ms %s scan %.2f ms; est. %llu "
+                "candidates, %.2f%% selectivity)",
+                index_wins ? "indexed filter+fetch" : "fused scan",
+                plan.index_cost_ms, index_wins ? "<" : ">=",
+                plan.scan_cost_ms,
+                static_cast<unsigned long long>(plan.predicted_candidates),
+                plan.selectivity * 100.0);
+  plan.reason = buf;
+  return plan;
+}
+
+}  // namespace fielddb

@@ -1,0 +1,53 @@
+#ifndef FIELDDB_PLAN_EXT_PLANNER_H_
+#define FIELDDB_PLAN_EXT_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/simd/interval_filter.h"
+#include "plan/planner.h"
+
+namespace fielddb {
+
+/// Cost-based scan-vs-index selection for the extension field stores
+/// (temporal slabs, vector cells, voxels) — the same decision
+/// QueryPlanner makes for the grid, parameterized by an explicit
+/// StoreShape instead of a CellStore so any fixed-record store can be
+/// costed (DESIGN.md §16).
+///
+/// The caller runs the zero-I/O selectivity probe itself (the extension
+/// databases keep in-RAM zone-map sidecars — see index/zone_sidecar.h —
+/// whose FilterRanges output *is* the exact filter result) and hands the
+/// candidate runs in; Choose prices both alternatives with the paper's
+/// disk model:
+///  - fused scan: every store page once (one seek + pure transfer);
+///  - indexed filter: `descent_pages` random pages for the index descent
+///    (tree height for R*-tree-backed methods, 0 when the zone runs are
+///    served straight from the sidecar) plus the candidate-run fetch
+///    pattern.
+/// Deterministic and independent of buffer-pool state, like the grid
+/// planner.
+class ExtStorePlanner {
+ public:
+  ExtStorePlanner(const StoreShape& shape, uint64_t descent_pages,
+                  PlanCostModel cost = PlanCostModel{})
+      : shape_(shape), descent_pages_(descent_pages), cost_(cost) {}
+
+  /// Picks the plan for a query whose exact candidate runs are `runs`.
+  /// `has_index` false (LinearScan-style store: nothing to filter with)
+  /// always yields the fused scan.
+  PhysicalPlan Choose(const std::vector<PosRange>& runs, PlannerMode mode,
+                      bool has_index = true) const;
+
+  const StoreShape& shape() const { return shape_; }
+  const PlanCostModel& cost_model() const { return cost_; }
+
+ private:
+  StoreShape shape_;
+  uint64_t descent_pages_;
+  PlanCostModel cost_;
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_PLAN_EXT_PLANNER_H_

@@ -49,11 +49,25 @@ class RecordStore {
     return RecordStore(pool, first_page, records.size(), per_page);
   }
 
+  /// Re-attaches a store persisted by Save against the on-disk pages:
+  /// the catalog records `first_page` and `num_records`; the layout is
+  /// a pure function of those plus the page size.
+  static StatusOr<RecordStore> Attach(BufferPool* pool, PageId first_page,
+                                      uint64_t num_records) {
+    const uint32_t per_page = pool->file()->page_size() /
+                              static_cast<uint32_t>(sizeof(T));
+    if (per_page == 0) {
+      return Status::InvalidArgument("page too small for a record");
+    }
+    return RecordStore(pool, first_page, num_records, per_page);
+  }
+
   RecordStore(RecordStore&&) = default;
   RecordStore& operator=(RecordStore&&) = default;
   RecordStore(const RecordStore&) = delete;
   RecordStore& operator=(const RecordStore&) = delete;
 
+  PageId first_page() const { return first_page_; }
   uint64_t size() const { return num_records_; }
   uint32_t records_per_page() const { return per_page_; }
   uint64_t num_pages() const {
@@ -121,6 +135,60 @@ class RecordStore {
   PageId first_page_;
   uint64_t num_records_;
   uint32_t per_page_;
+};
+
+/// Streaming counterpart of RecordStore::Build for producers that never
+/// hold all records in RAM (the external-sort merge): records arrive one
+/// at a time via Append and Finish() returns a store whose page layout is
+/// byte-identical to Build over the same sequence.
+template <typename T>
+class RecordStoreAppender {
+ public:
+  explicit RecordStoreAppender(BufferPool* pool) : pool_(pool) {
+    per_page_ = pool->file()->page_size() /
+                static_cast<uint32_t>(sizeof(T));
+  }
+
+  RecordStoreAppender(const RecordStoreAppender&) = delete;
+  RecordStoreAppender& operator=(const RecordStoreAppender&) = delete;
+
+  Status Append(const T& record) {
+    if (per_page_ == 0) {
+      return Status::InvalidArgument("page too small for a record");
+    }
+    const uint32_t slot = static_cast<uint32_t>(num_records_ % per_page_);
+    if (slot == 0) {
+      StatusOr<PageId> id = pool_->Allocate(&pin_);
+      if (!id.ok()) return id.status();
+      if (first_page_ == kInvalidPageId) first_page_ = *id;
+    }
+    pin_.MutablePage().Write(slot * sizeof(T), &record, sizeof(T));
+    ++num_records_;
+    return Status::OK();
+  }
+
+  uint64_t size() const { return num_records_; }
+
+  StatusOr<RecordStore<T>> Finish() {
+    if (per_page_ == 0) {
+      return Status::InvalidArgument("page too small for a record");
+    }
+    pin_.Release();
+    if (num_records_ == 0) {
+      StatusOr<PageId> id = pool_->Allocate(&pin_);
+      if (!id.ok()) return id.status();
+      first_page_ = *id;
+      pin_.Release();
+    }
+    return RecordStore<T>::Attach(pool_, first_page_, num_records_);
+  }
+
+ private:
+  BufferPool* pool_;
+  uint32_t per_page_ = 0;
+  PageId first_page_ = kInvalidPageId;
+  uint64_t num_records_ = 0;
+  PinnedPage pin_;
 };
 
 }  // namespace fielddb

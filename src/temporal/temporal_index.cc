@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 
+#include "common/geometry.h"
+#include "core/ext_sort.h"
 #include "field/isoband.h"
 #include "index/subfield_maintenance.h"
 
@@ -35,6 +39,151 @@ ValueInterval SlabInterval(const VectorCellRecord& rec) {
   return iv;
 }
 
+constexpr const char* kTemporalMagic = "fielddb-temporal-meta-v1";
+
+struct TemporalMetaData {
+  uint32_t page_size = 0;
+  uint32_t epoch = 0;
+  uint32_t num_slabs = 0;
+  uint64_t num_cells = 0;
+  bool has_tree = false;
+  RStarMeta tree;
+  std::vector<PageId> slab_first_pages;        // index = slab k
+  std::vector<char> slab_seen;                 // parse bookkeeping
+  std::vector<std::vector<Subfield>> slab_subfields;
+  uint64_t declared_subfields = 0;
+  uint64_t parsed_subfields = 0;
+};
+
+Status WriteTemporalMeta(const std::string& path,
+                         const TemporalMetaData& meta) {
+  return WriteCatalogFile(path, [&](std::FILE* f) {
+    std::fprintf(f, "%s\n", kTemporalMagic);
+    std::fprintf(f, "page_size %u\n", meta.page_size);
+    std::fprintf(f, "epoch %u\n", meta.epoch);
+    std::fprintf(f, "num_slabs %u\n", meta.num_slabs);
+    std::fprintf(f, "num_cells %" PRIu64 "\n", meta.num_cells);
+    if (meta.has_tree) {
+      std::fprintf(f, "tree %" PRIu64 " %u %" PRIu64 " %" PRIu64 "\n",
+                   meta.tree.root, meta.tree.height, meta.tree.size,
+                   meta.tree.num_nodes);
+    }
+    for (uint32_t k = 0; k < meta.num_slabs; ++k) {
+      std::fprintf(f, "slab %u %" PRIu64 "\n", k,
+                   meta.slab_first_pages[k]);
+    }
+    uint64_t total = 0;
+    for (const auto& sfs : meta.slab_subfields) total += sfs.size();
+    std::fprintf(f, "subfields %" PRIu64 "\n", total);
+    for (uint32_t k = 0; k < meta.num_slabs; ++k) {
+      for (const Subfield& sf : meta.slab_subfields[k]) {
+        std::fprintf(f, "tsf %u %" PRIu64 " %" PRIu64 " %.17g %.17g %.17g\n",
+                     k, sf.start, sf.end, sf.interval.min, sf.interval.max,
+                     sf.sum_interval_sizes);
+      }
+    }
+    return true;
+  });
+}
+
+Status ValidateTemporalMeta(const TemporalMetaData& meta,
+                            const std::string& path) {
+  const auto bad = [&](const char* key) {
+    return Status::Corruption("catalog " + path + ": invalid value for '" +
+                              key + "'");
+  };
+  if (meta.page_size == 0 || meta.page_size > (1u << 26)) {
+    return bad("page_size");
+  }
+  if (meta.num_slabs > (1u << 20)) return bad("num_slabs");
+  for (uint32_t k = 0; k < meta.num_slabs; ++k) {
+    if (!meta.slab_seen[k]) return bad("slab");
+  }
+  if (meta.declared_subfields != meta.parsed_subfields) {
+    return bad("subfields");
+  }
+  for (const auto& sfs : meta.slab_subfields) {
+    for (const Subfield& sf : sfs) {
+      if (sf.start > sf.end || sf.end > meta.num_cells) return bad("tsf");
+      if (!std::isfinite(sf.interval.min) ||
+          !std::isfinite(sf.interval.max) ||
+          sf.interval.min > sf.interval.max) {
+        return bad("tsf");
+      }
+      if (!std::isfinite(sf.sum_interval_sizes)) return bad("tsf");
+    }
+  }
+  if (!meta.has_tree) {
+    return Status::Corruption("catalog " + path + ": missing tree meta");
+  }
+  return Status::OK();
+}
+
+StatusOr<TemporalMetaData> ReadTemporalMeta(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot read " + path);
+  TemporalMetaData meta;
+  char magic[64] = {};
+  if (std::fscanf(f, "%63s", magic) != 1 ||
+      std::string(magic) != kTemporalMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  char key[64];
+  bool ok = true;
+  while (ok && std::fscanf(f, "%63s", key) == 1) {
+    const std::string k = key;
+    if (k == "page_size") {
+      ok = std::fscanf(f, "%u", &meta.page_size) == 1;
+    } else if (k == "epoch") {
+      ok = std::fscanf(f, "%u", &meta.epoch) == 1;
+    } else if (k == "num_slabs") {
+      ok = std::fscanf(f, "%u", &meta.num_slabs) == 1;
+      if (ok && meta.num_slabs <= (1u << 20)) {
+        meta.slab_first_pages.assign(meta.num_slabs, 0);
+        meta.slab_seen.assign(meta.num_slabs, 0);
+        meta.slab_subfields.resize(meta.num_slabs);
+      }
+    } else if (k == "num_cells") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.num_cells) == 1;
+    } else if (k == "tree") {
+      ok = std::fscanf(f, "%" SCNu64 " %u %" SCNu64 " %" SCNu64,
+                       &meta.tree.root, &meta.tree.height, &meta.tree.size,
+                       &meta.tree.num_nodes) == 4;
+      meta.has_tree = true;
+    } else if (k == "slab") {
+      uint32_t sk = 0;
+      PageId first = 0;
+      ok = std::fscanf(f, "%u %" SCNu64, &sk, &first) == 2 &&
+           sk < meta.slab_first_pages.size();
+      if (ok) {
+        meta.slab_first_pages[sk] = first;
+        meta.slab_seen[sk] = 1;
+      }
+    } else if (k == "subfields") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.declared_subfields) == 1;
+    } else if (k == "tsf") {
+      uint32_t sk = 0;
+      Subfield sf;
+      ok = std::fscanf(f, "%u %" SCNu64 " %" SCNu64 " %lg %lg %lg", &sk,
+                       &sf.start, &sf.end, &sf.interval.min,
+                       &sf.interval.max, &sf.sum_interval_sizes) == 6 &&
+           sk < meta.slab_subfields.size() &&
+           meta.parsed_subfields < (uint64_t{1} << 24);
+      if (ok) {
+        meta.slab_subfields[sk].push_back(sf);
+        ++meta.parsed_subfields;
+      }
+    } else {
+      ok = false;
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::Corruption("malformed catalog " + path);
+  FIELDDB_RETURN_IF_ERROR(ValidateTemporalMeta(meta, path));
+  return meta;
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<TemporalFieldDatabase>>
@@ -44,18 +193,43 @@ TemporalFieldDatabase::Build(const TemporalGridField& field,
       std::unique_ptr<TemporalFieldDatabase>(new TemporalFieldDatabase());
   db->num_slabs_ = field.NumSlabs();
   db->t_max_ = static_cast<double>(field.NumSnapshots() - 1);
-  db->file_ = options.page_file_factory
-                  ? options.page_file_factory(options.page_size)
-                  : std::make_unique<MemPageFile>(options.page_size);
-  db->pool_ =
-      std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
+  db->planner_mode_.store(options.planner_mode, std::memory_order_relaxed);
+  FieldEngine::BuildConfig config;
+  config.page_size = options.page_size;
+  config.pool_pages = options.pool_pages;
+  config.page_file_factory = options.page_file_factory;
+  FIELDDB_RETURN_IF_ERROR(db->engine_.InitForBuild(config));
+  BufferPool* const pool = db->engine_.pool();
 
-  // One shared Hilbert order over the (time-invariant) cell geometry.
+  // One shared Hilbert order over the (time-invariant) cell geometry,
+  // computed with the external sorter under the build memory budget.
+  // The (key, insertion-seq) tie-break equals LinearizeCells's (key, id)
+  // sort, so the order is byte-identical to the in-RAM path.
   StatusOr<GridField> first = field.Snapshot(0);
   if (!first.ok()) return first.status();
   const std::unique_ptr<SpaceFillingCurve> curve =
       MakeCurve(options.curve, options.curve_order);
-  const std::vector<CellId> order = LinearizeCells(*first, *curve);
+  const CellId n = field.NumCells();
+  const Rect2 domain = first->Domain();
+  const double dw = std::max(domain.Width(), kGeomEpsilon);
+  const double dh = std::max(domain.Height(), kGeomEpsilon);
+  ExternalKeyRecordSorter<CellId> sorter(options.build_memory_budget_bytes);
+  for (CellId id = 0; id < n; ++id) {
+    const Point2 c = first->GetCell(id).Centroid();
+    FIELDDB_RETURN_IF_ERROR(sorter.Add(
+        curve->EncodeUnit((c.x - domain.lo.x) / dw,
+                          (c.y - domain.lo.y) / dh),
+        id));
+  }
+  std::vector<CellId> order;
+  order.reserve(n);
+  FIELDDB_RETURN_IF_ERROR(
+      sorter.Merge([&](uint64_t, const CellId& id) -> Status {
+        order.push_back(id);
+        return Status::OK();
+      }));
+  db->ext_spill_runs_ = sorter.spill_runs();
+  db->ext_peak_buffered_bytes_ = sorter.peak_buffered_bytes();
   db->pos_of_.assign(order.size(), 0);
   for (uint64_t pos = 0; pos < order.size(); ++pos) {
     db->pos_of_[order[pos]] = pos;
@@ -66,9 +240,9 @@ TemporalFieldDatabase::Build(const TemporalGridField& field,
 
   for (uint32_t k = 0; k < db->num_slabs_; ++k) {
     Slab slab;
-    const CellId n = field.NumCells();
-    std::vector<VectorCellRecord> records(n);
-    std::vector<ValueInterval> intervals(n);
+    slab.zones.Reserve(n);
+    RecordStoreAppender<VectorCellRecord> appender(pool);
+    SubfieldStreamBuilder costing(range, options.cost);
     for (CellId pos = 0; pos < n; ++pos) {
       const CellId id = order[pos];
       const CellRecord geometry = first->GetCell(id);
@@ -86,15 +260,16 @@ TemporalFieldDatabase::Build(const TemporalGridField& field,
         rec.u[corner] = field.SampleAt(k, vi[corner], vj[corner]);
         rec.v[corner] = field.SampleAt(k + 1, vi[corner], vj[corner]);
       }
-      records[pos] = rec;
-      intervals[pos] = SlabInterval(rec);
+      FIELDDB_RETURN_IF_ERROR(appender.Append(rec));
+      const ValueInterval iv = SlabInterval(rec);
+      slab.zones.Append(iv);
+      costing.Add(iv);
     }
-    StatusOr<RecordStore<VectorCellRecord>> store =
-        RecordStore<VectorCellRecord>::Build(db->pool_.get(), records);
+    StatusOr<RecordStore<VectorCellRecord>> store = appender.Finish();
     if (!store.ok()) return store.status();
     slab.store = std::make_unique<RecordStore<VectorCellRecord>>(
         std::move(store).value());
-    slab.subfields = BuildSubfields(intervals, range, options.cost);
+    slab.subfields = costing.Finish();
 
     for (size_t si = 0; si < slab.subfields.size(); ++si) {
       RTreeEntry<2> e;
@@ -112,10 +287,164 @@ TemporalFieldDatabase::Build(const TemporalGridField& field,
 
   // Entries arrive slab-major in Hilbert order — already well packed.
   StatusOr<RStarTree<2>> tree =
-      RStarTree<2>::BulkLoad(db->pool_.get(), entries, options.rstar);
+      RStarTree<2>::BulkLoad(pool, entries, options.rstar);
   if (!tree.ok()) return tree.status();
   db->tree_ = std::make_unique<RStarTree<2>>(std::move(tree).value());
-  db->pool_->ResetStats();
+
+  if (options.wal_mode != WalMode::kOff) {
+    FIELDDB_RETURN_IF_ERROR(
+        db->engine_.ArmWal(options.wal_path, options.wal_mode));
+  }
+  if (!options.event_log_path.empty()) {
+    FIELDDB_RETURN_IF_ERROR(db->engine_.AttachEventLog(
+        options.event_log_path, options.slow_query_threshold_ms));
+    if (options.wal_mode != WalMode::kOff) {
+      db->engine_.LogEvent(EventLog::Event("wal_mode_transition")
+                               .Add("from", WalModeName(WalMode::kOff))
+                               .Add("to", WalModeName(options.wal_mode))
+                               .Add("at", "build"));
+    }
+  }
+  pool->ResetStats();
+  return db;
+}
+
+Status TemporalFieldDatabase::Save(const std::string& prefix) {
+  return SaveImpl(prefix, SnapshotCrashPoint::kNone);
+}
+
+Status TemporalFieldDatabase::SaveImpl(const std::string& prefix,
+                                       SnapshotCrashPoint crash_point) {
+  return engine_.SaveSnapshot(
+      prefix, crash_point,
+      [&](const std::string& meta_tmp_path, uint32_t new_epoch) -> Status {
+        TemporalMetaData meta;
+        meta.page_size = engine_.file()->page_size();
+        meta.epoch = new_epoch;
+        meta.num_slabs = num_slabs_;
+        meta.num_cells = pos_of_.size();
+        meta.has_tree = tree_ != nullptr;
+        if (tree_ != nullptr) meta.tree = tree_->meta();
+        meta.slab_first_pages.resize(num_slabs_);
+        meta.slab_subfields.resize(num_slabs_);
+        for (uint32_t k = 0; k < num_slabs_; ++k) {
+          meta.slab_first_pages[k] = slabs_[k].store->first_page();
+          meta.slab_subfields[k] = slabs_[k].subfields;
+        }
+        return WriteTemporalMeta(meta_tmp_path, meta);
+      });
+}
+
+StatusOr<std::unique_ptr<TemporalFieldDatabase>> TemporalFieldDatabase::Open(
+    const std::string& prefix) {
+  return Open(prefix, OpenOptions{});
+}
+
+StatusOr<std::unique_ptr<TemporalFieldDatabase>> TemporalFieldDatabase::Open(
+    const std::string& prefix, const OpenOptions& options) {
+  TryCompleteInterruptedSave(
+      prefix, [](const std::string& path) -> StatusOr<uint32_t> {
+        StatusOr<TemporalMetaData> m = ReadTemporalMeta(path);
+        if (!m.ok()) return m.status();
+        return m->epoch;
+      });
+
+  StatusOr<TemporalMetaData> meta = ReadTemporalMeta(prefix + ".meta");
+  if (!meta.ok()) return meta.status();
+
+  auto db =
+      std::unique_ptr<TemporalFieldDatabase>(new TemporalFieldDatabase());
+  db->num_slabs_ = meta->num_slabs;
+  db->t_max_ = static_cast<double>(meta->num_slabs);
+  db->planner_mode_.store(options.planner_mode, std::memory_order_relaxed);
+  FIELDDB_RETURN_IF_ERROR(db->engine_.InitForOpen(
+      prefix, meta->page_size, meta->epoch, options.pool_pages));
+  BufferPool* const pool = db->engine_.pool();
+
+  const uint64_t num_pages = db->engine_.file()->NumPages();
+  if (meta->tree.root >= num_pages) {
+    return Status::Corruption("catalog " + prefix +
+                              ".meta: invalid value for 'tree'");
+  }
+  const uint64_t n = meta->num_cells;
+  for (uint32_t k = 0; k < meta->num_slabs; ++k) {
+    if (n > 0 && meta->slab_first_pages[k] >= num_pages) {
+      return Status::Corruption("catalog " + prefix +
+                                ".meta: invalid value for 'slab'");
+    }
+  }
+
+  // Attach the slab stores and rebuild the in-RAM sidecars (zone maps
+  // per slab; the shared position map from slab 0's record ids).
+  db->pos_of_.assign(n, ~uint64_t{0});
+  for (uint32_t k = 0; k < meta->num_slabs; ++k) {
+    Slab slab;
+    StatusOr<RecordStore<VectorCellRecord>> store =
+        RecordStore<VectorCellRecord>::Attach(pool,
+                                              meta->slab_first_pages[k], n);
+    if (!store.ok()) return store.status();
+    slab.store = std::make_unique<RecordStore<VectorCellRecord>>(
+        std::move(store).value());
+    slab.subfields = std::move(meta->slab_subfields[k]);
+    db->total_subfields_ += slab.subfields.size();
+    slab.zones.Reserve(n);
+    FIELDDB_RETURN_IF_ERROR(slab.store->Scan(
+        0, n, [&](uint64_t pos, const VectorCellRecord& rec) {
+          slab.zones.Append(SlabInterval(rec));
+          if (k == 0 && rec.id < n) db->pos_of_[rec.id] = pos;
+          return true;
+        }));
+    db->slabs_.push_back(std::move(slab));
+  }
+  if (meta->num_slabs > 0) {
+    for (const uint64_t pos : db->pos_of_) {
+      if (pos == ~uint64_t{0}) {
+        return Status::Corruption("temporal store is missing cell ids");
+      }
+    }
+  } else {
+    for (uint64_t i = 0; i < n; ++i) db->pos_of_[i] = i;
+  }
+  db->tree_ = std::make_unique<RStarTree<2>>(
+      RStarTree<2>::Attach(pool, meta->tree));
+
+  // Recovery: a frame carries the snapshot index in values[0] followed
+  // by the vertex samples; logical redo through the same apply path
+  // updates took maintains subfield hulls, tree entries and zone maps.
+  EngineRecoveryReport report;
+  TemporalFieldDatabase* const raw = db.get();
+  FIELDDB_RETURN_IF_ERROR(db->engine_.RecoverFromWal(
+      prefix, options.wal_mode,
+      [raw](const WalFrame& frame) -> Status {
+        if (frame.values.size() < 2) {
+          return Status::Corruption("temporal WAL frame too short");
+        }
+        const double s = frame.values[0];
+        if (!(s >= 0.0) || s != std::floor(s) ||
+            s > static_cast<double>(raw->num_slabs_)) {
+          return Status::Corruption(
+              "temporal WAL frame has an invalid snapshot index");
+        }
+        const std::vector<double> samples(frame.values.begin() + 1,
+                                          frame.values.end());
+        return raw->ApplySnapshotCellValues(static_cast<uint32_t>(s),
+                                            frame.cell_id, samples);
+      },
+      [raw, &prefix]() {
+        return raw->SaveImpl(prefix, SnapshotCrashPoint::kNone);
+      },
+      &report));
+
+  if (!options.event_log_path.empty()) {
+    FIELDDB_RETURN_IF_ERROR(db->engine_.AttachEventLog(
+        options.event_log_path, options.slow_query_threshold_ms));
+    db->engine_.LogRecoveryEvent(report, options.wal_mode);
+  }
+
+  pool->ResetStats();
+  if (options.recovery_report != nullptr) {
+    *options.recovery_report = std::move(report);
+  }
   return db;
 }
 
@@ -134,6 +463,7 @@ Status TemporalFieldDatabase::UpdateSlabSide(
     (u_side ? rec.u : rec.v)[i] = values[i];
   }
   FIELDDB_RETURN_IF_ERROR(slab.store->Put(pos, rec));
+  slab.zones.Set(pos, SlabInterval(rec));
 
   // Refresh the containing subfield's value hull; the time extent
   // [k, k+1] of the tree entry never changes.
@@ -162,7 +492,7 @@ Status TemporalFieldDatabase::UpdateSlabSide(
   return Status::OK();
 }
 
-Status TemporalFieldDatabase::UpdateSnapshotCellValues(
+Status TemporalFieldDatabase::ApplySnapshotCellValues(
     uint32_t snapshot, CellId id, const std::vector<double>& values) {
   if (snapshot > num_slabs_) {
     return Status::OutOfRange("no such snapshot");
@@ -182,6 +512,78 @@ Status TemporalFieldDatabase::UpdateSnapshotCellValues(
   return Status::OK();
 }
 
+Status TemporalFieldDatabase::UpdateSnapshotCellValues(
+    uint32_t snapshot, CellId id, const std::vector<double>& values) {
+  if (snapshot > num_slabs_) {
+    return Status::OutOfRange("no such snapshot");
+  }
+  if (id >= pos_of_.size()) return Status::OutOfRange("no such cell");
+  if (slabs_.empty()) return Status::OK();
+  // Validate against the record before logging, so only appliable
+  // updates ever reach the WAL and replay never meets invalid frames.
+  const uint32_t ref_slab = snapshot > 0 ? snapshot - 1 : 0;
+  VectorCellRecord rec;
+  FIELDDB_RETURN_IF_ERROR(slabs_[ref_slab].store->Get(pos_of_[id], &rec));
+  if (values.size() != rec.num_vertices) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(rec.num_vertices) + " values, got " +
+        std::to_string(values.size()));
+  }
+  if (engine_.wal() != nullptr) {
+    std::vector<double> payload;
+    payload.reserve(values.size() + 1);
+    payload.push_back(static_cast<double>(snapshot));
+    payload.insert(payload.end(), values.begin(), values.end());
+    FIELDDB_RETURN_IF_ERROR(engine_.LogUpdate(id, payload));
+  }
+  return ApplySnapshotCellValues(snapshot, id, values);
+}
+
+PhysicalPlan TemporalFieldDatabase::ChoosePlan(
+    uint32_t k, const ValueInterval& band) const {
+  const Slab& slab = slabs_[k];
+  std::vector<PosRange> runs;
+  slab.zones.FilterRanges(band, &runs);
+  StoreShape shape;
+  shape.num_cells = slab.store->size();
+  shape.cells_per_page = slab.store->records_per_page();
+  shape.store_pages = slab.store->num_pages();
+  const ExtStorePlanner planner(shape,
+                                tree_ != nullptr ? tree_->height() : 0);
+  return planner.Choose(runs, planner_mode_.load(std::memory_order_relaxed),
+                        tree_ != nullptr);
+}
+
+PhysicalPlan TemporalFieldDatabase::PlanSnapshotQuery(
+    double t, const ValueInterval& band) const {
+  const uint32_t k = static_cast<uint32_t>(
+      std::min(std::floor(std::max(t, 0.0)), t_max_ - 1.0));
+  return ChoosePlan(k, band);
+}
+
+void TemporalFieldDatabase::MaybeLogSlowQuery(
+    double t, const ValueInterval& band, const QueryStats& stats,
+    const PhysicalPlan& plan) const {
+  if (engine_.event_log() == nullptr) return;
+  const double wall_ms = stats.wall_seconds * 1000.0;
+  if (wall_ms < engine_.slow_query_threshold_ms()) return;
+  const double observed_disk_ms = DiskModel{}.EstimateMs(
+      stats.io.sequential_reads, stats.io.random_reads());
+  engine_.LogEvent(EventLog::Event("slow_query")
+                       .Add("field_type", "temporal")
+                       .Add("wall_ms", wall_ms)
+                       .Add("threshold_ms", engine_.slow_query_threshold_ms())
+                       .Add("time_t", t)
+                       .Add("query_min", band.min)
+                       .Add("query_max", band.max)
+                       .Add("plan", PlanKindName(plan.kind))
+                       .Add("reason", plan.reason)
+                       .Add("predicted_cost_ms", plan.predicted_cost_ms)
+                       .Add("observed_disk_ms", observed_disk_ms)
+                       .Add("candidate_cells", stats.candidate_cells)
+                       .Add("answer_cells", stats.answer_cells));
+}
+
 Status TemporalFieldDatabase::SnapshotValueQuery(double t,
                                                  const ValueInterval& band,
                                                  ValueQueryResult* out) {
@@ -193,57 +595,66 @@ Status TemporalFieldDatabase::SnapshotValueQuery(double t,
   }
   out->region.pieces.clear();
   out->stats = QueryStats{};
-  const IoStats io_before = pool_->stats();
-  const auto t0 = std::chrono::steady_clock::now();
-
   const uint32_t k = static_cast<uint32_t>(
       std::min(std::floor(t), t_max_ - 1.0));
   const double tau = t - k;
-
-  Box<2> query;
-  query.lo = {band.min, t};
-  query.hi = {band.max, t};
-  std::vector<std::pair<uint64_t, uint64_t>> ranges;
-  FIELDDB_RETURN_IF_ERROR(
-      tree_->Search(query, [&](const RTreeEntry<2>& e) {
-        if (e.a == k) {  // integer t also brushes the previous slab
-          const Subfield& sf = slabs_[k].subfields[e.b];
-          ranges.emplace_back(sf.start, sf.end);
-        }
-        return true;
-      }));
-  std::sort(ranges.begin(), ranges.end());
+  out->plan = ChoosePlan(k, band);
+  const IoStats io_before = engine_.pool()->stats();
+  const auto t0 = std::chrono::steady_clock::now();
 
   Status inner = Status::OK();
-  uint64_t covered_to = 0;
-  for (const auto& [start, end] : ranges) {
-    const uint64_t begin = std::max(start, covered_to);
-    if (begin < end) {
-      out->stats.candidate_cells += end - begin;
-      FIELDDB_RETURN_IF_ERROR(slabs_[k].store->Scan(
-          begin, end, [&](uint64_t, const VectorCellRecord& rec) {
-            const CellRecord cell = AtTau(rec, tau);
-            StatusOr<size_t> pieces =
-                CellIsoband(cell, band, &out->region);
-            if (!pieces.ok()) {
-              inner = pieces.status();
-              return false;
-            }
-            if (*pieces > 0) {
-              ++out->stats.answer_cells;
-              out->stats.region_pieces += *pieces;
-            }
-            return true;
-          }));
-      FIELDDB_RETURN_IF_ERROR(inner);
+  const auto visit_cell = [&](uint64_t, const VectorCellRecord& rec) {
+    const CellRecord cell = AtTau(rec, tau);
+    StatusOr<size_t> pieces = CellIsoband(cell, band, &out->region);
+    if (!pieces.ok()) {
+      inner = pieces.status();
+      return false;
     }
-    covered_to = std::max(covered_to, end);
+    if (*pieces > 0) {
+      ++out->stats.answer_cells;
+      out->stats.region_pieces += *pieces;
+    }
+    return true;
+  };
+
+  if (out->plan.kind == PlanKind::kFusedScan) {
+    const uint64_t n = slabs_[k].store->size();
+    out->stats.candidate_cells = n;
+    FIELDDB_RETURN_IF_ERROR(slabs_[k].store->Scan(0, n, visit_cell));
+    FIELDDB_RETURN_IF_ERROR(inner);
+  } else {
+    Box<2> query;
+    query.lo = {band.min, t};
+    query.hi = {band.max, t};
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;
+    FIELDDB_RETURN_IF_ERROR(
+        tree_->Search(query, [&](const RTreeEntry<2>& e) {
+          if (e.a == k) {  // integer t also brushes the previous slab
+            const Subfield& sf = slabs_[k].subfields[e.b];
+            ranges.emplace_back(sf.start, sf.end);
+          }
+          return true;
+        }));
+    std::sort(ranges.begin(), ranges.end());
+
+    uint64_t covered_to = 0;
+    for (const auto& [start, end] : ranges) {
+      const uint64_t begin = std::max(start, covered_to);
+      if (begin < end) {
+        out->stats.candidate_cells += end - begin;
+        FIELDDB_RETURN_IF_ERROR(
+            slabs_[k].store->Scan(begin, end, visit_cell));
+        FIELDDB_RETURN_IF_ERROR(inner);
+      }
+      covered_to = std::max(covered_to, end);
+    }
   }
 
   out->stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  out->stats.io = pool_->stats() - io_before;
+  out->stats.io = engine_.pool()->stats() - io_before;
+  MaybeLogSlowQuery(t, band, out->stats, out->plan);
   return Status::OK();
 }
 
@@ -283,6 +694,24 @@ Status TemporalFieldDatabase::TimeRangeCandidates(
   FIELDDB_RETURN_IF_ERROR(inner);
   std::sort(out->begin(), out->end());
   return Status::OK();
+}
+
+StatusOr<WorkloadStats> TemporalFieldDatabase::RunWorkload(
+    const std::vector<TemporalSnapshotQuery>& queries) {
+  WorkloadStats ws;
+  if (queries.empty()) return ws;
+  QueryStats total;
+  std::vector<double> wall_ms;
+  wall_ms.reserve(queries.size());
+  ValueQueryResult result;
+  for (const TemporalSnapshotQuery& q : queries) {
+    FIELDDB_RETURN_IF_ERROR(engine_.pool()->Clear());
+    FIELDDB_RETURN_IF_ERROR(SnapshotValueQuery(q.first, q.second, &result));
+    total.Accumulate(result.stats);
+    wall_ms.push_back(result.stats.wall_seconds * 1000.0);
+  }
+  FinalizeWorkloadStats(total, &wall_ms, &ws);
+  return ws;
 }
 
 }  // namespace fielddb

@@ -2,10 +2,145 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
 
+#include "core/ext_sort.h"
 #include "curve/hilbert.h"
 
 namespace fielddb {
+
+namespace {
+
+constexpr const char* kVectorMagic = "fielddb-vector-meta-v1";
+
+struct VectorMetaData {
+  uint32_t page_size = 0;
+  uint32_t epoch = 0;
+  int method = 0;
+  uint64_t num_cells = 0;
+  PageId store_first_page = 0;
+  bool has_tree = false;
+  RStarMeta tree;
+  std::vector<VectorSubfield> subfields;
+  uint64_t declared_subfields = 0;
+};
+
+Status WriteVectorMeta(const std::string& path, const VectorMetaData& meta) {
+  return WriteCatalogFile(path, [&](std::FILE* f) {
+    std::fprintf(f, "%s\n", kVectorMagic);
+    std::fprintf(f, "page_size %u\n", meta.page_size);
+    std::fprintf(f, "epoch %u\n", meta.epoch);
+    std::fprintf(f, "method %d\n", meta.method);
+    std::fprintf(f, "num_cells %" PRIu64 "\n", meta.num_cells);
+    std::fprintf(f, "store_first_page %" PRIu64 "\n",
+                 meta.store_first_page);
+    if (meta.has_tree) {
+      std::fprintf(f, "tree %" PRIu64 " %u %" PRIu64 " %" PRIu64 "\n",
+                   meta.tree.root, meta.tree.height, meta.tree.size,
+                   meta.tree.num_nodes);
+    }
+    std::fprintf(f, "subfields %zu\n", meta.subfields.size());
+    for (const VectorSubfield& sf : meta.subfields) {
+      std::fprintf(f,
+                   "sfv %" PRIu64 " %" PRIu64
+                   " %.17g %.17g %.17g %.17g %.17g\n",
+                   sf.start, sf.end, sf.box.lo[0], sf.box.lo[1],
+                   sf.box.hi[0], sf.box.hi[1], sf.sum_box_sizes);
+    }
+    return true;
+  });
+}
+
+Status ValidateVectorMeta(const VectorMetaData& meta,
+                          const std::string& path) {
+  const auto bad = [&](const char* key) {
+    return Status::Corruption("catalog " + path + ": invalid value for '" +
+                              key + "'");
+  };
+  if (meta.page_size == 0 || meta.page_size > (1u << 26)) {
+    return bad("page_size");
+  }
+  if (meta.method < 0 ||
+      meta.method > static_cast<int>(VectorIndexMethod::kIHilbert)) {
+    return bad("method");
+  }
+  if (meta.declared_subfields != meta.subfields.size()) {
+    return bad("subfields");
+  }
+  for (const VectorSubfield& sf : meta.subfields) {
+    if (sf.start > sf.end || sf.end > meta.num_cells) return bad("sfv");
+    for (int d = 0; d < 2; ++d) {
+      if (!std::isfinite(sf.box.lo[d]) || !std::isfinite(sf.box.hi[d]) ||
+          sf.box.lo[d] > sf.box.hi[d]) {
+        return bad("sfv");
+      }
+    }
+    if (!std::isfinite(sf.sum_box_sizes)) return bad("sfv");
+  }
+  return Status::OK();
+}
+
+StatusOr<VectorMetaData> ReadVectorMeta(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot read " + path);
+  VectorMetaData meta;
+  char magic[64] = {};
+  if (std::fscanf(f, "%63s", magic) != 1 ||
+      std::string(magic) != kVectorMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  char key[64];
+  bool ok = true;
+  while (ok && std::fscanf(f, "%63s", key) == 1) {
+    const std::string k = key;
+    if (k == "page_size") {
+      ok = std::fscanf(f, "%u", &meta.page_size) == 1;
+    } else if (k == "epoch") {
+      ok = std::fscanf(f, "%u", &meta.epoch) == 1;
+    } else if (k == "method") {
+      ok = std::fscanf(f, "%d", &meta.method) == 1;
+    } else if (k == "num_cells") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.num_cells) == 1;
+    } else if (k == "store_first_page") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.store_first_page) == 1;
+    } else if (k == "tree") {
+      ok = std::fscanf(f, "%" SCNu64 " %u %" SCNu64 " %" SCNu64,
+                       &meta.tree.root, &meta.tree.height, &meta.tree.size,
+                       &meta.tree.num_nodes) == 4;
+      meta.has_tree = true;
+    } else if (k == "subfields") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.declared_subfields) == 1;
+      if (ok && meta.declared_subfields <= (uint64_t{1} << 24)) {
+        meta.subfields.reserve(meta.declared_subfields);
+      }
+    } else if (k == "sfv") {
+      VectorSubfield sf;
+      ok = std::fscanf(f, "%" SCNu64 " %" SCNu64 " %lg %lg %lg %lg %lg",
+                       &sf.start, &sf.end, &sf.box.lo[0], &sf.box.lo[1],
+                       &sf.box.hi[0], &sf.box.hi[1],
+                       &sf.sum_box_sizes) == 7;
+      meta.subfields.push_back(sf);
+    } else {
+      ok = false;
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::Corruption("malformed catalog " + path);
+  FIELDDB_RETURN_IF_ERROR(ValidateVectorMeta(meta, path));
+  return meta;
+}
+
+ValueInterval BoxUInterval(const Box<2>& b) {
+  return ValueInterval{b.lo[0], b.hi[0]};
+}
+ValueInterval BoxVInterval(const Box<2>& b) {
+  return ValueInterval{b.lo[1], b.hi[1]};
+}
+
+}  // namespace
 
 VectorSubfieldCostModel::VectorSubfieldCostModel(
     const Box<2>& value_range, const VectorCostConfig& config)
@@ -40,37 +175,45 @@ bool VectorSubfieldCostModel::ShouldAppend(const VectorSubfield& current,
   return before > after;
 }
 
+VectorSubfieldStreamBuilder::VectorSubfieldStreamBuilder(
+    const Box<2>& value_range, const VectorCostConfig& config)
+    : model_(value_range, config) {}
+
+void VectorSubfieldStreamBuilder::Add(const Box<2>& cell_box) {
+  const double size = (cell_box.hi[0] - cell_box.lo[0] + 1.0) *
+                      (cell_box.hi[1] - cell_box.lo[1] + 1.0);
+  const uint64_t pos = num_cells_++;
+  if (pos == 0) {
+    current_.start = 0;
+    current_.end = 1;
+    current_.box = cell_box;
+    current_.sum_box_sizes = size;
+    return;
+  }
+  if (model_.ShouldAppend(current_, cell_box)) {
+    current_.end = pos + 1;
+    current_.box.Extend(cell_box);
+    current_.sum_box_sizes += size;
+  } else {
+    subfields_.push_back(current_);
+    current_.start = pos;
+    current_.end = pos + 1;
+    current_.box = cell_box;
+    current_.sum_box_sizes = size;
+  }
+}
+
+std::vector<VectorSubfield> VectorSubfieldStreamBuilder::Finish() {
+  if (num_cells_ > 0) subfields_.push_back(current_);
+  return std::move(subfields_);
+}
+
 std::vector<VectorSubfield> BuildVectorSubfields(
     const std::vector<Box<2>>& cell_boxes, const Box<2>& value_range,
     const VectorCostConfig& config) {
-  std::vector<VectorSubfield> subfields;
-  if (cell_boxes.empty()) return subfields;
-  const VectorSubfieldCostModel model(value_range, config);
-
-  const auto box_size = [](const Box<2>& b) {
-    return (b.hi[0] - b.lo[0] + 1.0) * (b.hi[1] - b.lo[1] + 1.0);
-  };
-
-  VectorSubfield current;
-  current.start = 0;
-  current.end = 1;
-  current.box = cell_boxes[0];
-  current.sum_box_sizes = box_size(cell_boxes[0]);
-  for (uint64_t pos = 1; pos < cell_boxes.size(); ++pos) {
-    if (model.ShouldAppend(current, cell_boxes[pos])) {
-      current.end = pos + 1;
-      current.box.Extend(cell_boxes[pos]);
-      current.sum_box_sizes += box_size(cell_boxes[pos]);
-    } else {
-      subfields.push_back(current);
-      current.start = pos;
-      current.end = pos + 1;
-      current.box = cell_boxes[pos];
-      current.sum_box_sizes = box_size(cell_boxes[pos]);
-    }
-  }
-  subfields.push_back(current);
-  return subfields;
+  VectorSubfieldStreamBuilder builder(value_range, config);
+  for (const Box<2>& box : cell_boxes) builder.Add(box);
+  return builder.Finish();
 }
 
 const char* VectorIndexMethodName(VectorIndexMethod method) {
@@ -87,44 +230,56 @@ StatusOr<std::unique_ptr<VectorFieldDatabase>> VectorFieldDatabase::Build(
     const VectorGridField& field, const Options& options) {
   auto db = std::unique_ptr<VectorFieldDatabase>(new VectorFieldDatabase());
   db->method_ = options.method;
-  db->file_ = options.page_file_factory
-                  ? options.page_file_factory(options.page_size)
-                  : std::make_unique<MemPageFile>(options.page_size);
-  db->pool_ =
-      std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
+  db->planner_mode_.store(options.planner_mode, std::memory_order_relaxed);
+  FieldEngine::BuildConfig config;
+  config.page_size = options.page_size;
+  config.pool_pages = options.pool_pages;
+  config.page_file_factory = options.page_file_factory;
+  FIELDDB_RETURN_IF_ERROR(db->engine_.InitForBuild(config));
+  BufferPool* const pool = db->engine_.pool();
 
   // Hilbert-order the cells (also for LinearScan — the scan is
   // order-insensitive and sharing the layout isolates the index effect).
+  // One sorter serves both the in-RAM and the bounded-memory builds;
+  // its (key, insertion-seq) tie-break equals the (key, id) order, so
+  // both paths emit cells identically.
   const std::unique_ptr<SpaceFillingCurve> curve =
       MakeCurve(options.curve, options.curve_order);
   const CellId n = field.NumCells();
   const Rect2 domain = field.Domain();
-  std::vector<std::pair<uint64_t, CellId>> keyed(n);
+  ExternalKeyRecordSorter<CellId> sorter(options.build_memory_budget_bytes);
   for (CellId id = 0; id < n; ++id) {
     const Point2 c = field.ComponentCell(0, id).Centroid();
-    keyed[id] = {curve->EncodeUnit((c.x - domain.lo.x) / domain.Width(),
-                                   (c.y - domain.lo.y) / domain.Height()),
-                 id};
+    FIELDDB_RETURN_IF_ERROR(sorter.Add(
+        curve->EncodeUnit((c.x - domain.lo.x) / domain.Width(),
+                          (c.y - domain.lo.y) / domain.Height()),
+        id));
   }
-  std::sort(keyed.begin(), keyed.end());
 
-  std::vector<VectorCellRecord> records(n);
-  std::vector<Box<2>> boxes(n);
   db->pos_of_.assign(n, 0);
-  for (CellId pos = 0; pos < n; ++pos) {
-    records[pos] = VectorCellRecord::FromField(field, keyed[pos].second);
-    boxes[pos] = records[pos].ValueBox();
-    db->pos_of_[keyed[pos].second] = pos;
-  }
-  StatusOr<RecordStore<VectorCellRecord>> store =
-      RecordStore<VectorCellRecord>::Build(db->pool_.get(), records);
+  db->zones_.Reserve(n);
+  RecordStoreAppender<VectorCellRecord> appender(pool);
+  VectorSubfieldStreamBuilder costing(field.ValueRangeBox(), options.cost);
+  FIELDDB_RETURN_IF_ERROR(
+      sorter.Merge([&](uint64_t, const CellId& id) -> Status {
+        const VectorCellRecord record =
+            VectorCellRecord::FromField(field, id);
+        db->pos_of_[id] = appender.size();
+        FIELDDB_RETURN_IF_ERROR(appender.Append(record));
+        const Box<2> box = record.ValueBox();
+        db->zones_.Append(BoxUInterval(box), BoxVInterval(box));
+        costing.Add(box);
+        return Status::OK();
+      }));
+  StatusOr<RecordStore<VectorCellRecord>> store = appender.Finish();
   if (!store.ok()) return store.status();
   db->store_ = std::make_unique<RecordStore<VectorCellRecord>>(
       std::move(store).value());
+  db->ext_spill_runs_ = sorter.spill_runs();
+  db->ext_peak_buffered_bytes_ = sorter.peak_buffered_bytes();
 
   if (options.method == VectorIndexMethod::kIHilbert) {
-    db->subfields_ =
-        BuildVectorSubfields(boxes, field.ValueRangeBox(), options.cost);
+    db->subfields_ = costing.Finish();
     std::vector<RTreeEntry<2>> entries(db->subfields_.size());
     for (size_t i = 0; i < db->subfields_.size(); ++i) {
       entries[i].box = db->subfields_[i].box;
@@ -132,17 +287,185 @@ StatusOr<std::unique_ptr<VectorFieldDatabase>> VectorFieldDatabase::Build(
       entries[i].b = db->subfields_[i].end;
     }
     StatusOr<RStarTree<2>> tree =
-        RStarTree<2>::BulkLoad(db->pool_.get(), entries, options.rstar);
+        RStarTree<2>::BulkLoad(pool, entries, options.rstar);
     if (!tree.ok()) return tree.status();
     db->tree_ = std::make_unique<RStarTree<2>>(std::move(tree).value());
   }
-  db->pool_->ResetStats();
+
+  if (options.wal_mode != WalMode::kOff) {
+    FIELDDB_RETURN_IF_ERROR(
+        db->engine_.ArmWal(options.wal_path, options.wal_mode));
+  }
+  if (!options.event_log_path.empty()) {
+    FIELDDB_RETURN_IF_ERROR(db->engine_.AttachEventLog(
+        options.event_log_path, options.slow_query_threshold_ms));
+    if (options.wal_mode != WalMode::kOff) {
+      db->engine_.LogEvent(EventLog::Event("wal_mode_transition")
+                               .Add("from", WalModeName(WalMode::kOff))
+                               .Add("to", WalModeName(options.wal_mode))
+                               .Add("at", "build"));
+    }
+  }
+  pool->ResetStats();
+  return db;
+}
+
+Status VectorFieldDatabase::Save(const std::string& prefix) {
+  return SaveImpl(prefix, SnapshotCrashPoint::kNone);
+}
+
+Status VectorFieldDatabase::SaveImpl(const std::string& prefix,
+                                     SnapshotCrashPoint crash_point) {
+  return engine_.SaveSnapshot(
+      prefix, crash_point,
+      [&](const std::string& meta_tmp_path, uint32_t new_epoch) -> Status {
+        VectorMetaData meta;
+        meta.page_size = engine_.file()->page_size();
+        meta.epoch = new_epoch;
+        meta.method = static_cast<int>(method_);
+        meta.num_cells = store_->size();
+        meta.store_first_page = store_->first_page();
+        if (tree_ != nullptr) {
+          meta.has_tree = true;
+          meta.tree = tree_->meta();
+        }
+        meta.subfields = subfields_;
+        return WriteVectorMeta(meta_tmp_path, meta);
+      });
+}
+
+StatusOr<std::unique_ptr<VectorFieldDatabase>> VectorFieldDatabase::Open(
+    const std::string& prefix) {
+  return Open(prefix, OpenOptions{});
+}
+
+StatusOr<std::unique_ptr<VectorFieldDatabase>> VectorFieldDatabase::Open(
+    const std::string& prefix, const OpenOptions& options) {
+  TryCompleteInterruptedSave(
+      prefix, [](const std::string& path) -> StatusOr<uint32_t> {
+        StatusOr<VectorMetaData> m = ReadVectorMeta(path);
+        if (!m.ok()) return m.status();
+        return m->epoch;
+      });
+
+  StatusOr<VectorMetaData> meta = ReadVectorMeta(prefix + ".meta");
+  if (!meta.ok()) return meta.status();
+
+  auto db = std::unique_ptr<VectorFieldDatabase>(new VectorFieldDatabase());
+  db->method_ = static_cast<VectorIndexMethod>(meta->method);
+  db->planner_mode_.store(options.planner_mode, std::memory_order_relaxed);
+  FIELDDB_RETURN_IF_ERROR(db->engine_.InitForOpen(
+      prefix, meta->page_size, meta->epoch, options.pool_pages));
+  BufferPool* const pool = db->engine_.pool();
+
+  const uint64_t num_pages = db->engine_.file()->NumPages();
+  if (meta->num_cells > 0 && meta->store_first_page >= num_pages) {
+    return Status::Corruption("catalog " + prefix +
+                              ".meta: invalid value for 'store_first_page'");
+  }
+  if (meta->has_tree && meta->tree.root >= num_pages) {
+    return Status::Corruption("catalog " + prefix +
+                              ".meta: invalid value for 'tree'");
+  }
+  if (db->method_ == VectorIndexMethod::kIHilbert && !meta->has_tree) {
+    return Status::Corruption("catalog " + prefix +
+                              ".meta: missing tree meta");
+  }
+
+  StatusOr<RecordStore<VectorCellRecord>> store =
+      RecordStore<VectorCellRecord>::Attach(pool, meta->store_first_page,
+                                            meta->num_cells);
+  if (!store.ok()) return store.status();
+  db->store_ = std::make_unique<RecordStore<VectorCellRecord>>(
+      std::move(store).value());
+  db->subfields_ = std::move(meta->subfields);
+  if (meta->has_tree) {
+    db->tree_ = std::make_unique<RStarTree<2>>(
+        RStarTree<2>::Attach(pool, meta->tree));
+  }
+
+  // One store pass rebuilds both in-RAM sidecars: the cell-id ->
+  // position map and the 2-D zone map the planner probes.
+  const uint64_t n = meta->num_cells;
+  db->pos_of_.assign(n, ~uint64_t{0});
+  db->zones_.Reserve(n);
+  FIELDDB_RETURN_IF_ERROR(db->store_->Scan(
+      0, n, [&](uint64_t pos, const VectorCellRecord& rec) {
+        if (rec.id < n) db->pos_of_[rec.id] = pos;
+        const Box<2> box = rec.ValueBox();
+        db->zones_.Append(BoxUInterval(box), BoxVInterval(box));
+        return true;
+      }));
+  for (const uint64_t pos : db->pos_of_) {
+    if (pos == ~uint64_t{0}) {
+      return Status::Corruption("vector store is missing cell ids");
+    }
+  }
+
+  // Recovery: a frame carries u followed by v; logical redo through the
+  // same apply path updates took maintains subfield boxes, tree entries
+  // and the zone map.
+  EngineRecoveryReport report;
+  VectorFieldDatabase* const raw = db.get();
+  FIELDDB_RETURN_IF_ERROR(db->engine_.RecoverFromWal(
+      prefix, options.wal_mode,
+      [raw](const WalFrame& frame) -> Status {
+        if (frame.values.empty() || frame.values.size() % 2 != 0) {
+          return Status::Corruption(
+              "vector WAL frame must carry an even sample count");
+        }
+        const size_t nv = frame.values.size() / 2;
+        const std::vector<double> u(frame.values.begin(),
+                                    frame.values.begin() + nv);
+        const std::vector<double> v(frame.values.begin() + nv,
+                                    frame.values.end());
+        return raw->ApplyCellValues(frame.cell_id, u, v);
+      },
+      [raw, &prefix]() {
+        return raw->SaveImpl(prefix, SnapshotCrashPoint::kNone);
+      },
+      &report));
+
+  if (!options.event_log_path.empty()) {
+    FIELDDB_RETURN_IF_ERROR(db->engine_.AttachEventLog(
+        options.event_log_path, options.slow_query_threshold_ms));
+    db->engine_.LogRecoveryEvent(report, options.wal_mode);
+  }
+
+  pool->ResetStats();
+  if (options.recovery_report != nullptr) {
+    *options.recovery_report = std::move(report);
+  }
   return db;
 }
 
 Status VectorFieldDatabase::UpdateCellValues(CellId id,
                                              const std::vector<double>& u,
                                              const std::vector<double>& v) {
+  if (id >= pos_of_.size()) return Status::OutOfRange("no such cell");
+  VectorCellRecord cell;
+  FIELDDB_RETURN_IF_ERROR(store_->Get(pos_of_[id], &cell));
+  if (u.size() != cell.num_vertices || v.size() != cell.num_vertices) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(cell.num_vertices) +
+        " values per component, got " + std::to_string(u.size()) + "/" +
+        std::to_string(v.size()));
+  }
+  // Validated above, so only appliable updates reach the log. The frame
+  // carries u followed by v.
+  if (engine_.wal() != nullptr) {
+    std::vector<double> uv;
+    uv.reserve(u.size() + v.size());
+    uv.insert(uv.end(), u.begin(), u.end());
+    uv.insert(uv.end(), v.begin(), v.end());
+    FIELDDB_RETURN_IF_ERROR(engine_.LogUpdate(id, uv));
+  }
+  return ApplyCellValues(id, u, v);
+}
+
+Status VectorFieldDatabase::ApplyCellValues(CellId id,
+                                            const std::vector<double>& u,
+                                            const std::vector<double>& v) {
   if (id >= pos_of_.size()) return Status::OutOfRange("no such cell");
   const uint64_t pos = pos_of_[id];
   VectorCellRecord cell;
@@ -158,6 +481,8 @@ Status VectorFieldDatabase::UpdateCellValues(CellId id,
     cell.v[i] = v[i];
   }
   FIELDDB_RETURN_IF_ERROR(store_->Put(pos, cell));
+  const Box<2> new_box = cell.ValueBox();
+  zones_.Set(pos, BoxUInterval(new_box), BoxVInterval(new_box));
   if (tree_ == nullptr) return Status::OK();
 
   // Refresh the containing subfield's value-box hull (the no-false-
@@ -191,6 +516,49 @@ Status VectorFieldDatabase::UpdateCellValues(CellId id,
   return Status::OK();
 }
 
+PhysicalPlan VectorFieldDatabase::ChoosePlan(
+    const VectorBandQuery& query) const {
+  std::vector<PosRange> runs;
+  zones_.FilterRanges(query.u, query.v, &runs);
+  StoreShape shape;
+  shape.num_cells = store_->size();
+  shape.cells_per_page = store_->records_per_page();
+  shape.store_pages = store_->num_pages();
+  const ExtStorePlanner planner(shape,
+                                tree_ != nullptr ? tree_->height() : 0);
+  return planner.Choose(runs, planner_mode_.load(std::memory_order_relaxed),
+                        tree_ != nullptr);
+}
+
+PhysicalPlan VectorFieldDatabase::PlanBandQuery(
+    const VectorBandQuery& query) const {
+  return ChoosePlan(query);
+}
+
+void VectorFieldDatabase::MaybeLogSlowQuery(const VectorBandQuery& query,
+                                            const QueryStats& stats,
+                                            const PhysicalPlan& plan) const {
+  if (engine_.event_log() == nullptr) return;
+  const double wall_ms = stats.wall_seconds * 1000.0;
+  if (wall_ms < engine_.slow_query_threshold_ms()) return;
+  const double observed_disk_ms = DiskModel{}.EstimateMs(
+      stats.io.sequential_reads, stats.io.random_reads());
+  engine_.LogEvent(EventLog::Event("slow_query")
+                       .Add("field_type", "vector")
+                       .Add("wall_ms", wall_ms)
+                       .Add("threshold_ms", engine_.slow_query_threshold_ms())
+                       .Add("query_u_min", query.u.min)
+                       .Add("query_u_max", query.u.max)
+                       .Add("query_v_min", query.v.min)
+                       .Add("query_v_max", query.v.max)
+                       .Add("plan", PlanKindName(plan.kind))
+                       .Add("reason", plan.reason)
+                       .Add("predicted_cost_ms", plan.predicted_cost_ms)
+                       .Add("observed_disk_ms", observed_disk_ms)
+                       .Add("candidate_cells", stats.candidate_cells)
+                       .Add("answer_cells", stats.answer_cells));
+}
+
 Status VectorFieldDatabase::BandQuery(const VectorBandQuery& query,
                                       VectorQueryResult* out) {
   if (query.u.IsEmpty() || query.v.IsEmpty()) {
@@ -198,7 +566,8 @@ Status VectorFieldDatabase::BandQuery(const VectorBandQuery& query,
   }
   out->region.pieces.clear();
   out->stats = QueryStats{};
-  const IoStats io_before = pool_->stats();
+  out->plan = ChoosePlan(query);
+  const IoStats io_before = engine_.pool()->stats();
   const auto t0 = std::chrono::steady_clock::now();
 
   Status inner = Status::OK();
@@ -216,7 +585,7 @@ Status VectorFieldDatabase::BandQuery(const VectorBandQuery& query,
     return true;
   };
 
-  if (tree_ == nullptr) {
+  if (out->plan.kind == PlanKind::kFusedScan) {
     out->stats.candidate_cells = store_->size();
     FIELDDB_RETURN_IF_ERROR(store_->Scan(0, store_->size(), visit_cell));
     FIELDDB_RETURN_IF_ERROR(inner);
@@ -243,8 +612,27 @@ Status VectorFieldDatabase::BandQuery(const VectorBandQuery& query,
   out->stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  out->stats.io = pool_->stats() - io_before;
+  out->stats.io = engine_.pool()->stats() - io_before;
+  MaybeLogSlowQuery(query, out->stats, out->plan);
   return Status::OK();
+}
+
+StatusOr<WorkloadStats> VectorFieldDatabase::RunWorkload(
+    const std::vector<VectorBandQuery>& queries) {
+  WorkloadStats ws;
+  if (queries.empty()) return ws;
+  QueryStats total;
+  std::vector<double> wall_ms;
+  wall_ms.reserve(queries.size());
+  VectorQueryResult result;
+  for (const VectorBandQuery& q : queries) {
+    FIELDDB_RETURN_IF_ERROR(engine_.pool()->Clear());
+    FIELDDB_RETURN_IF_ERROR(BandQuery(q, &result));
+    total.Accumulate(result.stats);
+    wall_ms.push_back(result.stats.wall_seconds * 1000.0);
+  }
+  FinalizeWorkloadStats(total, &wall_ms, &ws);
+  return ws;
 }
 
 }  // namespace fielddb

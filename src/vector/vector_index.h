@@ -1,16 +1,22 @@
 #ifndef FIELDDB_VECTOR_VECTOR_INDEX_H_
 #define FIELDDB_VECTOR_VECTOR_INDEX_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/field_engine.h"
 #include "core/stats.h"
 #include "curve/curves.h"
 #include "field/region.h"
+#include "index/zone_sidecar.h"
+#include "plan/ext_planner.h"
 #include "rtree/rstar_tree.h"
 #include "storage/page_file.h"
 #include "storage/record_store.h"
+#include "storage/wal.h"
 #include "vector/vector_isoband.h"
 #include "vector/vector_record.h"
 
@@ -55,6 +61,32 @@ class VectorSubfieldCostModel {
   double range_v_;
 };
 
+/// Streaming vector-subfield partitioner — the 2-D sibling of
+/// SubfieldStreamBuilder: cell value boxes arrive one at a time in
+/// curve order (the external-sort merge feeds it without materializing
+/// all boxes) and Finish() seals the last subfield. BuildVectorSubfields
+/// is a thin wrapper, so streamed and vector builds produce identical
+/// partitions by construction.
+class VectorSubfieldStreamBuilder {
+ public:
+  VectorSubfieldStreamBuilder(const Box<2>& value_range,
+                              const VectorCostConfig& config);
+
+  /// Appends the next cell's value box, growing the open subfield or
+  /// sealing it per the paper's insertion rule.
+  void Add(const Box<2>& cell_box);
+
+  /// Seals the open subfield and returns the partition. The builder is
+  /// consumed.
+  std::vector<VectorSubfield> Finish();
+
+ private:
+  VectorSubfieldCostModel model_;
+  std::vector<VectorSubfield> subfields_;
+  VectorSubfield current_;
+  uint64_t num_cells_ = 0;
+};
+
 /// Greedy grouping of curve-ordered cell value boxes, same insertion
 /// rule as the scalar builder.
 std::vector<VectorSubfield> BuildVectorSubfields(
@@ -73,11 +105,19 @@ const char* VectorIndexMethodName(VectorIndexMethod method);
 struct VectorQueryResult {
   Region region;
   QueryStats stats;
+  /// The planner's decision this query executed (2-D box zone-map probe
+  /// + disk-model costing; see plan/ext_planner.h).
+  PhysicalPlan plan;
 };
 
 /// A self-contained vector-field database: cells clustered in Hilbert
 /// order in paged storage, indexed (optionally) by a 2-D R*-tree over
 /// subfield value boxes.
+///
+/// Hosted on the shared FieldEngine (core/field_engine.h): storage,
+/// WAL-backed updates, crash-safe Save/Open and the event log are the
+/// engine's; only the catalog format, the record layout and the
+/// subfield redo logic are vector-specific.
 class VectorFieldDatabase {
  public:
   struct Options {
@@ -92,38 +132,132 @@ class VectorFieldDatabase {
     /// tests wrap the file to schedule faults against the live database.
     std::function<std::unique_ptr<PageFile>(uint32_t page_size)>
         page_file_factory;
+    /// Initial access-path policy for band queries (see ExtStorePlanner).
+    PlannerMode planner_mode = PlannerMode::kAuto;
+    /// Durability for UpdateCellValues (DESIGN.md §14). Requires
+    /// `wal_path`; use `<prefix>.wal` for the prefix the database will
+    /// be saved under. A logged frame carries u followed by v
+    /// (2 × num_vertices samples).
+    WalMode wal_mode = WalMode::kOff;
+    std::string wal_path;
+    /// Structured operational event log. Empty disables it.
+    std::string event_log_path;
+    double slow_query_threshold_ms = 25.0;
+    /// Bounded-memory build (DESIGN.md §16): when nonzero, the Hilbert
+    /// linearization runs as an external merge sort under this in-RAM
+    /// budget, streaming into the store appender and the 2-D subfield
+    /// costing. Byte-identical to the unlimited build.
+    size_t build_memory_budget_bytes = 0;
+  };
+
+  /// Reopen options, mirroring FieldDatabase::OpenOptions.
+  struct OpenOptions {
+    size_t pool_pages = 1024;
+    WalMode wal_mode = WalMode::kOff;
+    /// Optional out-param describing the replay (may be null).
+    EngineRecoveryReport* recovery_report = nullptr;
+    std::string event_log_path;
+    double slow_query_threshold_ms = 25.0;
+    PlannerMode planner_mode = PlannerMode::kAuto;
   };
 
   static StatusOr<std::unique_ptr<VectorFieldDatabase>> Build(
       const VectorGridField& field, const Options& options);
 
+  /// Reopens a database persisted by Save; `<prefix>.wal` frames are
+  /// replayed first (see OpenOptions::wal_mode).
+  static StatusOr<std::unique_ptr<VectorFieldDatabase>> Open(
+      const std::string& prefix);
+  static StatusOr<std::unique_ptr<VectorFieldDatabase>> Open(
+      const std::string& prefix, const OpenOptions& options);
+
+  /// Persists the database as `<prefix>.pages` + `<prefix>.meta`
+  /// through the engine's crash-safe checkpoint pipeline.
+  Status Save(const std::string& prefix);
+  Status SaveWithCrashPointForTest(const std::string& prefix,
+                                   SnapshotCrashPoint crash_point) {
+    return SaveImpl(prefix, crash_point);
+  }
+
   /// Conjunctive band query over both components: exact answer regions.
   Status BandQuery(const VectorBandQuery& query, VectorQueryResult* out);
 
+  /// The planner's decision for `query` under the current mode, without
+  /// executing anything (zero I/O: the zone-map sidecar is in RAM).
+  PhysicalPlan PlanBandQuery(const VectorBandQuery& query) const;
+
   /// Replaces the (u, v) samples of field cell `id` (geometry is
   /// immutable); `u.size()` and `v.size()` must match the cell's vertex
-  /// count. I-Hilbert refreshes the containing subfield's value box (and
-  /// its R*-tree entry) so queries keep their no-false-negative filter.
+  /// count. WAL-logged when a log is armed. I-Hilbert refreshes the
+  /// containing subfield's value box (and its R*-tree entry) so queries
+  /// keep their no-false-negative filter.
   Status UpdateCellValues(CellId id, const std::vector<double>& u,
                           const std::vector<double>& v);
+
+  /// Flushes and closes the storage (see FieldEngine::Close).
+  Status Close() { return engine_.Close(); }
+  /// Simulated power cut (tests): everything not fsynced is gone.
+  Status SimulateCrashForTest() { return engine_.SimulateCrashForTest(); }
 
   const std::vector<VectorSubfield>& subfields() const {
     return subfields_;
   }
   uint64_t num_cells() const { return store_->size(); }
-  BufferPool& pool() { return *pool_; }
+  VectorIndexMethod method() const { return method_; }
+  BufferPool& pool() { return *engine_.pool(); }
+  const BoxZoneMap& zone_map() const { return zones_; }
+  WriteAheadLog* wal() const { return engine_.wal(); }
+  EventLog* event_log() const { return engine_.event_log(); }
+  uint32_t epoch() const { return engine_.epoch(); }
+
+  void set_planner_mode(PlannerMode mode) {
+    planner_mode_.store(mode, std::memory_order_relaxed);
+  }
+  PlannerMode planner_mode() const {
+    return planner_mode_.load(std::memory_order_relaxed);
+  }
+
+  /// External-sort build telemetry (0 when the build never spilled).
+  uint64_t ext_spill_runs() const { return ext_spill_runs_; }
+  uint64_t ext_peak_buffered_bytes() const {
+    return ext_peak_buffered_bytes_;
+  }
+
+  /// Average stats over a query workload (cold cache per query).
+  StatusOr<WorkloadStats> RunWorkload(
+      const std::vector<VectorBandQuery>& queries);
 
  private:
   VectorFieldDatabase() = default;
 
+  Status SaveImpl(const std::string& prefix, SnapshotCrashPoint crash_point);
+
+  /// The redo half of an update — shared verbatim by UpdateCellValues
+  /// and WAL replay, so recovery maintains the subfield boxes and zone
+  /// map exactly like the original mutation did.
+  Status ApplyCellValues(CellId id, const std::vector<double>& u,
+                         const std::vector<double>& v);
+
+  PhysicalPlan ChoosePlan(const VectorBandQuery& query) const;
+  void MaybeLogSlowQuery(const VectorBandQuery& query,
+                         const QueryStats& stats,
+                         const PhysicalPlan& plan) const;
+
+  /// Shared lifecycle core; declared first so the storage outlives the
+  /// store and tree at destruction.
+  FieldEngine engine_;
   VectorIndexMethod method_ = VectorIndexMethod::kIHilbert;
-  std::unique_ptr<PageFile> file_;
-  std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<RecordStore<VectorCellRecord>> store_;
   std::unique_ptr<RStarTree<2>> tree_;  // null for LinearScan
   std::vector<VectorSubfield> subfields_;
+  /// In-RAM per-slot (u, v) value boxes: the planner's zero-I/O
+  /// selectivity probe (rebuilt on Open, maintained on update).
+  BoxZoneMap zones_;
   /// Store position of each field cell id (inverse of the build order).
   std::vector<uint64_t> pos_of_;
+  std::atomic<PlannerMode> planner_mode_{PlannerMode::kAuto};
+  uint64_t ext_spill_runs_ = 0;
+  uint64_t ext_peak_buffered_bytes_ = 0;
 };
 
 }  // namespace fielddb

@@ -2,12 +2,154 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
 
+#include "core/ext_sort.h"
 #include "curve/hilbert.h"
 #include "index/subfield_maintenance.h"
 #include "volume/tet_band.h"
 
 namespace fielddb {
+
+namespace {
+
+constexpr const char* kVolumeMagic = "fielddb-volume-meta-v1";
+
+struct VolumeMetaData {
+  uint32_t page_size = 0;
+  uint32_t epoch = 0;
+  int method = 0;
+  uint64_t num_cells = 0;
+  PageId store_first_page = 0;
+  double voxel_volume = 0.0;
+  ValueInterval value_range;
+  bool has_tree = false;
+  RStarMeta tree;
+  std::vector<Subfield> subfields;
+  uint64_t declared_subfields = 0;
+};
+
+Status WriteVolumeMeta(const std::string& path, const VolumeMetaData& meta) {
+  return WriteCatalogFile(path, [&](std::FILE* f) {
+    std::fprintf(f, "%s\n", kVolumeMagic);
+    std::fprintf(f, "page_size %u\n", meta.page_size);
+    std::fprintf(f, "epoch %u\n", meta.epoch);
+    std::fprintf(f, "method %d\n", meta.method);
+    std::fprintf(f, "num_cells %" PRIu64 "\n", meta.num_cells);
+    std::fprintf(f, "store_first_page %" PRIu64 "\n",
+                 meta.store_first_page);
+    std::fprintf(f, "voxel_volume %.17g\n", meta.voxel_volume);
+    std::fprintf(f, "value_range %.17g %.17g\n", meta.value_range.min,
+                 meta.value_range.max);
+    if (meta.has_tree) {
+      std::fprintf(f, "tree %" PRIu64 " %u %" PRIu64 " %" PRIu64 "\n",
+                   meta.tree.root, meta.tree.height, meta.tree.size,
+                   meta.tree.num_nodes);
+    }
+    std::fprintf(f, "subfields %zu\n", meta.subfields.size());
+    for (const Subfield& sf : meta.subfields) {
+      std::fprintf(f, "sf %" PRIu64 " %" PRIu64 " %.17g %.17g %.17g\n",
+                   sf.start, sf.end, sf.interval.min, sf.interval.max,
+                   sf.sum_interval_sizes);
+    }
+    return true;
+  });
+}
+
+Status ValidateVolumeMeta(const VolumeMetaData& meta,
+                          const std::string& path) {
+  const auto bad = [&](const char* key) {
+    return Status::Corruption("catalog " + path + ": invalid value for '" +
+                              key + "'");
+  };
+  if (meta.page_size == 0 || meta.page_size > (1u << 26)) {
+    return bad("page_size");
+  }
+  if (meta.method < 0 ||
+      meta.method > static_cast<int>(VolumeIndexMethod::kIHilbert)) {
+    return bad("method");
+  }
+  if (!std::isfinite(meta.voxel_volume) || meta.voxel_volume < 0.0) {
+    return bad("voxel_volume");
+  }
+  if (!std::isfinite(meta.value_range.min) ||
+      !std::isfinite(meta.value_range.max) ||
+      meta.value_range.min > meta.value_range.max) {
+    return bad("value_range");
+  }
+  if (meta.declared_subfields != meta.subfields.size()) {
+    return bad("subfields");
+  }
+  for (const Subfield& sf : meta.subfields) {
+    if (sf.start > sf.end || sf.end > meta.num_cells) return bad("sf");
+    if (!std::isfinite(sf.interval.min) ||
+        !std::isfinite(sf.interval.max) ||
+        sf.interval.min > sf.interval.max ||
+        !std::isfinite(sf.sum_interval_sizes)) {
+      return bad("sf");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<VolumeMetaData> ReadVolumeMeta(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot read " + path);
+  VolumeMetaData meta;
+  char magic[64] = {};
+  if (std::fscanf(f, "%63s", magic) != 1 ||
+      std::string(magic) != kVolumeMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  char key[64];
+  bool ok = true;
+  while (ok && std::fscanf(f, "%63s", key) == 1) {
+    const std::string k = key;
+    if (k == "page_size") {
+      ok = std::fscanf(f, "%u", &meta.page_size) == 1;
+    } else if (k == "epoch") {
+      ok = std::fscanf(f, "%u", &meta.epoch) == 1;
+    } else if (k == "method") {
+      ok = std::fscanf(f, "%d", &meta.method) == 1;
+    } else if (k == "num_cells") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.num_cells) == 1;
+    } else if (k == "store_first_page") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.store_first_page) == 1;
+    } else if (k == "voxel_volume") {
+      ok = std::fscanf(f, "%lg", &meta.voxel_volume) == 1;
+    } else if (k == "value_range") {
+      ok = std::fscanf(f, "%lg %lg", &meta.value_range.min,
+                       &meta.value_range.max) == 2;
+    } else if (k == "tree") {
+      ok = std::fscanf(f, "%" SCNu64 " %u %" SCNu64 " %" SCNu64,
+                       &meta.tree.root, &meta.tree.height, &meta.tree.size,
+                       &meta.tree.num_nodes) == 4;
+      meta.has_tree = true;
+    } else if (k == "subfields") {
+      ok = std::fscanf(f, "%" SCNu64, &meta.declared_subfields) == 1;
+      if (ok && meta.declared_subfields <= (uint64_t{1} << 24)) {
+        meta.subfields.reserve(meta.declared_subfields);
+      }
+    } else if (k == "sf") {
+      Subfield sf;
+      ok = std::fscanf(f, "%" SCNu64 " %" SCNu64 " %lg %lg %lg", &sf.start,
+                       &sf.end, &sf.interval.min, &sf.interval.max,
+                       &sf.sum_interval_sizes) == 5;
+      meta.subfields.push_back(sf);
+    } else {
+      ok = false;
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::Corruption("malformed catalog " + path);
+  FIELDDB_RETURN_IF_ERROR(ValidateVolumeMeta(meta, path));
+  return meta;
+}
+
+}  // namespace
 
 const char* VolumeIndexMethodName(VolumeIndexMethod method) {
   switch (method) {
@@ -23,45 +165,58 @@ StatusOr<std::unique_ptr<VolumeFieldDatabase>> VolumeFieldDatabase::Build(
     const VolumeGridField& field, const Options& options) {
   auto db = std::unique_ptr<VolumeFieldDatabase>(new VolumeFieldDatabase());
   db->method_ = options.method;
-  db->file_ = options.page_file_factory
-                  ? options.page_file_factory(options.page_size)
-                  : std::make_unique<MemPageFile>(options.page_size);
-  db->pool_ =
-      std::make_unique<BufferPool>(db->file_.get(), options.pool_pages);
+  db->planner_mode_.store(options.planner_mode, std::memory_order_relaxed);
+  FieldEngine::BuildConfig config;
+  config.page_size = options.page_size;
+  config.pool_pages = options.pool_pages;
+  config.page_file_factory = options.page_file_factory;
+  FIELDDB_RETURN_IF_ERROR(db->engine_.InitForBuild(config));
+  BufferPool* const pool = db->engine_.pool();
   db->value_range_ = field.ValueRange();
   db->voxel_volume_ = field.VoxelVolume();
 
-  // 3-D Hilbert order over voxel coordinates.
+  // 3-D Hilbert order over voxel coordinates. One sorter serves both
+  // the in-RAM (budget 0: a single sort) and the bounded-memory
+  // (spilled runs + k-way merge) builds; its (key, insertion-seq)
+  // tie-break equals the (key, id) order, so both paths emit voxels
+  // identically.
   const uint32_t max_dim =
       std::max({field.nx(), field.ny(), field.nz(), 2u});
   int order = 1;
   while ((uint32_t{1} << order) < max_dim) ++order;
 
   const VoxelId n = field.NumCells();
-  std::vector<std::pair<uint64_t, VoxelId>> keyed(n);
+  ExternalKeyRecordSorter<VoxelId> sorter(
+      options.build_memory_budget_bytes);
   for (VoxelId id = 0; id < n; ++id) {
     const std::array<uint32_t, 3> c = field.VoxelCoords(id);
-    keyed[id] = {HilbertEncodeND(order, {c[0], c[1], c[2]}), id};
+    FIELDDB_RETURN_IF_ERROR(
+        sorter.Add(HilbertEncodeND(order, {c[0], c[1], c[2]}), id));
   }
-  std::sort(keyed.begin(), keyed.end());
 
-  std::vector<VoxelRecord> records(n);
-  std::vector<ValueInterval> intervals(n);
   db->pos_of_.assign(n, 0);
-  for (VoxelId pos = 0; pos < n; ++pos) {
-    records[pos] = field.GetCell(keyed[pos].second);
-    intervals[pos] = records[pos].Interval();
-    db->pos_of_[keyed[pos].second] = pos;
-  }
-  StatusOr<RecordStore<VoxelRecord>> store =
-      RecordStore<VoxelRecord>::Build(db->pool_.get(), records);
+  db->zones_.Reserve(n);
+  RecordStoreAppender<VoxelRecord> appender(pool);
+  SubfieldStreamBuilder costing(db->value_range_, options.cost);
+  FIELDDB_RETURN_IF_ERROR(
+      sorter.Merge([&](uint64_t, const VoxelId& id) -> Status {
+        const VoxelRecord record = field.GetCell(id);
+        db->pos_of_[id] = appender.size();
+        FIELDDB_RETURN_IF_ERROR(appender.Append(record));
+        const ValueInterval iv = record.Interval();
+        db->zones_.Append(iv);
+        costing.Add(iv);
+        return Status::OK();
+      }));
+  StatusOr<RecordStore<VoxelRecord>> store = appender.Finish();
   if (!store.ok()) return store.status();
   db->store_ =
       std::make_unique<RecordStore<VoxelRecord>>(std::move(store).value());
+  db->ext_spill_runs_ = sorter.spill_runs();
+  db->ext_peak_buffered_bytes_ = sorter.peak_buffered_bytes();
 
   if (options.method == VolumeIndexMethod::kIHilbert) {
-    db->subfields_ =
-        BuildSubfields(intervals, db->value_range_, options.cost);
+    db->subfields_ = costing.Finish();
     std::vector<RTreeEntry<1>> entries(db->subfields_.size());
     for (size_t i = 0; i < db->subfields_.size(); ++i) {
       entries[i].box = BoxFromInterval(db->subfields_[i].interval);
@@ -69,11 +224,148 @@ StatusOr<std::unique_ptr<VolumeFieldDatabase>> VolumeFieldDatabase::Build(
       entries[i].b = db->subfields_[i].end;
     }
     StatusOr<RStarTree<1>> tree =
-        RStarTree<1>::BulkLoad(db->pool_.get(), entries, options.rstar);
+        RStarTree<1>::BulkLoad(pool, entries, options.rstar);
     if (!tree.ok()) return tree.status();
     db->tree_ = std::make_unique<RStarTree<1>>(std::move(tree).value());
   }
-  db->pool_->ResetStats();
+
+  if (options.wal_mode != WalMode::kOff) {
+    FIELDDB_RETURN_IF_ERROR(
+        db->engine_.ArmWal(options.wal_path, options.wal_mode));
+  }
+  if (!options.event_log_path.empty()) {
+    FIELDDB_RETURN_IF_ERROR(db->engine_.AttachEventLog(
+        options.event_log_path, options.slow_query_threshold_ms));
+    if (options.wal_mode != WalMode::kOff) {
+      db->engine_.LogEvent(EventLog::Event("wal_mode_transition")
+                               .Add("from", WalModeName(WalMode::kOff))
+                               .Add("to", WalModeName(options.wal_mode))
+                               .Add("at", "build"));
+    }
+  }
+  pool->ResetStats();
+  return db;
+}
+
+Status VolumeFieldDatabase::Save(const std::string& prefix) {
+  return SaveImpl(prefix, SnapshotCrashPoint::kNone);
+}
+
+Status VolumeFieldDatabase::SaveImpl(const std::string& prefix,
+                                     SnapshotCrashPoint crash_point) {
+  return engine_.SaveSnapshot(
+      prefix, crash_point,
+      [&](const std::string& meta_tmp_path, uint32_t new_epoch) -> Status {
+        VolumeMetaData meta;
+        meta.page_size = engine_.file()->page_size();
+        meta.epoch = new_epoch;
+        meta.method = static_cast<int>(method_);
+        meta.num_cells = store_->size();
+        meta.store_first_page = store_->first_page();
+        meta.voxel_volume = voxel_volume_;
+        meta.value_range = value_range_;
+        if (tree_ != nullptr) {
+          meta.has_tree = true;
+          meta.tree = tree_->meta();
+        }
+        meta.subfields = subfields_;
+        return WriteVolumeMeta(meta_tmp_path, meta);
+      });
+}
+
+StatusOr<std::unique_ptr<VolumeFieldDatabase>> VolumeFieldDatabase::Open(
+    const std::string& prefix) {
+  return Open(prefix, OpenOptions{});
+}
+
+StatusOr<std::unique_ptr<VolumeFieldDatabase>> VolumeFieldDatabase::Open(
+    const std::string& prefix, const OpenOptions& options) {
+  TryCompleteInterruptedSave(
+      prefix, [](const std::string& path) -> StatusOr<uint32_t> {
+        StatusOr<VolumeMetaData> m = ReadVolumeMeta(path);
+        if (!m.ok()) return m.status();
+        return m->epoch;
+      });
+
+  StatusOr<VolumeMetaData> meta = ReadVolumeMeta(prefix + ".meta");
+  if (!meta.ok()) return meta.status();
+
+  auto db = std::unique_ptr<VolumeFieldDatabase>(new VolumeFieldDatabase());
+  db->method_ = static_cast<VolumeIndexMethod>(meta->method);
+  db->planner_mode_.store(options.planner_mode, std::memory_order_relaxed);
+  db->value_range_ = meta->value_range;
+  db->voxel_volume_ = meta->voxel_volume;
+  FIELDDB_RETURN_IF_ERROR(db->engine_.InitForOpen(
+      prefix, meta->page_size, meta->epoch, options.pool_pages));
+  BufferPool* const pool = db->engine_.pool();
+
+  const uint64_t num_pages = db->engine_.file()->NumPages();
+  if (meta->num_cells > 0 && meta->store_first_page >= num_pages) {
+    return Status::Corruption("catalog " + prefix +
+                              ".meta: invalid value for 'store_first_page'");
+  }
+  if (meta->has_tree && meta->tree.root >= num_pages) {
+    return Status::Corruption("catalog " + prefix +
+                              ".meta: invalid value for 'tree'");
+  }
+  if (db->method_ == VolumeIndexMethod::kIHilbert && !meta->has_tree) {
+    return Status::Corruption("catalog " + prefix +
+                              ".meta: missing tree meta");
+  }
+
+  StatusOr<RecordStore<VoxelRecord>> store = RecordStore<VoxelRecord>::Attach(
+      pool, meta->store_first_page, meta->num_cells);
+  if (!store.ok()) return store.status();
+  db->store_ =
+      std::make_unique<RecordStore<VoxelRecord>>(std::move(store).value());
+  db->subfields_ = std::move(meta->subfields);
+  if (meta->has_tree) {
+    db->tree_ = std::make_unique<RStarTree<1>>(
+        RStarTree<1>::Attach(pool, meta->tree));
+  }
+
+  // One store pass rebuilds both in-RAM sidecars: the voxel-id ->
+  // position map and the zone map the planner probes.
+  const uint64_t n = meta->num_cells;
+  db->pos_of_.assign(n, ~uint64_t{0});
+  db->zones_.Reserve(n);
+  FIELDDB_RETURN_IF_ERROR(db->store_->Scan(
+      0, n, [&](uint64_t pos, const VoxelRecord& rec) {
+        if (rec.id < n) db->pos_of_[rec.id] = pos;
+        db->zones_.Append(rec.Interval());
+        return true;
+      }));
+  for (const uint64_t pos : db->pos_of_) {
+    if (pos == ~uint64_t{0}) {
+      return Status::Corruption("voxel store is missing voxel ids");
+    }
+  }
+
+  // Recovery: logical redo through the same apply path updates took, so
+  // subfield hulls, tree entries and the zone map are maintained.
+  EngineRecoveryReport report;
+  VolumeFieldDatabase* const raw = db.get();
+  FIELDDB_RETURN_IF_ERROR(db->engine_.RecoverFromWal(
+      prefix, options.wal_mode,
+      [raw](const WalFrame& frame) -> Status {
+        return raw->ApplyVoxelValues(static_cast<VoxelId>(frame.cell_id),
+                                     frame.values);
+      },
+      [raw, &prefix]() {
+        return raw->SaveImpl(prefix, SnapshotCrashPoint::kNone);
+      },
+      &report));
+
+  if (!options.event_log_path.empty()) {
+    FIELDDB_RETURN_IF_ERROR(db->engine_.AttachEventLog(
+        options.event_log_path, options.slow_query_threshold_ms));
+    db->engine_.LogRecoveryEvent(report, options.wal_mode);
+  }
+
+  pool->ResetStats();
+  if (options.recovery_report != nullptr) {
+    *options.recovery_report = std::move(report);
+  }
   return db;
 }
 
@@ -84,12 +376,27 @@ Status VolumeFieldDatabase::UpdateVoxelValues(VoxelId id,
     return Status::InvalidArgument("expected 8 corner values, got " +
                                    std::to_string(w.size()));
   }
+  // Validated above, so only appliable updates reach the log; replay
+  // never meets an invalid frame.
+  FIELDDB_RETURN_IF_ERROR(engine_.LogUpdate(id, w));
+  return ApplyVoxelValues(id, w);
+}
+
+Status VolumeFieldDatabase::ApplyVoxelValues(VoxelId id,
+                                             const std::vector<double>& w) {
+  if (id >= pos_of_.size()) return Status::OutOfRange("no such voxel");
+  if (w.size() != 8) {
+    return Status::InvalidArgument("expected 8 corner values, got " +
+                                   std::to_string(w.size()));
+  }
   const uint64_t pos = pos_of_[id];
   VoxelRecord voxel;
   FIELDDB_RETURN_IF_ERROR(store_->Get(pos, &voxel));
   for (int i = 0; i < 8; ++i) voxel.w[i] = w[i];
   FIELDDB_RETURN_IF_ERROR(store_->Put(pos, voxel));
-  value_range_.Extend(voxel.Interval());
+  const ValueInterval iv = voxel.Interval();
+  zones_.Set(pos, iv);
+  value_range_.Extend(iv);
   if (tree_ == nullptr) return Status::OK();
 
   // Refresh the containing subfield's interval hull, same maintenance
@@ -100,9 +407,9 @@ Status VolumeFieldDatabase::UpdateVoxelValues(VoxelId id,
   double sum_sizes = 0.0;
   FIELDDB_RETURN_IF_ERROR(store_->Scan(
       sf.start, sf.end, [&](uint64_t, const VoxelRecord& member) {
-        const ValueInterval iv = member.Interval();
-        hull.Extend(iv);
-        sum_sizes += iv.PaperSize();
+        const ValueInterval member_iv = member.Interval();
+        hull.Extend(member_iv);
+        sum_sizes += member_iv.PaperSize();
         return true;
       }));
   if (hull != sf.interval) {
@@ -116,6 +423,47 @@ Status VolumeFieldDatabase::UpdateVoxelValues(VoxelId id,
   return Status::OK();
 }
 
+PhysicalPlan VolumeFieldDatabase::ChoosePlan(
+    const ValueInterval& band) const {
+  std::vector<PosRange> runs;
+  zones_.FilterRanges(band, &runs);
+  StoreShape shape;
+  shape.num_cells = store_->size();
+  shape.cells_per_page = store_->records_per_page();
+  shape.store_pages = store_->num_pages();
+  const ExtStorePlanner planner(shape,
+                                tree_ != nullptr ? tree_->height() : 0);
+  return planner.Choose(runs, planner_mode_.load(std::memory_order_relaxed),
+                        tree_ != nullptr);
+}
+
+PhysicalPlan VolumeFieldDatabase::PlanBandQuery(
+    const ValueInterval& band) const {
+  return ChoosePlan(band);
+}
+
+void VolumeFieldDatabase::MaybeLogSlowQuery(const ValueInterval& band,
+                                            const QueryStats& stats,
+                                            const PhysicalPlan& plan) const {
+  if (engine_.event_log() == nullptr) return;
+  const double wall_ms = stats.wall_seconds * 1000.0;
+  if (wall_ms < engine_.slow_query_threshold_ms()) return;
+  const double observed_disk_ms = DiskModel{}.EstimateMs(
+      stats.io.sequential_reads, stats.io.random_reads());
+  engine_.LogEvent(EventLog::Event("slow_query")
+                       .Add("field_type", "volume")
+                       .Add("wall_ms", wall_ms)
+                       .Add("threshold_ms", engine_.slow_query_threshold_ms())
+                       .Add("query_min", band.min)
+                       .Add("query_max", band.max)
+                       .Add("plan", PlanKindName(plan.kind))
+                       .Add("reason", plan.reason)
+                       .Add("predicted_cost_ms", plan.predicted_cost_ms)
+                       .Add("observed_disk_ms", observed_disk_ms)
+                       .Add("candidate_cells", stats.candidate_cells)
+                       .Add("answer_cells", stats.answer_cells));
+}
+
 Status VolumeFieldDatabase::BandQuery(const ValueInterval& band,
                                       VolumeQueryResult* out) {
   if (band.IsEmpty()) {
@@ -123,7 +471,8 @@ Status VolumeFieldDatabase::BandQuery(const ValueInterval& band,
   }
   out->volume = 0.0;
   out->stats = QueryStats{};
-  const IoStats io_before = pool_->stats();
+  out->plan = ChoosePlan(band);
+  const IoStats io_before = engine_.pool()->stats();
   const auto t0 = std::chrono::steady_clock::now();
 
   const auto visit = [&](uint64_t, const VoxelRecord& voxel) {
@@ -136,7 +485,7 @@ Status VolumeFieldDatabase::BandQuery(const ValueInterval& band,
     return true;
   };
 
-  if (tree_ == nullptr) {
+  if (out->plan.kind == PlanKind::kFusedScan) {
     out->stats.candidate_cells = store_->size();
     FIELDDB_RETURN_IF_ERROR(store_->Scan(0, store_->size(), visit));
   } else {
@@ -161,31 +510,26 @@ Status VolumeFieldDatabase::BandQuery(const ValueInterval& band,
   out->stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  out->stats.io = pool_->stats() - io_before;
+  out->stats.io = engine_.pool()->stats() - io_before;
+  MaybeLogSlowQuery(band, out->stats, out->plan);
   return Status::OK();
 }
 
 StatusOr<WorkloadStats> VolumeFieldDatabase::RunWorkload(
     const std::vector<ValueInterval>& queries) {
   WorkloadStats ws;
-  ws.num_queries = static_cast<uint32_t>(queries.size());
   if (queries.empty()) return ws;
   QueryStats total;
+  std::vector<double> wall_ms;
+  wall_ms.reserve(queries.size());
   VolumeQueryResult result;
   for (const ValueInterval& q : queries) {
-    FIELDDB_RETURN_IF_ERROR(pool_->Clear());
+    FIELDDB_RETURN_IF_ERROR(engine_.pool()->Clear());
     FIELDDB_RETURN_IF_ERROR(BandQuery(q, &result));
     total.Accumulate(result.stats);
+    wall_ms.push_back(result.stats.wall_seconds * 1000.0);
   }
-  const double n = queries.size();
-  ws.avg_wall_ms = total.wall_seconds * 1000.0 / n;
-  ws.avg_candidates = static_cast<double>(total.candidate_cells) / n;
-  ws.avg_answer_cells = static_cast<double>(total.answer_cells) / n;
-  ws.avg_logical_reads = static_cast<double>(total.io.logical_reads) / n;
-  ws.avg_physical_reads = static_cast<double>(total.io.physical_reads) / n;
-  ws.avg_sequential_reads =
-      static_cast<double>(total.io.sequential_reads) / n;
-  ws.avg_random_reads = static_cast<double>(total.io.random_reads()) / n;
+  FinalizeWorkloadStats(total, &wall_ms, &ws);
   return ws;
 }
 

@@ -1,15 +1,21 @@
 #ifndef FIELDDB_VOLUME_VOLUME_INDEX_H_
 #define FIELDDB_VOLUME_VOLUME_INDEX_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/field_engine.h"
 #include "core/stats.h"
 #include "index/subfield.h"
+#include "index/zone_sidecar.h"
+#include "plan/ext_planner.h"
 #include "rtree/rstar_tree.h"
 #include "storage/page_file.h"
 #include "storage/record_store.h"
+#include "storage/wal.h"
 #include "volume/volume_field.h"
 
 namespace fielddb {
@@ -27,6 +33,10 @@ const char* VolumeIndexMethodName(VolumeIndexMethod method);
 struct VolumeQueryResult {
   double volume = 0.0;
   QueryStats stats;
+  /// The planner's decision this query executed: zone-map probe +
+  /// disk-model costing (plan/ext_planner.h), same selection the grid
+  /// planner makes.
+  PhysicalPlan plan;
 };
 
 /// The I-Hilbert method lifted to 3-D volume fields (the paper
@@ -35,6 +45,11 @@ struct VolumeQueryResult {
 /// stored in that order, grouped into subfields with the *same* scalar
 /// cost function (values are still scalar — only the domain gained a
 /// dimension), and the subfield intervals indexed in a 1-D R*-tree.
+///
+/// Hosted on the shared FieldEngine (core/field_engine.h): storage,
+/// WAL-backed updates, crash-safe Save/Open and the event log are the
+/// engine's; only the catalog format, the voxel record layout and the
+/// subfield redo logic are volume-specific.
 class VolumeFieldDatabase {
  public:
   struct Options {
@@ -47,23 +62,97 @@ class VolumeFieldDatabase {
     /// tests wrap the file to schedule faults against the live database.
     std::function<std::unique_ptr<PageFile>(uint32_t page_size)>
         page_file_factory;
+    /// Initial access-path policy for band queries (see ExtStorePlanner).
+    PlannerMode planner_mode = PlannerMode::kAuto;
+    /// Durability for UpdateVoxelValues (DESIGN.md §14): every update is
+    /// logged before it is applied and Open replays the log. Requires
+    /// `wal_path`; use `<prefix>.wal` for the prefix the database will
+    /// be saved under.
+    WalMode wal_mode = WalMode::kOff;
+    std::string wal_path;
+    /// Structured operational event log (slow queries, recovery). Empty
+    /// disables it.
+    std::string event_log_path;
+    double slow_query_threshold_ms = 25.0;
+    /// Bounded-memory build (DESIGN.md §16): when nonzero, the 3-D
+    /// Hilbert linearization sorts (key, voxel) pairs with the external
+    /// merge sorter under this in-RAM budget, spilling sorted runs to
+    /// temp files; the merge streams into the store appender and the
+    /// subfield costing. Byte-identical to the unlimited build.
+    size_t build_memory_budget_bytes = 0;
+  };
+
+  /// Reopen options, mirroring FieldDatabase::OpenOptions.
+  struct OpenOptions {
+    size_t pool_pages = 1024;
+    WalMode wal_mode = WalMode::kOff;
+    /// Optional out-param describing the replay (may be null).
+    EngineRecoveryReport* recovery_report = nullptr;
+    std::string event_log_path;
+    double slow_query_threshold_ms = 25.0;
+    PlannerMode planner_mode = PlannerMode::kAuto;
   };
 
   static StatusOr<std::unique_ptr<VolumeFieldDatabase>> Build(
       const VolumeGridField& field, const Options& options);
 
+  /// Reopens a database persisted by Save; `<prefix>.wal` frames are
+  /// replayed first (see OpenOptions::wal_mode).
+  static StatusOr<std::unique_ptr<VolumeFieldDatabase>> Open(
+      const std::string& prefix);
+  static StatusOr<std::unique_ptr<VolumeFieldDatabase>> Open(
+      const std::string& prefix, const OpenOptions& options);
+
+  /// Persists the database as `<prefix>.pages` + `<prefix>.meta`
+  /// through the engine's crash-safe checkpoint pipeline.
+  Status Save(const std::string& prefix);
+  Status SaveWithCrashPointForTest(const std::string& prefix,
+                                   SnapshotCrashPoint crash_point) {
+    return SaveImpl(prefix, crash_point);
+  }
+
   /// Band query: total volume where band.min <= w <= band.max (under the
-  /// piecewise-linear Kuhn-tetrahedra reading), with per-query stats.
+  /// piecewise-linear Kuhn-tetrahedra reading), with per-query stats and
+  /// the executed plan.
   Status BandQuery(const ValueInterval& band, VolumeQueryResult* out);
 
-  /// Replaces the 8 corner samples of voxel `id`. I-Hilbert refreshes
-  /// the containing subfield's interval hull (and its R*-tree entry).
+  /// The planner's decision for `band` under the current mode, without
+  /// executing anything (zero I/O: the zone-map sidecar is in RAM).
+  PhysicalPlan PlanBandQuery(const ValueInterval& band) const;
+
+  /// Replaces the 8 corner samples of voxel `id`, WAL-logged when a log
+  /// is armed. I-Hilbert refreshes the containing subfield's interval
+  /// hull (and its R*-tree entry); the zone-map sidecar slot is updated
+  /// either way.
   Status UpdateVoxelValues(VoxelId id, const std::vector<double>& w);
+
+  /// Flushes and closes the storage (see FieldEngine::Close).
+  Status Close() { return engine_.Close(); }
+  /// Simulated power cut (tests): everything not fsynced is gone.
+  Status SimulateCrashForTest() { return engine_.SimulateCrashForTest(); }
 
   const std::vector<Subfield>& subfields() const { return subfields_; }
   uint64_t num_cells() const { return store_->size(); }
   const ValueInterval& value_range() const { return value_range_; }
-  BufferPool& pool() { return *pool_; }
+  VolumeIndexMethod method() const { return method_; }
+  BufferPool& pool() { return *engine_.pool(); }
+  const ScalarZoneMap& zone_map() const { return zones_; }
+  WriteAheadLog* wal() const { return engine_.wal(); }
+  EventLog* event_log() const { return engine_.event_log(); }
+  uint32_t epoch() const { return engine_.epoch(); }
+
+  void set_planner_mode(PlannerMode mode) {
+    planner_mode_.store(mode, std::memory_order_relaxed);
+  }
+  PlannerMode planner_mode() const {
+    return planner_mode_.load(std::memory_order_relaxed);
+  }
+
+  /// External-sort build telemetry (0 when the build never spilled).
+  uint64_t ext_spill_runs() const { return ext_spill_runs_; }
+  uint64_t ext_peak_buffered_bytes() const {
+    return ext_peak_buffered_bytes_;
+  }
 
   /// Average stats over a query workload (cold cache per query).
   StatusOr<WorkloadStats> RunWorkload(
@@ -72,16 +161,34 @@ class VolumeFieldDatabase {
  private:
   VolumeFieldDatabase() = default;
 
+  Status SaveImpl(const std::string& prefix, SnapshotCrashPoint crash_point);
+
+  /// The redo half of an update — shared verbatim by UpdateVoxelValues
+  /// and WAL replay, so recovery maintains the subfield hulls and zone
+  /// map exactly like the original mutation did.
+  Status ApplyVoxelValues(VoxelId id, const std::vector<double>& w);
+
+  PhysicalPlan ChoosePlan(const ValueInterval& band) const;
+  void MaybeLogSlowQuery(const ValueInterval& band, const QueryStats& stats,
+                         const PhysicalPlan& plan) const;
+
+  /// Shared lifecycle core; declared first so the storage outlives the
+  /// store and tree at destruction.
+  FieldEngine engine_;
   VolumeIndexMethod method_ = VolumeIndexMethod::kIHilbert;
-  std::unique_ptr<PageFile> file_;
-  std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<RecordStore<VoxelRecord>> store_;
   std::unique_ptr<RStarTree<1>> tree_;  // null for LinearScan
   std::vector<Subfield> subfields_;
+  /// In-RAM per-slot value intervals: the planner's zero-I/O
+  /// selectivity probe (rebuilt on Open, maintained on update).
+  ScalarZoneMap zones_;
   ValueInterval value_range_;
   double voxel_volume_ = 0.0;
   /// Store position of each voxel id (inverse of the Hilbert sort).
   std::vector<uint64_t> pos_of_;
+  std::atomic<PlannerMode> planner_mode_{PlannerMode::kAuto};
+  uint64_t ext_spill_runs_ = 0;
+  uint64_t ext_peak_buffered_bytes_ = 0;
 };
 
 }  // namespace fielddb

@@ -1,0 +1,126 @@
+// Unit coverage for the bounded-memory external merge sorter
+// (core/ext_sort.h): ordering, stable tie-breaks, spill telemetry, and
+// the byte-identity between budgeted and unlimited runs that the
+// extension builds rely on.
+
+#include "core/ext_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fielddb {
+namespace {
+
+struct Payload {
+  uint64_t id = 0;
+  double value = 0.0;
+};
+
+using Emitted = std::vector<std::pair<uint64_t, uint64_t>>;  // (key, id)
+
+Emitted Drain(ExternalKeyRecordSorter<Payload>* sorter) {
+  Emitted out;
+  const Status s =
+      sorter->Merge([&](uint64_t key, const Payload& p) -> Status {
+        out.emplace_back(key, p.id);
+        return Status::OK();
+      });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(ExtSortTest, EmptySorterEmitsNothing) {
+  ExternalKeyRecordSorter<Payload> sorter(0);
+  EXPECT_TRUE(Drain(&sorter).empty());
+  EXPECT_EQ(sorter.spill_runs(), 0u);
+}
+
+TEST(ExtSortTest, UnlimitedBudgetSortsByKey) {
+  ExternalKeyRecordSorter<Payload> sorter(0);
+  const uint64_t keys[] = {9, 2, 7, 2, 0, 9, 5};
+  for (uint64_t i = 0; i < 7; ++i) {
+    ASSERT_TRUE(sorter.Add(keys[i], Payload{i, 0.0}).ok());
+  }
+  const Emitted out = Drain(&sorter);
+  ASSERT_EQ(out.size(), 7u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].first, out[i].first);
+  }
+  // Equal keys keep insertion order (stable tie-break by sequence).
+  EXPECT_EQ(out[1], (std::pair<uint64_t, uint64_t>{2, 1}));
+  EXPECT_EQ(out[2], (std::pair<uint64_t, uint64_t>{2, 3}));
+  EXPECT_EQ(out[5], (std::pair<uint64_t, uint64_t>{9, 0}));
+  EXPECT_EQ(out[6], (std::pair<uint64_t, uint64_t>{9, 5}));
+  EXPECT_EQ(sorter.spill_runs(), 0u);
+  EXPECT_EQ(sorter.spilled_records(), 0u);
+}
+
+TEST(ExtSortTest, TinyBudgetSpillsAndMatchesUnlimited) {
+  constexpr size_t kEntries = 2000;
+  Rng rng(42);
+  std::vector<std::pair<uint64_t, Payload>> input;
+  input.reserve(kEntries);
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    // Narrow key space forces many cross-run ties.
+    input.push_back({rng.NextU64() % 97, Payload{i, rng.NextDouble()}});
+  }
+
+  ExternalKeyRecordSorter<Payload> unlimited(0);
+  using Sorter = ExternalKeyRecordSorter<Payload>;
+  Sorter budgeted(32 * sizeof(Sorter::Entry));
+  for (const auto& [key, payload] : input) {
+    ASSERT_TRUE(unlimited.Add(key, payload).ok());
+    ASSERT_TRUE(budgeted.Add(key, payload).ok());
+  }
+  const Emitted expected = Drain(&unlimited);
+  const Emitted actual = Drain(&budgeted);
+  EXPECT_EQ(actual, expected);
+
+  EXPECT_GT(budgeted.spill_runs(), 1u);
+  EXPECT_GT(budgeted.spilled_records(), 0u);
+  EXPECT_LE(budgeted.peak_buffered_bytes(), 32 * sizeof(Sorter::Entry));
+  EXPECT_EQ(unlimited.spill_runs(), 0u);
+  EXPECT_EQ(unlimited.peak_buffered_bytes(),
+            kEntries * sizeof(Sorter::Entry));
+}
+
+TEST(ExtSortTest, EmitErrorAbortsMerge) {
+  ExternalKeyRecordSorter<Payload> sorter(0);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sorter.Add(i, Payload{i, 0.0}).ok());
+  }
+  int calls = 0;
+  const Status s = sorter.Merge([&](uint64_t, const Payload&) -> Status {
+    if (++calls == 3) return Status::Internal("downstream full");
+    return Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(ExtSortTest, SpilledMergePreservesRecordBytes) {
+  using Sorter = ExternalKeyRecordSorter<Payload>;
+  Sorter sorter(8 * sizeof(Sorter::Entry));
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(sorter.Add(100 - i, Payload{i, i * 0.25}).ok());
+  }
+  uint64_t count = 0;
+  ASSERT_TRUE(sorter
+                  .Merge([&](uint64_t key, const Payload& p) -> Status {
+                    EXPECT_EQ(key, 100 - p.id);
+                    EXPECT_DOUBLE_EQ(p.value, p.id * 0.25);
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 100u);
+  EXPECT_GT(sorter.spill_runs(), 0u);
+}
+
+}  // namespace
+}  // namespace fielddb

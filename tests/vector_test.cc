@@ -239,6 +239,10 @@ TEST(VectorDbTest, IHilbertReadsFewerPages) {
   const auto pages = [&](VectorIndexMethod method) {
     VectorFieldDatabase::Options options;
     options.method = method;
+    // This test isolates the index's I/O advantage, so pin the physical
+    // plan: under kAuto the cost-based planner is free to (correctly)
+    // prefer the fused scan when the band is not selective enough.
+    options.planner_mode = PlannerMode::kForceIndex;
     auto db = VectorFieldDatabase::Build(field, options);
     EXPECT_TRUE(db.ok());
     VectorQueryResult result;

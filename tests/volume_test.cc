@@ -283,6 +283,10 @@ TEST(VolumeDbTest, IHilbertGroupsAndWins) {
   const auto avg_reads = [&](VolumeIndexMethod method) {
     VolumeFieldDatabase::Options options;
     options.method = method;
+    // This test isolates the index's I/O advantage, so pin the physical
+    // plan: under kAuto the cost-based planner is free to (correctly)
+    // prefer the fused scan for the wide bands in this workload.
+    options.planner_mode = PlannerMode::kForceIndex;
     auto db = VolumeFieldDatabase::Build(*field, options);
     EXPECT_TRUE(db.ok());
     if (method == VolumeIndexMethod::kIHilbert) {

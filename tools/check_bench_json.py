@@ -101,6 +101,12 @@ class Checker:
         if "obs_overhead" in report:
             self.check_obs_overhead(report)
             return
+        # The external bulk-load bench (bench_ext_build) sweeps the
+        # build memory budget across the extension field types; its
+        # marker is the top-level ext_build_bench field.
+        if "ext_build_bench" in report:
+            self.check_ext_build(report)
+            return
         self.require(report, "bench_id", str, "report")
         self.require(report, "title", str, "report")
         self.number(report, "field_cells", "report", minimum=1)
@@ -379,6 +385,74 @@ class Checker:
                 if not isinstance(count, int) or count < 1:
                     self.error("trace_families",
                                f"missing or empty family '{family}'")
+
+    def check_ext_build(self, report):
+        self.require(report, "bench_id", str, "report")
+        self.require(report, "title", str, "report")
+        if report.get("ext_build_bench") is not True:
+            self.error("report", "'ext_build_bench' is not true")
+
+        series = self.require(report, "series", list, "report")
+        if series is None:
+            return
+        if not series:
+            self.error("report", "'series' is empty")
+        types = []
+        for i, ser in enumerate(series):
+            where = f"series[{i}]"
+            if not isinstance(ser, dict):
+                self.error(where, "not an object")
+                continue
+            ftype = self.require(ser, "field_type", str, where)
+            if ftype is not None:
+                if ftype not in ("volume", "vector", "temporal"):
+                    self.error(where, f"unknown field_type '{ftype}'")
+                elif ftype in types:
+                    self.error(where, f"duplicate field_type '{ftype}'")
+                types.append(ftype)
+            self.number(ser, "num_cells", where, minimum=1)
+            points = self.require(ser, "points", list, where)
+            if points is None:
+                continue
+            if not points:
+                self.error(where, "'points' is empty")
+            saw_unlimited = False
+            saw_budgeted = False
+            for j, point in enumerate(points):
+                pwhere = f"{where}.points[{j}]"
+                if not isinstance(point, dict):
+                    self.error(pwhere, "not an object")
+                    continue
+                budget = self.number(point, "budget_bytes", pwhere,
+                                     minimum=0)
+                if budget == 0:
+                    saw_unlimited = True
+                elif isinstance(budget, (int, float)) and budget > 0:
+                    saw_budgeted = True
+                for key in ("build_ms", "cells_per_sec"):
+                    value = self.number(point, key, pwhere, minimum=0)
+                    if isinstance(value, (int, float)) and value <= 0:
+                        self.error(pwhere, f"{key} {value} is not positive")
+                self.number(point, "spill_runs", pwhere, minimum=0)
+                peak = self.number(point, "peak_buffered_bytes", pwhere,
+                                   minimum=1)
+                if (isinstance(budget, (int, float)) and budget > 0
+                        and isinstance(peak, (int, float))
+                        and peak > budget):
+                    self.error(pwhere,
+                               f"peak_buffered_bytes {peak} > budget "
+                               f"{budget}")
+                for key in ("within_budget", "matches_unlimited"):
+                    if key not in point:
+                        self.error(pwhere, f"missing key '{key}'")
+                    elif not isinstance(point[key], bool):
+                        self.error(pwhere, f"'{key}' is not a bool")
+                    elif not point[key]:
+                        self.error(pwhere, f"'{key}' is false")
+            if not saw_unlimited:
+                self.error(where, "missing the budget_bytes=0 baseline")
+            if not saw_budgeted:
+                self.error(where, "no budgeted (spilling) build point")
 
     def check_series(self, ser, where):
         if not isinstance(ser, dict):

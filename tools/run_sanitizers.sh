@@ -5,13 +5,14 @@
 #   tools/run_sanitizers.sh [asan|ubsan|tsan|all]
 #
 # asan/ubsan run the full suite. tsan runs only the suites labeled
-# "concurrency", "planner", "recovery", or "obs" (see
+# "concurrency", "planner", "recovery", "ext", or "obs" (see
 # tests/CMakeLists.txt): ThreadSanitizer slows single-threaded tests
 # ~10x for no extra coverage, while the labeled suites are exactly the
 # ones hammering the shared-reader machinery (sharded buffer pool,
 # atomic metrics, concurrent value queries, concurrent cost-based
-# planning), the WAL / crash-recovery paths, and the lock-free trace-v2
-# ring buffers.
+# planning), the WAL / crash-recovery paths, the extension engines
+# (vector / volume / temporal persistence and external-sort builds),
+# and the lock-free trace-v2 ring buffers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,9 +36,10 @@ run_one() {
 case "${mode}" in
   asan)  run_one asan address ;;
   ubsan) run_one ubsan undefined ;;
-  tsan)  run_one tsan thread "-L concurrency|planner|recovery|obs" ;;
+  tsan)  run_one tsan thread "-L concurrency|planner|recovery|ext|obs" ;;
   all)   run_one asan address && run_one ubsan undefined \
-           && run_one tsan thread "-L concurrency|planner|recovery|obs" ;;
+           && run_one tsan thread \
+                "-L concurrency|planner|recovery|ext|obs" ;;
   *)     echo "usage: $0 [asan|ubsan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "sanitizer runs passed"
