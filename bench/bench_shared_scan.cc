@@ -1,0 +1,277 @@
+// Shared-scan bench: 64 concurrent clients issuing overlapping value
+// intervals against the Fig-8a terrain, once with every query executed
+// in isolation and once with the executor's shared-scan scheduler
+// fusing overlapping queries into single sweeps (DESIGN.md §17).
+//
+// Unlike bench_scaling this run is deliberately I/O-bound: the database
+// is saved and reopened from disk with a pool far smaller than the
+// store, so every sweep really reads pages through the vectored batch
+// path (io_uring / preadv — the emitted async_backend field records
+// which backend the host selected). The bench enforces its own
+// acceptance bounds in-binary:
+//   - shared-scan QPS >= 1.5x the isolated QPS,
+//   - per-query answer_cells bit-identical between the two modes,
+//   - the summed per-query IoStats of the shared run never exceed the
+//     isolated run's (leader-charged attribution: each group's sweep is
+//     billed once).
+//
+// Emits BENCH_shared_scan.json (schema validated by
+// tools/check_bench_json.py).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/field_database.h"
+#include "core/query_executor.h"
+#include "gen/fractal.h"
+#include "gen/workload.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "storage/page_file.h"
+
+namespace {
+
+using namespace fielddb;
+
+constexpr size_t kClients = 64;     // concurrent in-flight queries
+constexpr size_t kThreads = 8;      // executor workers, both modes
+constexpr size_t kMaxGroup = 16;    // shared-scan group cap
+constexpr uint64_t kSeed = 3003;
+constexpr double kQInterval = 0.35;  // wide => heavy overlap across clients
+
+struct ModeResult {
+  double qps = 0.0;
+  double p50_wall_ms = 0.0;
+  double p99_wall_ms = 0.0;
+  QueryExecutor::BatchResult batch;
+};
+
+bool Fail(const Status& s) {
+  std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  return false;
+}
+
+bool RunMode(const FieldDatabase& db, const std::vector<ValueInterval>& queries,
+             bool shared, ModeResult* out) {
+  QueryExecutor::Options eo;
+  eo.threads = kThreads;
+  eo.queue_capacity = kClients;
+  eo.shared_scan = shared;
+  eo.max_scan_group = kMaxGroup;
+  QueryExecutor executor(&db, eo);
+
+  // Small warmup so lazy one-time work (async backend creation, stdio
+  // flush) never lands inside the measured window. The pool is far
+  // smaller than the store, so the measured sweeps miss either way.
+  const std::vector<ValueInterval> warm(queries.begin(),
+                                        queries.begin() + kThreads);
+  QueryExecutor::BatchResult warmup;
+  const Status sw = executor.RunBatch(warm, &warmup);
+  if (!sw.ok()) return Fail(sw);
+
+  const Status sb = executor.RunBatch(queries, &out->batch);
+  if (!sb.ok()) return Fail(sb);
+  if (out->batch.failed != 0) {
+    std::fprintf(stderr, "%s run: %llu queries failed\n",
+                 shared ? "shared" : "isolated",
+                 static_cast<unsigned long long>(out->batch.failed));
+    return false;
+  }
+  out->qps = out->batch.qps;
+  out->p50_wall_ms = out->batch.p50_wall_ms;
+  out->p99_wall_ms = out->batch.p99_wall_ms;
+  return true;
+}
+
+bool WriteJson(const std::string& path, uint64_t field_cells,
+               uint32_t num_queries, const char* backend,
+               const ModeResult& iso, const ModeResult& shared,
+               double speedup, uint64_t groups, bool answers_identical,
+               bool io_not_worse, bool speedup_ok) {
+  std::string j = "{\n  \"bench_id\": \"shared_scan\",\n  \"title\": ";
+  JsonAppendString(&j, "Shared-scan multi-query execution: 64 overlapping "
+                       "clients, Fig-8a terrain, disk-backed");
+  j += ",\n  \"shared_scan_bench\": true";
+  j += ",\n  \"method\": ";
+  JsonAppendString(&j, IndexMethodName(IndexMethod::kIHilbert));
+  j += ",\n  \"field_cells\": " + std::to_string(field_cells);
+  j += ",\n  \"num_queries\": " + std::to_string(num_queries);
+  j += ",\n  \"clients\": " + std::to_string(kClients);
+  j += ",\n  \"threads\": " + std::to_string(kThreads);
+  j += ",\n  \"max_scan_group\": " + std::to_string(kMaxGroup);
+  j += ",\n  \"workload_seed\": " + std::to_string(kSeed);
+  j += ",\n  \"qinterval\": ";
+  JsonAppendDouble(&j, kQInterval);
+  j += ",\n  \"async_backend\": ";
+  JsonAppendString(&j, backend);
+  j += ",\n  \"qps_isolated\": ";
+  JsonAppendDouble(&j, iso.qps);
+  j += ",\n  \"qps_shared\": ";
+  JsonAppendDouble(&j, shared.qps);
+  j += ",\n  \"speedup\": ";
+  JsonAppendDouble(&j, speedup);
+  j += ",\n  \"p50_wall_ms_isolated\": ";
+  JsonAppendDouble(&j, iso.p50_wall_ms);
+  j += ",\n  \"p99_wall_ms_isolated\": ";
+  JsonAppendDouble(&j, iso.p99_wall_ms);
+  j += ",\n  \"p50_wall_ms_shared\": ";
+  JsonAppendDouble(&j, shared.p50_wall_ms);
+  j += ",\n  \"p99_wall_ms_shared\": ";
+  JsonAppendDouble(&j, shared.p99_wall_ms);
+  j += ",\n  \"physical_reads_isolated\": " +
+       std::to_string(iso.batch.total.io.physical_reads);
+  j += ",\n  \"physical_reads_shared\": " +
+       std::to_string(shared.batch.total.io.physical_reads);
+  j += ",\n  \"logical_reads_isolated\": " +
+       std::to_string(iso.batch.total.io.logical_reads);
+  j += ",\n  \"logical_reads_shared\": " +
+       std::to_string(shared.batch.total.io.logical_reads);
+  j += ",\n  \"shared_groups\": " + std::to_string(groups);
+  j += ",\n  \"answers_identical\": ";
+  j += answers_identical ? "true" : "false";
+  j += ",\n  \"io_not_worse\": ";
+  j += io_not_worse ? "true" : "false";
+  j += ",\n  \"speedup_ok\": ";
+  j += speedup_ok ? "true" : "false";
+  j += "\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(j.data(), 1, j.size(), f) == j.size();
+  std::fclose(f);
+  if (ok) std::printf("telemetry: %s\n", path.c_str());
+  return ok;
+}
+
+int Run(uint32_t num_queries) {
+  StatusOr<GridField> terrain = MakeRoseburgLikeTerrain();
+  if (!terrain.ok()) return Fail(terrain.status()) ? 0 : 1;
+
+  // Build in memory, persist, reopen from disk: the reopened database
+  // reads through DiskPageFile's vectored batch path, which is the
+  // machinery under test.
+  const std::string prefix = "bench_shared_scan_db";
+  {
+    FieldDatabaseOptions options;
+    options.method = IndexMethod::kIHilbert;
+    StatusOr<std::unique_ptr<FieldDatabase>> built =
+        FieldDatabase::Build(*terrain, options);
+    if (!built.ok()) return Fail(built.status()) ? 0 : 1;
+    const Status saved = (*built)->Save(prefix);
+    if (!saved.ok()) return Fail(saved) ? 0 : 1;
+  }
+
+  FieldDatabase::OpenOptions oo;
+  // Far smaller than the store: every sweep misses and pays real reads.
+  oo.pool_pages = 256;
+  oo.readahead_pages = 16;
+  StatusOr<std::unique_ptr<FieldDatabase>> db = FieldDatabase::Open(prefix, oo);
+  if (!db.ok()) return Fail(db.status()) ? 0 : 1;
+  const uint64_t field_cells = (*db)->build_info().num_cells;
+
+  const char* backend = "none";
+  if (const auto* disk = dynamic_cast<const DiskPageFile*>((*db)->pool().file())) {
+    backend = disk->async_backend_name();
+  }
+  std::printf("store: %llu cells, %llu pages; pool %zu pages; "
+              "async backend: %s\n",
+              static_cast<unsigned long long>(field_cells),
+              static_cast<unsigned long long>((*db)->build_info().store_pages),
+              oo.pool_pages, backend);
+
+  WorkloadOptions wo;
+  wo.qinterval_fraction = kQInterval;
+  wo.num_queries = num_queries;
+  wo.seed = kSeed;
+  const std::vector<ValueInterval> queries =
+      GenerateValueQueries((*db)->value_range(), wo);
+
+  Counter* groups_counter =
+      MetricsRegistry::Default().GetCounter("executor.shared_scan_groups");
+
+  ModeResult iso;
+  if (!RunMode(**db, queries, /*shared=*/false, &iso)) return 1;
+  const uint64_t groups_before = groups_counter->value();
+  ModeResult shared;
+  if (!RunMode(**db, queries, /*shared=*/true, &shared)) return 1;
+  const uint64_t groups = groups_counter->value() - groups_before;
+
+  // Acceptance check 1: bit-identical answers, query by query.
+  bool answers_identical = true;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (iso.batch.per_query[i].answer_cells !=
+        shared.batch.per_query[i].answer_cells) {
+      std::fprintf(stderr,
+                   "answer mismatch at query %zu: isolated %llu != shared "
+                   "%llu\n",
+                   i,
+                   static_cast<unsigned long long>(
+                       iso.batch.per_query[i].answer_cells),
+                   static_cast<unsigned long long>(
+                       shared.batch.per_query[i].answer_cells));
+      answers_identical = false;
+    }
+  }
+
+  // Acceptance check 2: leader-charged shared IoStats sum to no more
+  // than the isolated run's totals.
+  const IoStats& iso_io = iso.batch.total.io;
+  const IoStats& sh_io = shared.batch.total.io;
+  const bool io_not_worse = sh_io.physical_reads <= iso_io.physical_reads &&
+                            sh_io.logical_reads <= iso_io.logical_reads;
+  if (!io_not_worse) {
+    std::fprintf(stderr,
+                 "shared run read more: physical %llu vs %llu, logical %llu "
+                 "vs %llu\n",
+                 static_cast<unsigned long long>(sh_io.physical_reads),
+                 static_cast<unsigned long long>(iso_io.physical_reads),
+                 static_cast<unsigned long long>(sh_io.logical_reads),
+                 static_cast<unsigned long long>(iso_io.logical_reads));
+  }
+
+  // Acceptance check 3: the fused sweeps buy real throughput.
+  const double speedup = iso.qps > 0.0 ? shared.qps / iso.qps : 0.0;
+  const bool speedup_ok = speedup >= 1.5;
+  if (!speedup_ok) {
+    std::fprintf(stderr, "speedup %.2fx below the 1.5x acceptance bound\n",
+                 speedup);
+  }
+
+  std::printf("isolated: qps=%9.1f p50=%8.3fms p99=%8.3fms physical=%llu\n",
+              iso.qps, iso.p50_wall_ms, iso.p99_wall_ms,
+              static_cast<unsigned long long>(iso_io.physical_reads));
+  std::printf("shared:   qps=%9.1f p50=%8.3fms p99=%8.3fms physical=%llu "
+              "groups=%llu\n",
+              shared.qps, shared.p50_wall_ms, shared.p99_wall_ms,
+              static_cast<unsigned long long>(sh_io.physical_reads),
+              static_cast<unsigned long long>(groups));
+  std::printf("speedup: %.2fx (bound 1.5x), answers %s, io %s\n", speedup,
+              answers_identical ? "identical" : "DIVERGED",
+              io_not_worse ? "not worse" : "WORSE");
+
+  const bool json_ok =
+      WriteJson("BENCH_shared_scan.json", field_cells, num_queries, backend,
+                iso, shared, speedup, groups, answers_identical, io_not_worse,
+                speedup_ok);
+
+  std::remove((prefix + ".pages").c_str());
+  std::remove((prefix + ".meta").c_str());
+  return (json_ok && answers_identical && io_not_worse && speedup_ok) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t num_queries = 4 * kClients;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      num_queries = kClients;
+    }
+  }
+  return Run(num_queries);
+}

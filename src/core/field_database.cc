@@ -9,6 +9,7 @@
 #include "field/isoband.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace_buffer.h"
 #include "plan/operators.h"
 #include "storage/io_sink.h"
 
@@ -65,6 +66,7 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Build(
   FieldEngine::BuildConfig build_config;
   build_config.page_size = options.page_size;
   build_config.pool_pages = options.pool_pages;
+  build_config.readahead_pages = options.readahead_pages;
   build_config.page_file_factory = options.page_file_factory;
   FIELDDB_RETURN_IF_ERROR(db->engine_.InitForBuild(build_config));
   BufferPool* const pool = db->engine_.pool();
@@ -314,6 +316,174 @@ Status FieldDatabase::ValueQueryStats(const ValueInterval& query,
   out->io = ctx->io;
   DbMetrics::Get().query_wall_us->Record(out->wall_seconds * 1e6);
   MaybeLogSlowQuery(query, *out);
+  return Status::OK();
+}
+
+Status FieldDatabase::AnswerShared(const std::vector<ValueInterval>& queries,
+                                   std::vector<Region>* regions,
+                                   std::vector<QueryStats>* stats,
+                                   QueryContext* ctx) const {
+  const size_t n = queries.size();
+  // The members' hull is the sweep's predicate: every cell matching any
+  // member matches the envelope, so one envelope pass sees them all.
+  ValueInterval envelope;  // default = Hull identity
+  for (const ValueInterval& q : queries) envelope.Extend(q);
+
+  TraceScope span("scan.shared", "exec");
+  span.set_items(n);
+
+  const OperatorEnv env{index_.get(), ctx, nullptr};
+  const PhysicalPlan plan = planner_->Plan(
+      envelope, planner_mode_.load(std::memory_order_relaxed));
+
+  // Demultiplexing visitor: each zone-matching cell of the envelope is
+  // tested against every member exactly (cell.Interval() IS the zone
+  // entry), so per-member candidate/answer counts — and the member's
+  // Region, built in the same storage order a lone query would visit —
+  // are bit-identical to isolated execution.
+  Status estimate_status;
+  auto visit = [&](uint64_t pos, const CellRecord& cell) {
+    (void)pos;
+    const ValueInterval iv = cell.Interval();
+    for (size_t q = 0; q < n; ++q) {
+      if (!iv.Intersects(queries[q])) continue;
+      ++(*stats)[q].candidate_cells;
+      if (regions != nullptr) {
+        StatusOr<size_t> pieces =
+            CellIsoband(cell, queries[q], &(*regions)[q]);
+        if (!pieces.ok()) {
+          estimate_status = pieces.status();
+          return false;
+        }
+        if (*pieces > 0) {
+          ++(*stats)[q].answer_cells;
+          (*stats)[q].region_pieces += *pieces;
+        }
+      } else {
+        ++(*stats)[q].answer_cells;
+      }
+    }
+    return true;
+  };
+
+  if (plan.kind == PlanKind::kIndexedFilter) {
+    std::vector<PosRange>& ranges = ctx->ranges;
+    ranges.clear();
+    uint64_t candidates = 0;
+    const Status filter = RunFilterOp(env, envelope, &ranges, &candidates);
+    if (filter.code() == StatusCode::kCorruption) {
+      // Same degradation as the single-query path: the store holds the
+      // truth, so the whole group reruns as the fused sweep. Counted
+      // once (one sweep fell back), reported by every member.
+      index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      DbMetrics::Get().index_fallbacks->Increment();
+      LogEvent(EventLog::Event("corruption_fallback")
+                   .Add("query_min", envelope.min)
+                   .Add("query_max", envelope.max)
+                   .Add("shared_members", static_cast<uint64_t>(n))
+                   .Add("error", filter.ToString()));
+      for (size_t q = 0; q < n; ++q) {
+        (*stats)[q] = QueryStats{};
+        (*stats)[q].index_fallbacks = 1;
+        if (regions != nullptr) (*regions)[q].pieces.clear();
+      }
+      DbMetrics::Get().plans_scan->Increment();
+      FIELDDB_RETURN_IF_ERROR(RunFuseOp(env, envelope, &(*stats)[0], visit));
+      return estimate_status;
+    }
+    FIELDDB_RETURN_IF_ERROR(filter);
+    DbMetrics::Get().plans_index->Increment();
+    FIELDDB_RETURN_IF_ERROR(RunScanOp(env, envelope, ranges.data(),
+                                      ranges.size(), "shared_fetch",
+                                      &(*stats)[0], visit));
+    return estimate_status;
+  }
+
+  DbMetrics::Get().plans_scan->Increment();
+  FIELDDB_RETURN_IF_ERROR(RunFuseOp(env, envelope, &(*stats)[0], visit));
+  return estimate_status;
+}
+
+namespace {
+
+Status ValidateSharedBatch(const std::vector<ValueInterval>& queries) {
+  for (const ValueInterval& q : queries) {
+    if (q.IsEmpty()) return Status::InvalidArgument("empty query interval");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FieldDatabase::SharedValueQueryStats(
+    const std::vector<ValueInterval>& queries,
+    std::vector<QueryStats>* out) const {
+  QueryContext ctx;
+  return SharedValueQueryStats(queries, out, &ctx);
+}
+
+Status FieldDatabase::SharedValueQueryStats(
+    const std::vector<ValueInterval>& queries, std::vector<QueryStats>* out,
+    QueryContext* ctx) const {
+  FIELDDB_RETURN_IF_ERROR(ValidateSharedBatch(queries));
+  out->assign(queries.size(), QueryStats{});
+  if (queries.empty()) return Status::OK();
+  if (queries.size() == 1) {
+    return ValueQueryStats(queries[0], &(*out)[0], ctx);
+  }
+  DbMetrics::Get().value_queries->Increment(queries.size());
+  ctx->io.Reset();
+  ScopedIoSink sink(&ctx->io);
+  const auto t0 = Clock::now();
+
+  FIELDDB_RETURN_IF_ERROR(AnswerShared(queries, nullptr, out, ctx));
+
+  const double wall = SecondsSince(t0);
+  DbMetrics::Get().query_wall_us->Record(wall * 1e6);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    (*out)[q].wall_seconds = wall;
+    // Leader-charged attribution: the sweep's I/O lands on member 0,
+    // the riders report zero — so the members sum to exactly one sweep.
+    if (q == 0) (*out)[q].io = ctx->io;
+    MaybeLogSlowQuery(queries[q], (*out)[q]);
+  }
+  return Status::OK();
+}
+
+Status FieldDatabase::SharedValueQuery(
+    const std::vector<ValueInterval>& queries,
+    std::vector<ValueQueryResult>* out) const {
+  QueryContext ctx;
+  return SharedValueQuery(queries, out, &ctx);
+}
+
+Status FieldDatabase::SharedValueQuery(
+    const std::vector<ValueInterval>& queries,
+    std::vector<ValueQueryResult>* out, QueryContext* ctx) const {
+  FIELDDB_RETURN_IF_ERROR(ValidateSharedBatch(queries));
+  out->assign(queries.size(), ValueQueryResult{});
+  if (queries.empty()) return Status::OK();
+  if (queries.size() == 1) {
+    return ValueQuery(queries[0], &(*out)[0], ctx);
+  }
+  DbMetrics::Get().value_queries->Increment(queries.size());
+  ctx->io.Reset();
+  ScopedIoSink sink(&ctx->io);
+  const auto t0 = Clock::now();
+
+  std::vector<Region> regions(queries.size());
+  std::vector<QueryStats> stats(queries.size());
+  FIELDDB_RETURN_IF_ERROR(AnswerShared(queries, &regions, &stats, ctx));
+
+  const double wall = SecondsSince(t0);
+  DbMetrics::Get().query_wall_us->Record(wall * 1e6);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    (*out)[q].region = std::move(regions[q]);
+    (*out)[q].stats = std::move(stats[q]);
+    (*out)[q].stats.wall_seconds = wall;
+    if (q == 0) (*out)[q].stats.io = ctx->io;
+    MaybeLogSlowQuery(queries[q], (*out)[q].stats);
+  }
   return Status::OK();
 }
 

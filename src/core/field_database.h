@@ -38,6 +38,11 @@ struct FieldDatabaseOptions {
   /// page size) is small relative to the million-cell workloads, so page
   /// misses remain the dominant cost as in the paper's disk setting.
   size_t pool_pages = 1024;
+  /// Pages a range scan asks the pool to read ahead — the depth of the
+  /// vectored batch PrefetchRange submits (io_uring / preadv on disk
+  /// files). Larger windows pipeline more I/O per submission; totals
+  /// are unchanged (readahead reads replace Fetch misses one for one).
+  size_t readahead_pages = BufferPool::kDefaultReadaheadPages;
   /// Build a 2-D R*-tree over cell MBRs for conventional (Q1) point
   /// queries.
   bool build_spatial_index = true;
@@ -165,6 +170,8 @@ class FieldDatabase {
   /// checkpoint and deletes the log, the others keep appending to it.
   struct OpenOptions {
     size_t pool_pages = 1024;
+    /// See FieldDatabaseOptions::readahead_pages.
+    size_t readahead_pages = BufferPool::kDefaultReadaheadPages;
     WalMode wal_mode = WalMode::kOff;
     /// Optional out-param describing the replay (may be null).
     RecoveryReport* recovery_report = nullptr;
@@ -199,6 +206,31 @@ class FieldDatabase {
   Status ValueQuery(const ValueInterval& query, ValueQueryResult* out) const;
   Status ValueQuery(const ValueInterval& query, ValueQueryResult* out,
                     QueryContext* ctx) const;
+
+  /// Shared-scan execution of several value queries as ONE sweep
+  /// (DESIGN.md §17): the members' hull is planned like a single query,
+  /// executed in one pass over the clustered store, and demultiplexed —
+  /// every visited cell is tested against each member's interval
+  /// exactly, so each member's Region/answer_cells are bit-identical to
+  /// running it alone. Per-member IoStats are leader-charged: the
+  /// sweep's whole I/O lands on member 0 and the riders report zero, so
+  /// the members' I/O sums to exactly the one sweep (never more than
+  /// the isolated total). Each member's wall_seconds is the sweep's
+  /// wall time (they all waited for it). A one-member batch degrades to
+  /// the single-query path. Same threading contract as ValueQuery.
+  Status SharedValueQuery(const std::vector<ValueInterval>& queries,
+                          std::vector<ValueQueryResult>* out) const;
+  Status SharedValueQuery(const std::vector<ValueInterval>& queries,
+                          std::vector<ValueQueryResult>* out,
+                          QueryContext* ctx) const;
+
+  /// Stats-only shared scan (see SharedValueQuery; the figure benches'
+  /// shape — no polygon materialization).
+  Status SharedValueQueryStats(const std::vector<ValueInterval>& queries,
+                               std::vector<QueryStats>* out) const;
+  Status SharedValueQueryStats(const std::vector<ValueInterval>& queries,
+                               std::vector<QueryStats>* out,
+                               QueryContext* ctx) const;
 
   /// Like ValueQuery but skips materializing polygons: only the stats and
   /// the answer-cell count are produced. This is what the figure benches
@@ -437,6 +469,18 @@ class FieldDatabase {
   Status AnswerValueQuery(const ValueInterval& query, Region* region,
                           QueryStats* stats, QueryContext* ctx,
                           QueryTrace* trace = nullptr) const;
+
+  /// The fused multi-query sweep behind SharedValueQuery[Stats]: plans
+  /// the members' hull, runs it as one pass (fused scan, or indexed
+  /// filter+fetch over the envelope's candidate runs), and evaluates
+  /// every member's predicate per visited cell. `regions` is null for
+  /// stats-only batches, else one Region per member. Degrades to the
+  /// fused scan on a corrupt index exactly like AnswerValueQuery (every
+  /// member reports the fallback).
+  Status AnswerShared(const std::vector<ValueInterval>& queries,
+                      std::vector<Region>* regions,
+                      std::vector<QueryStats>* stats,
+                      QueryContext* ctx) const;
 
   /// Constructs planner_ over the finished index (and subfield table,
   /// when the method has one). Called once at the end of Build and Open;

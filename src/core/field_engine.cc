@@ -98,17 +98,19 @@ Status FieldEngine::InitForBuild(const BuildConfig& config) {
               ? config.page_file_factory(config.page_size)
               : std::make_unique<MemPageFile>(config.page_size);
   pool_ = std::make_unique<BufferPool>(file_.get(), config.pool_pages);
+  pool_->set_readahead_pages(config.readahead_pages);
   return Status::OK();
 }
 
 Status FieldEngine::InitForOpen(const std::string& prefix,
                                 uint32_t page_size, uint32_t epoch,
-                                size_t pool_pages) {
+                                size_t pool_pages, size_t readahead_pages) {
   StatusOr<std::unique_ptr<DiskPageFile>> file =
       DiskPageFile::Open(prefix + ".pages", page_size, epoch);
   if (!file.ok()) return file.status();
   file_ = std::move(file).value();
   pool_ = std::make_unique<BufferPool>(file_.get(), pool_pages);
+  pool_->set_readahead_pages(readahead_pages);
   // An attached database never overwrites checkpoint pages in place:
   // Save is the checkpoint's only mutator (atomic temp-file renames).
   // No-steal enforces that — dirty frames stay pooled until the next

@@ -110,6 +110,9 @@ class FieldEngine {
   struct BuildConfig {
     uint32_t page_size = kDefaultPageSize;
     size_t pool_pages = 1024;
+    /// Readahead window (pages) for range scans, installed into the
+    /// pool (BufferPool::set_readahead_pages).
+    size_t readahead_pages = BufferPool::kDefaultReadaheadPages;
     /// Backing page file (defaults to MemPageFile). Fault-injection
     /// tests pass a factory wrapping the file in a
     /// FaultInjectingPageFile to schedule faults against the live
@@ -136,7 +139,9 @@ class FieldEngine {
   /// a no-steal pool — an attached database never overwrites checkpoint
   /// pages in place; Save is the checkpoint's only mutator.
   Status InitForOpen(const std::string& prefix, uint32_t page_size,
-                     uint32_t epoch, size_t pool_pages);
+                     uint32_t epoch, size_t pool_pages,
+                     size_t readahead_pages =
+                         BufferPool::kDefaultReadaheadPages);
 
   /// Arms the write-ahead log (Build epilogue, or Open keeping a WAL
   /// mode): opens `wal_path` stamping frames with the current epoch and

@@ -285,8 +285,9 @@ StatusOr<std::unique_ptr<FieldDatabase>> FieldDatabase::Open(
   if (!meta.ok()) return meta.status();
 
   auto db = std::unique_ptr<FieldDatabase>(new FieldDatabase());
-  FIELDDB_RETURN_IF_ERROR(db->engine_.InitForOpen(
-      prefix, meta->page_size, meta->epoch, options.pool_pages));
+  FIELDDB_RETURN_IF_ERROR(
+      db->engine_.InitForOpen(prefix, meta->page_size, meta->epoch,
+                              options.pool_pages, options.readahead_pages));
 
   // Page-range validation against the actual file: a truncated or
   // mismatched page file must not turn into out-of-range reads later.

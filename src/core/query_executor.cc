@@ -14,8 +14,12 @@ QueryExecutor::QueryExecutor(const FieldDatabase* db, const Options& options)
     : db_(db),
       queue_capacity_(std::max<size_t>(1, options.queue_capacity)),
       slo_(options.slo),
+      shared_scan_(options.shared_scan),
+      max_scan_group_(std::max<size_t>(1, options.max_scan_group)),
       queue_wait_us_(
-          MetricsRegistry::Default().GetHistogram("exec.queue_wait_us")) {
+          MetricsRegistry::Default().GetHistogram("exec.queue_wait_us")),
+      shared_groups_(MetricsRegistry::Default().GetCounter(
+          "executor.shared_scan_groups")) {
   const size_t n = std::max<size_t>(1, options.threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -49,50 +53,105 @@ void QueryExecutor::Drain() {
   idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void QueryExecutor::RecordQueueWait(
+    const Task& task, std::chrono::steady_clock::time_point dequeued) const {
+  // Queue wait: the stretch between Submit's enqueue and the dequeue.
+  // Recorded even for queries that go on to fail — the wait happened
+  // either way.
+  const double wait_s =
+      std::chrono::duration<double>(dequeued - task.enqueued).count();
+  queue_wait_us_->Record(wait_s * 1e6);
+  if (TraceBuffer::enabled()) {
+    TraceBuffer& tb = TraceBuffer::Global();
+    tb.Record("queue.wait", "queue-wait", tb.TimestampNs(task.enqueued),
+              static_cast<uint64_t>(wait_s * 1e9));
+  }
+}
+
+void QueryExecutor::RecordSlo(const Task& task,
+                              const QueryStats& stats) const {
+  if (slo_ == nullptr) return;
+  const ValueInterval& range = db_->value_range();
+  const double span = range.max - range.min;
+  const double width = task.query.max - task.query.min;
+  const double frac = span > 0 ? width / span : 1.0;
+  slo_->Record(slo_->ClassForWidthFraction(frac),
+               stats.wall_seconds * 1000.0);
+}
+
 void QueryExecutor::WorkerLoop() {
   // The worker's private per-query state; reused for every query this
   // thread runs.
   QueryContext ctx;
+  std::vector<Task> group;
   for (;;) {
-    Task task;
+    group.clear();
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
+      group.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      if (shared_scan_ && !queue_.empty()) {
+        // Shared-scan grouping, at head-dequeue only: greedily admit
+        // still-queued queries that overlap the group's envelope and
+        // whose admission the planner prices as no more expensive
+        // fused than isolated. Members only ever move EARLIER than
+        // their FIFO turn and the head never waits for arrivals, so
+        // grouping cannot worsen any query's latency; the size cap
+        // bounds the per-cell predicate fan-out.
+        ValueInterval envelope = group.front().query;
+        for (auto it = queue_.begin();
+             it != queue_.end() && group.size() < max_scan_group_;) {
+          if (envelope.Intersects(it->query) &&
+              db_->planner()
+                  .CostSharedScan(envelope, it->query, db_->planner_mode())
+                  .share) {
+            envelope.Extend(it->query);
+            group.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
     }
-    not_full_.notify_one();
+    // More than one queue slot may have been freed; wake every blocked
+    // Submit when it was.
+    if (group.size() > 1) {
+      not_full_.notify_all();
+    } else {
+      not_full_.notify_one();
+    }
 
-    // Queue wait: the stretch between Submit's enqueue and this
-    // dequeue. Recorded even for queries that go on to fail — the wait
-    // happened either way.
     const auto dequeued = std::chrono::steady_clock::now();
-    const double wait_s =
-        std::chrono::duration<double>(dequeued - task.enqueued).count();
-    queue_wait_us_->Record(wait_s * 1e6);
-    if (TraceBuffer::enabled()) {
-      TraceBuffer& tb = TraceBuffer::Global();
-      tb.Record("queue.wait", "queue-wait", tb.TimestampNs(task.enqueued),
-                static_cast<uint64_t>(wait_s * 1e9));
-    }
+    for (const Task& task : group) RecordQueueWait(task, dequeued);
 
-    QueryStats stats;
-    const Status s = db_->ValueQueryStats(task.query, &stats, &ctx);
-    if (slo_ != nullptr) {
-      const ValueInterval& range = db_->value_range();
-      const double span = range.max - range.min;
-      const double width = task.query.max - task.query.min;
-      const double frac = span > 0 ? width / span : 1.0;
-      slo_->Record(slo_->ClassForWidthFraction(frac),
-                   stats.wall_seconds * 1000.0);
+    if (group.size() == 1) {
+      Task& task = group.front();
+      QueryStats stats;
+      const Status s = db_->ValueQueryStats(task.query, &stats, &ctx);
+      RecordSlo(task, stats);
+      if (task.done) task.done(s, stats);
+    } else {
+      shared_groups_->Increment();
+      std::vector<ValueInterval> queries;
+      queries.reserve(group.size());
+      for (const Task& task : group) queries.push_back(task.query);
+      std::vector<QueryStats> stats;
+      const Status s = db_->SharedValueQueryStats(queries, &stats, &ctx);
+      for (size_t i = 0; i < group.size(); ++i) {
+        const QueryStats& qs = i < stats.size() ? stats[i] : QueryStats{};
+        RecordSlo(group[i], qs);
+        if (group[i].done) group[i].done(s, qs);
+      }
     }
-    if (task.done) task.done(s, stats);
 
     bool now_idle = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      now_idle = (--in_flight_ == 0);
+      in_flight_ -= group.size();
+      now_idle = (in_flight_ == 0);
     }
     if (now_idle) idle_.notify_all();
   }

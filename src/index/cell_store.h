@@ -33,10 +33,6 @@ namespace fielddb {
 /// (DESIGN.md §11).
 class CellStore {
  public:
-  /// Pages a range scan asks the pool to read ahead of the page it is
-  /// about to fetch (see ScanRanges).
-  static constexpr size_t kReadaheadPages = 8;
-
   /// Serializes `field`'s cells into `pool`'s file, visiting them in the
   /// order given by `order` (order[pos] = field cell id stored at slot
   /// pos). `order` must be a permutation of [0, field.NumCells()).
@@ -125,14 +121,17 @@ class CellStore {
   }
 
   /// Visits every slot of each run in `ranges` (ascending, disjoint),
-  /// reading ahead kReadaheadPages pages at a time so a run's pages are
-  /// fetched in one sequential batch instead of one blocking read per
-  /// page. I/O totals equal Scan-ing each run (readahead reads count as
-  /// the physical reads Fetch would have issued).
+  /// reading ahead the pool's readahead window (BufferPool::
+  /// readahead_pages, FieldDatabaseOptions::readahead_pages) at a time
+  /// so a run's pages are fetched in one vectored batch instead of one
+  /// blocking read per page. I/O totals equal Scan-ing each run
+  /// (readahead reads count as the physical reads Fetch would have
+  /// issued).
   template <typename Visitor>
   Status ScanRanges(const PosRange* ranges, size_t num_ranges,
                     Visitor&& visit) const {
     CellRecord record;
+    const uint64_t readahead = std::max<size_t>(pool_->readahead_pages(), 1);
     PageId prefetched_to = 0;
     for (size_t r = 0; r < num_ranges; ++r) {
       uint64_t pos = ranges[r].begin;
@@ -146,7 +145,7 @@ class CellStore {
         if (page >= prefetched_to) {
           const uint64_t last_page = first_page_ + (end - 1) / cells_per_page_;
           const size_t window = static_cast<size_t>(
-              std::min<uint64_t>(kReadaheadPages, last_page - page + 1));
+              std::min<uint64_t>(readahead, last_page - page + 1));
           FIELDDB_RETURN_IF_ERROR(pool_->PrefetchRange(page, window));
           prefetched_to = page + window;
         }
@@ -179,6 +178,7 @@ class CellStore {
                             Visitor&& visit) const {
     CellRecord record;
     std::vector<PosRange> matches;
+    const uint64_t readahead = std::max<size_t>(pool_->readahead_pages(), 1);
     PageId prefetched_to = 0;
     for (size_t r = 0; r < num_ranges; ++r) {
       const uint64_t begin = ranges[r].begin;
@@ -201,7 +201,7 @@ class CellStore {
         const PageId page = first_page_ + page_index;
         if (page >= prefetched_to) {
           const size_t window = static_cast<size_t>(std::min<uint64_t>(
-              kReadaheadPages, last_page_index - page_index + 1));
+              readahead, last_page_index - page_index + 1));
           FIELDDB_RETURN_IF_ERROR(pool_->PrefetchRange(page, window));
           prefetched_to = page + window;
         }

@@ -131,6 +131,24 @@ uint64_t QueryPlanner::PredictCandidates(const ValueInterval& query,
   return Probe(query, runs).candidates;
 }
 
+SharedScanDecision QueryPlanner::CostSharedScan(
+    const ValueInterval& group_envelope, const ValueInterval& candidate,
+    PlannerMode mode) const {
+  SharedScanDecision d;
+  const ValueInterval widened = ValueInterval::Hull(group_envelope, candidate);
+  d.shared_cost_ms = Plan(widened, mode).predicted_cost_ms;
+  d.isolated_cost_ms = Plan(group_envelope, mode).predicted_cost_ms +
+                       Plan(candidate, mode).predicted_cost_ms;
+  d.share = d.shared_cost_ms <= d.isolated_cost_ms;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%s: widened sweep %.2f ms %s separate %.2f ms",
+                d.share ? "share" : "isolate", d.shared_cost_ms,
+                d.share ? "<=" : ">", d.isolated_cost_ms);
+  d.reason = buf;
+  return d;
+}
+
 PhysicalPlan QueryPlanner::Plan(const ValueInterval& query,
                                 PlannerMode mode) const {
   PhysicalPlan plan;

@@ -40,6 +40,21 @@ enum class PlannerMode {
 
 const char* PlannerModeName(PlannerMode mode);
 
+/// The planner's verdict on admitting one more query into a shared scan
+/// group (see QueryPlanner::CostSharedScan).
+struct SharedScanDecision {
+  /// True when executing the widened group as one fused sweep is
+  /// predicted no more expensive than the group and the candidate
+  /// executing separately.
+  bool share = false;
+  /// Predicted cost of one sweep over the widened envelope.
+  double shared_cost_ms = 0.0;
+  /// Predicted cost of the group's envelope and the candidate running
+  /// as two independent queries (each under its own best plan).
+  double isolated_cost_ms = 0.0;
+  std::string reason;
+};
+
 /// The planner's decision for one query: the chosen kind, the predicted
 /// page patterns and disk-model costs of both alternatives, and a
 /// human-readable reason. Flows into trace spans, ExplainResult, and the
@@ -81,6 +96,20 @@ class QueryPlanner {
 
   PhysicalPlan Plan(const ValueInterval& query,
                     PlannerMode mode = PlannerMode::kAuto) const;
+
+  /// Share-vs-isolate costing for the executor's shared-scan grouping:
+  /// should `candidate` join a group whose members' hull is
+  /// `group_envelope`? Prices the widened envelope's single sweep (the
+  /// group executes as one pass whose I/O is the envelope's plan)
+  /// against the group and candidate running separately, using the same
+  /// zero-I/O selectivity probes and disk model as Plan — deterministic
+  /// and buffer-state independent, so grouping decisions are
+  /// reproducible. Shares on ties: the fused sweep also saves the
+  /// per-query fixed costs the model does not price.
+  SharedScanDecision CostSharedScan(const ValueInterval& group_envelope,
+                                    const ValueInterval& candidate,
+                                    PlannerMode mode = PlannerMode::kAuto)
+      const;
 
   /// The selectivity probe alone: predicted candidate runs + count for
   /// `query`. Exposed for tests and the CLI.

@@ -1,0 +1,346 @@
+#include "storage/async_io.h"
+
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if FIELDDB_ENABLE_IOURING
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+
+#include <mutex>
+#endif
+
+namespace fielddb {
+
+namespace {
+
+Status ShortReadError(uint64_t offset, size_t got, size_t want) {
+  return Status::IOError("short read at offset " + std::to_string(offset) +
+                         ": " + std::to_string(got) + " of " +
+                         std::to_string(want) + " bytes");
+}
+
+Status ErrnoReadError(uint64_t offset, int err) {
+  return Status::IOError("read failed at offset " + std::to_string(offset) +
+                         ": " + std::strerror(err));
+}
+
+/// pread that retries EINTR and partial transfers until the request is
+/// complete or the file ends. The reference semantics every backend's
+/// per-slot result must match.
+Status PreadFully(int fd, uint8_t* buf, size_t len, uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, buf + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoReadError(offset, errno);
+    }
+    if (n == 0) return ShortReadError(offset, done, len);
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// The portable reference backend: one blocking pread per slot.
+class SyncBackend final : public AsyncIoBackend {
+ public:
+  const char* name() const override { return "sync"; }
+
+  void ReadVectored(int fd, SlotRead* reqs, size_t count) override {
+    for (size_t i = 0; i < count; ++i) {
+      reqs[i].status = PreadFully(fd, reqs[i].buf, reqs[i].len,
+                                  reqs[i].offset);
+    }
+  }
+};
+
+/// Coalesces contiguous slots into vectored preadv calls. Requests
+/// arrive in submission order; a run is a maximal stretch where each
+/// slot starts exactly where the previous one ended (the common case:
+/// the buffer pool prefetches ascending page ranges). A failed or short
+/// run is retried slot by slot so statuses stay per-request exact.
+class PreadvBackend final : public AsyncIoBackend {
+ public:
+  const char* name() const override { return "preadv"; }
+
+  void ReadVectored(int fd, SlotRead* reqs, size_t count) override {
+    // Keep runs well under IOV_MAX (1024 on Linux); readahead batches
+    // are far smaller anyway.
+    constexpr size_t kMaxRun = 512;
+    size_t i = 0;
+    std::vector<struct iovec> iov;
+    while (i < count) {
+      size_t j = i + 1;
+      while (j < count && j - i < kMaxRun &&
+             reqs[j].offset == reqs[j - 1].offset + reqs[j - 1].len) {
+        ++j;
+      }
+      ReadRun(fd, reqs + i, j - i, &iov);
+      i = j;
+    }
+  }
+
+ private:
+  static void ReadRun(int fd, SlotRead* run, size_t n,
+                      std::vector<struct iovec>* iov) {
+    if (n == 1) {
+      run[0].status = PreadFully(fd, run[0].buf, run[0].len, run[0].offset);
+      return;
+    }
+    iov->clear();
+    size_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      iov->push_back({run[i].buf, run[i].len});
+      total += run[i].len;
+    }
+    ssize_t got = ::preadv(fd, iov->data(), static_cast<int>(n),
+                           static_cast<off_t>(run[0].offset));
+    while (got < 0 && errno == EINTR) {
+      got = ::preadv(fd, iov->data(), static_cast<int>(n),
+                     static_cast<off_t>(run[0].offset));
+    }
+    if (got == static_cast<ssize_t>(total)) {
+      for (size_t i = 0; i < n; ++i) run[i].status = Status::OK();
+      return;
+    }
+    // Error or short transfer: degrade to per-slot preads so each slot
+    // reports its own exact status (only the slots past the short point
+    // should fail, and with offsets a caller can act on).
+    for (size_t i = 0; i < n; ++i) {
+      run[i].status = PreadFully(fd, run[i].buf, run[i].len, run[i].offset);
+    }
+  }
+};
+
+#if FIELDDB_ENABLE_IOURING
+
+/// Raw-syscall io_uring backend (no liburing dependency): one shared
+/// ring, SQEs filled directly in the mmap'd arrays, completions reaped
+/// after a single blocking io_uring_enter per chunk. Ring accesses use
+/// acquire/release atomics on the shared head/tail indices, matching
+/// the kernel's ordering contract.
+class IoUringBackend final : public AsyncIoBackend {
+ public:
+  static std::unique_ptr<AsyncIoBackend> TryCreate() {
+    auto backend = std::unique_ptr<IoUringBackend>(new IoUringBackend());
+    if (!backend->Init()) return nullptr;
+    return backend;
+  }
+
+  ~IoUringBackend() override {
+    if (sq_ring_ != MAP_FAILED && sq_ring_ != nullptr) {
+      ::munmap(sq_ring_, sq_ring_bytes_);
+    }
+    if (!single_mmap_ && cq_ring_ != MAP_FAILED && cq_ring_ != nullptr) {
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    }
+    if (sqes_ != MAP_FAILED && sqes_ != nullptr) {
+      ::munmap(sqes_, sqe_bytes_);
+    }
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  const char* name() const override { return "iouring"; }
+
+  void ReadVectored(int fd, SlotRead* reqs, size_t count) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t done = 0;
+    while (done < count) {
+      const size_t chunk = std::min<size_t>(count - done, sq_entries_);
+      if (!RunChunk(fd, reqs + done, chunk)) {
+        // The ring refused the submission (should not happen on a
+        // healthy ring); serve the rest with plain preads rather than
+        // failing the batch.
+        for (size_t i = done; i < count; ++i) {
+          reqs[i].status =
+              PreadFully(fd, reqs[i].buf, reqs[i].len, reqs[i].offset);
+        }
+        return;
+      }
+      done += chunk;
+    }
+  }
+
+ private:
+  IoUringBackend() = default;
+
+  static int SysSetup(unsigned entries, struct io_uring_params* p) {
+    return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+  }
+  static int SysEnter(int fd, unsigned to_submit, unsigned min_complete,
+                      unsigned flags) {
+    return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                      min_complete, flags, nullptr, 0));
+  }
+
+  bool Init() {
+    struct io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    ring_fd_ = SysSetup(kRingEntries, &p);
+    if (ring_fd_ < 0) return false;  // old kernel / seccomp: fall back
+
+    sq_entries_ = p.sq_entries;
+    sq_ring_bytes_ = p.sq_off.array + p.sq_entries * sizeof(__u32);
+    cq_ring_bytes_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    single_mmap_ = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap_) {
+      sq_ring_bytes_ = cq_ring_bytes_ =
+          std::max(sq_ring_bytes_, cq_ring_bytes_);
+    }
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) return false;
+    cq_ring_ = single_mmap_
+                   ? sq_ring_
+                   : ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, ring_fd_,
+                            IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) return false;
+    sqe_bytes_ = p.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = ::mmap(nullptr, sqe_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqes_ == MAP_FAILED) return false;
+
+    auto* sq = static_cast<uint8_t*>(sq_ring_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    auto* cq = static_cast<uint8_t*>(cq_ring_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+    return true;
+  }
+
+  /// Submits `n` (<= sq_entries_) reads and blocks until all complete.
+  /// Returns false only when the kernel rejected the submission itself.
+  bool RunChunk(int fd, SlotRead* reqs, size_t n) {
+    auto* sqe_array = static_cast<io_uring_sqe*>(sqes_);
+    unsigned tail = *sq_tail_;  // single submitter (mu_ held)
+    for (size_t i = 0; i < n; ++i) {
+      const unsigned idx = tail & sq_mask_;
+      io_uring_sqe* sqe = &sqe_array[idx];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_READ;
+      sqe->fd = fd;
+      sqe->addr = reinterpret_cast<uint64_t>(reqs[i].buf);
+      sqe->len = static_cast<__u32>(reqs[i].len);
+      sqe->off = reqs[i].offset;
+      sqe->user_data = i;
+      sq_array_[idx] = idx;
+      ++tail;
+    }
+    __atomic_store_n(sq_tail_, tail, __ATOMIC_RELEASE);
+
+    size_t submitted = 0;
+    while (submitted < n) {
+      const int ret = SysEnter(ring_fd_, static_cast<unsigned>(n - submitted),
+                               0, 0);
+      if (ret < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return false;
+      }
+      submitted += static_cast<size_t>(ret);
+    }
+
+    size_t completed = 0;
+    while (completed < n) {
+      unsigned head = *cq_head_;
+      const unsigned cq_tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+      while (head != cq_tail && completed < n) {
+        const io_uring_cqe* cqe = &cqes_[head & cq_mask_];
+        SlotRead& req = reqs[cqe->user_data];
+        if (cqe->res < 0) {
+          req.status = ErrnoReadError(req.offset, -cqe->res);
+        } else if (static_cast<size_t>(cqe->res) < req.len) {
+          // The kernel may legitimately complete a read short mid-file;
+          // finish it with a plain pread, which also distinguishes a
+          // true end-of-file short read.
+          const size_t got = static_cast<size_t>(cqe->res);
+          req.status = PreadFully(fd, req.buf + got, req.len - got,
+                                  req.offset + got);
+        } else {
+          req.status = Status::OK();
+        }
+        ++head;
+        ++completed;
+      }
+      __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+      if (completed < n) {
+        const int ret =
+            SysEnter(ring_fd_, 0, static_cast<unsigned>(n - completed),
+                     IORING_ENTER_GETEVENTS);
+        if (ret < 0 && errno != EINTR && errno != EAGAIN) {
+          // The wait itself failed; completions may be lost. Reads are
+          // idempotent, so serve the whole chunk synchronously instead
+          // of guessing which requests finished.
+          for (size_t i = 0; i < n; ++i) {
+            reqs[i].status =
+                PreadFully(fd, reqs[i].buf, reqs[i].len, reqs[i].offset);
+          }
+          return true;
+        }
+      }
+    }
+    return true;
+  }
+
+  static constexpr unsigned kRingEntries = 64;
+
+  std::mutex mu_;
+  int ring_fd_ = -1;
+  bool single_mmap_ = false;
+  size_t sq_entries_ = 0;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  void* sqes_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  size_t cq_ring_bytes_ = 0;
+  size_t sqe_bytes_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+};
+
+#endif  // FIELDDB_ENABLE_IOURING
+
+}  // namespace
+
+std::unique_ptr<AsyncIoBackend> AsyncIoBackend::Create() {
+  const char* forced = std::getenv("FIELDDB_ASYNC_IO");
+  if (forced != nullptr) {
+    const std::string choice(forced);
+    if (choice == "sync") return std::make_unique<SyncBackend>();
+    if (choice == "preadv") return std::make_unique<PreadvBackend>();
+#if FIELDDB_ENABLE_IOURING
+    if (choice == "iouring") {
+      if (auto ring = IoUringBackend::TryCreate()) return ring;
+      return std::make_unique<PreadvBackend>();
+    }
+#endif
+    // Unknown (or unavailable) choice: fall through to auto-detection.
+  }
+#if FIELDDB_ENABLE_IOURING
+  if (auto ring = IoUringBackend::TryCreate()) return ring;
+#endif
+  return std::make_unique<PreadvBackend>();
+}
+
+}  // namespace fielddb

@@ -1,0 +1,62 @@
+#ifndef FIELDDB_STORAGE_ASYNC_IO_H_
+#define FIELDDB_STORAGE_ASYNC_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace fielddb {
+
+/// One raw slot read inside a batch submission: `len` bytes at byte
+/// `offset` of the file into `buf`. The backend fills `status`; a short
+/// read (fewer than `len` bytes available) is an IOError naming the
+/// offset, exactly like a failed pread.
+struct SlotRead {
+  uint64_t offset = 0;
+  uint8_t* buf = nullptr;
+  size_t len = 0;
+  Status status;
+};
+
+/// Vectored read backend behind DiskPageFile::ReadBatch (DESIGN.md §17).
+/// Three implementations, selected once per process at first use:
+///
+///  - "iouring":  one ring submission per batch, completions reaped in a
+///    single io_uring_enter wait. Compiled only when the build found
+///    <linux/io_uring.h> (FIELDDB_ENABLE_IOURING) and used only when the
+///    running kernel accepts io_uring_setup — a seccomp-filtered or old
+///    kernel silently degrades to the portable backend.
+///  - "preadv":   contiguous runs of slots coalesced into one preadv
+///    each; a failed or short run degrades to per-slot pread so every
+///    slot still gets its own exact status.
+///  - "sync":     a plain pread loop; the reference implementation every
+///    other backend must be indistinguishable from (modulo speed).
+///
+/// The FIELDDB_ASYNC_IO environment variable ("iouring", "preadv",
+/// "sync") pins a backend for tests and A/B runs.
+///
+/// Thread safety: ReadVectored may be called from any number of threads
+/// concurrently (the buffer pool's shards batch independently). The
+/// io_uring backend serializes access to its single ring internally;
+/// the fallback backends are stateless.
+class AsyncIoBackend {
+ public:
+  virtual ~AsyncIoBackend() = default;
+
+  /// Human-readable backend name ("iouring", "preadv", "sync").
+  virtual const char* name() const = 0;
+
+  /// Reads every request in `reqs`, filling each `status`. Failures are
+  /// strictly per-request: one bad slot never poisons its neighbors.
+  virtual void ReadVectored(int fd, SlotRead* reqs, size_t count) = 0;
+
+  /// Picks the best backend the build and the running kernel support
+  /// (see class comment). Never fails: the sync backend always exists.
+  static std::unique_ptr<AsyncIoBackend> Create();
+};
+
+}  // namespace fielddb
+
+#endif  // FIELDDB_STORAGE_ASYNC_IO_H_

@@ -77,6 +77,8 @@ BufferPool::BufferPool(PageFile* file, size_t capacity, size_t num_shards)
   m_failed_writes_ = reg.GetCounter("storage.pool.failed_writes");
   m_prefetch_issued_ = reg.GetCounter("storage.pool.prefetch_issued");
   m_prefetch_hit_ = reg.GetCounter("storage.pool.prefetch_hit");
+  m_prefetch_failed_ = reg.GetCounter("storage.pool.prefetch_failed");
+  m_batch_reads_ = reg.GetCounter("storage.pool.batch_reads");
   m_read_latency_us_ = reg.GetHistogram("storage.pool.read_latency_us");
   m_write_latency_us_ = reg.GetHistogram("storage.pool.write_latency_us");
 }
@@ -195,12 +197,66 @@ Status BufferPool::PrefetchRange(PageId first, size_t count) {
   }
   TraceScope span("pool.prefetch", "pool");
   span.set_items(count);
+
+  // Pass 1 — classify under brief shard locks: which of the pages are
+  // already resident (count a hit, done) and which must be read.
+  std::vector<PageId> missing;
+  missing.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     const PageId id = first + i;
     Shard& sh = ShardOf(id);
     std::lock_guard<std::mutex> lock(sh.mu);
     if (sh.frames.find(id) != sh.frames.end()) {
       m_prefetch_hit_->Increment();
+    } else {
+      missing.push_back(id);
+    }
+  }
+  if (missing.empty()) return Status::OK();
+
+  // Pass 2 — one vectored ReadBatch for every miss, with NO shard lock
+  // held: the whole window is in flight at once (io_uring / preadv on
+  // disk files), which is the pipeline that makes readahead overlap
+  // rather than serialize. Frames come later, so a concurrent Fetch of
+  // one of these pages may race us and read it itself; pass 3 detects
+  // that and discards our copy.
+  std::vector<Page> pages(missing.size(), Page(file_->page_size()));
+  std::vector<Status> statuses(missing.size());
+  const bool timing = MetricsRegistry::enabled();
+  const auto t0 = timing ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+  {
+    TraceScope reap("pool.reap", "pool");
+    reap.set_items(missing.size());
+    file_->ReadBatch(missing.data(), missing.size(), pages.data(),
+                     statuses.data());
+  }
+  m_batch_reads_->Increment();
+  if (timing) {
+    m_read_latency_us_->Record(MicrosSince(t0) /
+                               static_cast<double>(missing.size()));
+  }
+
+  // Pass 3 — install the successful pages, in ascending order so the
+  // sequential-read accounting sees the same id stream a Fetch loop
+  // would. Readahead is speculative, so a failed page is counted only
+  // by storage.pool.prefetch_failed — never as a physical or failed
+  // read — and left absent for Fetch's normal counted, retried read,
+  // keeping I/O totals identical to the no-readahead path. On success
+  // the read counts as physical (+sequential when ids run
+  // consecutively) exactly like the Fetch miss it replaces, and never
+  // as logical.
+  for (size_t k = 0; k < missing.size(); ++k) {
+    const PageId id = missing[k];
+    if (!statuses[k].ok()) {
+      m_prefetch_failed_->Increment();
+      continue;
+    }
+    Shard& sh = ShardOf(id);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.frames.find(id) != sh.frames.end()) {
+      // A Fetch raced us and already read (and counted) this page;
+      // our copy is redundant and counts nowhere.
       continue;
     }
     if (!EnsureCapacityLocked(sh).ok()) {
@@ -208,25 +264,13 @@ Status BufferPool::PrefetchRange(PageId first, size_t count) {
       // failed). Readahead is optional; leave the page to Fetch.
       continue;
     }
-    // A single unretried read: readahead is speculative, so a failure
-    // is NOT counted anywhere — the page stays absent and the
-    // subsequent Fetch performs the normal counted, retried read,
-    // keeping totals identical to the no-readahead path. On success the
-    // read counts as physical (+sequential when ids run consecutively)
-    // exactly like the Fetch miss it replaces, and never as logical.
-    Page page(file_->page_size());
-    const bool timing = MetricsRegistry::enabled();
-    const auto t0 = timing ? std::chrono::steady_clock::now()
-                           : std::chrono::steady_clock::time_point{};
-    if (!file_->Read(id, &page).ok()) continue;
-    const bool sampled = CountPhysicalRead(id);
-    if (timing && sampled) m_read_latency_us_->Record(MicrosSince(t0));
+    CountPhysicalRead(id);
     m_prefetch_issued_->Increment();
     auto [fit, inserted] = sh.frames.try_emplace(id);
     assert(inserted);
     (void)inserted;
     BufferFrame& f = fit->second;
-    f.page = std::move(page);
+    f.page = std::move(pages[k]);
     // Unpinned and immediately evictable: enter at the MRU end.
     sh.lru.push_back(id);
     f.lru_pos = std::prev(sh.lru.end());

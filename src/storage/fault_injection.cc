@@ -26,6 +26,22 @@ bool FaultInjectingPageFile::TickKillLocked() const {
 
 Status FaultInjectingPageFile::Read(PageId id, Page* out) const {
   std::lock_guard<std::mutex> lock(mu_);
+  return ReadLocked(id, out);
+}
+
+Status FaultInjectingPageFile::ReadBatch(const PageId* ids, size_t count,
+                                         Page* outs,
+                                         Status* statuses) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status first = Status::OK();
+  for (size_t i = 0; i < count; ++i) {
+    statuses[i] = ReadLocked(ids[i], &outs[i]);
+    if (first.ok() && !statuses[i].ok()) first = statuses[i];
+  }
+  return first;
+}
+
+Status FaultInjectingPageFile::ReadLocked(PageId id, Page* out) const {
   if (TickKillLocked()) {
     return Status::IOError("injected kill point: device gone (read)");
   }

@@ -55,6 +55,14 @@ class FaultInjectingPageFile final : public PageFile {
   uint64_t NumPages() const override { return base_->NumPages(); }
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Page* out) const override;
+  /// Batched reads inject per submitted page, in submission order, with
+  /// exactly the schedule semantics of `count` single Reads — an armed
+  /// fault on any page of the batch fires on that page alone, and the
+  /// deterministic countdowns (FailNextReads, KillAfterOps) tick once
+  /// per page. The wrapped file's own batch path is deliberately NOT
+  /// used: page-by-page delegation keeps the injection point exact.
+  Status ReadBatch(const PageId* ids, size_t count, Page* outs,
+                   Status* statuses) const override;
   Status Write(PageId id, const Page& page) override;
   Status VerifyPage(PageId id) const override;
   Status Sync() override;
@@ -163,6 +171,9 @@ class FaultInjectingPageFile final : public PageFile {
   /// Consumes one scheduled fault for `id` if armed.
   static bool ConsumeFault(std::unordered_map<PageId, int>* faults,
                            PageId id);
+
+  /// One read through the full fault schedule; caller holds mu_.
+  Status ReadLocked(PageId id, Page* out) const;
 
   /// Advances the kill-point countdown; returns true once it has
   /// expired (the operation must fail). Caller holds mu_.

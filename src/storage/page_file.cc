@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace_buffer.h"
+#include "storage/async_io.h"
 #include "storage/crc32c.h"
 
 namespace fielddb {
@@ -13,6 +14,16 @@ namespace fielddb {
 Status PageFile::VerifyPage(PageId id) const {
   Page scratch(page_size_);
   return Read(id, &scratch);
+}
+
+Status PageFile::ReadBatch(const PageId* ids, size_t count, Page* outs,
+                           Status* statuses) const {
+  Status first = Status::OK();
+  for (size_t i = 0; i < count; ++i) {
+    statuses[i] = Read(ids[i], &outs[i]);
+    if (first.ok() && !statuses[i].ok()) first = statuses[i];
+  }
+  return first;
 }
 
 uint64_t MemPageFile::NumPages() const {
@@ -49,6 +60,10 @@ Status MemPageFile::Write(PageId id, const Page& page) {
   std::memcpy(pages_[id].data(), page.data(), page_size_);
   return Status::OK();
 }
+
+DiskPageFile::DiskPageFile(std::FILE* f, uint32_t page_size,
+                           uint64_t num_pages, uint32_t epoch)
+    : PageFile(page_size), file_(f), num_pages_(num_pages), epoch_(epoch) {}
 
 DiskPageFile::~DiskPageFile() {
   if (file_ != nullptr) std::fclose(file_);
@@ -109,28 +124,17 @@ StatusOr<PageId> DiskPageFile::Allocate() {
   return id;
 }
 
-Status DiskPageFile::Read(PageId id, Page* out) const {
-  if (id >= NumPages()) {
-    return Status::OutOfRange("page id out of range");
-  }
-  if (out->size() != page_size_) *out = Page(page_size_);
-  std::vector<uint8_t> slot(SlotSize());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (std::fseek(file_, static_cast<long>(id * SlotSize()), SEEK_SET) != 0 ||
-        std::fread(slot.data(), 1, slot.size(), file_) != slot.size()) {
-      return Status::IOError("read failed for page " + std::to_string(id));
-    }
-  }
+Status DiskPageFile::VerifySlot(PageId id, const uint8_t* slot,
+                                Page* out) const {
   static Counter* const corrupt_reads =
       MetricsRegistry::Default().GetCounter("storage.file.corrupt_page_reads");
   uint32_t stored_crc = 0;
   uint32_t stored_epoch = 0;
   uint64_t stored_id = 0;
-  std::memcpy(&stored_crc, slot.data(), sizeof(stored_crc));
-  std::memcpy(&stored_epoch, slot.data() + 4, sizeof(stored_epoch));
-  std::memcpy(&stored_id, slot.data() + 8, sizeof(stored_id));
-  const uint32_t actual = Crc32c(slot.data() + 4, slot.size() - 4);
+  std::memcpy(&stored_crc, slot, sizeof(stored_crc));
+  std::memcpy(&stored_epoch, slot + 4, sizeof(stored_epoch));
+  std::memcpy(&stored_id, slot + 8, sizeof(stored_id));
+  const uint32_t actual = Crc32c(slot + 4, SlotSize() - 4);
   if (UnmaskCrc(stored_crc) != actual) {
     corrupt_reads->Increment();
     return Status::Corruption("checksum mismatch on page " +
@@ -147,8 +151,85 @@ Status DiskPageFile::Read(PageId id, Page* out) const {
         "epoch mismatch on page " + std::to_string(id) + ": stored " +
         std::to_string(stored_epoch) + ", expected " + std::to_string(epoch_));
   }
-  std::memcpy(out->data(), slot.data() + kPageHeaderSize, page_size_);
+  if (out->size() != page_size_) *out = Page(page_size_);
+  std::memcpy(out->data(), slot + kPageHeaderSize, page_size_);
   return Status::OK();
+}
+
+Status DiskPageFile::Read(PageId id, Page* out) const {
+  if (id >= NumPages()) {
+    return Status::OutOfRange("page id out of range");
+  }
+  std::vector<uint8_t> slot(SlotSize());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::fseek(file_, static_cast<long>(id * SlotSize()), SEEK_SET) != 0 ||
+        std::fread(slot.data(), 1, slot.size(), file_) != slot.size()) {
+      return Status::IOError("read failed for page " + std::to_string(id));
+    }
+  }
+  return VerifySlot(id, slot.data(), out);
+}
+
+AsyncIoBackend* DiskPageFile::BackendLocked() const {
+  if (backend_ == nullptr) backend_ = AsyncIoBackend::Create();
+  return backend_.get();
+}
+
+const char* DiskPageFile::async_backend_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return BackendLocked()->name();
+}
+
+Status DiskPageFile::ReadBatch(const PageId* ids, size_t count, Page* outs,
+                               Status* statuses) const {
+  if (count == 0) return Status::OK();
+  const uint64_t num_pages = NumPages();
+  AsyncIoBackend* backend = nullptr;
+  {
+    // One flush up front: the batch reads through the fd (positioned
+    // reads), which does not see bytes still sitting in the stdio
+    // buffer. Allocate/Write complete before any read of their page can
+    // be requested, so flushing here is sufficient coherence.
+    std::lock_guard<std::mutex> lock(mu_);
+    backend = BackendLocked();
+    std::fflush(file_);
+  }
+
+  std::vector<SlotRead> reqs;
+  std::vector<size_t> req_index;  // reqs[k] serves ids[req_index[k]]
+  reqs.reserve(count);
+  req_index.reserve(count);
+  std::vector<uint8_t> slots(count * SlotSize());
+  for (size_t i = 0; i < count; ++i) {
+    if (ids[i] >= num_pages) {
+      statuses[i] = Status::OutOfRange("page id out of range");
+      continue;
+    }
+    SlotRead req;
+    req.offset = ids[i] * SlotSize();
+    req.buf = slots.data() + i * SlotSize();
+    req.len = SlotSize();
+    reqs.push_back(req);
+    req_index.push_back(i);
+  }
+  if (!reqs.empty()) {
+    backend->ReadVectored(::fileno(file_), reqs.data(), reqs.size());
+  }
+  for (size_t k = 0; k < reqs.size(); ++k) {
+    const size_t i = req_index[k];
+    statuses[i] = reqs[k].status.ok()
+                      ? VerifySlot(ids[i], reqs[k].buf, &outs[i])
+                      : reqs[k].status;
+  }
+  Status first = Status::OK();
+  for (size_t i = 0; i < count; ++i) {
+    if (!statuses[i].ok()) {
+      first = statuses[i];
+      break;
+    }
+  }
+  return first;
 }
 
 Status DiskPageFile::Write(PageId id, const Page& page) {

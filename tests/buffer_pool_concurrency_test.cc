@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/fault_injection.h"
 #include "storage/io_sink.h"
 #include "storage/io_stats.h"
 
@@ -157,6 +158,128 @@ TEST(BufferPoolConcurrencyTest, ClearRacesWithReaders) {
   EXPECT_EQ(mismatches.load(), 0u);
   EXPECT_EQ(pool.stats().logical_reads,
             static_cast<uint64_t>(kReaders) * kIters);
+}
+
+// Every shard prefetches (one vectored ReadBatch per window, no shard
+// lock held during the submission) while every other shard fetches and
+// evicts: the install-after-read races and the readahead-invariant
+// accounting both run hot.
+TEST(BufferPoolConcurrencyTest, PrefetchFetchHammerKeepsContentsAndCounts) {
+  MemPageFile file(256);
+  BufferPool pool(&file, 64, 8);
+  std::vector<PageId> ids;
+  SeedPages(pool, 512, &ids);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1500;
+  constexpr size_t kWindow = 8;
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<IoStats> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ScopedIoSink sink(&per_thread[t]);
+      std::mt19937_64 rng(3000 + t);
+      std::uniform_int_distribution<size_t> pick(0, ids.size() - kWindow);
+      for (int i = 0; i < kIters; ++i) {
+        const size_t start = pick(rng);
+        if (!pool.PrefetchRange(ids[start], kWindow).ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (size_t k = 0; k < kWindow; ++k) {
+          const PageId id = ids[start + k];
+          PinnedPage pin;
+          if (!pool.Fetch(id, &pin).ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (pin.page().ReadAt<uint64_t>(0) != TagFor(id)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_LE(pool.num_frames(), pool.capacity());
+
+  // Readahead-invariant accounting: prefetch reads count as the
+  // physical reads they replace and never as logical ones, so the
+  // logical total is exactly the Fetch count and the per-thread sinks
+  // still partition both totals exactly.
+  const IoStats total = pool.stats();
+  EXPECT_EQ(total.logical_reads,
+            static_cast<uint64_t>(kThreads) * kIters * kWindow);
+  IoStats merged;
+  for (const IoStats& s : per_thread) merged += s;
+  EXPECT_EQ(merged.logical_reads, total.logical_reads);
+  EXPECT_EQ(merged.physical_reads, total.physical_reads);
+}
+
+// The same hammer over a file with a 1% transient read-error rate: the
+// pool's retry loop absorbs what hits Fetch, a fault landing inside a
+// prefetch batch silently skips that page (Fetch re-reads it), and the
+// sink/total accounting stays exact throughout.
+TEST(BufferPoolConcurrencyTest, PrefetchFetchHammerAbsorbsTransientFaults) {
+  MemPageFile base(256);
+  FaultInjectionOptions fo;
+  fo.seed = 404;
+  fo.read_error_prob = 0.01;
+  FaultInjectingPageFile faulty(&base, fo);
+  BufferPool pool(&faulty, 64, 8);
+  std::vector<PageId> ids;
+  SeedPages(pool, 256, &ids);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 600;
+  constexpr size_t kWindow = 8;
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<IoStats> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ScopedIoSink sink(&per_thread[t]);
+      std::mt19937_64 rng(5000 + t);
+      std::uniform_int_distribution<size_t> pick(0, ids.size() - kWindow);
+      for (int i = 0; i < kIters; ++i) {
+        const size_t start = pick(rng);
+        if (!pool.PrefetchRange(ids[start], kWindow).ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (size_t k = 0; k < kWindow; ++k) {
+          const PageId id = ids[start + k];
+          PinnedPage pin;
+          if (!pool.Fetch(id, &pin).ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (pin.page().ReadAt<uint64_t>(0) != TagFor(id)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // (A Fetch fails only after 1 + kMaxReadRetries independent 1% draws
+  // all fault — P ≈ 1e-8 per fetch, ~4e-4 expected across the run.)
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  const IoStats total = pool.stats();
+  EXPECT_EQ(total.logical_reads,
+            static_cast<uint64_t>(kThreads) * kIters * kWindow);
+  EXPECT_EQ(total.failed_reads, 0u);
+  IoStats merged;
+  for (const IoStats& s : per_thread) merged += s;
+  EXPECT_EQ(merged.logical_reads, total.logical_reads);
+  EXPECT_EQ(merged.physical_reads, total.physical_reads);
+  EXPECT_EQ(merged.read_retries, total.read_retries);
 }
 
 }  // namespace

@@ -7,15 +7,20 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/field_database.h"
 #include "gen/fractal.h"
 #include "gen/workload.h"
 #include "index/i_hilbert.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 
 namespace fielddb {
@@ -114,6 +119,74 @@ TEST_F(FaultInjectionTest, SilentCorruptionFlipsBits) {
   EXPECT_EQ(p.ReadAt<uint64_t>(0), 0xFFull ^ 0x0101010101010101ull);
   // Verification still knows.
   EXPECT_EQ(faulty_.VerifyPage(id).code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------
+// ReadBatch through the decorator: faults fire per submitted page, with
+// exactly the schedule semantics of `count` single Reads.
+
+TEST_F(FaultInjectionTest, ReadBatchInjectsOnTheSubmittedPageOnly) {
+  PageId ids[5];
+  for (uint64_t i = 0; i < 5; ++i) ids[i] = AllocWritten(100 + i);
+  faulty_.FailNextReads(ids[2], 1);
+
+  std::vector<Page> outs(5, Page(256));
+  std::vector<Status> statuses(5);
+  const Status overall =
+      faulty_.ReadBatch(ids, 5, outs.data(), statuses.data());
+  EXPECT_EQ(overall.code(), StatusCode::kIOError);  // first failing slot
+  for (uint64_t i = 0; i < 5; ++i) {
+    if (i == 2) {
+      EXPECT_EQ(statuses[i].code(), StatusCode::kIOError);
+    } else {
+      ASSERT_TRUE(statuses[i].ok()) << i;
+      EXPECT_EQ(outs[i].ReadAt<uint64_t>(0), 100 + i);
+    }
+  }
+  EXPECT_EQ(faulty_.counters().read_errors, 1u);
+  // The batch consumed the armed fault exactly as a single Read would.
+  ASSERT_TRUE(faulty_.ReadBatch(ids, 5, outs.data(), statuses.data()).ok());
+  for (uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(statuses[i].ok()) << i;
+}
+
+TEST_F(FaultInjectionTest, ReadBatchCorruptionIsPerSlot) {
+  PageId ids[4];
+  for (uint64_t i = 0; i < 4; ++i) ids[i] = AllocWritten(0xF0 + i);
+  faulty_.CorruptPage(ids[1]);
+  faulty_.SilentlyCorruptPage(ids[3], 0x01);
+
+  std::vector<Page> outs(4, Page(256));
+  std::vector<Status> statuses(4);
+  EXPECT_EQ(faulty_.ReadBatch(ids, 4, outs.data(), statuses.data()).code(),
+            StatusCode::kCorruption);
+  ASSERT_TRUE(statuses[0].ok());
+  EXPECT_EQ(outs[0].ReadAt<uint64_t>(0), 0xF0u);
+  EXPECT_EQ(statuses[1].code(), StatusCode::kCorruption);
+  ASSERT_TRUE(statuses[2].ok());
+  EXPECT_EQ(outs[2].ReadAt<uint64_t>(0), 0xF2u);
+  ASSERT_TRUE(statuses[3].ok());  // silent: success with flipped bits
+  EXPECT_EQ(outs[3].ReadAt<uint64_t>(0),
+            (0xF0ull + 3) ^ 0x0101010101010101ull);
+  EXPECT_EQ(faulty_.counters().corrupt_reads, 1u);
+  EXPECT_EQ(faulty_.counters().silent_flips, 1u);
+}
+
+TEST_F(FaultInjectionTest, ReadBatchTicksTheKillCountdownPerPage) {
+  PageId ids[5];
+  for (uint64_t i = 0; i < 5; ++i) ids[i] = AllocWritten(i);
+  faulty_.KillAfterOps(3);
+  std::vector<Page> outs(5, Page(256));
+  std::vector<Status> statuses(5);
+  EXPECT_FALSE(faulty_.ReadBatch(ids, 5, outs.data(), statuses.data()).ok());
+  for (uint64_t i = 0; i < 5; ++i) {
+    if (i < 3) {
+      ASSERT_TRUE(statuses[i].ok()) << i;
+      EXPECT_EQ(outs[i].ReadAt<uint64_t>(0), i);
+    } else {
+      EXPECT_EQ(statuses[i].code(), StatusCode::kIOError) << i;
+    }
+  }
+  EXPECT_EQ(faulty_.counters().killed_ops, 2u);
 }
 
 TEST(FaultInjectionSeedTest, ProbabilisticScheduleIsDeterministic) {
@@ -251,6 +324,60 @@ TEST(BufferPoolFaultTest, CloseSurfacesWriteBackErrors) {
   EXPECT_EQ(pool->Fetch(*id, &pin).code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(BufferPoolFaultTest, PrefetchFailureCountsOnlyTheDedicatedMetric) {
+  MemPageFile base(256);
+  FaultInjectingPageFile faulty(&base);
+  BufferPool pool(&faulty, 8);
+  std::vector<PageId> ids;
+  for (uint64_t i = 0; i < 4; ++i) {
+    PinnedPage pin;
+    StatusOr<PageId> id = pool.Allocate(&pin);
+    ASSERT_TRUE(id.ok());
+    pin.MutablePage().WriteAt<uint64_t>(0, 700 + i);
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(pool.Flush().ok());
+  ASSERT_TRUE(pool.Clear().ok());
+  pool.ResetStats();
+
+  Counter* failed =
+      MetricsRegistry::Default().GetCounter("storage.pool.prefetch_failed");
+  Counter* batches =
+      MetricsRegistry::Default().GetCounter("storage.pool.batch_reads");
+  const uint64_t failed_before = failed->value();
+  const uint64_t batches_before = batches->value();
+
+  faulty.FailAllReads(ids[1]);
+  // Best effort: the pool reports OK, skips the bad page and installs
+  // the other three.
+  ASSERT_TRUE(pool.PrefetchRange(ids[0], 4).ok());
+  EXPECT_EQ(failed->value() - failed_before, 1u);
+  EXPECT_EQ(batches->value() - batches_before, 1u);
+
+  // The failed prefetch read is invisible in the I/O totals: only the
+  // three installed pages count physical; nothing counts logical,
+  // failed or retried — Fetch's counted-and-retried path stays
+  // authoritative for the bad page.
+  IoStats s = pool.stats();
+  EXPECT_EQ(s.physical_reads, 3u);
+  EXPECT_EQ(s.logical_reads, 0u);
+  EXPECT_EQ(s.failed_reads, 0u);
+  EXPECT_EQ(s.read_retries, 0u);
+
+  // A prefetched page hits without further physical reads...
+  PinnedPage pin;
+  ASSERT_TRUE(pool.Fetch(ids[2], &pin).ok());
+  EXPECT_EQ(pin.page().ReadAt<uint64_t>(0), 702u);
+  pin.Release();
+  EXPECT_EQ(pool.stats().physical_reads, 3u);
+  // ...and the faulted page fails through the normal retry path.
+  EXPECT_EQ(pool.Fetch(ids[1], &pin).code(), StatusCode::kIOError);
+  EXPECT_EQ(pool.stats().failed_reads, 1u);
+  faulty.ClearFaults();
+  ASSERT_TRUE(pool.Fetch(ids[1], &pin).ok());
+  EXPECT_EQ(pin.page().ReadAt<uint64_t>(0), 701u);
+}
+
 // ---------------------------------------------------------------------
 // Checksummed DiskPageFile: real on-disk corruption.
 
@@ -322,6 +449,126 @@ TEST_F(DiskChecksumTest, CleanPagesSurviveReopen) {
   auto stale = DiskPageFile::Open(path_, 512, /*epoch=*/7);
   ASSERT_TRUE(stale.ok());  // the length check cannot see epochs...
   EXPECT_EQ((*stale)->Read(2, &p).code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------
+// DiskPageFile::ReadBatch: the vectored path must be indistinguishable
+// from a loop of single Reads — same bytes, same error taxonomy, per
+// slot — regardless of which async backend the host selected.
+
+TEST_F(DiskChecksumTest, ReadBatchMatchesSingleReads) {
+  auto f = DiskPageFile::Create(path_, 512);
+  ASSERT_TRUE(f.ok());
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*f)->Allocate().ok());
+    Page p(512);
+    p.WriteAt<uint64_t>(0, 900 + i);
+    ASSERT_TRUE((*f)->Write(i, p).ok());
+  }
+  // Out-of-order, non-contiguous submission: the backend may coalesce
+  // whatever runs it finds, but each slot must land in its own buffer.
+  const PageId ids[] = {7, 0, 3, 4, 5, 1};
+  std::vector<Page> outs(6, Page(512));
+  std::vector<Status> statuses(6);
+  ASSERT_TRUE((*f)->ReadBatch(ids, 6, outs.data(), statuses.data()).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << i;
+    EXPECT_EQ(outs[i].ReadAt<uint64_t>(0), 900 + ids[i]);
+  }
+  // An out-of-range id fails its slot alone.
+  const PageId mixed[] = {2, 64, 6};
+  std::vector<Page> mouts(3, Page(512));
+  std::vector<Status> mstat(3);
+  EXPECT_EQ((*f)->ReadBatch(mixed, 3, mouts.data(), mstat.data()).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(mstat[0].ok());
+  EXPECT_EQ(mouts[0].ReadAt<uint64_t>(0), 902u);
+  EXPECT_EQ(mstat[1].code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(mstat[2].ok());
+  EXPECT_EQ(mouts[2].ReadAt<uint64_t>(0), 906u);
+}
+
+TEST_F(DiskChecksumTest, ReadBatchReportsTheCorruptSlotAlone) {
+  auto f = DiskPageFile::Create(path_, 512);
+  ASSERT_TRUE(f.ok());
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*f)->Allocate().ok());
+    Page p(512);
+    p.WriteAt<uint64_t>(0, 40 + i);
+    ASSERT_TRUE((*f)->Write(i, p).ok());
+  }
+  ASSERT_TRUE((*f)->CorruptRawForTest(2, kPageHeaderSize + 8, 0x40).ok());
+  const PageId ids[] = {0, 1, 2, 3};
+  std::vector<Page> outs(4, Page(512));
+  std::vector<Status> statuses(4);
+  const Status overall =
+      (*f)->ReadBatch(ids, 4, outs.data(), statuses.data());
+  EXPECT_EQ(overall.code(), StatusCode::kCorruption);
+  EXPECT_NE(overall.message().find("page 2"), std::string::npos);
+  for (uint64_t i = 0; i < 4; ++i) {
+    if (i == 2) {
+      EXPECT_EQ(statuses[i].code(), StatusCode::kCorruption);
+    } else {
+      ASSERT_TRUE(statuses[i].ok()) << i;
+      EXPECT_EQ(outs[i].ReadAt<uint64_t>(0), 40 + i);
+    }
+  }
+}
+
+TEST_F(DiskChecksumTest, ReadBatchShortReadFailsOnlyTheTruncatedSlot) {
+  auto f = DiskPageFile::Create(path_, 512);
+  ASSERT_TRUE(f.ok());
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*f)->Allocate().ok());
+    Page p(512);
+    p.WriteAt<uint64_t>(0, 60 + i);
+    ASSERT_TRUE((*f)->Write(i, p).ok());
+  }
+  // Flush stdio first: ReadBatch's own flush must not resurrect the
+  // bytes the truncation below is about to destroy.
+  ASSERT_TRUE((*f)->Sync().ok());
+  // The device loses the tail of the last slot: every backend must turn
+  // the short transfer into a per-slot IOError, never garbage bytes.
+  const uint64_t slot = kPageHeaderSize + 512;
+  ASSERT_EQ(::truncate(path_.c_str(), 3 * slot + 17), 0);
+  const PageId ids[] = {0, 1, 2, 3};
+  std::vector<Page> outs(4, Page(512));
+  std::vector<Status> statuses(4);
+  EXPECT_EQ((*f)->ReadBatch(ids, 4, outs.data(), statuses.data()).code(),
+            StatusCode::kIOError);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << i;
+    EXPECT_EQ(outs[i].ReadAt<uint64_t>(0), 60 + i);
+  }
+  EXPECT_EQ(statuses[3].code(), StatusCode::kIOError);
+}
+
+TEST_F(DiskChecksumTest, AsyncBackendEnvOverridePinsTheBackend) {
+  // "iouring" is deliberately absent: it degrades to "preadv" on hosts
+  // whose build or kernel lacks it, so its name is not assertable.
+  for (const char* want : {"sync", "preadv"}) {
+    SCOPED_TRACE(want);
+    ASSERT_EQ(::setenv("FIELDDB_ASYNC_IO", want, 1), 0);
+    std::remove(path_.c_str());
+    auto f = DiskPageFile::Create(path_, 512);
+    ASSERT_TRUE(f.ok());
+    for (uint64_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE((*f)->Allocate().ok());
+      Page p(512);
+      p.WriteAt<uint64_t>(0, 80 + i);
+      ASSERT_TRUE((*f)->Write(i, p).ok());
+    }
+    EXPECT_STREQ((*f)->async_backend_name(), want);
+    const PageId ids[] = {5, 4, 3, 2, 1, 0};
+    std::vector<Page> outs(6, Page(512));
+    std::vector<Status> statuses(6);
+    ASSERT_TRUE((*f)->ReadBatch(ids, 6, outs.data(), statuses.data()).ok());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(statuses[i].ok()) << i;
+      EXPECT_EQ(outs[i].ReadAt<uint64_t>(0), 80 + ids[i]);
+    }
+  }
+  ASSERT_EQ(::unsetenv("FIELDDB_ASYNC_IO"), 0);
 }
 
 // ---------------------------------------------------------------------

@@ -107,6 +107,12 @@ class Checker:
         if "ext_build_bench" in report:
             self.check_ext_build(report)
             return
+        # The shared-scan bench (bench_shared_scan) compares isolated
+        # vs fused multi-query execution; its marker is the top-level
+        # shared_scan_bench field.
+        if "shared_scan_bench" in report:
+            self.check_shared_scan(report)
+            return
         self.require(report, "bench_id", str, "report")
         self.require(report, "title", str, "report")
         self.number(report, "field_cells", "report", minimum=1)
@@ -453,6 +459,63 @@ class Checker:
                 self.error(where, "missing the budget_bytes=0 baseline")
             if not saw_budgeted:
                 self.error(where, "no budgeted (spilling) build point")
+
+    def check_shared_scan(self, report):
+        self.require(report, "bench_id", str, "report")
+        self.require(report, "title", str, "report")
+        if report.get("shared_scan_bench") is not True:
+            self.error("report", "'shared_scan_bench' is not true")
+        method = self.require(report, "method", str, "report")
+        if method == "":
+            self.error("report", "'method' is empty")
+        self.number(report, "field_cells", "report", minimum=1)
+        self.number(report, "num_queries", "report", minimum=1)
+        self.number(report, "clients", "report", minimum=1)
+        self.number(report, "threads", "report", minimum=1)
+        self.number(report, "max_scan_group", "report", minimum=1)
+        self.number(report, "workload_seed", "report", minimum=0)
+        qi = self.number(report, "qinterval", "report", minimum=0)
+        if qi is not None and qi > 1:
+            self.error("report", f"qinterval {qi} > 1")
+        backend = self.require(report, "async_backend", str, "report")
+        if backend is not None and backend not in ("sync", "preadv",
+                                                   "iouring"):
+            self.error("report", f"unknown async_backend '{backend}'")
+        for key in ("qps_isolated", "qps_shared", "speedup"):
+            value = self.number(report, key, "report", minimum=0)
+            if isinstance(value, (int, float)) and value <= 0:
+                self.error("report", f"{key} {value} is not positive")
+        for key in ("p50_wall_ms_isolated", "p99_wall_ms_isolated",
+                    "p50_wall_ms_shared", "p99_wall_ms_shared"):
+            self.number(report, key, "report", minimum=0)
+        iso_phys = self.number(report, "physical_reads_isolated", "report",
+                               minimum=0)
+        sh_phys = self.number(report, "physical_reads_shared", "report",
+                              minimum=0)
+        if (isinstance(iso_phys, (int, float))
+                and isinstance(sh_phys, (int, float))
+                and sh_phys > iso_phys):
+            self.error("report",
+                       f"physical_reads_shared {sh_phys} > isolated "
+                       f"{iso_phys}")
+        iso_log = self.number(report, "logical_reads_isolated", "report",
+                              minimum=0)
+        sh_log = self.number(report, "logical_reads_shared", "report",
+                             minimum=0)
+        if (isinstance(iso_log, (int, float))
+                and isinstance(sh_log, (int, float))
+                and sh_log > iso_log):
+            self.error("report",
+                       f"logical_reads_shared {sh_log} > isolated "
+                       f"{iso_log}")
+        self.number(report, "shared_groups", "report", minimum=1)
+        for key in ("answers_identical", "io_not_worse", "speedup_ok"):
+            if key not in report:
+                self.error("report", f"missing key '{key}'")
+            elif not isinstance(report[key], bool):
+                self.error("report", f"'{key}' is not a bool")
+            elif not report[key]:
+                self.error("report", f"'{key}' is false")
 
     def check_series(self, ser, where):
         if not isinstance(ser, dict):
