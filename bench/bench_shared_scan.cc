@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/field_database.h"
@@ -102,6 +103,8 @@ bool WriteJson(const std::string& path, uint64_t field_cells,
   j += ",\n  \"threads\": " + std::to_string(kThreads);
   j += ",\n  \"max_scan_group\": " + std::to_string(kMaxGroup);
   j += ",\n  \"workload_seed\": " + std::to_string(kSeed);
+  j += ",\n  \"hardware_threads\": " +
+       std::to_string(std::thread::hardware_concurrency());
   j += ",\n  \"qinterval\": ";
   JsonAppendDouble(&j, kQInterval);
   j += ",\n  \"async_backend\": ";

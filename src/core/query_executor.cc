@@ -41,8 +41,19 @@ void QueryExecutor::Submit(const ValueInterval& query, Callback done) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [this] { return queue_.size() < queue_capacity_; });
-    queue_.push_back(
-        Task{query, std::move(done), std::chrono::steady_clock::now()});
+    queue_.push_back(Task{query, std::move(done), nullptr,
+                          std::chrono::steady_clock::now()});
+    ++in_flight_;
+  }
+  not_empty_.notify_one();
+}
+
+void QueryExecutor::SubmitTask(std::function<void()> work) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return queue_.size() < queue_capacity_; });
+    queue_.push_back(Task{ValueInterval{}, nullptr, std::move(work),
+                          std::chrono::steady_clock::now()});
     ++in_flight_;
   }
   not_empty_.notify_one();
@@ -92,7 +103,7 @@ void QueryExecutor::WorkerLoop() {
       if (queue_.empty()) return;  // stopping and drained
       group.push_back(std::move(queue_.front()));
       queue_.pop_front();
-      if (shared_scan_ && !queue_.empty()) {
+      if (shared_scan_ && group.front().work == nullptr && !queue_.empty()) {
         // Shared-scan grouping, at head-dequeue only: greedily admit
         // still-queued queries that overlap the group's envelope and
         // whose admission the planner prices as no more expensive
@@ -103,7 +114,7 @@ void QueryExecutor::WorkerLoop() {
         ValueInterval envelope = group.front().query;
         for (auto it = queue_.begin();
              it != queue_.end() && group.size() < max_scan_group_;) {
-          if (envelope.Intersects(it->query) &&
+          if (it->work == nullptr && envelope.Intersects(it->query) &&
               db_->planner()
                   .CostSharedScan(envelope, it->query, db_->planner_mode())
                   .share) {
@@ -129,10 +140,14 @@ void QueryExecutor::WorkerLoop() {
 
     if (group.size() == 1) {
       Task& task = group.front();
-      QueryStats stats;
-      const Status s = db_->ValueQueryStats(task.query, &stats, &ctx);
-      RecordSlo(task, stats);
-      if (task.done) task.done(s, stats);
+      if (task.work != nullptr) {
+        task.work();
+      } else {
+        QueryStats stats;
+        const Status s = db_->ValueQueryStats(task.query, &stats, &ctx);
+        RecordSlo(task, stats);
+        if (task.done) task.done(s, stats);
+      }
     } else {
       shared_groups_->Increment();
       std::vector<ValueInterval> queries;

@@ -98,6 +98,15 @@ class QueryExecutor {
   /// the query finishes. Blocks while the queue is at capacity.
   void Submit(const ValueInterval& query, Callback done);
 
+  /// Enqueues an arbitrary closure on the pool — the shard router's
+  /// scatter path, where each shard's executor doubles as that shard's
+  /// serial lane for region queries and fused sub-batches. Generic
+  /// tasks share the FIFO queue (their queue-wait is recorded like any
+  /// query's) but never join shared-scan groups and never record SLO —
+  /// the submitter owns whatever the closure measures. Blocks while the
+  /// queue is at capacity.
+  void SubmitTask(std::function<void()> work);
+
   /// Blocks until every submitted query has finished.
   void Drain();
 
@@ -114,6 +123,9 @@ class QueryExecutor {
   struct Task {
     ValueInterval query;
     Callback done;
+    /// Non-null for SubmitTask closures; such tasks bypass the query
+    /// path entirely (no grouping, no SLO).
+    std::function<void()> work;
     /// Submit time; the worker records dequeue-minus-enqueue as the
     /// query's queue-wait (trace span "queue.wait" + histogram
     /// exec.queue_wait_us) — the saturation signal admission control

@@ -179,6 +179,8 @@ PhysicalPlan QueryPlanner::Plan(const ValueInterval& query,
     sel = Probe(query, &runs);
     probe_span.set_items(sel.candidates);
   }
+  plan.probed = true;
+  plan.probe_sampled = sel.sampled;
   plan.predicted_candidates = sel.candidates;
   plan.predicted_runs = sel.runs;
   plan.selectivity =

@@ -76,6 +76,17 @@ struct PhysicalPlan {
   double index_cost_ms = 0.0;
   /// Disk-model cost of the *chosen* kind.
   double predicted_cost_ms = 0.0;
+  /// True when a selectivity probe ran for this plan. LinearScan
+  /// databases and forced scans never probe, so their
+  /// predicted_candidates == 0 means "unknown", not "empty".
+  bool probed = false;
+  /// True when the probe used the strided zone-map sample (stores above
+  /// kExactProbeCells): predicted_candidates may then undercount, so a
+  /// zero prediction is not proof of an empty answer. The shard router
+  /// keys its skip decision on this — a shard may be skipped only when
+  /// its probe was exact and predicted zero candidates (or its value
+  /// hull misses the query entirely).
+  bool probe_sampled = false;
   std::string reason;
 };
 

@@ -44,9 +44,23 @@ class Checker:
     def __init__(self, path):
         self.path = path
         self.errors = []
+        self.warnings = []
 
     def error(self, where, message):
         self.errors.append(f"{self.path}: {where}: {message}")
+
+    def warn(self, where, message):
+        self.warnings.append(f"{self.path}: {where}: warning: {message}")
+
+    def warn_single_threaded(self, report):
+        # A scaling-type bench captured on one hardware thread measures
+        # queueing, not parallelism — the capture is valid telemetry but
+        # should not be quoted as a scaling result.
+        threads = report.get("hardware_threads")
+        if isinstance(threads, (int, float)) and threads == 1:
+            self.warn("report",
+                      "captured on 1 hardware thread; scaling numbers "
+                      "reflect queueing, not parallel speedup")
 
     def require(self, obj, key, types, where):
         if key not in obj:
@@ -70,12 +84,14 @@ class Checker:
         return value
 
     def check(self, report):
-        # The thread-scaling bench (bench_scaling) has its own shape:
-        # points are keyed by thread count, not qinterval, and there is
-        # no disk model (warm-cache regime). Its marker is the top-level
-        # hardware_threads field.
-        if "hardware_threads" in report:
-            self.check_scaling(report)
+        # Explicit marker fields dispatch first: several scaling-type
+        # benches also stamp hardware_threads, so the bare
+        # hardware_threads fallback (bench_scaling) must come last.
+        # The shard-scaling bench (bench_shard_scaling) sweeps router
+        # shard counts under concurrent clients; its marker is the
+        # top-level shard_scaling_bench field.
+        if "shard_scaling_bench" in report:
+            self.check_shard_scaling(report)
             return
         # The filter-kernel microbench (bench_filter_kernels) compares
         # filter implementations at fixed selectivities; its marker is
@@ -112,6 +128,14 @@ class Checker:
         # shared_scan_bench field.
         if "shared_scan_bench" in report:
             self.check_shared_scan(report)
+            return
+        # The thread-scaling bench (bench_scaling) has its own shape:
+        # points are keyed by thread count, not qinterval, and there is
+        # no disk model (warm-cache regime). Its marker is the top-level
+        # hardware_threads field — checked after every explicit marker
+        # above, since those reports stamp hardware_threads too.
+        if "hardware_threads" in report:
+            self.check_scaling(report)
             return
         self.require(report, "bench_id", str, "report")
         self.require(report, "title", str, "report")
@@ -155,6 +179,7 @@ class Checker:
         self.number(report, "workload_seed", "report", minimum=0)
         self.number(report, "qinterval", "report", minimum=0)
         self.number(report, "hardware_threads", "report", minimum=0)
+        self.warn_single_threaded(report)
 
         series = self.require(report, "series", list, "report")
         if series is None:
@@ -474,6 +499,8 @@ class Checker:
         self.number(report, "threads", "report", minimum=1)
         self.number(report, "max_scan_group", "report", minimum=1)
         self.number(report, "workload_seed", "report", minimum=0)
+        self.number(report, "hardware_threads", "report", minimum=1)
+        self.warn_single_threaded(report)
         qi = self.number(report, "qinterval", "report", minimum=0)
         if qi is not None and qi > 1:
             self.error("report", f"qinterval {qi} > 1")
@@ -516,6 +543,78 @@ class Checker:
                 self.error("report", f"'{key}' is not a bool")
             elif not report[key]:
                 self.error("report", f"'{key}' is false")
+
+    def check_shard_scaling(self, report):
+        self.require(report, "bench_id", str, "report")
+        self.require(report, "title", str, "report")
+        if report.get("shard_scaling_bench") is not True:
+            self.error("report", "'shard_scaling_bench' is not true")
+        method = self.require(report, "method", str, "report")
+        if method == "":
+            self.error("report", "'method' is empty")
+        self.number(report, "field_cells", "report", minimum=1)
+        self.number(report, "num_queries", "report", minimum=1)
+        self.number(report, "clients", "report", minimum=1)
+        self.number(report, "workload_seed", "report", minimum=0)
+        qi = self.number(report, "qinterval", "report", minimum=0)
+        if qi is not None and qi > 1:
+            self.error("report", f"qinterval {qi} > 1")
+        threads = self.number(report, "hardware_threads", "report",
+                              minimum=1)
+        self.warn_single_threaded(report)
+
+        points = self.require(report, "points", list, "report")
+        if points is not None:
+            if not points:
+                self.error("report", "'points' is empty")
+            shard_counts = []
+            for j, point in enumerate(points):
+                where = f"points[{j}]"
+                if not isinstance(point, dict):
+                    self.error(where, "not an object")
+                    continue
+                shards = self.number(point, "shards", where, minimum=1)
+                if shards is not None:
+                    if shards in shard_counts:
+                        self.error(where, f"duplicate shard count {shards}")
+                    shard_counts.append(shards)
+                qps = self.number(point, "qps", where, minimum=0)
+                if isinstance(qps, (int, float)) and qps <= 0:
+                    self.error(where, f"qps {qps} is not positive")
+                self.number(point, "avg_wall_ms", where, minimum=0)
+                p50 = self.number(point, "p50_wall_ms", where, minimum=0)
+                p99 = self.number(point, "p99_wall_ms", where, minimum=0)
+                if p50 is not None and p99 is not None and p50 > p99:
+                    self.error(where,
+                               f"p50_wall_ms {p50} > p99_wall_ms {p99}")
+                speedup = self.number(point, "speedup_vs_1", where)
+                if speedup is not None and speedup <= 0:
+                    self.error(where,
+                               f"speedup_vs_1 {speedup} is not positive")
+                frac = self.number(point, "shards_skipped_frac", where,
+                                   minimum=0)
+                if frac is not None and frac > 1:
+                    self.error(where, f"shards_skipped_frac {frac} > 1")
+                self.number(point, "admission_waits", where, minimum=0)
+                self.number(point, "failed", where, minimum=0)
+            if 1 not in shard_counts:
+                self.error("report", "missing the shards=1 baseline")
+
+        self.number(report, "speedup_target", "report", minimum=0)
+        # The >= 2.5x acceptance gate only binds on real multi-core
+        # hardware; single-core captures record speedup_ok=true with
+        # speedup_gated=false (and the warning above flags them).
+        for key in ("speedup_ok", "speedup_gated"):
+            if key not in report:
+                self.error("report", f"missing key '{key}'")
+            elif not isinstance(report[key], bool):
+                self.error("report", f"'{key}' is not a bool")
+        if report.get("speedup_ok") is False:
+            self.error("report", "'speedup_ok' is false")
+        if (report.get("speedup_gated") is True
+                and isinstance(threads, (int, float)) and threads < 4):
+            self.error("report",
+                       f"speedup_gated on {threads} hardware threads")
 
     def check_series(self, ser, where):
         if not isinstance(ser, dict):
@@ -570,6 +669,8 @@ def main(argv):
             failed = True
             continue
         checker.check(report)
+        for warning in checker.warnings:
+            print(warning, file=sys.stderr)
         if checker.errors:
             failed = True
             for err in checker.errors:

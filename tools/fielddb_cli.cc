@@ -20,13 +20,26 @@
 //                       QueryExecutor thread pool, warm cache, and
 //                       reports throughput instead of per-figure stats)
 //   fielddb_cli stats   --db PREFIX [--qinterval F] [--queries N]
-//                       [--format group|prom|json] [--watch SEC]
-//                       [--count N]
+//                       [--threads N] [--format group|prom|json]
+//                       [--watch SEC] [--count N]
 //                       (default output groups instruments by subsystem
-//                       — storage.wal.*, storage.pool.*, db.* — one
-//                       block each; --watch re-runs the workload and
+//                       — storage.wal.*, storage.pool.*, db.*,
+//                       executor.* including shared_scan_groups — one
+//                       block each, followed by an [slo] block with
+//                       each query class's error budget remaining and
+//                       burn rate; --watch re-runs the workload and
 //                       reprints every SEC seconds, --count bounds the
 //                       refreshes)
+//   fielddb_cli serve   [--db PREFIX] [--shards N] [--clients N]
+//                       [--seconds S] [--interval SEC] [--qinterval F]
+//                       [--queries N] [--pool-pages N]
+//                       (long-running loop against the sharded router:
+//                       N concurrent clients replay the workload while
+//                       rolling QPS, latency tails, admission waits and
+//                       per-class SLO budget print every SEC seconds;
+//                       --db opens a router saved under PREFIX, without
+//                       it a fractal terrain is built in memory,
+//                       sharded --shards ways, default one per core)
 //   fielddb_cli trace   --db PREFIX [--out FILE] [--qinterval F]
 //                       [--queries N] [--threads N]
 //                       (records the trace-v2 ring buffers across open +
@@ -65,17 +78,21 @@
 //                       plan the extension planner chose)
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/field_database.h"
 #include "core/query_executor.h"
+#include "core/shard_router.h"
 #include "temporal/temporal_index.h"
 #include "vector/vector_index.h"
 #include "volume/volume_index.h"
@@ -87,6 +104,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/sampler.h"
+#include "obs/slo.h"
 #include "obs/trace_buffer.h"
 #include "storage/wal.h"
 
@@ -411,7 +429,10 @@ int CmdStats(const Args& args) {
   if (!db.ok()) return Fail(db.status());
   // Drive a short workload with recording on so the snapshot holds live
   // data for this database (pool latency percentiles need physical
-  // reads to sample).
+  // reads to sample). The workload runs through a QueryExecutor with
+  // shared-scan scheduling and SLO tracking on — that is the serving
+  // configuration, and it is what puts executor.shared_scan_groups and
+  // the slo.* histograms into the grouped output.
   MetricsRegistry::set_enabled(true);
   WorkloadOptions wo;
   wo.qinterval_fraction = args.GetDouble("qinterval", 0.02);
@@ -423,21 +444,43 @@ int CmdStats(const Args& args) {
   const double watch_sec = args.GetDouble("watch", 0.0);
   const long count = args.GetLong("count", watch_sec > 0 ? -1 : 1);
 
+  SloTracker slo(SloTracker::DefaultQueryClasses());
+  QueryExecutor::Options eo;
+  eo.threads = static_cast<size_t>(args.GetLong("threads", 2));
+  eo.shared_scan = true;
+  eo.slo = &slo;
+  QueryExecutor executor(db->get(), eo);
+
   for (long i = 0; count < 0 || i < count; ++i) {
     if (i > 0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(watch_sec));
     }
-    auto ws = (*db)->RunWorkload(queries);
-    if (!ws.ok()) return Fail(ws.status());
+    QueryExecutor::BatchResult batch;
+    const Status s = executor.RunBatch(queries, &batch);
+    if (!s.ok()) return Fail(s);
     if (format == "json") {
       std::printf("%s\n", MetricsRegistry::Default().ToJson().c_str());
+      std::printf("%s\n", slo.ToJson().c_str());
     } else if (format == "prom") {
       std::printf("%s",
                   MetricsRegistry::Default().ToPrometheusText().c_str());
     } else {
       std::printf("%s",
                   MetricsRegistry::Default().ToGroupedText().c_str());
+      // The numbers an operator pages on, next to the raw instruments:
+      // per-class error budget remaining (1 = untouched, 0 = spent,
+      // negative = SLO blown) and the burn rate since the last refresh.
+      std::printf("[slo]\n");
+      for (const SloTracker::ClassSnapshot& c : slo.Snapshot()) {
+        std::printf(
+            "  %-28s %.1f%% budget remaining  (%llu/%llu in %gms @ "
+            "p%g, burn %.2f)\n",
+            c.query_class.c_str(), c.error_budget_remaining * 100.0,
+            static_cast<unsigned long long>(c.total - c.violations),
+            static_cast<unsigned long long>(c.total), c.target_ms,
+            c.target_fraction * 100.0, c.burn_rate);
+      }
     }
     if (watch_sec > 0) {
       std::printf("--- refresh %ld (every %.3gs, ctrl-c to stop) ---\n",
@@ -448,6 +491,133 @@ int CmdStats(const Args& args) {
     }
   }
   return 0;
+}
+
+// Long-running serving loop against the shard-per-core router
+// (DESIGN.md §18): N concurrent clients replay a value workload in a
+// loop while the main thread prints rolling QPS / latency tails /
+// per-class SLO budget every --interval seconds. With --db it opens a
+// router previously persisted by ShardRouter::Save; without it the
+// loop builds an in-memory router over a fresh fractal terrain, which
+// is what makes "qps at 64 concurrent clients" benchable on a bare
+// checkout.
+int CmdServe(const Args& args) {
+  MetricsRegistry::set_enabled(true);
+  const uint32_t shards = static_cast<uint32_t>(std::max(
+      1L, args.GetLong("shards",
+                       std::max(1u, std::thread::hardware_concurrency()))));
+  StatusOr<std::unique_ptr<ShardRouter>> router = [&] {
+    if (args.Has("db")) {
+      ShardRouter::OpenOptions oo;
+      oo.pool_pages = static_cast<size_t>(args.GetLong("pool-pages", 4096));
+      return ShardRouter::Open(args.Get("db", ""), oo);
+    }
+    StatusOr<GridField> terrain = MakeRoseburgLikeTerrain(
+        static_cast<uint64_t>(args.GetLong("seed", 1972)));
+    if (!terrain.ok()) {
+      return StatusOr<std::unique_ptr<ShardRouter>>(terrain.status());
+    }
+    ShardRouterOptions ro;
+    ro.shards = shards;
+    ro.db.pool_pages = static_cast<size_t>(args.GetLong("pool-pages", 16384));
+    return ShardRouter::Build(*terrain, ro);
+  }();
+  if (!router.ok()) return Fail(router.status());
+  std::printf("serving %llu cells across %zu shard(s)\n",
+              static_cast<unsigned long long>((*router)->num_cells()),
+              (*router)->num_shards());
+
+  WorkloadOptions wo;
+  wo.qinterval_fraction = args.GetDouble("qinterval", 0.02);
+  wo.num_queries = static_cast<uint32_t>(args.GetLong("queries", 512));
+  wo.seed = static_cast<uint64_t>(args.GetLong("seed", 2002));
+  const std::vector<ValueInterval> queries =
+      GenerateValueQueries((*router)->value_range(), wo);
+
+  const size_t clients = static_cast<size_t>(
+      std::max(1L, args.GetLong("clients", 64)));
+  const double seconds = args.GetDouble("seconds", 10.0);
+  const double interval = std::max(0.1, args.GetDouble("interval", 2.0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> failed{0};
+  // The clients append window latencies under one mutex; the reporter
+  // swaps the vector out each tick. Contention is irrelevant at CLI
+  // query rates and keeps the rolling percentiles exact.
+  std::mutex window_mu;
+  std::vector<double> window_ms;
+
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      size_t i = c;  // stagger the replay so clients do not convoy
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ValueInterval& q = queries[i++ % queries.size()];
+        QueryStats stats;
+        const auto t0 = std::chrono::steady_clock::now();
+        const Status s = (*router)->ValueQueryStats(q, &stats);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        if (!s.ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(window_mu);
+        window_ms.push_back(ms);
+      }
+    });
+  }
+
+  Counter* waits =
+      MetricsRegistry::Default().GetCounter("router.admission_waits");
+  const auto serve_start = std::chrono::steady_clock::now();
+  uint64_t last_completed = 0;
+  uint64_t last_waits = waits->value();
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - serve_start)
+                               .count();
+    std::vector<double> window;
+    {
+      std::lock_guard<std::mutex> lock(window_mu);
+      window.swap(window_ms);
+    }
+    std::sort(window.begin(), window.end());
+    const auto pct = [&window](double p) {
+      if (window.empty()) return 0.0;
+      const size_t idx = static_cast<size_t>(
+          p * static_cast<double>(window.size() - 1) + 0.5);
+      return window[std::min(idx, window.size() - 1)];
+    };
+    const uint64_t done = completed.load();
+    const uint64_t now_waits = waits->value();
+    std::printf("[%7.1fs] qps=%9.1f p50=%8.3fms p99=%8.3fms "
+                "inflight_waits=%llu failed=%llu\n",
+                elapsed, static_cast<double>(done - last_completed) / interval,
+                pct(0.50), pct(0.99),
+                static_cast<unsigned long long>(now_waits - last_waits),
+                static_cast<unsigned long long>(failed.load()));
+    for (const SloTracker::ClassSnapshot& c : (*router)->slo().Snapshot()) {
+      std::printf("          slo %-10s %6.1f%% budget  burn %.2f  "
+                  "p99 %.3fms\n",
+                  c.query_class.c_str(), c.error_budget_remaining * 100.0,
+                  c.burn_rate, c.p99_ms);
+    }
+    std::fflush(stdout);
+    last_completed = done;
+    last_waits = now_waits;
+    if (seconds > 0 && elapsed >= seconds) break;
+  }
+  stop.store(true);
+  for (std::thread& t : pool) t.join();
+  const Status close = (*router)->Close();
+  if (!close.ok()) return Fail(close);
+  return failed.load() == 0 ? 0 : 1;
 }
 
 int CmdTrace(const Args& args) {
@@ -938,7 +1108,7 @@ int CmdExt(const Args& args) {
 void Usage() {
   std::fprintf(stderr,
                "usage: fielddb_cli <gen|info|query|explain|plan|isoline"
-               "|point|bench|stats|trace|top|events|scrub|wal|recover"
+               "|point|bench|stats|serve|trace|top|events|scrub|wal|recover"
                "|ext> [--key value ...]\n");
 }
 
@@ -960,6 +1130,7 @@ int main(int argc, char** argv) {
   if (cmd == "point") return CmdPoint(args);
   if (cmd == "bench") return CmdBench(args);
   if (cmd == "stats") return CmdStats(args);
+  if (cmd == "serve") return CmdServe(args);
   if (cmd == "trace") return CmdTrace(args);
   if (cmd == "top") return CmdTop(args);
   if (cmd == "events") return CmdEvents(args);

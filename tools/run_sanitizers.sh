@@ -5,15 +5,17 @@
 #   tools/run_sanitizers.sh [asan|ubsan|tsan|all]
 #
 # asan/ubsan run the full suite. tsan runs only the suites labeled
-# "concurrency", "planner", "recovery", "ext", "obs", or "asyncio" (see
-# tests/CMakeLists.txt): ThreadSanitizer slows single-threaded tests
-# ~10x for no extra coverage, while the labeled suites are exactly the
-# ones hammering the shared-reader machinery (sharded buffer pool,
-# atomic metrics, concurrent value queries, concurrent cost-based
-# planning), the WAL / crash-recovery paths, the extension engines
-# (vector / volume / temporal persistence and external-sort builds),
-# the lock-free trace-v2 ring buffers, and the async batch-I/O /
-# shared-scan path (vectored prefetch installs, executor grouping).
+# "concurrency", "planner", "recovery", "ext", "obs", "asyncio", or
+# "shard" (see tests/CMakeLists.txt): ThreadSanitizer slows
+# single-threaded tests ~10x for no extra coverage, while the labeled
+# suites are exactly the ones hammering the shared-reader machinery
+# (sharded buffer pool, atomic metrics, concurrent value queries,
+# concurrent cost-based planning), the WAL / crash-recovery paths, the
+# extension engines (vector / volume / temporal persistence and
+# external-sort builds), the lock-free trace-v2 ring buffers, the async
+# batch-I/O / shared-scan path (vectored prefetch installs, executor
+# grouping), and the shard router's scatter/gather across per-shard
+# executor lanes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,10 +40,10 @@ case "${mode}" in
   asan)  run_one asan address ;;
   ubsan) run_one ubsan undefined ;;
   tsan)  run_one tsan thread \
-           "-L concurrency|planner|recovery|ext|obs|asyncio" ;;
+           "-L concurrency|planner|recovery|ext|obs|asyncio|shard" ;;
   all)   run_one asan address && run_one ubsan undefined \
            && run_one tsan thread \
-                "-L concurrency|planner|recovery|ext|obs|asyncio" ;;
+                "-L concurrency|planner|recovery|ext|obs|asyncio|shard" ;;
   *)     echo "usage: $0 [asan|ubsan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "sanitizer runs passed"
